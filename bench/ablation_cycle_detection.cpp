@@ -1,0 +1,44 @@
+// ABLATION — DESIGN.md trajectory decision: Brent's O(1)-memory cycle
+// detector vs the hash-map tracer. Brent re-applies the step map ~3x more
+// but allocates nothing; the tracer stores every visited configuration.
+// Parity rings give orbits with long transients+periods to chase.
+
+#include <benchmark/benchmark.h>
+
+#include "core/automaton.hpp"
+#include "core/trajectory.hpp"
+
+namespace {
+
+using namespace tca;
+
+core::Automaton parity_ring(std::size_t n) {
+  return core::Automaton::line(n, 1, core::Boundary::kRing, rules::parity(),
+                               core::Memory::kWith);
+}
+
+void BM_BrentOrbit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = parity_ring(n);
+  const auto step = core::synchronous_step_fn(a);
+  const auto start = core::Configuration::from_bits(0b1011, n);
+  for (auto _ : state) {
+    auto orbit = core::find_orbit(step, start, 1u << 22);
+    benchmark::DoNotOptimize(orbit);
+  }
+}
+BENCHMARK(BM_BrentOrbit)->Arg(11)->Arg(13)->Arg(17)->Arg(19);
+
+void BM_HashTraceOrbit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = parity_ring(n);
+  const auto step = core::synchronous_step_fn(a);
+  const auto start = core::Configuration::from_bits(0b1011, n);
+  for (auto _ : state) {
+    auto trace = core::trace_orbit(step, start, 1u << 22);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_HashTraceOrbit)->Arg(11)->Arg(13)->Arg(17)->Arg(19);
+
+}  // namespace

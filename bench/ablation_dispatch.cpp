@@ -1,0 +1,72 @@
+// ABLATION — DESIGN.md decision 1: variant dispatch per cell (generic
+// engine) vs variant dispatch hoisted out of the cell loop (monomorphized
+// engine) vs the word-parallel packed kernel. Same automaton, same states,
+// three dispatch strategies.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/packed_kernels.hpp"
+#include "core/synchronous.hpp"
+#include "core/synchronous_fast.hpp"
+
+namespace {
+
+using namespace tca;
+
+core::Configuration random_config(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  core::Configuration c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(i, static_cast<core::State>(rng() & 1u));
+  }
+  return c;
+}
+
+void BM_DispatchPerCell(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  auto front = random_config(n, 1);
+  core::Configuration back(n);
+  for (auto _ : state) {
+    core::step_synchronous(a, front, back);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DispatchPerCell)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DispatchHoisted(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  auto front = random_config(n, 2);
+  core::Configuration back(n);
+  for (auto _ : state) {
+    core::step_synchronous_fast(a, front, back);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DispatchHoisted)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DispatchPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto front = random_config(n, 3);
+  core::Configuration back(n);
+  core::PackedScratch scratch(n);
+  for (auto _ : state) {
+    core::step_ring_majority3_packed(front, back, scratch);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DispatchPacked)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace

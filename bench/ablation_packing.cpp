@@ -1,0 +1,84 @@
+// ABLATION — DESIGN.md decision 2: bit-packed configurations + word-
+// parallel kernels vs a byte-per-cell representation vs the generic
+// gather/eval engine. The byte-dense stepper below is what a naive
+// implementation would use; the packed kernel processes 64 cells per
+// boolean op.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/packed_kernels.hpp"
+#include "core/synchronous.hpp"
+
+namespace {
+
+using namespace tca;
+
+// Baseline: byte-per-cell majority-of-3 ring step.
+void step_bytes_majority3(const std::vector<std::uint8_t>& in,
+                          std::vector<std::uint8_t>& out) {
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t l = in[(i + n - 1) % n];
+    const std::uint8_t s = in[i];
+    const std::uint8_t r = in[(i + 1) % n];
+    out[i] = static_cast<std::uint8_t>((l + s + r) >= 2);
+  }
+}
+
+void BM_BytesMajority3(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(1);
+  std::vector<std::uint8_t> front(n), back(n);
+  for (auto& b : front) b = static_cast<std::uint8_t>(rng() & 1u);
+  for (auto _ : state) {
+    step_bytes_majority3(front, back);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BytesMajority3)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_PackedMajority3(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(2);
+  core::Configuration front(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    front.set(i, static_cast<core::State>(rng() & 1u));
+  }
+  core::Configuration back(n);
+  core::PackedScratch scratch(n);
+  for (auto _ : state) {
+    core::step_ring_majority3_packed(front, back, scratch);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PackedMajority3)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_GenericEngineMajority3(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  std::mt19937_64 rng(3);
+  core::Configuration front(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    front.set(i, static_cast<core::State>(rng() & 1u));
+  }
+  core::Configuration back(n);
+  for (auto _ : state) {
+    core::step_synchronous(a, front, back);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GenericEngineMajority3)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Experiment ACA — Section 4: communication-asynchronous CA (no global
+// clock; node updates split into fetch/compute/publish via channels)
+// subsume all classical-CA and SCA behaviours, and are strictly richer.
+// Bounded-exhaustive exploration of the full ACA transition system on
+// small rings, plus randomly scheduled runs.
+
+#include <cstdio>
+
+#include "aca/aca.hpp"
+#include "aca/explorer.hpp"
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+#include "graph/builders.hpp"
+
+using namespace tca;
+
+namespace {
+
+void report(const char* name, const core::Automaton& a,
+            phasespace::StateCode start, bench::Verdict& verdict,
+            bool expect_strict) {
+  const auto verdict_row = aca::compare_reach_sets(a, start);
+  std::printf("%-18s %10llu %10llu %10llu %10llu %8s %8s\n", name,
+              static_cast<unsigned long long>(verdict_row.sync_total),
+              static_cast<unsigned long long>(verdict_row.seq_total),
+              static_cast<unsigned long long>(verdict_row.aca_total),
+              static_cast<unsigned long long>(verdict_row.only_aca),
+              verdict_row.contains_synchronous ? "yes" : "NO",
+              verdict_row.contains_sequential ? "yes" : "NO");
+  verdict.check(std::string(name) + ": reach(CA) subset of reach(ACA)",
+                verdict_row.contains_synchronous);
+  verdict.check(std::string(name) + ": reach(SCA) subset of reach(ACA)",
+                verdict_row.contains_sequential);
+  if (expect_strict) {
+    verdict.check(std::string(name) + ": ACA reaches strictly more configs",
+                  verdict_row.only_aca > 0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "ACA",
+      "Section 4: asynchronous CA (fetch/compute/publish with per-edge "
+      "channels, no global clock) subsume classical and sequential CA "
+      "behaviours; the containment is strict in general.");
+
+  bench::Verdict verdict;
+
+  std::printf("\n%-18s %10s %10s %10s %10s %8s %8s\n", "system",
+              "reach(CA)", "reach(SCA)", "reach(ACA)", "only ACA",
+              "CA sub", "SCA sub");
+
+  // For the two-node system the union of classical and sequential reach
+  // sets already covers all four states, so strictness only appears on the
+  // larger systems below.
+  report("XOR 2-node",
+         core::Automaton::from_graph(graph::complete(2), rules::parity(),
+                                     core::Memory::kWith),
+         0b01, verdict, /*expect_strict=*/false);
+  report("XOR ring n=4",
+         core::Automaton::line(4, 1, core::Boundary::kRing, rules::parity(),
+                               core::Memory::kWith),
+         0b0001, verdict, true);
+  report("XOR ring n=5",
+         core::Automaton::line(5, 1, core::Boundary::kRing, rules::parity(),
+                               core::Memory::kWith),
+         0b00011, verdict, true);
+  report("MAJ ring n=4",
+         core::Automaton::line(4, 1, core::Boundary::kRing, rules::majority(),
+                               core::Memory::kWith),
+         0b0101, verdict, true);
+  report("MAJ ring n=6",
+         core::Automaton::line(6, 1, core::Boundary::kRing, rules::majority(),
+                               core::Memory::kWith),
+         0b010101, verdict, true);
+
+  std::printf("\nWhy strict for MAJ ring from the blinker: sequentially the "
+              "complementary alternating state is unreachable (Lemma 1), "
+              "but an ACA schedule that computes every node from the stale "
+              "consistent snapshot reproduces the parallel flip — and mixed "
+              "stale/fresh schedules reach configurations neither classical "
+              "model visits.\n");
+
+  std::printf("\nRandomly scheduled ACA runs (majority ring n=10, 20 seeds, "
+              "cap 200000 actions):\n");
+  {
+    const aca::AcaSystem sys(core::Automaton::line(
+        10, 1, core::Boundary::kRing, rules::majority(), core::Memory::kWith));
+    int quiesced = 0;
+    std::uint64_t total_actions = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      const auto run = aca::run_random(sys, 0b0101010101, seed, 200000);
+      if (run.quiesced) {
+        ++quiesced;
+        total_actions += run.actions;
+      }
+    }
+    std::printf("  quiesced: %d/20, mean actions %.0f\n", quiesced,
+                quiesced ? static_cast<double>(total_actions) / quiesced : 0.0);
+    verdict.check("all random ACA runs quiesce to an asynchronous fixed "
+                  "point",
+                  quiesced == 20);
+  }
+
+  return verdict.finish("ACA");
+}

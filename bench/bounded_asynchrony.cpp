@@ -1,0 +1,94 @@
+// Experiment BOUND — Section 4's closing picture: classical CA are models
+// of BOUNDED asynchrony (information moves at most r cells per step), and
+// physically realistic CA have network delays. The stochastic channel
+// simulator sweeps the delivery rate: convergence survives arbitrarily
+// slow links (fixed points are schedule-independent), but the time to
+// converge grows as communication slows — and perfect synchrony is the
+// singular point where the blinker never converges at all.
+
+#include <cstdio>
+
+#include "aca/delayed.hpp"
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+#include "core/sequential.hpp"
+
+using namespace tca;
+
+int main() {
+  bench::banner(
+      "BOUND",
+      "Section 4: dropping perfect synchrony (random compute subsets, "
+      "delayed deliveries) destroys the two-cycles and yields convergence "
+      "to fixed points; slower links converge more slowly but to equally "
+      "valid fixed points.");
+
+  bench::Verdict verdict;
+  const std::size_t n = 12;
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  const aca::AcaSystem sys(a);
+  const phasespace::StateCode blinker = 0b010101010101;
+
+  std::printf("\nMajority ring n=%zu from the alternating (blinker) state, "
+              "30 trials per row:\n", n);
+  std::printf("%14s %14s %12s %14s %14s\n", "compute rate", "deliver rate",
+              "quiesced", "mean ticks", "max ticks");
+
+  struct Row {
+    double compute;
+    double deliver;
+    bool expect_quiesce;
+  };
+  const Row rows[] = {
+      {1.0, 1.0, false},  // perfect synchrony: the blinker never dies
+      {0.9, 1.0, true},
+      {0.5, 1.0, true},
+      {0.5, 0.5, true},
+      {0.5, 0.1, true},
+      {0.2, 0.05, true},
+  };
+
+  double prev_mean = 0.0;
+  bool slowdown_monotone_tail = true;
+  for (const Row& row : rows) {
+    aca::DelayedParams params;
+    params.compute_rate = row.compute;
+    params.deliver_rate = row.deliver;
+    params.max_ticks = row.expect_quiesce ? (1u << 18) : 4096;
+    const auto stats = aca::measure_delayed(sys, blinker, params, 30, 555);
+    std::printf("%14.2f %14.2f %9llu/30 %14.1f %14.0f\n", row.compute,
+                row.deliver,
+                static_cast<unsigned long long>(stats.quiesced),
+                stats.mean_ticks, stats.max_ticks);
+    if (row.expect_quiesce) {
+      verdict.check("compute=" + std::to_string(row.compute) +
+                        " deliver=" + std::to_string(row.deliver) +
+                        ": all trials converge",
+                    stats.quiesced == 30);
+      // Fixed points reached are genuine automaton fixed points.
+      aca::DelayedParams one = params;
+      const auto probe = aca::run_delayed(sys, blinker, one, 999);
+      const auto c = core::Configuration::from_bits(probe.final_config, n);
+      verdict.check("  ...final configuration is a fixed point",
+                    core::is_fixed_point_sequential(a, c));
+      if (row.compute == 0.5 && row.deliver < 1.0) {
+        if (stats.mean_ticks < prev_mean) slowdown_monotone_tail = false;
+      }
+      if (row.compute == 0.5) prev_mean = stats.mean_ticks;
+    } else {
+      verdict.check("perfect synchrony: the blinker never quiesces",
+                    stats.quiesced == 0);
+    }
+  }
+  verdict.check(
+      "at fixed compute rate, slower delivery never speeds convergence",
+      slowdown_monotone_tail);
+
+  std::printf("\nReading: the two-cycle is an artifact of the singular "
+              "fully-synchronous schedule; ANY amount of update or "
+              "communication asynchrony collapses the dynamics onto the "
+              "fixed points, at a cost in convergence time that grows as "
+              "links slow down.\n");
+  return verdict.finish("BOUND");
+}

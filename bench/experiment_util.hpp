@@ -1,0 +1,38 @@
+#pragma once
+// Shared output helpers for the experiment harnesses: consistent banners,
+// table rows, and a PASS/FAIL verdict accumulator so every binary ends with
+// an unambiguous machine-greppable summary line.
+
+#include <cstdio>
+#include <string>
+
+namespace tca::bench {
+
+/// Prints the experiment banner (id + the paper claim being regenerated).
+inline void banner(const std::string& id, const std::string& claim) {
+  std::printf("=============================================================\n");
+  std::printf("Experiment %s\n", id.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("=============================================================\n");
+}
+
+/// Accumulates named checks and prints the final verdict.
+class Verdict {
+ public:
+  void check(const std::string& name, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", name.c_str());
+    if (!ok) failed_ = true;
+  }
+
+  /// Prints the summary line and returns the process exit code.
+  int finish(const std::string& id) const {
+    std::printf("-------------------------------------------------------------\n");
+    std::printf("%s: %s\n", id.c_str(), failed_ ? "FAIL" : "PASS");
+    return failed_ ? 1 : 0;
+  }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace tca::bench

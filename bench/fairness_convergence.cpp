@@ -1,0 +1,117 @@
+// Experiment FAIR — footnote 2: the convergence guarantee for sequential
+// threshold CA needs a fairness condition (a fixed bound on how long any
+// node waits for its turn). Bounded-fair schedules always converge within
+// the Lyapunov budget; a starving schedule can stall forever.
+
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "analysis/energy.hpp"
+#include "analysis/stats.hpp"
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "graph/builders.hpp"
+
+using namespace tca;
+
+int main() {
+  bench::banner(
+      "FAIR",
+      "Footnote 2: bounded-fair sequential schedules make threshold SCA "
+      "converge to a fixed point; starving a needed node prevents "
+      "convergence — fairness is necessary and (with boundedness) "
+      "sufficient.");
+
+  bench::Verdict verdict;
+
+  const std::size_t n = 32;
+  const auto net = analysis::ThresholdNetwork::majority(graph::ring(n), true);
+  const auto a = net.automaton();
+  const auto bound = analysis::sequential_change_bound(net);
+  std::mt19937_64 rng(31337);
+
+  std::printf("\nMajority ring n=%zu, Lyapunov bound on state changes: %lld\n",
+              n, static_cast<long long>(bound));
+
+  std::printf("\n(a) Bounded-fair schedules (50 random starts each):\n");
+  std::printf("%-22s %12s %16s %16s\n", "schedule", "converged",
+              "mean updates", "max updates");
+  struct Case {
+    const char* name;
+    bool fair;
+  };
+  for (const Case c : {Case{"cyclic permutation", true},
+                       Case{"random sweeps", true},
+                       Case{"iid uniform", true}}) {
+    analysis::Accumulator acc;
+    int converged = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+      core::Configuration config(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        config.set(i, static_cast<core::State>(rng() & 1u));
+      }
+      std::unique_ptr<core::Schedule> schedule;
+      if (std::string(c.name) == "cyclic permutation") {
+        schedule = std::make_unique<core::CyclicSchedule>(
+            core::identity_order(n));
+      } else if (std::string(c.name) == "random sweeps") {
+        schedule = std::make_unique<core::RandomSweepSchedule>(n, rng());
+      } else {
+        schedule = std::make_unique<core::RandomUniformSchedule>(n, rng());
+      }
+      const auto updates =
+          core::run_schedule_to_fixed_point(a, config, *schedule, 1000000);
+      if (updates) {
+        ++converged;
+        acc.add(static_cast<double>(*updates));
+      }
+    }
+    std::printf("%-22s %9d/50 %16.1f %16.0f\n", c.name, converged, acc.mean(),
+                acc.max());
+    verdict.check(std::string(c.name) + ": all runs converge",
+                  converged == 50);
+  }
+
+  std::printf("\n(b) Fairness checker on schedule prefixes:\n");
+  {
+    core::CyclicSchedule cyclic(core::identity_order(n));
+    const auto cyc_seq = core::take(cyclic, 10 * n);
+    core::RandomSweepSchedule sweeps(n, 99);
+    const auto sweep_seq = core::take(sweeps, 10 * n);
+    core::StarvingSchedule starving(n, 7);
+    const auto starve_seq = core::take(starving, 10 * n);
+    std::printf("  cyclic: bounded-fair with bound n: %s\n",
+                core::is_bounded_fair(cyc_seq, n, n) ? "yes" : "no");
+    std::printf("  random sweeps: bounded-fair with bound 2n-1: %s\n",
+                core::is_bounded_fair(sweep_seq, n, 2 * n - 1) ? "yes" : "no");
+    std::printf("  starving: bounded-fair with bound 10n: %s\n",
+                core::is_bounded_fair(starve_seq, n, 10 * n) ? "yes" : "no");
+    verdict.check("cyclic prefix is bounded-fair",
+                  core::is_bounded_fair(cyc_seq, n, n));
+    verdict.check("random-sweep prefix is bounded-fair",
+                  core::is_bounded_fair(sweep_seq, n, 2 * n - 1));
+    verdict.check("starving prefix is NOT bounded-fair for any window",
+                  !core::is_bounded_fair(starve_seq, n, 10 * n));
+  }
+
+  std::printf("\n(c) Starvation counterexample: isolated 1 whose only "
+              "enabled update is the starved node:\n");
+  {
+    core::Configuration c(n);
+    c.set(7, 1);
+    core::StarvingSchedule starving(n, 7);
+    const auto updates =
+        core::run_schedule_to_fixed_point(a, c, starving, 200000);
+    std::printf("  converged: %s (state unchanged: %s)\n",
+                updates ? "yes" : "no",
+                c.get(7) == 1 && c.popcount() == 1 ? "yes" : "no");
+    verdict.check("starving the needed node prevents convergence",
+                  !updates.has_value());
+  }
+
+  return verdict.finish("FAIR");
+}

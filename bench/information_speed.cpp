@@ -1,0 +1,112 @@
+// Experiment SPEED — Section 4's bounded-asynchrony picture, quantified:
+// "if nodes are d apart and the radius is r, a change in the state of one
+// can affect the other no sooner ... than after about d/r computational
+// steps". Damage-spreading runs verify the light cone (upper bound on
+// information speed) for every rule, show XOR rules SATURATE it (exactly
+// r cells/step), and show threshold rules usually stay far inside it
+// (damage heals) — which is precisely why their long-range behaviour is
+// so orderly.
+
+#include <cstdio>
+#include <random>
+
+#include "analysis/damage.hpp"
+#include "analysis/stats.hpp"
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+
+using namespace tca;
+
+int main() {
+  bench::banner(
+      "SPEED",
+      "Section 4: information travels at most r cells per synchronous "
+      "step (the light cone); XOR rules achieve the bound exactly, "
+      "threshold rules damp perturbations.");
+
+  bench::Verdict verdict;
+  const std::size_t n = 128;
+  const std::uint64_t steps = 20;
+  std::mt19937_64 rng(20260705);
+
+  std::printf("\nLight-cone compliance (100 random perturbation runs per "
+              "rule, n = %zu, %llu steps):\n", n,
+              static_cast<unsigned long long>(steps));
+  std::printf("%-16s %-8s %12s %18s %20s\n", "rule", "radius", "cone ok",
+              "mean damage @t20", "cone saturated runs");
+  struct Case {
+    const char* name;
+    rules::Rule rule;
+    std::uint32_t radius;
+  };
+  const Case cases[] = {
+      {"majority", rules::majority(), 1},
+      {"majority r=2", rules::majority(), 2},
+      {"parity (150)", rules::parity(), 1},
+      {"wolfram 90", rules::Rule{rules::wolfram(90)}, 1},
+      {"wolfram 110", rules::Rule{rules::wolfram(110)}, 1},
+      {"wolfram 30", rules::Rule{rules::wolfram(30)}, 1},
+  };
+  for (const Case& c : cases) {
+    const auto a = core::Automaton::line(n, c.radius, core::Boundary::kRing,
+                                         c.rule, core::Memory::kWith);
+    bool all_in_cone = true;
+    int saturated = 0;
+    analysis::Accumulator final_damage;
+    for (int trial = 0; trial < 100; ++trial) {
+      core::Configuration x(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x.set(i, static_cast<core::State>(rng() & 1u));
+      }
+      const std::size_t cell = rng() % n;
+      const auto trace = analysis::damage_synchronous(a, x, cell, steps);
+      if (!analysis::trace_within_light_cone(trace, cell, c.radius)) {
+        all_in_cone = false;
+      }
+      if (analysis::steps_until_cone_boundary(trace, cell, c.radius) == 1) {
+        ++saturated;
+      }
+      final_damage.add(static_cast<double>(trace.diffs.back().popcount()));
+    }
+    std::printf("%-16s %-8u %12s %18.2f %17d/100\n", c.name, c.radius,
+                all_in_cone ? "100/100" : "VIOLATED", final_damage.mean(),
+                saturated);
+    verdict.check(std::string(c.name) + ": damage never escapes the cone",
+                  all_in_cone);
+  }
+
+  std::printf("\nXOR saturates the cone (damage front at exactly +-t for "
+              "all backgrounds), majority heals:\n");
+  {
+    const auto parity = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                              rules::parity(),
+                                              core::Memory::kWith);
+    core::Configuration x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x.set(i, static_cast<core::State>(rng() & 1u));
+    }
+    const auto trace = analysis::damage_synchronous(parity, x, 64, steps);
+    bool front_exact = true;
+    for (std::uint64_t t = 0; t <= steps; ++t) {
+      if (trace.diffs[t].get(64 + t) == 0 || trace.diffs[t].get(64 - t) == 0) {
+        front_exact = false;
+      }
+    }
+    verdict.check("parity: both cone edges damaged at every step",
+                  front_exact);
+
+    const auto majority = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                                rules::majority(),
+                                                core::Memory::kWith);
+    const auto healed =
+        analysis::damage_synchronous(majority, core::Configuration(n), 64, 3);
+    verdict.check("majority on quiescent background: damage heals in 1 step",
+                  healed.diffs[1].popcount() == 0);
+  }
+
+  std::printf("\nReading: the classical CA *is* a bounded-asynchrony model "
+              "— r cells/step is a hard information-speed limit — and the "
+              "threshold rules' damping is the dynamical face of their "
+              "guaranteed sequential convergence.\n");
+  return verdict.finish("SPEED");
+}

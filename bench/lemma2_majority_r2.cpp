@@ -1,0 +1,85 @@
+// Experiment LEM2 — Lemma 2: the same dichotomy at radius 2 (MAJORITY of
+// 5 inputs): parallel two-cycles exist, sequential CA are cycle-free for
+// every update order.
+
+#include <cstdio>
+#include <random>
+
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/trajectory.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/classify.hpp"
+
+using namespace tca;
+
+namespace {
+
+core::Automaton majority_ring_r2(std::size_t n) {
+  return core::Automaton::line(n, 2, core::Boundary::kRing, rules::majority(),
+                               core::Memory::kWith);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "LEM2",
+      "Lemma 2: 1-D CA with r=2 and MAJORITY: (i) parallel CA have finite "
+      "cycles; (ii) sequential CA are cycle-free for every update order.");
+
+  bench::Verdict verdict;
+
+  std::printf("\n(i) Parallel two-cycles ((0^2 1^2)^* block pattern):\n");
+  std::printf("%6s %22s %10s\n", "n", "configuration", "period");
+  for (const std::size_t n : {8u, 12u, 16u, 20u}) {
+    const auto a = majority_ring_r2(n);
+    core::Configuration c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i / 2) % 2 == 1) c.set(i, 1);
+    }
+    const auto orbit = core::find_orbit_synchronous(a, c, 64);
+    std::printf("%6zu %22s %10llu\n", n, c.to_string().c_str(),
+                orbit ? static_cast<unsigned long long>(orbit->period) : 0ULL);
+    verdict.check("n=" + std::to_string(n) + ": (0011)^* is a two-cycle",
+                  orbit && orbit->period == 2 && orbit->transient == 0);
+  }
+
+  std::printf("\n(ii) Exhaustive SCC over the choice digraph, radius 2:\n");
+  std::printf("%6s %14s %20s\n", "n", "states", "proper-cycle states");
+  for (const std::size_t n : {5u, 6u, 8u, 10u, 12u, 13u}) {
+    const phasespace::ChoiceDigraph g(majority_ring_r2(n));
+    const auto analysis = phasespace::analyze(g);
+    std::printf("%6zu %14llu %20llu\n", n,
+                static_cast<unsigned long long>(g.num_states()),
+                static_cast<unsigned long long>(
+                    analysis.num_proper_cycle_states));
+    verdict.check("n=" + std::to_string(n) + ": cycle-free for all orders",
+                  !analysis.has_proper_cycle());
+  }
+
+  std::printf("\n(iii) Random fair schedules on n = 20, 30 trials:\n");
+  {
+    const std::size_t n = 20;
+    const auto a = majority_ring_r2(n);
+    std::mt19937_64 rng(777);
+    bool all_converged = true;
+    for (int trial = 0; trial < 30; ++trial) {
+      core::Configuration c(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        c.set(i, static_cast<core::State>(rng() & 1u));
+      }
+      core::RandomUniformSchedule schedule(n, rng());
+      if (!core::run_schedule_to_fixed_point(a, c, schedule, 200000)) {
+        all_converged = false;
+      }
+    }
+    verdict.check("all 30 random-schedule runs converge to a fixed point",
+                  all_converged);
+    std::printf("  done.\n");
+  }
+
+  return verdict.finish("LEM2");
+}

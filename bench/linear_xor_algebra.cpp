@@ -1,0 +1,101 @@
+// Experiment XOR-ALG — the algebraic underside of the paper's Section 3.1
+// XOR discussion: linear CA phase-space structure computed by GF(2) rank /
+// kernel and cross-checked against the combinatorial machinery. Explains
+// WHY the XOR examples behave so differently from threshold rules: their
+// phase spaces are cosets of a linear map, with uniform in-degrees and
+// period structure given by the matrix order — nothing like the
+// gradient-descent structure of threshold CA.
+
+#include <cstdio>
+
+#include "analysis/linear_ca.hpp"
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+#include "phasespace/classify.hpp"
+#include "phasespace/preimage.hpp"
+
+using namespace tca;
+
+int main() {
+  bench::banner(
+      "XOR-ALG",
+      "Section 3.1 context: XOR CA are linear over GF(2); rank/kernel of "
+      "the circulant global map predicts Gardens of Eden, uniform preimage "
+      "counts, and reversibility — all cross-checked combinatorially.");
+
+  bench::Verdict verdict;
+
+  std::printf("\nRule 150 (parity of the full neighborhood) on rings:\n");
+  std::printf("%4s %6s %8s %12s %14s %12s\n", "n", "rank", "nullity",
+              "reversible", "GoE (algebra)", "GoE (census)");
+  for (const std::size_t n : {5u, 6u, 8u, 9u, 10u, 12u}) {
+    const auto linear = analysis::LinearRingCA::from_rule(rules::parity(), 1, n);
+    const phasespace::RingPreimageSolver solver(rules::parity(), 1,
+                                                core::Memory::kWith);
+    const auto census = phasespace::count_gardens_of_eden_ring(solver, n);
+    std::printf("%4zu %6zu %8zu %12s %14llu %12llu\n", n, linear.rank(),
+                linear.nullity(), linear.is_reversible() ? "yes" : "no",
+                static_cast<unsigned long long>(linear.garden_of_eden_count()),
+                static_cast<unsigned long long>(census));
+    verdict.check("n=" + std::to_string(n) + ": GoE algebra == census",
+                  linear.garden_of_eden_count() == census);
+    verdict.check("n=" + std::to_string(n) + ": rule-150 reversible iff 3!|n",
+                  linear.is_reversible() == (n % 3 != 0));
+  }
+
+  std::printf("\nRule 90 (XOR of the two neighbors): never reversible on a "
+              "ring (1 + x divides its circulant polynomial):\n");
+  std::printf("%4s %6s %14s %22s\n", "n", "rank", "GoE count",
+              "preimages per state");
+  for (const std::size_t n : {6u, 9u, 12u}) {
+    const auto linear = analysis::LinearRingCA::from_rule(
+        rules::Rule{rules::wolfram(90)}, 1, n);
+    std::printf("%4zu %6zu %14llu %22llu\n", n, linear.rank(),
+                static_cast<unsigned long long>(linear.garden_of_eden_count()),
+                static_cast<unsigned long long>(
+                    linear.preimages_per_reachable_state()));
+    verdict.check("n=" + std::to_string(n) + ": rule 90 not reversible",
+                  !linear.is_reversible());
+    // Uniform in-degree: every reachable state has exactly 2^nullity
+    // preimages (checked for all states).
+    const phasespace::RingPreimageSolver solver(
+        rules::Rule{rules::wolfram(90)}, 1, core::Memory::kWith);
+    bool uniform = true;
+    const std::uint64_t expected = linear.preimages_per_reachable_state();
+    for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+      const auto count =
+          solver.count(core::Configuration::from_bits(bits, n));
+      if (count != 0 && count != expected) uniform = false;
+    }
+    verdict.check("n=" + std::to_string(n) +
+                      ": preimage counts uniform at 2^nullity",
+                  uniform);
+  }
+
+  std::printf("\nFast trajectory jumps (matrix powers): rule 150, n = 48, "
+              "t = 10^12 steps in ~40 squarings:\n");
+  {
+    const std::size_t n = 48;
+    const auto linear = analysis::LinearRingCA::from_rule(rules::parity(), 1, n);
+    core::Configuration x(n);
+    x.set(0, 1);
+    x.set(17, 1);
+    const auto far = linear.step_many(x, 1'000'000'000'000ULL);
+    std::printf("  x(10^12) = %s\n", far.to_string().c_str());
+    // Consistency: A^(2t) x == A^t (A^t x).
+    const auto half = linear.step_many(x, 500'000'000'000ULL);
+    verdict.check("A^(2t) x == A^t(A^t x)",
+                  linear.step_many(half, 500'000'000'000ULL) == far);
+  }
+
+  std::printf("\nContrast with threshold CA: majority is NOT linear, and "
+              "its in-degrees are wildly non-uniform (gradient flow toward "
+              "fixed points rather than measure-preserving cosets).\n");
+  {
+    verdict.check("majority has no linear representation",
+                  !analysis::linear_coefficients(rules::majority(), 3)
+                       .has_value());
+  }
+
+  return verdict.finish("XOR-ALG");
+}

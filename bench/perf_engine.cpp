@@ -1,0 +1,146 @@
+// PERF — engine throughput (cells/second) for the paper's framing of CA as
+// a model of fine-grain parallelism: generic gather/eval engine vs the
+// word-parallel packed kernels vs the tiled multithreaded engine, across
+// ring sizes and radii. (Absolute numbers are machine-dependent; the SHAPE
+// — packed >> generic, threaded scaling bounded by core count — is the
+// result.)
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/packed_kernels.hpp"
+#include "core/sequential.hpp"
+#include "core/schedule.hpp"
+#include "core/synchronous.hpp"
+#include "core/thread_pool.hpp"
+#include "core/threaded.hpp"
+
+namespace {
+
+using namespace tca;
+
+core::Configuration random_config(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  core::Configuration c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(i, static_cast<core::State>(rng() & 1u));
+  }
+  return c;
+}
+
+void BM_SynchronousGeneric(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  auto front = random_config(n, 1);
+  core::Configuration back(n);
+  for (auto _ : state) {
+    core::step_synchronous(a, front, back);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SynchronousGeneric)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SynchronousPackedMajority3(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto front = random_config(n, 2);
+  core::Configuration back(n);
+  core::PackedScratch scratch(n);
+  for (auto _ : state) {
+    core::step_ring_majority3_packed(front, back, scratch);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SynchronousPackedMajority3)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 22);
+
+void BM_SynchronousPackedMajority5(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto front = random_config(n, 3);
+  core::Configuration back(n);
+  core::PackedScratch scratch(n);
+  for (auto _ : state) {
+    core::step_ring_majority5_packed(front, back, scratch);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SynchronousPackedMajority5)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SynchronousPackedWolfram110(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rule = rules::wolfram(110);
+  auto front = random_config(n, 4);
+  core::Configuration back(n);
+  core::PackedScratch scratch(n);
+  for (auto _ : state) {
+    core::step_ring_table3_packed(rule, front, back, scratch);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SynchronousPackedWolfram110)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SynchronousThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  core::ThreadPool pool(threads);
+  auto front = random_config(n, 5);
+  core::Configuration back(n);
+  for (auto _ : state) {
+    core::step_synchronous_threaded(a, front, back, pool);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SynchronousThreaded)
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 2})
+    ->Args({1 << 18, 4});
+
+void BM_SequentialSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  auto c = random_config(n, 6);
+  const auto order = core::identity_order(n);
+  for (auto _ : state) {
+    core::apply_sequence(a, c, order);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SequentialSweep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RadiusScaling(benchmark::State& state) {
+  const std::size_t n = 1 << 14;
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const auto a = core::Automaton::line(n, r, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  auto front = random_config(n, 7);
+  core::Configuration back(n);
+  for (auto _ : state) {
+    core::step_synchronous(a, front, back);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadiusScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// PERF — 2-D engines: the bit-sliced packed Life kernel vs the generic
+// graph engine on Moore tori (cells/second).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/packed2d.hpp"
+#include "core/synchronous.hpp"
+#include "core/synchronous_fast.hpp"
+#include "graph/builders.hpp"
+
+namespace {
+
+using namespace tca;
+
+core::Configuration random_config(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  core::Configuration c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(i, static_cast<core::State>(rng() & 1u));
+  }
+  return c;
+}
+
+void BM_LifeGenericEngine(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::grid2d(static_cast<graph::NodeId>(side),
+                               static_cast<graph::NodeId>(side), true,
+                               graph::GridNeighborhood::kMoore);
+  const auto a = core::Automaton::from_graph(
+      g, rules::Rule{rules::game_of_life()}, core::Memory::kWith);
+  auto front = random_config(side * side, 1);
+  core::Configuration back(side * side);
+  for (auto _ : state) {
+    core::step_synchronous_fast(a, front, back);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_LifeGenericEngine)->Arg(64)->Arg(256);
+
+void BM_LifePackedKernel(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto config = random_config(side * side, 2);
+  auto front = core::TorusGrid::from_configuration(config, side, side);
+  core::TorusGrid back(side, side);
+  core::Packed2dScratch scratch(side, side);
+  for (auto _ : state) {
+    core::step_life_packed(front, back, scratch);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_LifePackedKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_HighLifePackedKernel(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t born[] = {3, 6};
+  const std::uint32_t survive[] = {2, 3};
+  const auto rule = rules::life_like(born, survive, 8);
+  const auto config = random_config(side * side, 3);
+  auto front = core::TorusGrid::from_configuration(config, side, side);
+  core::TorusGrid back(side, side);
+  core::Packed2dScratch scratch(side, side);
+  for (auto _ : state) {
+    core::step_outer_totalistic_packed(rule, front, back, scratch);
+    std::swap(front, back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_HighLifePackedKernel)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// PERF — phase-space machinery scaling: explicit functional-graph
+// construction, Definition-3 classification, choice-digraph construction
+// and SCC analysis, as functions of the cell count (state spaces double
+// per added cell — the practical limit of explicit methods the paper's
+// style of exhaustive argument runs into).
+
+#include <benchmark/benchmark.h>
+
+#include "core/automaton.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/classify.hpp"
+
+namespace {
+
+using namespace tca;
+
+core::Automaton majority_ring(std::size_t n) {
+  return core::Automaton::line(n, 1, core::Boundary::kRing, rules::majority(),
+                               core::Memory::kWith);
+}
+
+void BM_FunctionalGraphBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = majority_ring(n);
+  for (auto _ : state) {
+    auto fg = phasespace::FunctionalGraph::synchronous(a);
+    benchmark::DoNotOptimize(fg);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (std::int64_t{1} << n));
+}
+BENCHMARK(BM_FunctionalGraphBuild)->DenseRange(10, 18, 4);
+
+void BM_Classify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto fg = phasespace::FunctionalGraph::synchronous(majority_ring(n));
+  for (auto _ : state) {
+    auto cls = phasespace::classify(fg);
+    benchmark::DoNotOptimize(cls);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (std::int64_t{1} << n));
+}
+BENCHMARK(BM_Classify)->DenseRange(10, 18, 4);
+
+void BM_ChoiceDigraphBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = majority_ring(n);
+  for (auto _ : state) {
+    phasespace::ChoiceDigraph g(a);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (std::int64_t{1} << n) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChoiceDigraphBuild)->DenseRange(8, 14, 3);
+
+void BM_ChoiceDigraphScc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const phasespace::ChoiceDigraph g(majority_ring(n));
+  for (auto _ : state) {
+    auto analysis = phasespace::analyze(g);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (std::int64_t{1} << n) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChoiceDigraphScc)->DenseRange(8, 14, 3);
+
+}  // namespace

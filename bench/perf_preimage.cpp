@@ -1,0 +1,66 @@
+// PERF — preimage counting: transfer-matrix trace (O(n) in ring size)
+// versus the explicit-phase-space alternative (O(2^n)); also the Garden-
+// of-Eden census. Shows why the de Bruijn method is the only way to ask
+// predecessor questions on large rings.
+
+#include <benchmark/benchmark.h>
+
+#include "core/automaton.hpp"
+#include "phasespace/classify.hpp"
+#include "phasespace/preimage.hpp"
+
+namespace {
+
+using namespace tca;
+
+void BM_PreimageTransferMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const phasespace::RingPreimageSolver solver(rules::majority(), 1,
+                                              core::Memory::kWith);
+  core::Configuration target(n);
+  for (std::size_t i = 0; i < n; i += 3) target.set(i, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.count(target));
+  }
+}
+BENCHMARK(BM_PreimageTransferMatrix)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536);
+
+void BM_PreimageViaExplicitPhaseSpace(benchmark::State& state) {
+  // The contrast: computing ONE in-degree requires the whole 2^n table.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  for (auto _ : state) {
+    const auto fg = phasespace::FunctionalGraph::synchronous(a);
+    benchmark::DoNotOptimize(phasespace::in_degrees(fg));
+  }
+}
+BENCHMARK(BM_PreimageViaExplicitPhaseSpace)->Arg(12)->Arg(16);
+
+void BM_GardenOfEdenCensus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const phasespace::RingPreimageSolver solver(rules::majority(), 1,
+                                              core::Memory::kWith);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phasespace::count_gardens_of_eden_ring(solver, n));
+  }
+}
+BENCHMARK(BM_GardenOfEdenCensus)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_PreimageEnumerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const phasespace::RingPreimageSolver solver(rules::majority(), 1,
+                                              core::Memory::kWith);
+  core::Configuration target(n);  // all-zero: many preimages
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.enumerate(target, 256));
+  }
+}
+BENCHMARK(BM_PreimageEnumerate)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace

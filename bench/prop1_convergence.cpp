@@ -1,0 +1,139 @@
+// Experiment PROP1 — Proposition 1 (Goles–Martinez): for finite symmetric
+// threshold CA under parallel updates, every orbit reaches F^{t+2} = F^t —
+// only fixed points and two-cycles exist. Regenerated as:
+//  (a) exhaustive attractor censuses for n up to 20 (max period == 2);
+//  (b) transient-length distributions (how fast F^{t+2} = F^t is reached);
+//  (c) sampled verification on large rings (n up to 4096);
+//  (d) a non-threshold control (XOR) with period > 2.
+
+#include <cstdio>
+#include <random>
+
+#include "analysis/basin_sampling.hpp"
+#include "analysis/census.hpp"
+#include "analysis/stats.hpp"
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+#include "core/trajectory.hpp"
+#include "phasespace/classify.hpp"
+
+using namespace tca;
+
+namespace {
+
+core::Automaton majority_ring(std::size_t n) {
+  return core::Automaton::line(n, 1, core::Boundary::kRing, rules::majority(),
+                               core::Memory::kWith);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "PROP1",
+      "Proposition 1: finite symmetric-threshold parallel CA satisfy "
+      "F^{t+2}(x) = F^t(x) for some finite t — orbits end in fixed points "
+      "or two-cycles, never longer periods.");
+
+  bench::Verdict verdict;
+
+  std::printf("\n(a) Exhaustive attractor census, radius-1 MAJORITY rings:\n");
+  std::printf("%4s %10s %8s %14s %12s %12s\n", "n", "states", "FPs",
+              "2-cycle states", "max period", "max transient");
+  for (const std::size_t n : {8u, 12u, 16u, 18u, 20u}) {
+    const auto c = analysis::census_synchronous(majority_ring(n));
+    std::printf("%4zu %10llu %8llu %14llu %12llu %12llu\n", n,
+                static_cast<unsigned long long>(c.states),
+                static_cast<unsigned long long>(c.fixed_points),
+                static_cast<unsigned long long>(c.cycle_states),
+                static_cast<unsigned long long>(c.max_period),
+                static_cast<unsigned long long>(c.max_transient));
+    verdict.check("n=" + std::to_string(n) + ": max period <= 2",
+                  c.max_period <= 2);
+  }
+
+  std::printf("\n(b) Transient-length distribution (n = 18, exhaustive):\n");
+  {
+    const std::size_t n = 18;
+    const auto fg =
+        phasespace::FunctionalGraph::synchronous(majority_ring(n));
+    const auto cls = phasespace::classify(fg);
+    // Walk each state to its attractor counting steps (bounded by n).
+    analysis::Histogram hist;
+    for (phasespace::StateCode s = 0; s < fg.num_states(); ++s) {
+      std::uint64_t t = 0;
+      phasespace::StateCode cur = s;
+      while (cls.kind[cur] == phasespace::StateKind::kTransient) {
+        cur = fg.succ(cur);
+        ++t;
+      }
+      hist.add(static_cast<std::int64_t>(t));
+    }
+    std::printf("steps-to-attractor histogram:\n%s", hist.to_string().c_str());
+    verdict.check("every state reaches its attractor (finite t)",
+                  hist.total() == fg.num_states());
+  }
+
+  std::printf("\n(c) Sampled verification on large rings (trajectory "
+              "F^{t+2} = F^t):\n");
+  std::printf("%8s %10s %14s %14s\n", "n", "samples", "mean transient",
+              "max transient");
+  std::mt19937_64 rng(4242);
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto a = majority_ring(n);
+    analysis::Accumulator acc;
+    bool all_period_le2 = true;
+    const int samples = n <= 1024 ? 50 : 20;
+    for (int trial = 0; trial < samples; ++trial) {
+      core::Configuration c(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        c.set(i, static_cast<core::State>(rng() & 1u));
+      }
+      const auto orbit = core::find_orbit_synchronous(a, c, 10 * n);
+      if (!orbit || orbit->period > 2) {
+        all_period_le2 = false;
+      } else {
+        acc.add(static_cast<double>(orbit->transient));
+      }
+    }
+    std::printf("%8zu %10d %14.2f %14.0f\n", n, samples, acc.mean(),
+                acc.max());
+    verdict.check("n=" + std::to_string(n) +
+                      ": every sampled orbit has period <= 2",
+                  all_period_le2);
+  }
+
+  std::printf("\n(c') Basin portraits (sampled attractor statistics on "
+              "large rings):\n");
+  std::printf("%8s %9s %8s %10s %12s %16s\n", "n", "samples", "-> FP",
+              "-> 2-cyc", "attractors", "dominant share");
+  for (const std::size_t n : {128u, 512u, 2048u}) {
+    const auto portrait =
+        analysis::sample_basins(majority_ring(n), 200, 31337, 100 * n);
+    std::printf("%8zu %9llu %8llu %10llu %12zu %15.1f%%\n", n,
+                static_cast<unsigned long long>(portrait.samples),
+                static_cast<unsigned long long>(portrait.to_fixed_point),
+                static_cast<unsigned long long>(portrait.to_two_cycle),
+                portrait.distinct_attractors(),
+                100.0 * portrait.dominant_share());
+    verdict.check("n=" + std::to_string(n) +
+                      ": no sampled orbit exceeds period 2",
+                  portrait.to_longer_cycle == 0 && portrait.unresolved == 0);
+    verdict.check("n=" + std::to_string(n) +
+                      ": random starts never hit the two-cycle basin",
+                  portrait.to_two_cycle == 0);
+  }
+
+  std::printf("\n(d) Control: XOR (not a threshold rule) exceeds period 2:\n");
+  {
+    const auto a = core::Automaton::line(7, 1, core::Boundary::kRing,
+                                         rules::parity(), core::Memory::kWith);
+    const auto c = analysis::census_synchronous(a);
+    std::printf("  XOR ring n=7: max period = %llu\n",
+                static_cast<unsigned long long>(c.max_period));
+    verdict.check("XOR control violates the period-2 bound",
+                  c.max_period > 2);
+  }
+
+  return verdict.finish("PROP1");
+}

@@ -1,0 +1,90 @@
+// asynchrony_lab — side-by-side comparison of the four update disciplines
+// on the same automaton and start: classical parallel, sequential sweeps,
+// block-sequential, and the genuinely asynchronous (channel) model with a
+// random scheduler. Prints the trajectory heads and the long-run outcome
+// of each.
+
+#include <cstdio>
+#include <random>
+
+#include "aca/aca.hpp"
+#include "core/automaton.hpp"
+#include "core/block_sequential.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/trajectory.hpp"
+
+using namespace tca;
+
+int main() {
+  const std::size_t n = 16;
+  const auto ca = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                        rules::majority(), core::Memory::kWith);
+  const auto start = core::Configuration::from_string("0101010101010101");
+
+  std::printf("Majority ring n=%zu, start %s (the parallel blinker)\n\n", n,
+              start.to_string().c_str());
+
+  std::printf("1) Classical parallel CA:\n");
+  {
+    auto c = start;
+    for (int t = 0; t < 4; ++t) {
+      std::printf("   t=%d %s\n", t, c.to_string().c_str());
+      core::advance_synchronous(ca, c, 1);
+    }
+    const auto orbit = core::find_orbit_synchronous(ca, start, 100);
+    std::printf("   -> period %llu (blinks forever)\n\n",
+                static_cast<unsigned long long>(orbit->period));
+  }
+
+  std::printf("2) Sequential CA (left-to-right sweeps):\n");
+  {
+    auto c = start;
+    const auto order = core::identity_order(n);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      std::printf("   sweep=%d %s\n", sweep, c.to_string().c_str());
+      core::apply_sequence(ca, c, order);
+    }
+    std::printf("   -> fixed point %s (Theorem 1: always converges)\n\n",
+                c.to_string().c_str());
+  }
+
+  std::printf("3) Block-sequential (two half-ring blocks):\n");
+  {
+    auto c = start;
+    std::vector<core::NodeId> first, second;
+    for (std::size_t v = 0; v < n / 2; ++v) first.push_back(
+        static_cast<core::NodeId>(v));
+    for (std::size_t v = n / 2; v < n; ++v) second.push_back(
+        static_cast<core::NodeId>(v));
+    const core::BlockOrder order({first, second}, n);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      std::printf("   sweep=%d %s\n", sweep, c.to_string().c_str());
+      core::step_block_sequential(ca, c, order);
+    }
+    std::printf("   -> interpolates between the two models\n\n");
+  }
+
+  std::printf("4) Asynchronous CA (fetch/compute/publish channels, random "
+              "scheduler):\n");
+  {
+    const aca::AcaSystem sys(ca);
+    std::printf("   %u nodes + %u channels = %u possible actions per step\n",
+                sys.num_nodes(), sys.num_channels(), sys.num_actions());
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      const auto run = aca::run_random(sys, start.to_bits(), seed, 1u << 20);
+      const auto final_config =
+          core::Configuration::from_bits(run.final_config, n);
+      std::printf("   seed %llu: quiesced=%s after %llu actions at %s\n",
+                  static_cast<unsigned long long>(seed),
+                  run.quiesced ? "yes" : "no",
+                  static_cast<unsigned long long>(run.actions),
+                  final_config.to_string().c_str());
+    }
+    std::printf("   Different schedules, different fixed points — the "
+                "asynchronous nondeterminism subsumes both classical "
+                "behaviours (Section 4).\n");
+  }
+  return 0;
+}

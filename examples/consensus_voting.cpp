@@ -1,0 +1,130 @@
+// consensus_voting — the multi-agent reading of the paper (its authors'
+// home turf): nodes are agents holding binary opinions, local MAJORITY is
+// a gossip/voting protocol, and the update discipline is the network's
+// synchrony model. Measures, on random graphs:
+//   * does local voting reach global consensus, or freeze in disagreement?
+//   * does the answer depend on synchronous vs sequential execution?
+//   * the blinker pathology: on bipartite topologies, perfectly
+//     synchronous voting can oscillate forever — real asynchronous
+//     networks cannot (the paper's point, operationally).
+
+#include <cstdio>
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/trajectory.hpp"
+#include "graph/builders.hpp"
+#include "graph/properties.hpp"
+
+using namespace tca;
+
+namespace {
+
+struct Outcome {
+  int consensus = 0;
+  int frozen = 0;
+  int oscillating = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 60;
+  const int trials = 100;
+  std::mt19937_64 rng(777);
+
+  std::printf("Local majority voting among %zu agents, %d random opinion "
+              "vectors per row\n\n", n, trials);
+  std::printf("%-22s %-12s | %9s %8s %12s | %9s %8s\n", "topology", "scheme",
+              "consensus", "frozen", "oscillating", "seq cons.", "seq frz");
+
+  struct Topology {
+    const char* name;
+    graph::Graph g;
+  };
+  Topology topologies[] = {
+      {"ring C60", graph::ring(n)},
+      {"random 4-regular", graph::random_regular(n, 4, 1)},
+      {"G(n, 0.1)", graph::random_gnp(n, 0.1, 2)},
+      {"G(n, 0.3)", graph::random_gnp(n, 0.3, 3)},
+      {"complete K60", graph::complete(n)},
+  };
+
+  for (const auto& topology : topologies) {
+    const auto a = core::Automaton::from_graph(topology.g, rules::majority(),
+                                               core::Memory::kWith);
+    Outcome sync, seq;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::Configuration start(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        start.set(i, static_cast<core::State>(rng() & 1u));
+      }
+      // Synchronous evolution.
+      {
+        const auto orbit = core::find_orbit_synchronous(a, start, 4 * n);
+        if (orbit && orbit->period == 1) {
+          const auto ones = orbit->entry.popcount();
+          if (ones == 0 || ones == n) {
+            ++sync.consensus;
+          } else {
+            ++sync.frozen;
+          }
+        } else {
+          ++sync.oscillating;
+        }
+      }
+      // Sequential (random fair schedule) evolution.
+      {
+        auto c = start;
+        core::RandomSweepSchedule schedule(n, rng());
+        const auto done =
+            core::run_schedule_to_fixed_point(a, c, schedule, 10000 * 4);
+        if (done) {
+          const auto ones = c.popcount();
+          if (ones == 0 || ones == n) {
+            ++seq.consensus;
+          } else {
+            ++seq.frozen;
+          }
+        } else {
+          ++seq.oscillating;  // cannot happen (Theorem 1) — kept honest
+        }
+      }
+    }
+    std::printf("%-22s %-12s | %8d%% %7d%% %11d%% | %8d%% %7d%%\n",
+                topology.name, "sync", sync.consensus, sync.frozen,
+                sync.oscillating, seq.consensus, seq.frozen);
+  }
+
+  std::printf("\nThe oscillation pathology, isolated (bipartite topology, "
+              "polarized start):\n");
+  {
+    const auto g = graph::complete_bipartite(8, 8);
+    const auto a = core::Automaton::from_graph(g, rules::majority(),
+                                               core::Memory::kWith);
+    core::Configuration sides(16);
+    for (std::size_t v = 0; v < 8; ++v) sides.set(v, 1);
+    const auto orbit = core::find_orbit_synchronous(a, sides, 64);
+    std::printf("  K_{8,8}, one side all-1: synchronous period = %llu "
+                "(oscillates forever)\n",
+                static_cast<unsigned long long>(orbit->period));
+    auto c = sides;
+    core::RandomUniformSchedule schedule(16, 5);
+    const auto steps = core::run_schedule_to_fixed_point(a, c, schedule, 100000);
+    std::printf("  same start, asynchronous agents: fixed point %s after "
+                "%llu updates (consensus: %s)\n",
+                c.to_string().c_str(),
+                steps ? static_cast<unsigned long long>(*steps) : 0ULL,
+                c.popcount() == 0 || c.popcount() == 16 ? "yes" : "no");
+  }
+
+  std::printf("\nTakeaways: denser topologies make local voting a better "
+              "consensus protocol; execution discipline barely changes the "
+              "consensus RATE but completely decides whether oscillation "
+              "is possible — synchronous bipartite networks can livelock, "
+              "asynchronous ones provably cannot (Theorem 1).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// game_of_life — the outer-totalistic rule family on a 2-D Moore torus,
+// driven through the Simulation facade: a glider crossing the torus, and
+// the paper's parallel-vs-sequential question asked of Life itself (the
+// glider exists only under perfect synchrony; sequential sweeps destroy
+// it).
+
+#include <cstdio>
+#include <string>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/simulation.hpp"
+#include "graph/builders.hpp"
+
+using namespace tca;
+
+namespace {
+
+constexpr std::size_t kRows = 12;
+constexpr std::size_t kCols = 24;
+
+core::Configuration glider() {
+  core::Configuration c(kRows * kCols);
+  const auto at = [](std::size_t r, std::size_t col) {
+    return r * kCols + col;
+  };
+  // The standard glider, moving down-right.
+  c.set(at(1, 2), 1);
+  c.set(at(2, 3), 1);
+  c.set(at(3, 1), 1);
+  c.set(at(3, 2), 1);
+  c.set(at(3, 3), 1);
+  return c;
+}
+
+void draw(const core::Configuration& c) {
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::string row;
+    for (std::size_t col = 0; col < kCols; ++col) {
+      row += c.get(r * kCols + col) != 0 ? 'O' : '.';
+    }
+    std::printf("  %s\n", row.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto g = graph::grid2d(kRows, kCols, /*torus=*/true,
+                               graph::GridNeighborhood::kMoore);
+  const auto life = core::Automaton::from_graph(
+      g, rules::Rule{rules::game_of_life()}, core::Memory::kWith);
+
+  std::printf("Conway's Life (%s) on a %zux%zu torus\n\n",
+              rules::describe(rules::Rule{rules::game_of_life()}).c_str(),
+              kRows, kCols);
+
+  std::printf("Parallel evolution — the glider translates by (1,1) every 4 "
+              "generations:\n");
+  core::Simulation sim(life, glider(), core::SynchronousScheme{});
+  for (int shown = 0; shown <= 3; ++shown) {
+    std::printf("\ngeneration %llu (population %zu):\n",
+                static_cast<unsigned long long>(sim.time()),
+                sim.configuration().popcount());
+    draw(sim.configuration());
+    sim.run(4);
+  }
+
+  std::printf("\nSequential sweeps from the same glider (the paper's "
+              "question, asked of Life):\n");
+  core::Simulation seq(life, glider(),
+                       core::SequentialScheme{
+                           core::identity_order(kRows * kCols)});
+  for (int sweep = 0; sweep <= 2; ++sweep) {
+    std::printf("\nsweep %llu (population %zu):\n",
+                static_cast<unsigned long long>(seq.time()),
+                seq.configuration().popcount());
+    draw(seq.configuration());
+    seq.step();
+  }
+  const auto fixed = seq.run_to_fixed_point(500);
+  std::printf("\nsequential run %s after %llu more sweeps (population %zu) "
+              "— the glider does not survive the loss of synchrony.\n",
+              fixed ? "froze" : "did not freeze",
+              fixed ? static_cast<unsigned long long>(*fixed) : 0ULL,
+              seq.configuration().popcount());
+  return 0;
+}

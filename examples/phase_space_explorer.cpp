@@ -1,0 +1,92 @@
+// phase_space_explorer — a small CLI over the phase-space machinery.
+//
+// Usage:
+//   phase_space_explorer [rule] [n] [mode]
+//     rule: "majority" (default), "parity", "kofN:<k>", or a Wolfram code
+//           "wolfram:<0..255>"
+//     n:    ring size (default 4, explicit spaces capped at 16 for the
+//           sequential mode)
+//     mode: "parallel" (default), "sequential", "dot"
+//
+// Examples:
+//   phase_space_explorer majority 6 parallel
+//   phase_space_explorer parity 2 sequential     # the paper's Fig. 1(b)
+//   phase_space_explorer wolfram:110 8 dot
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/census.hpp"
+#include "core/automaton.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/dot.hpp"
+
+using namespace tca;
+
+namespace {
+
+rules::Rule parse_rule(const std::string& spec) {
+  if (spec == "majority") return rules::majority();
+  if (spec == "parity") return rules::parity();
+  if (spec.rfind("kofN:", 0) == 0) {
+    return rules::KOfNRule{
+        static_cast<std::uint32_t>(std::atoi(spec.c_str() + 5))};
+  }
+  if (spec.rfind("wolfram:", 0) == 0) {
+    return rules::wolfram(
+        static_cast<std::uint32_t>(std::atoi(spec.c_str() + 8)));
+  }
+  std::fprintf(stderr, "unknown rule '%s'\n", spec.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string rule_spec = argc > 1 ? argv[1] : "majority";
+  const std::size_t n =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+  const std::string mode = argc > 3 ? argv[3] : "parallel";
+
+  if (n < 2 || n > 16) {
+    std::fprintf(stderr, "n must be in [2, 16] for explicit phase spaces\n");
+    return 2;
+  }
+  const auto rule = parse_rule(rule_spec);
+  const auto a =
+      n >= 3 ? core::Automaton::line(n, 1, core::Boundary::kRing, rule,
+                                     core::Memory::kWith)
+             : core::Automaton::from_graph(graph::complete(2), rule,
+                                           core::Memory::kWith);
+
+  std::printf("rule %s on %zu-cell %s, with memory\n",
+              rules::describe(rule).c_str(), n,
+              n >= 3 ? "ring" : "pair");
+
+  if (mode == "sequential") {
+    const phasespace::ChoiceDigraph cd(a);
+    std::printf("\nSequential (all node choices) phase space:\n%s",
+                phasespace::to_text(cd).c_str());
+    const auto analysis = phasespace::analyze(cd);
+    std::printf("\nfixed points: %llu, pseudo-fixed points: %llu, "
+                "proper-cycle states: %llu\n",
+                static_cast<unsigned long long>(analysis.num_fixed_points),
+                static_cast<unsigned long long>(
+                    analysis.num_pseudo_fixed_points),
+                static_cast<unsigned long long>(
+                    analysis.num_proper_cycle_states));
+  } else if (mode == "dot") {
+    const auto fg = phasespace::FunctionalGraph::synchronous(a);
+    std::printf("%s", phasespace::to_dot(fg).c_str());
+  } else {
+    const auto fg = phasespace::FunctionalGraph::synchronous(a);
+    if (n <= 6) {
+      std::printf("\nParallel phase space:\n%s",
+                  phasespace::to_text(fg).c_str());
+    }
+    std::printf("\n%s", analysis::to_string(analysis::census(fg)).c_str());
+  }
+  return 0;
+}

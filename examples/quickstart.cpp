@@ -1,0 +1,76 @@
+// Quickstart: build a threshold CA, run it in parallel and sequential
+// modes, and see the paper's headline phenomenon — the parallel blinker
+// that no sequential order can reproduce.
+//
+//   $ ./quickstart
+//
+// Walks through the core API: Automaton construction, synchronous steps,
+// sequential sweeps, orbit detection, and phase-space classification.
+
+#include <cstdio>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/trajectory.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/classify.hpp"
+
+using namespace tca;
+
+int main() {
+  // A 1-D MAJORITY cellular automaton on a 12-cell ring, radius 1, with
+  // memory: each cell becomes the majority of (left, self, right).
+  const std::size_t n = 12;
+  const auto ca = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                        rules::majority(), core::Memory::kWith);
+
+  std::printf("== Parallel (classical CA) evolution ==\n");
+  auto config = core::Configuration::from_string("010101010101");
+  for (int t = 0; t <= 4; ++t) {
+    std::printf("t=%d  %s\n", t, config.to_string().c_str());
+    core::advance_synchronous(ca, config, 1);
+  }
+  std::printf("The alternating configuration blinks forever (a temporal "
+              "two-cycle: Lemma 1(i)).\n\n");
+
+  std::printf("== Sequential (SCA) evolution, left-to-right sweeps ==\n");
+  config = core::Configuration::from_string("010101010101");
+  const auto order = core::identity_order(n);
+  for (int sweep = 0; sweep <= 3; ++sweep) {
+    std::printf("sweep=%d  %s\n", sweep, config.to_string().c_str());
+    core::apply_sequence(ca, config, order);
+  }
+  std::printf("Sequential updates dissolve the blinker into a fixed point "
+              "(Lemma 1(ii)).\n\n");
+
+  std::printf("== Orbit shapes from a random-ish start ==\n");
+  const auto start = core::Configuration::from_string("011010011100");
+  const auto parallel_orbit = core::find_orbit_synchronous(ca, start, 1000);
+  std::printf("parallel:  transient %llu, period %llu\n",
+              static_cast<unsigned long long>(parallel_orbit->transient),
+              static_cast<unsigned long long>(parallel_orbit->period));
+  const auto sweep_orbit = core::find_orbit_sweep(ca, start, order, 1000);
+  std::printf("sequential sweep: transient %llu, period %llu\n",
+              static_cast<unsigned long long>(sweep_orbit->transient),
+              static_cast<unsigned long long>(sweep_orbit->period));
+
+  std::printf("\n== Whole-phase-space census (n = %zu, 2^%zu states) ==\n", n,
+              n);
+  const auto cls =
+      phasespace::classify(phasespace::FunctionalGraph::synchronous(ca));
+  std::printf("fixed points: %llu, proper-cycle states: %llu, transients: "
+              "%llu\n",
+              static_cast<unsigned long long>(cls.num_fixed_points),
+              static_cast<unsigned long long>(cls.num_cycle_states),
+              static_cast<unsigned long long>(cls.num_transient_states));
+
+  std::printf("\n== The paper's theorem, verified on this automaton ==\n");
+  const phasespace::ChoiceDigraph cd(ca);
+  const auto seq = phasespace::analyze(cd);
+  std::printf("sequential choice digraph: proper-cycle states = %llu -> "
+              "no update order can ever cycle (Theorem 1)\n",
+              static_cast<unsigned long long>(seq.num_proper_cycle_states));
+  return 0;
+}

@@ -1,0 +1,324 @@
+// tcalab — command-line laboratory over the whole library.
+//
+//   tcalab simulate   --rule R --n N [--radius r] [--steps T]
+//                     [--scheme sync|seq|evenodd] [--start alt|random|BITS]
+//                     [--seed S] [--render]
+//   tcalab orbit      --rule R --n N [--radius r] [--start ...] [--seed S]
+//   tcalab phasespace --rule R --n N [--radius r] [--sequential] [--dot]
+//   tcalab preimage   --rule R [--radius r] --target BITS [--enumerate K]
+//   tcalab rules      # list rule specs with their analyzed properties
+//
+// Rule specs: majority | parity | kofN:<k> | wolfram:<0..255>
+// All automata are radius-r rings with memory (the paper's setting).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+
+#include "analysis/census.hpp"
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/render.hpp"
+#include "core/simulation.hpp"
+#include "core/trajectory.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/dot.hpp"
+#include "phasespace/preimage.hpp"
+#include "rules/analyze.hpp"
+
+using namespace tca;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.contains(key);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    std::string value = "true";
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args.options[key] = value;
+  }
+  return args;
+}
+
+rules::Rule parse_rule(const std::string& spec) {
+  if (spec == "majority") return rules::majority();
+  if (spec == "parity") return rules::parity();
+  if (spec.rfind("kofN:", 0) == 0) {
+    return rules::KOfNRule{
+        static_cast<std::uint32_t>(std::atoi(spec.c_str() + 5))};
+  }
+  if (spec.rfind("wolfram:", 0) == 0) {
+    return rules::wolfram(
+        static_cast<std::uint32_t>(std::atoi(spec.c_str() + 8)));
+  }
+  std::fprintf(stderr, "unknown rule '%s'\n", spec.c_str());
+  std::exit(2);
+}
+
+core::Configuration parse_start(const std::string& spec, std::size_t n,
+                                std::uint64_t seed) {
+  if (spec == "alt") {
+    core::Configuration c(n);
+    for (std::size_t i = 1; i < n; i += 2) c.set(i, 1);
+    return c;
+  }
+  if (spec == "random") {
+    std::mt19937_64 rng(seed);
+    core::Configuration c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c.set(i, static_cast<core::State>(rng() & 1u));
+    }
+    return c;
+  }
+  const auto c = core::Configuration::from_string(spec);
+  if (c.size() != n) {
+    std::fprintf(stderr, "start has %zu cells but n = %zu\n", c.size(), n);
+    std::exit(2);
+  }
+  return c;
+}
+
+core::Automaton make_automaton(const Args& args, std::size_t n) {
+  const auto radius =
+      static_cast<std::uint32_t>(std::atoi(args.get("radius", "1").c_str()));
+  return core::Automaton::line(n, radius, core::Boundary::kRing,
+                               parse_rule(args.get("rule", "majority")),
+                               core::Memory::kWith);
+}
+
+int cmd_simulate(const Args& args) {
+  const auto n = static_cast<std::size_t>(std::atoi(args.get("n", "32").c_str()));
+  const auto steps =
+      static_cast<std::uint64_t>(std::atoll(args.get("steps", "16").c_str()));
+  const auto seed =
+      static_cast<std::uint64_t>(std::atoll(args.get("seed", "1").c_str()));
+  auto a = make_automaton(args, n);
+  const auto start = parse_start(args.get("start", "random"), n, seed);
+
+  const std::string scheme_name = args.get("scheme", "sync");
+  core::UpdateScheme scheme = core::SynchronousScheme{};
+  if (scheme_name == "seq") {
+    scheme = core::SequentialScheme{core::identity_order(n)};
+  } else if (scheme_name == "evenodd") {
+    std::vector<std::vector<core::NodeId>> blocks;
+    std::vector<core::NodeId> evens, odds;
+    for (std::size_t v = 0; v < n; ++v) {
+      (v % 2 == 0 ? evens : odds).push_back(static_cast<core::NodeId>(v));
+    }
+    blocks.push_back(evens);
+    if (!odds.empty()) blocks.push_back(odds);
+    scheme = core::BlockSequentialScheme{blocks};
+  } else if (scheme_name != "sync") {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name.c_str());
+    return 2;
+  }
+
+  core::Simulation sim(std::move(a), start, std::move(scheme));
+  const bool render = args.has("render");
+  const auto show = [&](std::uint64_t t, const core::Configuration& c) {
+    if (render) {
+      std::printf("t=%4llu  %s\n", static_cast<unsigned long long>(t),
+                  core::render_row(c).c_str());
+    }
+  };
+  show(0, sim.configuration());
+  sim.observe(show);
+  sim.run(steps);
+  std::printf("after %llu %s steps: density %.4f, population %zu\n",
+              static_cast<unsigned long long>(steps), scheme_name.c_str(),
+              sim.density(), sim.configuration().popcount());
+  return 0;
+}
+
+int cmd_orbit(const Args& args) {
+  const auto n = static_cast<std::size_t>(std::atoi(args.get("n", "16").c_str()));
+  const auto seed =
+      static_cast<std::uint64_t>(std::atoll(args.get("seed", "1").c_str()));
+  const auto a = make_automaton(args, n);
+  const auto start = parse_start(args.get("start", "random"), n, seed);
+  const auto orbit = core::find_orbit_synchronous(a, start, 1u << 22);
+  if (!orbit) {
+    std::printf("no repeat within the step budget\n");
+    return 1;
+  }
+  std::printf("start      %s\n", start.to_string().c_str());
+  std::printf("transient  %llu\n",
+              static_cast<unsigned long long>(orbit->transient));
+  std::printf("period     %llu (%s)\n",
+              static_cast<unsigned long long>(orbit->period),
+              orbit->period == 1 ? "fixed point" : "proper cycle");
+  std::printf("cycle entry %s\n", orbit->entry.to_string().c_str());
+  return 0;
+}
+
+int cmd_phasespace(const Args& args) {
+  const auto n = static_cast<std::size_t>(std::atoi(args.get("n", "8").c_str()));
+  if (n > 20) {
+    std::fprintf(stderr, "explicit phase spaces capped at n = 20\n");
+    return 2;
+  }
+  const auto a = make_automaton(args, n);
+  if (args.has("sequential")) {
+    if (n > 14) {
+      std::fprintf(stderr, "sequential phase spaces capped at n = 14\n");
+      return 2;
+    }
+    const phasespace::ChoiceDigraph cd(a);
+    const auto analysis = phasespace::analyze(cd);
+    std::printf("states: %llu, choices per state: %u\n",
+                static_cast<unsigned long long>(cd.num_states()),
+                cd.num_choices());
+    std::printf("fixed points:          %llu\n",
+                static_cast<unsigned long long>(analysis.num_fixed_points));
+    std::printf("pseudo-fixed points:   %llu\n",
+                static_cast<unsigned long long>(
+                    analysis.num_pseudo_fixed_points));
+    std::printf("proper-cycle states:   %llu  => %s\n",
+                static_cast<unsigned long long>(
+                    analysis.num_proper_cycle_states),
+                analysis.has_proper_cycle()
+                    ? "some update sequence can cycle"
+                    : "NO update order can ever cycle");
+    return 0;
+  }
+  const auto fg = phasespace::FunctionalGraph::synchronous(a);
+  if (args.has("dot")) {
+    std::printf("%s", phasespace::to_dot(fg).c_str());
+    return 0;
+  }
+  std::printf("%s", analysis::to_string(analysis::census(fg)).c_str());
+  return 0;
+}
+
+int cmd_preimage(const Args& args) {
+  const auto target_str = args.get("target", "");
+  if (target_str.empty()) {
+    std::fprintf(stderr, "--target BITS is required\n");
+    return 2;
+  }
+  const auto radius =
+      static_cast<std::uint32_t>(std::atoi(args.get("radius", "1").c_str()));
+  const auto target = core::Configuration::from_string(target_str);
+  const phasespace::RingPreimageSolver solver(
+      parse_rule(args.get("rule", "majority")), radius, core::Memory::kWith);
+  const auto count = solver.count(target);
+  if (count == phasespace::kSaturated) {
+    std::printf("preimages: > 2^64 - 1 (saturated)\n");
+  } else {
+    std::printf("preimages: %llu%s\n", static_cast<unsigned long long>(count),
+                count == 0 ? "  (Garden of Eden)" : "");
+  }
+  const auto limit =
+      static_cast<std::size_t>(std::atoi(args.get("enumerate", "0").c_str()));
+  if (limit > 0) {
+    for (const auto& x : solver.enumerate(target, limit)) {
+      std::printf("  %s\n", x.to_string().c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_fixedpoints(const Args& args) {
+  // Transfer-matrix counts: fixed points and proper two-cycle states on a
+  // (possibly huge) ring, no enumeration.
+  const auto n = static_cast<std::size_t>(std::atoi(args.get("n", "64").c_str()));
+  const auto radius =
+      static_cast<std::uint32_t>(std::atoi(args.get("radius", "1").c_str()));
+  const phasespace::RingPreimageSolver solver(
+      parse_rule(args.get("rule", "majority")), radius, core::Memory::kWith);
+  const auto print_count = [](const char* label, std::uint64_t value) {
+    if (value == phasespace::kSaturated) {
+      std::printf("%-24s > 2^64 - 1 (saturated)\n", label);
+    } else {
+      std::printf("%-24s %llu\n", label,
+                  static_cast<unsigned long long>(value));
+    }
+  };
+  const auto fixed = phasespace::count_fixed_points_ring(solver, n);
+  print_count("fixed points:", fixed);
+  if (radius <= 2) {
+    const auto period2 = phasespace::count_period_two_states_ring(solver, n);
+    print_count("period <= 2 states:", period2);
+    if (fixed != phasespace::kSaturated &&
+        period2 != phasespace::kSaturated) {
+      print_count("proper 2-cycle states:", period2 - fixed);
+    }
+  }
+  return 0;
+}
+
+int cmd_rules(const Args&) {
+  std::printf("%-14s %-10s %-10s %-12s\n", "spec", "monotone", "symmetric",
+              "threshold?");
+  const auto report = [](const std::string& spec, const rules::Rule& r,
+                         std::uint32_t arity) {
+    const auto table = rules::truth_table(r, arity);
+    std::printf("%-14s %-10s %-10s %-12s\n", spec.c_str(),
+                rules::is_monotone(table) ? "yes" : "no",
+                rules::is_symmetric(table) ? "yes" : "no",
+                rules::threshold_representation(table) ? "yes" : "no");
+  };
+  report("majority", rules::majority(), 3);
+  report("parity", rules::parity(), 3);
+  report("kofN:1", rules::Rule{rules::KOfNRule{1}}, 3);
+  report("kofN:3", rules::Rule{rules::KOfNRule{3}}, 3);
+  report("wolfram:110", rules::Rule{rules::wolfram(110)}, 3);
+  report("wolfram:90", rules::Rule{rules::wolfram(90)}, 3);
+  report("wolfram:232", rules::Rule{rules::wolfram(232)}, 3);
+  std::printf("\nTheorem 1 applies exactly to the monotone+symmetric rows.\n");
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "tcalab <command> [options]\n"
+      "  simulate    --rule R --n N [--radius r] [--steps T]\n"
+      "              [--scheme sync|seq|evenodd] [--start alt|random|BITS]\n"
+      "              [--seed S] [--render]\n"
+      "  orbit       --rule R --n N [--radius r] [--start ...]\n"
+      "  phasespace  --rule R --n N [--radius r] [--sequential] [--dot]\n"
+      "  preimage    --rule R [--radius r] --target BITS [--enumerate K]\n"
+      "  fixedpoints --rule R --n N [--radius r]\n"
+      "  rules\n"
+      "rules: majority | parity | kofN:<k> | wolfram:<code>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "orbit") return cmd_orbit(args);
+  if (args.command == "phasespace") return cmd_phasespace(args);
+  if (args.command == "preimage") return cmd_preimage(args);
+  if (args.command == "fixedpoints") return cmd_fixedpoints(args);
+  if (args.command == "rules") return cmd_rules(args);
+  usage();
+  return args.command.empty() ? 0 : 2;
+}

@@ -1,0 +1,93 @@
+// traffic_rule184 — a domain application of the 1-D CA engine: Wolfram
+// rule 184 as the minimal single-lane traffic model. Cars (1s) advance
+// into empty cells (0s); density below 1/2 gives free flow, above 1/2
+// gives jams that propagate backwards. Prints a space-time diagram (via
+// the packed kernel) and measures average flow vs density — the
+// fundamental diagram of traffic theory.
+
+#include <cstdio>
+#include <random>
+
+#include "core/configuration.hpp"
+#include "core/packed_kernels.hpp"
+#include "core/render.hpp"
+#include "rules/rule.hpp"
+
+using namespace tca;
+
+namespace {
+
+// Flow = number of cars that move this step = number of "10" patterns.
+std::size_t count_moves(const core::Configuration& c) {
+  const std::size_t n = c.size();
+  std::size_t moves = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (c.get(i) == 1 && c.get((i + 1) % n) == 0) ++moves;
+  }
+  return moves;
+}
+
+}  // namespace
+
+int main() {
+  const auto rule = rules::wolfram(184);
+
+  std::printf("Rule 184 single-lane traffic (cars move right)\n\n");
+  std::printf("Space-time diagram, 64 cells, density 0.4:\n");
+  {
+    const std::size_t n = 64;
+    std::mt19937_64 rng(7);
+    core::Configuration road(n);
+    std::size_t cars = 0;
+    while (cars < n * 2 / 5) {
+      const auto pos = static_cast<std::size_t>(rng() % n);
+      if (road.get(pos) == 0) {
+        road.set(pos, 1);
+        ++cars;
+      }
+    }
+    core::Configuration next(n);
+    core::PackedScratch scratch(n);
+    for (int t = 0; t < 24; ++t) {
+      std::printf("  %s\n", core::render_row(road).c_str());
+      core::step_ring_table3_packed(rule, road, next, scratch);
+      std::swap(road, next);
+    }
+  }
+
+  std::printf("\nFundamental diagram (flow vs density), 4096 cells, 2000 "
+              "warmup steps:\n");
+  std::printf("%10s %12s %16s\n", "density", "flow", "regime");
+  const std::size_t n = 4096;
+  std::mt19937_64 rng(99);
+  for (const double density : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    core::Configuration road(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::uniform_real_distribution<double>(0, 1)(rng) < density) {
+        road.set(i, 1);
+      }
+    }
+    core::Configuration next(n);
+    core::PackedScratch scratch(n);
+    for (int t = 0; t < 2000; ++t) {
+      core::step_ring_table3_packed(rule, road, next, scratch);
+      std::swap(road, next);
+    }
+    // Measure flow averaged over 100 steps.
+    double flow = 0;
+    for (int t = 0; t < 100; ++t) {
+      flow += static_cast<double>(count_moves(road));
+      core::step_ring_table3_packed(rule, road, next, scratch);
+      std::swap(road, next);
+    }
+    flow /= 100.0 * static_cast<double>(n);
+    const double actual_density =
+        static_cast<double>(road.popcount()) / static_cast<double>(n);
+    std::printf("%10.2f %12.4f %16s\n", actual_density, flow,
+                actual_density <= 0.5 ? "free flow" : "jammed");
+  }
+  std::printf("\nThe tent shape (flow = min(rho, 1 - rho)) is the rule-184 "
+              "fundamental diagram; the kink at density 1/2 is the "
+              "free-flow/jam transition.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full reproduction: configure, build, run the test suite, regenerate every
+# experiment and benchmark. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Every bench binary is standalone; experiment binaries end with
+# "<ID>: PASS|FAIL", google-benchmark binaries print their tables.
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "== experiment verdicts =="
+grep -E "^[A-Z0-9-]+: (PASS|FAIL)$" bench_output.txt

@@ -1,0 +1,127 @@
+#include "aca/aca.hpp"
+
+#include <stdexcept>
+
+#include "rules/rule.hpp"
+
+namespace tca::aca {
+
+AcaSystem::AcaSystem(Automaton a) : a_(std::move(a)) {
+  const auto n = static_cast<std::uint32_t>(a_.size());
+  channel_of_slot_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto in = a_.inputs(v);
+    channel_of_slot_[v].resize(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (in[i] == v) {
+        channel_of_slot_[v][i] = kDirect;
+      } else if (in[i] == core::kConstZero) {
+        channel_of_slot_[v][i] = kPhantom;
+      } else {
+        channel_of_slot_[v][i] = num_channels_;
+        sender_.push_back(in[i]);
+        ++num_channels_;
+      }
+    }
+  }
+  if (n + num_channels_ > 63) {
+    throw std::invalid_argument(
+        "AcaSystem: node + channel bits exceed 63 (use a smaller system)");
+  }
+}
+
+AcaState AcaSystem::initial(StateCode x) const {
+  AcaState s = x;
+  for (std::uint32_t c = 0; c < num_channels_; ++c) {
+    const AcaState bit = (x >> sender_[c]) & 1u;
+    s |= bit << (num_nodes() + c);
+  }
+  return s;
+}
+
+core::State AcaSystem::view_input(AcaState s, NodeId v,
+                                  std::size_t slot) const {
+  const std::uint32_t c = channel_of_slot_[v][slot];
+  if (c == kDirect) return static_cast<core::State>((s >> v) & 1u);
+  if (c == kPhantom) return 0;
+  return static_cast<core::State>((s >> (num_nodes() + c)) & 1u);
+}
+
+AcaState AcaSystem::apply(AcaState s, const Action& action) const {
+  if (action.kind == Action::Kind::kDeliver) {
+    const std::uint32_t c = action.index;
+    const AcaState bit = (s >> sender_[c]) & 1u;
+    const AcaState pos = AcaState{1} << (num_nodes() + c);
+    return bit != 0 ? (s | pos) : (s & ~pos);
+  }
+  const NodeId v = action.index;
+  const auto in = a_.inputs(v);
+  core::State buf[64];
+  std::vector<core::State> heap;
+  core::State* view = buf;
+  if (in.size() > 64) {
+    heap.resize(in.size());
+    view = heap.data();
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) view[i] = view_input(s, v, i);
+  const core::State next =
+      rules::eval(a_.rule(v), std::span<const core::State>(view, in.size()));
+  const AcaState pos = AcaState{1} << v;
+  return next != 0 ? (s | pos) : (s & ~pos);
+}
+
+bool AcaSystem::quiescent(AcaState s) const {
+  for (std::uint32_t i = 0; i < num_actions(); ++i) {
+    if (apply(s, action(i)) != s) return false;
+  }
+  return true;
+}
+
+AcaState AcaSystem::synchronous_macro_step(AcaState s) const {
+  for (std::uint32_t c = 0; c < num_channels_; ++c) {
+    s = apply(s, Action{Action::Kind::kDeliver, c});
+  }
+  // All computes read channels (frozen above) plus their OWN direct state.
+  // Computing nodes one at a time is still a faithful synchronous step
+  // because no compute changes any channel, and a node's own update reads
+  // its own not-yet-recomputed state only if it runs before itself — which
+  // it cannot. The only hazard would be node u reading node v's state
+  // directly, and direct reads exist only for self inputs.
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    s = apply(s, Action{Action::Kind::kCompute, v});
+  }
+  return s;
+}
+
+AcaState AcaSystem::sequential_macro_update(AcaState s, NodeId v) const {
+  for (std::size_t i = 0; i < channel_of_slot_[v].size(); ++i) {
+    const std::uint32_t c = channel_of_slot_[v][i];
+    if (c != kDirect && c != kPhantom) {
+      s = apply(s, Action{Action::Kind::kDeliver, c});
+    }
+  }
+  return apply(s, Action{Action::Kind::kCompute, v});
+}
+
+RandomRunResult run_random(const AcaSystem& sys, StateCode start,
+                           std::uint64_t seed, std::uint64_t max_actions) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> pick(0, sys.num_actions() - 1);
+  AcaState s = sys.initial(start);
+  RandomRunResult result;
+  for (std::uint64_t t = 0; t < max_actions; ++t) {
+    if (sys.quiescent(s)) {
+      result.quiesced = true;
+      result.actions = t;
+      result.final_config = sys.config_of(s);
+      return result;
+    }
+    s = sys.apply(s, sys.action(pick(rng)));
+  }
+  result.quiesced = sys.quiescent(s);
+  result.actions = max_actions;
+  result.final_config = sys.config_of(s);
+  return result;
+}
+
+}  // namespace tca::aca

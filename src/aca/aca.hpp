@@ -1,0 +1,127 @@
+#pragma once
+// Genuinely asynchronous cellular automata (DESIGN.md S8).
+//
+// The paper's Section 4/5 proposal: drop the global clock entirely, so
+// asynchrony applies to COMMUNICATION, not just to the order of local
+// computations. Following the paper's suggested decomposition of a node
+// update into (1) fetching neighbors' values, (2) computing, (3) making the
+// new state available, we model each directed reading relationship u -> v
+// as a CHANNEL holding the last value of u that v has fetched. Channels
+// make stale reads first-class: v may compute from arbitrarily old
+// neighbor values until a new delivery happens.
+//
+// Global ACA state = (node states x, all channel values). Two action kinds:
+//   Deliver(u -> v): channel(u -> v) := x_u      (communication)
+//   Compute(v):      x_v := f_v(view_v)          (local computation)
+// where view_v reads v's own state directly (its memory) and every other
+// input through its channel.
+//
+// Special schedules recover the classical models exactly:
+//   all delivers, then all computes           == one synchronous CA step
+//   deliver all of v's channels, compute v    == one SCA update of node v
+// so reach(classical CA) and reach(SCA) are both contained in reach(ACA) —
+// the paper's subsumption claim, verified by the aca_subsumption bench and
+// tests. The converse containment fails: stale reads generate behaviours
+// (e.g. threshold-CA oscillations under sequential computation order) that
+// no classical or sequential schedule produces.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "phasespace/functional_graph.hpp"
+
+namespace tca::aca {
+
+using core::Automaton;
+using core::NodeId;
+using phasespace::StateCode;
+
+/// Encoded global ACA state: low n bits are the node states, the remaining
+/// bits are channel values (one per non-self, non-phantom input slot).
+using AcaState = std::uint64_t;
+
+/// An action of the asynchronous system.
+struct Action {
+  enum class Kind : std::uint8_t { kDeliver, kCompute };
+  Kind kind = Kind::kCompute;
+  std::uint32_t index = 0;  ///< channel id for kDeliver, node id for kCompute
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// The asynchronous interpretation of an automaton.
+class AcaSystem {
+ public:
+  /// Requires n + #channels <= 63 so a global state fits one word.
+  /// The automaton is stored by value, so temporaries are safe.
+  explicit AcaSystem(Automaton a);
+
+  [[nodiscard]] const Automaton& automaton() const noexcept { return a_; }
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(a_.size());
+  }
+  [[nodiscard]] std::uint32_t num_channels() const noexcept {
+    return num_channels_;
+  }
+  [[nodiscard]] std::uint32_t num_actions() const noexcept {
+    return num_channels_ + num_nodes();
+  }
+  [[nodiscard]] Action action(std::uint32_t i) const {
+    return i < num_channels_
+               ? Action{Action::Kind::kDeliver, i}
+               : Action{Action::Kind::kCompute, i - num_channels_};
+  }
+
+  /// Initial ACA state for configuration x: every channel already holds the
+  /// sender's current value (consistent snapshot).
+  [[nodiscard]] AcaState initial(StateCode x) const;
+
+  /// Applies one action.
+  [[nodiscard]] AcaState apply(AcaState s, const Action& action) const;
+
+  /// The node-states projection of a global state.
+  [[nodiscard]] StateCode config_of(AcaState s) const {
+    return s & ((AcaState{1} << num_nodes()) - 1);
+  }
+
+  /// True if NO action changes the global state (all channels fresh and all
+  /// nodes stable) — the asynchronous fixed point.
+  [[nodiscard]] bool quiescent(AcaState s) const;
+
+  /// One synchronous macro-step expressed as ACA actions: all delivers then
+  /// all computes. Provided for the subsumption tests.
+  [[nodiscard]] AcaState synchronous_macro_step(AcaState s) const;
+
+  /// One SCA macro-update of node v: deliver all of v's channels, compute v.
+  [[nodiscard]] AcaState sequential_macro_update(AcaState s, NodeId v) const;
+
+ private:
+  Automaton a_;
+  std::uint32_t num_channels_ = 0;
+  // Channel c carries sender_[c] -> receiver; per node v, the input slots
+  // that read through channels are channel_of_slot_[v][i] (or kDirect).
+  std::vector<NodeId> sender_;
+  std::vector<std::vector<std::uint32_t>> channel_of_slot_;
+  static constexpr std::uint32_t kDirect = 0xFFFFFFFFu;   ///< self input
+  static constexpr std::uint32_t kPhantom = 0xFFFFFFFEu;  ///< kConstZero
+
+  [[nodiscard]] core::State view_input(AcaState s, NodeId v,
+                                       std::size_t slot) const;
+};
+
+/// Result of a randomly scheduled asynchronous run.
+struct RandomRunResult {
+  bool quiesced = false;       ///< reached an asynchronous fixed point
+  std::uint64_t actions = 0;   ///< actions performed
+  StateCode final_config = 0;  ///< node-states projection at the end
+};
+
+/// Runs a uniformly random schedule (each step picks one of the
+/// num_actions() actions) until quiescence or `max_actions`.
+[[nodiscard]] RandomRunResult run_random(const AcaSystem& sys, StateCode start,
+                                         std::uint64_t seed,
+                                         std::uint64_t max_actions);
+
+}  // namespace tca::aca

@@ -1,0 +1,74 @@
+#include "aca/delayed.hpp"
+
+#include <vector>
+
+namespace tca::aca {
+
+DelayedRunResult run_delayed(const AcaSystem& sys, StateCode start,
+                             const DelayedParams& params, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution compute(params.compute_rate);
+  std::bernoulli_distribution deliver(params.deliver_rate);
+
+  AcaState s = sys.initial(start);
+  DelayedRunResult result;
+  std::vector<core::NodeId> firing;
+  for (std::uint64_t tick = 0; tick < params.max_ticks; ++tick) {
+    if (sys.quiescent(s)) {
+      result.quiesced = true;
+      result.ticks = tick;
+      result.final_config = sys.config_of(s);
+      return result;
+    }
+    // Phase 1: deliveries, all against the tick-start node states — applying
+    // them one at a time is equivalent because delivers only read node
+    // states (unchanged in this phase) and write disjoint channel bits.
+    for (std::uint32_t c = 0; c < sys.num_channels(); ++c) {
+      if (deliver(rng)) {
+        s = sys.apply(s, Action{Action::Kind::kDeliver, c});
+        ++result.total_delivers;
+      }
+    }
+    // Phase 2: computes, all against the post-delivery snapshot. Computes
+    // write only their own node bit but READ their own state directly, so
+    // simultaneity needs staging.
+    firing.clear();
+    for (core::NodeId v = 0; v < sys.num_nodes(); ++v) {
+      if (compute(rng)) firing.push_back(v);
+    }
+    AcaState staged = s;
+    for (core::NodeId v : firing) {
+      const AcaState after = sys.apply(s, Action{Action::Kind::kCompute, v});
+      const AcaState bit = AcaState{1} << v;
+      staged = (staged & ~bit) | (after & bit);
+      ++result.total_computes;
+    }
+    s = staged;
+  }
+  result.quiesced = sys.quiescent(s);
+  result.ticks = params.max_ticks;
+  result.final_config = sys.config_of(s);
+  return result;
+}
+
+DelayedStats measure_delayed(const AcaSystem& sys, StateCode start,
+                             const DelayedParams& params, std::uint64_t trials,
+                             std::uint64_t seed) {
+  DelayedStats stats;
+  stats.trials = trials;
+  double total = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto run = run_delayed(sys, start, params, seed + t);
+    if (run.quiesced) {
+      ++stats.quiesced;
+      const auto ticks = static_cast<double>(run.ticks);
+      total += ticks;
+      if (ticks > stats.max_ticks) stats.max_ticks = ticks;
+    }
+  }
+  stats.mean_ticks =
+      stats.quiesced == 0 ? 0.0 : total / static_cast<double>(stats.quiesced);
+  return stats;
+}
+
+}  // namespace tca::aca

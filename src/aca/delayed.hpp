@@ -1,0 +1,63 @@
+#pragma once
+// Stochastic bounded-asynchrony simulator (DESIGN.md S8; the paper's
+// Section 4 notion of classical CA as "models of bounded asynchrony" and
+// the physically-realistic "network delay" picture).
+//
+// A discrete-tick relaxation of the channel ACA: at every tick each node
+// independently computes with probability `compute_rate`, and each channel
+// independently delivers with probability `deliver_rate`. deliver_rate = 1
+// with compute_rate = 1 is (up to the simultaneous write schedule) the
+// classical synchronous CA; small deliver_rate models slow links — reads
+// become stale, and the effective information speed drops below the
+// r-cells-per-step bound the paper describes.
+//
+// All randomness flows from an explicit seed (deterministic replay).
+
+#include <cstdint>
+#include <random>
+
+#include "aca/aca.hpp"
+
+namespace tca::aca {
+
+/// Tick-level configuration of the stochastic simulator.
+struct DelayedParams {
+  double compute_rate = 1.0;  ///< P(node computes at a tick)
+  double deliver_rate = 1.0;  ///< P(channel delivers at a tick)
+  std::uint64_t max_ticks = 1u << 20;
+};
+
+/// Outcome of a stochastic run.
+struct DelayedRunResult {
+  bool quiesced = false;
+  std::uint64_t ticks = 0;           ///< ticks until quiescence (or cap)
+  StateCode final_config = 0;
+  std::uint64_t total_computes = 0;  ///< node-update events performed
+  std::uint64_t total_delivers = 0;  ///< channel-delivery events performed
+};
+
+/// Runs the tick simulator from `start` until quiescence or the tick cap.
+/// Within a tick, all enabled delivers fire first (reading the tick-start
+/// node states), then all enabled computes fire simultaneously (reading
+/// the post-delivery channels) — the standard synchronous product of the
+/// random subsets.
+[[nodiscard]] DelayedRunResult run_delayed(const AcaSystem& sys,
+                                           StateCode start,
+                                           const DelayedParams& params,
+                                           std::uint64_t seed);
+
+/// Convergence-time statistics over `trials` independent runs.
+struct DelayedStats {
+  std::uint64_t trials = 0;
+  std::uint64_t quiesced = 0;
+  double mean_ticks = 0.0;  ///< over quiesced runs
+  double max_ticks = 0.0;
+};
+
+[[nodiscard]] DelayedStats measure_delayed(const AcaSystem& sys,
+                                           StateCode start,
+                                           const DelayedParams& params,
+                                           std::uint64_t trials,
+                                           std::uint64_t seed);
+
+}  // namespace tca::aca

@@ -1,0 +1,92 @@
+#include "aca/explorer.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+
+namespace tca::aca {
+
+ReachSet explore(const AcaSystem& sys, StateCode start,
+                 std::uint64_t max_global_states) {
+  ReachSet out;
+  std::unordered_set<AcaState> seen;
+  std::deque<AcaState> queue;
+  const AcaState s0 = sys.initial(start);
+  seen.insert(s0);
+  queue.push_back(s0);
+  while (!queue.empty()) {
+    const AcaState s = queue.front();
+    queue.pop_front();
+    out.configs.insert(sys.config_of(s));
+    for (std::uint32_t i = 0; i < sys.num_actions(); ++i) {
+      const AcaState t = sys.apply(s, sys.action(i));
+      if (seen.contains(t)) continue;
+      if (seen.size() >= max_global_states) {
+        out.truncated = true;
+        continue;
+      }
+      seen.insert(t);
+      queue.push_back(t);
+    }
+  }
+  out.global_states = seen.size();
+  return out;
+}
+
+std::set<StateCode> reach_synchronous(const core::Automaton& a,
+                                      StateCode start) {
+  const std::size_t n = a.size();
+  std::set<StateCode> out;
+  StateCode s = start;
+  while (out.insert(s).second) {
+    auto c = core::Configuration::from_bits(s, n);
+    s = core::step_synchronous(a, c).to_bits();
+  }
+  return out;
+}
+
+std::set<StateCode> reach_sequential(const core::Automaton& a,
+                                     StateCode start) {
+  const std::size_t n = a.size();
+  std::set<StateCode> seen{start};
+  std::deque<StateCode> queue{start};
+  while (!queue.empty()) {
+    const StateCode s = queue.front();
+    queue.pop_front();
+    for (std::size_t v = 0; v < n; ++v) {
+      auto c = core::Configuration::from_bits(s, n);
+      core::update_node(a, c, static_cast<core::NodeId>(v));
+      const StateCode t = c.to_bits();
+      if (seen.insert(t).second) queue.push_back(t);
+    }
+  }
+  return seen;
+}
+
+Subsumption compare_reach_sets(const core::Automaton& a, StateCode start) {
+  const AcaSystem sys(a);
+  const ReachSet aca = explore(sys, start);
+  const auto sync = reach_synchronous(a, start);
+  const auto seq = reach_sequential(a, start);
+
+  Subsumption out;
+  out.aca_total = aca.configs.size();
+  out.sync_total = sync.size();
+  out.seq_total = seq.size();
+  out.contains_synchronous = true;
+  for (StateCode s : sync) {
+    if (!aca.configs.contains(s)) out.contains_synchronous = false;
+  }
+  out.contains_sequential = true;
+  for (StateCode s : seq) {
+    if (!aca.configs.contains(s)) out.contains_sequential = false;
+  }
+  for (StateCode s : aca.configs) {
+    if (!sync.contains(s) && !seq.contains(s)) ++out.only_aca;
+  }
+  return out;
+}
+
+}  // namespace tca::aca

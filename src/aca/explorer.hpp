@@ -1,0 +1,53 @@
+#pragma once
+// Exhaustive exploration of asynchronous CA behaviour (DESIGN.md S8).
+//
+// BFS over the full nondeterministic ACA transition system (every deliver /
+// compute action at every reachable global state), projecting global states
+// onto node configurations. Used to verify the paper's Section 4
+// subsumption claim — reach(classical CA) U reach(SCA) is contained in
+// reach(ACA) — and to measure how much STRICTLY larger the asynchronous
+// reach set is.
+
+#include <set>
+#include <vector>
+
+#include "aca/aca.hpp"
+
+namespace tca::aca {
+
+/// Result of an exhaustive reachability exploration.
+struct ReachSet {
+  std::set<StateCode> configs;        ///< reachable node-state projections
+  std::uint64_t global_states = 0;    ///< distinct (x, channels) states seen
+  bool truncated = false;             ///< hit the exploration cap
+};
+
+/// All configurations reachable from `start` by ANY action sequence.
+[[nodiscard]] ReachSet explore(const AcaSystem& sys, StateCode start,
+                               std::uint64_t max_global_states = 1u << 22);
+
+/// Configurations visited by the (deterministic) classical parallel CA
+/// trajectory from `start` — the whole orbit, transient plus cycle.
+[[nodiscard]] std::set<StateCode> reach_synchronous(const core::Automaton& a,
+                                                    StateCode start);
+
+/// Configurations reachable from `start` by single sequential node updates
+/// in ANY order (BFS over the choice transition system, built on the fly).
+[[nodiscard]] std::set<StateCode> reach_sequential(const core::Automaton& a,
+                                                   StateCode start);
+
+/// Verdict of the subsumption comparison from one start configuration.
+struct Subsumption {
+  bool contains_synchronous = false;  ///< reach(CA)  subset of reach(ACA)
+  bool contains_sequential = false;   ///< reach(SCA) subset of reach(ACA)
+  std::uint64_t only_aca = 0;  ///< configs reachable only asynchronously
+  std::uint64_t aca_total = 0;
+  std::uint64_t sync_total = 0;
+  std::uint64_t seq_total = 0;
+};
+
+/// Runs all three explorations and compares them.
+[[nodiscard]] Subsumption compare_reach_sets(const core::Automaton& a,
+                                             StateCode start);
+
+}  // namespace tca::aca

@@ -1,0 +1,65 @@
+#include "analysis/basin_sampling.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "core/synchronous_fast.hpp"
+#include "core/trajectory.hpp"
+
+namespace tca::analysis {
+
+double BasinPortrait::dominant_share() const {
+  if (samples == 0) return 0.0;
+  std::uint64_t best = 0;
+  for (const auto& [key, hits] : attractor_hits) {
+    best = std::max(best, hits);
+  }
+  return static_cast<double>(best) / static_cast<double>(samples);
+}
+
+std::uint64_t attractor_key(const core::Automaton& a,
+                            const core::Configuration& on_cycle,
+                            std::uint64_t period) {
+  std::uint64_t key = core::hash_value(on_cycle);
+  core::Configuration current = on_cycle;
+  for (std::uint64_t i = 1; i < period; ++i) {
+    core::advance_synchronous_fast(a, current, 1);
+    key = std::min(key, core::hash_value(current));
+  }
+  return key;
+}
+
+BasinPortrait sample_basins(const core::Automaton& a, std::uint64_t samples,
+                            std::uint64_t seed, std::uint64_t max_steps) {
+  std::mt19937_64 rng(seed);
+  BasinPortrait portrait;
+  portrait.samples = samples;
+  const auto step = [&a](const core::Configuration& c) {
+    core::Configuration out(c.size());
+    core::step_synchronous_fast(a, c, out);
+    return out;
+  };
+  for (std::uint64_t trial = 0; trial < samples; ++trial) {
+    core::Configuration start(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      start.set(i, static_cast<core::State>(rng() & 1u));
+    }
+    const auto orbit = core::find_orbit(step, start, max_steps);
+    if (!orbit) {
+      ++portrait.unresolved;
+      continue;
+    }
+    portrait.transient_length.add(static_cast<double>(orbit->transient));
+    if (orbit->period == 1) {
+      ++portrait.to_fixed_point;
+    } else if (orbit->period == 2) {
+      ++portrait.to_two_cycle;
+    } else {
+      ++portrait.to_longer_cycle;
+    }
+    ++portrait.attractor_hits[attractor_key(a, orbit->entry, orbit->period)];
+  }
+  return portrait;
+}
+
+}  // namespace tca::analysis

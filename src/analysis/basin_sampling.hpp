@@ -1,0 +1,59 @@
+#pragma once
+// Statistical phase-space portraits for large systems (DESIGN.md S5
+// extension).
+//
+// Beyond ~26 cells the phase space cannot be enumerated, but its
+// statistics can be sampled: draw random initial configurations, chase
+// each orbit to its attractor (Brent), and accumulate a portrait —
+// attractor-type frequencies, transient lengths, and the diversity of
+// distinct attractors hit (identified by a canonical representative of
+// the cycle). This is how the paper's "statistically, almost no cycles"
+// claim is checked at sizes where exact counting via transfer matrices is
+// the only alternative.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+
+namespace tca::analysis {
+
+/// Sampled portrait of a synchronous phase space.
+struct BasinPortrait {
+  std::uint64_t samples = 0;
+  std::uint64_t to_fixed_point = 0;   ///< orbits ending in a period-1 state
+  std::uint64_t to_two_cycle = 0;     ///< orbits ending in a period-2 cycle
+  std::uint64_t to_longer_cycle = 0;  ///< period >= 3 (impossible for
+                                      ///< threshold rules)
+  std::uint64_t unresolved = 0;       ///< no repeat within the step budget
+  Accumulator transient_length;
+  /// Distinct attractors reached, keyed by the canonical (minimum-hash)
+  /// configuration on the cycle, with hit counts.
+  std::unordered_map<std::uint64_t, std::uint64_t> attractor_hits;
+
+  /// Number of distinct attractors observed.
+  [[nodiscard]] std::size_t distinct_attractors() const {
+    return attractor_hits.size();
+  }
+  /// Largest observed basin share (hits of the most-hit attractor /
+  /// samples).
+  [[nodiscard]] double dominant_share() const;
+};
+
+/// Samples `samples` uniform random initial configurations of `a` (seeded)
+/// and chases each synchronous orbit for at most `max_steps`.
+[[nodiscard]] BasinPortrait sample_basins(const core::Automaton& a,
+                                          std::uint64_t samples,
+                                          std::uint64_t seed,
+                                          std::uint64_t max_steps);
+
+/// Canonical 64-bit key for an attractor: the minimum hash_value over the
+/// cycle's configurations (rotation- and entry-point-independent).
+[[nodiscard]] std::uint64_t attractor_key(const core::Automaton& a,
+                                          const core::Configuration& on_cycle,
+                                          std::uint64_t period);
+
+}  // namespace tca::analysis

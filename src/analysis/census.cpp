@@ -1,0 +1,62 @@
+#include "analysis/census.hpp"
+
+#include <vector>
+
+namespace tca::analysis {
+
+PhaseSpaceCensus census(const phasespace::FunctionalGraph& fg) {
+  using phasespace::StateCode;
+  using phasespace::StateKind;
+  const auto cls = phasespace::classify(fg);
+  PhaseSpaceCensus out;
+  out.bits = fg.bits();
+  out.states = fg.num_states();
+  out.fixed_points = cls.num_fixed_points;
+  out.cycle_states = cls.num_cycle_states;
+  out.transient_states = cls.num_transient_states;
+  out.gardens_of_eden = cls.num_gardens_of_eden;
+  out.max_transient = cls.max_transient;
+  out.max_period = cls.max_period();
+  out.cycle_lengths = cls.cycle_length_histogram;
+
+  for (StateCode s = 0; s < fg.num_states(); ++s) {
+    if (cls.kind[s] == StateKind::kTransient &&
+        cls.kind[fg.succ(s)] == StateKind::kCycle) {
+      out.cycles_have_no_incoming_transients = false;
+      break;
+    }
+  }
+  return out;
+}
+
+PhaseSpaceCensus census_synchronous(const core::Automaton& a) {
+  return census(phasespace::FunctionalGraph::synchronous(a));
+}
+
+PhaseSpaceCensus census_sweep(const core::Automaton& a,
+                              std::span<const core::NodeId> order) {
+  return census(phasespace::FunctionalGraph::sweep(
+      a, std::vector<core::NodeId>(order.begin(), order.end())));
+}
+
+std::string to_string(const PhaseSpaceCensus& c) {
+  std::string out;
+  out += "states:                " + std::to_string(c.states) + " (n=" +
+         std::to_string(c.bits) + ")\n";
+  out += "fixed points:          " + std::to_string(c.fixed_points) + "\n";
+  out += "proper-cycle states:   " + std::to_string(c.cycle_states) + "\n";
+  out += "transient states:      " + std::to_string(c.transient_states) + "\n";
+  out += "gardens of Eden:       " + std::to_string(c.gardens_of_eden) + "\n";
+  out += "max transient length:  " + std::to_string(c.max_transient) + "\n";
+  out += "max period:            " + std::to_string(c.max_period) + "\n";
+  out += "cycles by period:\n";
+  for (const auto& [period, count] : c.cycle_lengths) {
+    out += "  period " + std::to_string(period) + ": " +
+           std::to_string(count) + "\n";
+  }
+  out += std::string("proper cycles unreachable from outside: ") +
+         (c.cycles_have_no_incoming_transients ? "yes" : "no") + "\n";
+  return out;
+}
+
+}  // namespace tca::analysis

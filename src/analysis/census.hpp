@@ -1,0 +1,55 @@
+#pragma once
+// Phase-space censuses (DESIGN.md S5): aggregate counts over explicit phase
+// spaces, feeding the RARE experiment (the paper's Section 4 remark, citing
+// [19], that non-FP cycles of parallel threshold CA are statistically very
+// few AND have no incoming transients) and the experiment tables.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/automaton.hpp"
+#include "phasespace/classify.hpp"
+
+namespace tca::analysis {
+
+/// Aggregate description of one deterministic phase space.
+struct PhaseSpaceCensus {
+  std::uint32_t bits = 0;
+  std::uint64_t states = 0;
+  std::uint64_t fixed_points = 0;
+  std::uint64_t cycle_states = 0;      ///< on proper cycles (period >= 2)
+  std::uint64_t transient_states = 0;
+  std::uint64_t gardens_of_eden = 0;
+  std::uint64_t max_transient = 0;
+  std::uint64_t max_period = 0;
+  /// period -> number of distinct cycles with that period
+  std::map<std::uint64_t, std::uint64_t> cycle_lengths;
+  /// True iff no transient state maps INTO a proper cycle state — i.e.
+  /// proper cycles are unreachable except from themselves (the paper's
+  /// "without any incoming transients").
+  bool cycles_have_no_incoming_transients = true;
+
+  /// Fraction of states on proper cycles.
+  [[nodiscard]] double cycle_state_fraction() const {
+    return states == 0 ? 0.0
+                       : static_cast<double>(cycle_states) /
+                             static_cast<double>(states);
+  }
+};
+
+/// Census of the synchronous (parallel) phase space of `a`.
+[[nodiscard]] PhaseSpaceCensus census_synchronous(const core::Automaton& a);
+
+/// Census of the sweep-SCA phase space of `a` under permutation `order`.
+[[nodiscard]] PhaseSpaceCensus census_sweep(const core::Automaton& a,
+                                            std::span<const core::NodeId> order);
+
+/// Census from an already-built functional graph.
+[[nodiscard]] PhaseSpaceCensus census(const phasespace::FunctionalGraph& fg);
+
+/// Multi-line human-readable rendering.
+[[nodiscard]] std::string to_string(const PhaseSpaceCensus& c);
+
+}  // namespace tca::analysis

@@ -1,0 +1,90 @@
+#include "analysis/damage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/synchronous.hpp"
+
+namespace tca::analysis {
+namespace {
+
+std::size_t ring_distance(std::size_t a, std::size_t b, std::size_t n) {
+  const std::size_t d = a > b ? a - b : b - a;
+  return std::min(d, n - d);
+}
+
+}  // namespace
+
+std::vector<std::size_t> DamageTrace::hamming() const {
+  std::vector<std::size_t> out;
+  out.reserve(diffs.size());
+  for (const auto& d : diffs) out.push_back(d.popcount());
+  return out;
+}
+
+DamageTrace damage_synchronous(const core::Automaton& a,
+                               const core::Configuration& x, std::size_t cell,
+                               std::uint64_t steps) {
+  if (cell >= x.size()) {
+    throw std::invalid_argument("damage_synchronous: cell out of range");
+  }
+  core::Configuration original = x;
+  core::Configuration perturbed = x;
+  perturbed.flip(cell);
+
+  DamageTrace trace;
+  trace.diffs.reserve(steps + 1);
+  core::Configuration back(x.size());
+  for (std::uint64_t t = 0; t <= steps; ++t) {
+    core::Configuration diff(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (original.get(i) != perturbed.get(i)) diff.set(i, 1);
+    }
+    trace.diffs.push_back(std::move(diff));
+    if (t == steps) break;
+    core::step_synchronous(a, original, back);
+    std::swap(original, back);
+    core::step_synchronous(a, perturbed, back);
+    std::swap(perturbed, back);
+  }
+  return trace;
+}
+
+bool within_light_cone(const core::Configuration& diff, std::size_t origin,
+                       std::uint32_t radius, std::uint64_t t) {
+  const std::size_t n = diff.size();
+  const std::uint64_t reach = static_cast<std::uint64_t>(radius) * t;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (diff.get(i) != 0 && ring_distance(i, origin, n) > reach) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool trace_within_light_cone(const DamageTrace& trace, std::size_t origin,
+                             std::uint32_t radius) {
+  for (std::uint64_t t = 0; t < trace.diffs.size(); ++t) {
+    if (!within_light_cone(trace.diffs[t], origin, radius, t)) return false;
+  }
+  return true;
+}
+
+std::uint64_t steps_until_cone_boundary(const DamageTrace& trace,
+                                        std::size_t origin,
+                                        std::uint32_t radius) {
+  for (std::uint64_t t = 1; t < trace.diffs.size(); ++t) {
+    const auto& diff = trace.diffs[t];
+    const std::size_t n = diff.size();
+    const std::uint64_t reach = static_cast<std::uint64_t>(radius) * t;
+    if (reach >= n / 2) break;  // the cone has wrapped; boundary undefined
+    for (std::size_t i = 0; i < n; ++i) {
+      if (diff.get(i) != 0 && ring_distance(i, origin, n) == reach) {
+        return t;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace tca::analysis

@@ -1,0 +1,55 @@
+#pragma once
+// Damage spreading and the information light cone (DESIGN.md S5
+// extension; the paper's Section 4 framing of classical CA as models of
+// BOUNDED asynchrony: "if nodes are d apart and the radius is r, a change
+// in one can affect the other no sooner than after about d/r steps").
+//
+// Perturb one cell, evolve both configurations under the same update
+// discipline, and track the damage (the XOR of the two trajectories).
+// For synchronous radius-r CA the damage support provably stays inside
+// the light cone [i - rt, i + rt]; for linear rules the damage IS the
+// linear evolution of the unit perturbation (superposition), giving exact
+// propagation fronts.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+
+namespace tca::analysis {
+
+/// Damage trajectory: diffs[t] = F^t(x) XOR F^t(x + e_cell), t = 0..steps.
+struct DamageTrace {
+  std::vector<core::Configuration> diffs;
+  /// Hamming distance per step (diffs[t].popcount()).
+  [[nodiscard]] std::vector<std::size_t> hamming() const;
+};
+
+/// Synchronous damage spreading from flipping `cell` in `x`.
+[[nodiscard]] DamageTrace damage_synchronous(const core::Automaton& a,
+                                             const core::Configuration& x,
+                                             std::size_t cell,
+                                             std::uint64_t steps);
+
+/// True iff every damaged cell of `diff` lies within ring distance
+/// `radius * t` of `origin` on an n-cell ring — the light-cone condition
+/// at time t.
+[[nodiscard]] bool within_light_cone(const core::Configuration& diff,
+                                     std::size_t origin, std::uint32_t radius,
+                                     std::uint64_t t);
+
+/// True iff the whole trace respects the light cone of `origin`.
+[[nodiscard]] bool trace_within_light_cone(const DamageTrace& trace,
+                                           std::size_t origin,
+                                           std::uint32_t radius);
+
+/// The earliest step at which the damage reaches ring distance exactly
+/// radius*t from the origin (the cone boundary), or 0 if it never does
+/// within the trace — the "no later than" half of the paper's bound is
+/// rule-dependent; XOR rules achieve it, threshold rules often heal.
+[[nodiscard]] std::uint64_t steps_until_cone_boundary(const DamageTrace& trace,
+                                                      std::size_t origin,
+                                                      std::uint32_t radius);
+
+}  // namespace tca::analysis

@@ -1,0 +1,88 @@
+#include "analysis/energy.hpp"
+
+#include <stdexcept>
+
+#include "rules/rule.hpp"
+
+namespace tca::analysis {
+
+ThresholdNetwork ThresholdNetwork::homogeneous(graph::Graph g, std::uint32_t k,
+                                               bool with_memory) {
+  ThresholdNetwork net;
+  const auto n = g.num_nodes();
+  net.graph = std::move(g);
+  net.k.assign(n, k);
+  net.with_memory = with_memory;
+  return net;
+}
+
+ThresholdNetwork ThresholdNetwork::majority(graph::Graph g, bool with_memory) {
+  ThresholdNetwork net;
+  const auto n = g.num_nodes();
+  net.with_memory = with_memory;
+  net.k.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::uint32_t arity = g.degree(v) + (with_memory ? 1u : 0u);
+    net.k.push_back(arity / 2 + 1);
+  }
+  net.graph = std::move(g);
+  return net;
+}
+
+core::Automaton ThresholdNetwork::automaton() const {
+  std::vector<core::Rule> rules;
+  rules.reserve(k.size());
+  for (std::uint32_t kv : k) rules.emplace_back(rules::KOfNRule{kv});
+  return core::Automaton::from_graph_per_node(
+      graph, std::move(rules),
+      with_memory ? core::Memory::kWith : core::Memory::kWithout);
+}
+
+std::int64_t sequential_energy(const ThresholdNetwork& net,
+                               const core::Configuration& x) {
+  if (x.size() != net.graph.num_nodes()) {
+    throw std::invalid_argument("sequential_energy: size mismatch");
+  }
+  std::int64_t e = 0;
+  for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {
+    if (x.get(u) == 0) continue;
+    for (graph::NodeId v : net.graph.neighbors(u)) {
+      if (u < v && x.get(v) != 0) e -= 2;
+    }
+    const std::int64_t two_theta =
+        2 * static_cast<std::int64_t>(net.k[u]) - (net.with_memory ? 2 : 1);
+    e += two_theta;
+  }
+  return e;
+}
+
+std::int64_t synchronous_pair_energy(const ThresholdNetwork& net,
+                                     const core::Configuration& x,
+                                     const core::Configuration& fx) {
+  if (x.size() != net.graph.num_nodes() || fx.size() != x.size()) {
+    throw std::invalid_argument("synchronous_pair_energy: size mismatch");
+  }
+  std::int64_t e = 0;
+  for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {
+    for (graph::NodeId v : net.graph.neighbors(u)) {
+      // Ordered pairs: both (u,v) and (v,u) contribute.
+      if (x.get(u) != 0 && fx.get(v) != 0) e -= 2;
+    }
+    if (net.with_memory && x.get(u) != 0 && fx.get(u) != 0) e -= 2;
+    const std::int64_t two_theta = 2 * static_cast<std::int64_t>(net.k[u]) - 1;
+    e += two_theta * (x.get(u) + fx.get(u));
+  }
+  return e;
+}
+
+std::int64_t sequential_change_bound(const ThresholdNetwork& net) {
+  // E ranges within [-2|E|, sum_v max(0, 2k_v)] coarsely; the number of
+  // strict unit decreases is at most the range width.
+  std::int64_t span = 2 * static_cast<std::int64_t>(net.graph.num_edges());
+  for (std::uint32_t kv : net.k) {
+    span += 2 * static_cast<std::int64_t>(kv) + 2;
+  }
+  return span;
+}
+
+}  // namespace tca::analysis

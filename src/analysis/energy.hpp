@@ -1,0 +1,80 @@
+#pragma once
+// Goles–Martinez Lyapunov energy for threshold networks (DESIGN.md S5).
+//
+// This is the analytic engine behind the paper's Proposition 1 (citing
+// Goles & Martinez [8]) and the second, independent certificate for
+// Lemma 1(ii)/Theorem 1 used by the experiment harness.
+//
+// Setting: a symmetric 0/1-weighted network over an undirected graph G,
+// where node v updates to  x_v' = [ S_v >= k_v ]  with
+//   S_v = sum_{u in N(v)} x_u  (+ x_v if the automaton has memory).
+// This covers every monotone symmetric (k-of-n) CA in the paper.
+//
+// SEQUENTIAL energy (integer-valued, doubled to stay integral without
+// memory):
+//   with memory:     E(x) = -2*sum_{{u,v} in E} x_u x_v + sum_v (2 k_v - 2) x_v
+//   without memory:  E(x) = -2*sum_{{u,v} in E} x_u x_v + sum_v (2 k_v - 1) x_v
+//
+// Claim (verified exhaustively by tests): every sequential update that
+// CHANGES a node's state strictly decreases E (by >= 1). Derivation for the
+// with-memory case (w_vv = 1, theta'_v = k_v - 1/2, f = sum_{u~v} x_u):
+//   flipping x_v: a -> b, with b = [f + a >= k_v], Delta = b - a:
+//   (E/2 change) = Delta * (k_v - 1 - f)
+//   a=0 -> b=1 requires f >= k_v      => change <= -1
+//   a=1 -> b=0 requires f <= k_v - 2  => change <= -1.
+// Since E is integer-valued and bounded, no sequential trajectory can
+// revisit a state it changed away from => the SCA phase space is
+// cycle-free and every fair schedule converges to a fixed point within
+// (max E - min E) state changes. That is Theorem 1, quantitatively.
+//
+// SYNCHRONOUS pair-energy (Goles' classical argument for period <= 2):
+//   E2(x, y) = -sum_{u,v} w_uv x_u y_v + sum_v theta_v (x_v + y_v),
+// evaluated on consecutive configurations y = F(x); E2 is nonincreasing
+// along synchronous trajectories and strictly decreases unless
+// x(t+2) = x(t) — hence only fixed points and two-cycles (Proposition 1).
+// We use the doubled integer form here as well.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "graph/graph.hpp"
+
+namespace tca::analysis {
+
+/// A k-of-n threshold network: graph + per-node threshold + memory flag.
+struct ThresholdNetwork {
+  graph::Graph graph;
+  std::vector<std::uint32_t> k;  ///< per-node threshold (size = num_nodes)
+  bool with_memory = true;
+
+  /// Homogeneous network: every node uses the same k.
+  static ThresholdNetwork homogeneous(graph::Graph g, std::uint32_t k,
+                                      bool with_memory);
+
+  /// The MAJORITY network on g: node v has arity m_v = deg(v) (+1 with
+  /// memory) and threshold k_v = floor(m_v / 2) + 1 (strict majority; for
+  /// the paper's odd arities 2r+1 this is the unique majority threshold,
+  /// and it matches rules::MajorityRule with tie -> 0 for even arities).
+  static ThresholdNetwork majority(graph::Graph g, bool with_memory);
+
+  /// The equivalent tca::core::Automaton (per-node KOfN rules).
+  [[nodiscard]] core::Automaton automaton() const;
+};
+
+/// Doubled integer sequential Lyapunov energy E(x) (see header comment).
+[[nodiscard]] std::int64_t sequential_energy(const ThresholdNetwork& net,
+                                             const core::Configuration& x);
+
+/// Doubled integer synchronous pair energy E2(x, F(x)).
+[[nodiscard]] std::int64_t synchronous_pair_energy(
+    const ThresholdNetwork& net, const core::Configuration& x,
+    const core::Configuration& fx);
+
+/// Upper bound on the total number of STATE-CHANGING sequential updates
+/// from any start (max E - min E over the state space, coarse bound
+/// 2|E| + sum_v |2 k_v - 2| + n).
+[[nodiscard]] std::int64_t sequential_change_bound(const ThresholdNetwork& net);
+
+}  // namespace tca::analysis

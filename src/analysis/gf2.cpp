@@ -1,0 +1,203 @@
+#include "analysis/gf2.hpp"
+
+#include <stdexcept>
+
+namespace tca::analysis {
+namespace {
+
+std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+}  // namespace
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(words_for(cols)),
+      words_(rows * words_per_row_, 0) {}
+
+Gf2Matrix Gf2Matrix::identity(std::size_t n) {
+  Gf2Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::multiply(const Gf2Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Gf2Matrix::multiply: shape mismatch");
+  }
+  Gf2Matrix out(rows_, other.cols_);
+  // Row-by-row: out.row(i) = XOR of other.row(k) for set bits k of row(i).
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t wk = 0; wk < words_per_row_; ++wk) {
+      std::uint64_t bits = words_[i * words_per_row_ + wk];
+      while (bits != 0) {
+        const auto k = (wk << 6) +
+                       static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        for (std::size_t w = 0; w < out.words_per_row_; ++w) {
+          out.words_[i * out.words_per_row_ + w] ^=
+              other.words_[k * other.words_per_row_ + w];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::add(const Gf2Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Gf2Matrix::add: shape mismatch");
+  }
+  Gf2Matrix out = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] ^= other.words_[i];
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::power(std::uint64_t e) const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Gf2Matrix::power: square matrices only");
+  }
+  Gf2Matrix result = identity(rows_);
+  Gf2Matrix base = *this;
+  while (e != 0) {
+    if (e & 1u) result = result.multiply(base);
+    base = base.multiply(base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> Gf2Matrix::apply(
+    const std::vector<std::uint64_t>& x) const {
+  if (x.size() < words_per_row_) {
+    throw std::invalid_argument("Gf2Matrix::apply: vector too short");
+  }
+  std::vector<std::uint64_t> y(words_for(rows_), 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    int parity = 0;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      // Row padding bits are zero, so x's padding (if any) is masked away.
+      parity ^=
+          __builtin_popcountll(words_[i * words_per_row_ + w] & x[w]) & 1;
+    }
+    set_bit(y, i, parity != 0);
+  }
+  return y;
+}
+
+std::size_t Gf2Matrix::rank() const {
+  Gf2Matrix work = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    // Find a pivot row at or below `rank` with a 1 in `col`.
+    std::size_t pivot = rank;
+    while (pivot < rows_ && !work.get(pivot, col)) ++pivot;
+    if (pivot == rows_) continue;
+    // Swap rows.
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::swap(work.words_[rank * words_per_row_ + w],
+                work.words_[pivot * words_per_row_ + w]);
+    }
+    // Eliminate below (and above, though not needed for rank).
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r != rank && work.get(r, col)) {
+        for (std::size_t w = 0; w < words_per_row_; ++w) {
+          work.words_[r * words_per_row_ + w] ^=
+              work.words_[rank * words_per_row_ + w];
+        }
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::vector<std::vector<std::uint64_t>> Gf2Matrix::kernel_basis() const {
+  // Reduce to RREF, tracking pivot columns; free columns generate the
+  // kernel.
+  Gf2Matrix work = *this;
+  std::vector<std::size_t> pivot_col;
+  std::size_t r = 0;
+  for (std::size_t col = 0; col < cols_ && r < rows_; ++col) {
+    std::size_t pivot = r;
+    while (pivot < rows_ && !work.get(pivot, col)) ++pivot;
+    if (pivot == rows_) continue;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::swap(work.words_[r * words_per_row_ + w],
+                work.words_[pivot * words_per_row_ + w]);
+    }
+    for (std::size_t rr = 0; rr < rows_; ++rr) {
+      if (rr != r && work.get(rr, col)) {
+        for (std::size_t w = 0; w < words_per_row_; ++w) {
+          work.words_[rr * words_per_row_ + w] ^=
+              work.words_[r * words_per_row_ + w];
+        }
+      }
+    }
+    pivot_col.push_back(col);
+    ++r;
+  }
+
+  std::vector<bool> is_pivot(cols_, false);
+  for (std::size_t c : pivot_col) is_pivot[c] = true;
+
+  std::vector<std::vector<std::uint64_t>> basis;
+  for (std::size_t free = 0; free < cols_; ++free) {
+    if (is_pivot[free]) continue;
+    std::vector<std::uint64_t> v(words_for(cols_), 0);
+    set_bit(v, free, true);
+    // Each pivot row gives pivot_col value = entry in `free` column.
+    for (std::size_t pr = 0; pr < pivot_col.size(); ++pr) {
+      if (work.get(pr, free)) set_bit(v, pivot_col[pr], true);
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+std::optional<std::vector<std::uint64_t>> Gf2Matrix::solve(
+    const std::vector<std::uint64_t>& b) const {
+  // Gaussian elimination on [A | b].
+  Gf2Matrix work = *this;
+  std::vector<std::uint64_t> rhs = b;
+  rhs.resize(words_for(rows_), 0);
+  std::vector<std::size_t> pivot_col;
+  std::size_t r = 0;
+  for (std::size_t col = 0; col < cols_ && r < rows_; ++col) {
+    std::size_t pivot = r;
+    while (pivot < rows_ && !work.get(pivot, col)) ++pivot;
+    if (pivot == rows_) continue;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::swap(work.words_[r * words_per_row_ + w],
+                work.words_[pivot * words_per_row_ + w]);
+    }
+    const bool rb = get_bit(rhs, r);
+    const bool pb = get_bit(rhs, pivot);
+    set_bit(rhs, r, pb);
+    set_bit(rhs, pivot, rb);
+    for (std::size_t rr = 0; rr < rows_; ++rr) {
+      if (rr != r && work.get(rr, col)) {
+        for (std::size_t w = 0; w < words_per_row_; ++w) {
+          work.words_[rr * words_per_row_ + w] ^=
+              work.words_[r * words_per_row_ + w];
+        }
+        set_bit(rhs, rr, get_bit(rhs, rr) ^ get_bit(rhs, r));
+      }
+    }
+    pivot_col.push_back(col);
+    ++r;
+  }
+  // Inconsistent if a zero row has rhs 1.
+  for (std::size_t rr = r; rr < rows_; ++rr) {
+    if (get_bit(rhs, rr)) return std::nullopt;
+  }
+  std::vector<std::uint64_t> x(words_for(cols_), 0);
+  for (std::size_t pr = 0; pr < pivot_col.size(); ++pr) {
+    set_bit(x, pivot_col[pr], get_bit(rhs, pr));
+  }
+  return x;
+}
+
+}  // namespace tca::analysis

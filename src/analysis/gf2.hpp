@@ -1,0 +1,85 @@
+#pragma once
+// Dense linear algebra over GF(2) (DESIGN.md S5 extension).
+//
+// The paper's XOR examples are LINEAR cellular automata: the global map is
+// a matrix over GF(2), so phase-space structure is computable
+// algebraically — #preimages of any reachable state is 2^nullity, Gardens
+// of Eden number 2^n - 2^rank, and invertibility is full rank. This module
+// provides the bit-packed matrix machinery; linear_ca.hpp applies it to
+// rules and cross-validates against the combinatorial solvers.
+//
+// Rows are packed 64 columns per word; all operations are word-parallel.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tca::analysis {
+
+/// Dense bit matrix over GF(2).
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  static Gf2Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const {
+    return ((words_[r * words_per_row_ + (c >> 6)] >> (c & 63)) & 1u) != 0;
+  }
+  void set(std::size_t r, std::size_t c, bool value) {
+    const std::uint64_t bit = std::uint64_t{1} << (c & 63);
+    auto& word = words_[r * words_per_row_ + (c >> 6)];
+    word = value ? (word | bit) : (word & ~bit);
+  }
+
+  /// Matrix product (this * other) over GF(2).
+  [[nodiscard]] Gf2Matrix multiply(const Gf2Matrix& other) const;
+
+  /// Entrywise XOR (matrix sum over GF(2)).
+  [[nodiscard]] Gf2Matrix add(const Gf2Matrix& other) const;
+
+  /// this^e by square-and-multiply (square matrices only).
+  [[nodiscard]] Gf2Matrix power(std::uint64_t e) const;
+
+  /// Matrix-vector product (vector = packed bits, size cols()).
+  [[nodiscard]] std::vector<std::uint64_t> apply(
+      const std::vector<std::uint64_t>& x) const;
+
+  /// Rank by Gaussian elimination (on a copy).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// cols() - rank().
+  [[nodiscard]] std::size_t nullity() const { return cols_ - rank(); }
+
+  /// Basis of the kernel {x : Ax = 0}, one packed vector per basis element.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> kernel_basis() const;
+
+  /// One solution of Ax = b (packed, b.size() covering rows()), or
+  /// std::nullopt if inconsistent.
+  [[nodiscard]] std::optional<std::vector<std::uint64_t>> solve(
+      const std::vector<std::uint64_t>& b) const;
+
+  friend bool operator==(const Gf2Matrix&, const Gf2Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Packed-bit-vector helpers (size = number of meaningful bits).
+[[nodiscard]] inline bool get_bit(const std::vector<std::uint64_t>& v,
+                                  std::size_t i) {
+  return ((v[i >> 6] >> (i & 63)) & 1u) != 0;
+}
+inline void set_bit(std::vector<std::uint64_t>& v, std::size_t i, bool value) {
+  const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+  v[i >> 6] = value ? (v[i >> 6] | bit) : (v[i >> 6] & ~bit);
+}
+
+}  // namespace tca::analysis

@@ -1,0 +1,114 @@
+#include "analysis/linear_ca.hpp"
+
+#include <stdexcept>
+
+#include "rules/analyze.hpp"
+
+namespace tca::analysis {
+
+std::optional<std::vector<rules::State>> linear_coefficients(
+    const rules::Rule& rule, std::uint32_t arity) {
+  if (arity > 20) return std::nullopt;
+  const auto table = rules::truth_table(rule, arity);
+  if (table[0] != 0) return std::nullopt;  // nonzero constant term
+  // Candidate coefficients from the unit vectors; then verify the
+  // superposition property on the whole table.
+  std::vector<rules::State> coeffs(arity, 0);
+  for (std::uint32_t i = 0; i < arity; ++i) {
+    coeffs[i] = table[std::size_t{1} << (arity - 1 - i)];
+  }
+  for (std::size_t x = 0; x < table.size(); ++x) {
+    rules::State expect = 0;
+    for (std::uint32_t i = 0; i < arity; ++i) {
+      if (coeffs[i] != 0 && ((x >> (arity - 1 - i)) & 1u) != 0) {
+        expect ^= 1u;
+      }
+    }
+    if (table[x] != expect) return std::nullopt;
+  }
+  return coeffs;
+}
+
+LinearRingCA::LinearRingCA(std::vector<rules::State> coeffs, std::size_t n)
+    : coeffs_(std::move(coeffs)), n_(n), matrix_(n, n) {
+  if (coeffs_.size() % 2 == 0) {
+    throw std::invalid_argument("LinearRingCA: coeffs must have odd length");
+  }
+  const std::size_t radius = coeffs_.size() / 2;
+  if (n < 2 * radius + 1) {
+    throw std::invalid_argument("LinearRingCA: ring too small");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < coeffs_.size(); ++j) {
+      if (coeffs_[j] == 0) continue;
+      const std::size_t col = (i + n + j - radius) % n;
+      // XOR-accumulate: offsets cannot collide because n >= 2r+1.
+      matrix_.set(i, col, !matrix_.get(i, col));
+    }
+  }
+}
+
+LinearRingCA LinearRingCA::from_rule(const rules::Rule& rule,
+                                     std::uint32_t radius, std::size_t n) {
+  const auto coeffs = linear_coefficients(rule, 2 * radius + 1);
+  if (!coeffs) {
+    throw std::invalid_argument("LinearRingCA: rule is not linear");
+  }
+  return LinearRingCA(*coeffs, n);
+}
+
+core::Configuration LinearRingCA::step(const core::Configuration& x) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("LinearRingCA::step: size mismatch");
+  }
+  std::vector<std::uint64_t> packed(x.words().begin(), x.words().end());
+  const auto y = matrix_.apply(packed);
+  core::Configuration out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out.set(i, get_bit(y, i) ? 1 : 0);
+  }
+  return out;
+}
+
+core::Configuration LinearRingCA::step_many(const core::Configuration& x,
+                                            std::uint64_t t) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("LinearRingCA::step_many: size mismatch");
+  }
+  const Gf2Matrix at = matrix_.power(t);
+  std::vector<std::uint64_t> packed(x.words().begin(), x.words().end());
+  const auto y = at.apply(packed);
+  core::Configuration out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out.set(i, get_bit(y, i) ? 1 : 0);
+  }
+  return out;
+}
+
+std::uint64_t LinearRingCA::preimages_per_reachable_state() const {
+  const std::size_t k = nullity();
+  return k >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k);
+}
+
+std::uint64_t LinearRingCA::garden_of_eden_count() const {
+  const std::size_t r = rank();
+  if (n_ >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << n_) - (std::uint64_t{1} << r);
+}
+
+std::optional<core::Configuration> LinearRingCA::preimage(
+    const core::Configuration& y) const {
+  if (y.size() != n_) {
+    throw std::invalid_argument("LinearRingCA::preimage: size mismatch");
+  }
+  std::vector<std::uint64_t> packed(y.words().begin(), y.words().end());
+  const auto x = matrix_.solve(packed);
+  if (!x) return std::nullopt;
+  core::Configuration out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out.set(i, get_bit(*x, i) ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace tca::analysis

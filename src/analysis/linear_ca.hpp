@@ -1,0 +1,79 @@
+#pragma once
+// Linear (XOR-family) cellular automata over GF(2) (DESIGN.md S5
+// extension).
+//
+// A 1-D rule is LINEAR when f(x) = XOR of a fixed subset of its inputs —
+// the paper's XOR example, Wolfram rules 90/150/60/etc. On a ring the
+// global map is then a circulant GF(2) matrix, and every phase-space
+// question becomes linear algebra:
+//   * #preimages of a reachable y  =  2^nullity(A)
+//   * #Gardens of Eden             =  2^n - 2^rank(A)
+//   * invertibility (reversal)     =  full rank
+//   * trajectory t steps ahead     =  A^t x  (computable in O(log t)
+//                                     matrix products)
+// These predictions are cross-validated against the combinatorial
+// machinery (preimage solver, explicit phase spaces) in linear_ca_test.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/gf2.hpp"
+#include "core/configuration.hpp"
+#include "rules/rule.hpp"
+
+namespace tca::analysis {
+
+/// If the rule (at the given arity) is linear over GF(2) with zero
+/// constant term — f(x) = XOR_{i in S} x_i — returns the coefficient mask
+/// (coeffs[i] = 1 iff input i participates); otherwise std::nullopt.
+[[nodiscard]] std::optional<std::vector<rules::State>> linear_coefficients(
+    const rules::Rule& rule, std::uint32_t arity);
+
+/// A linear radius-r ring CA: per-offset GF(2) coefficients
+/// (coeffs[j] multiplies the cell at offset j - r, left-to-right, so
+/// coeffs.size() == 2r + 1 and the middle entry is the self term).
+class LinearRingCA {
+ public:
+  LinearRingCA(std::vector<rules::State> coeffs, std::size_t n);
+
+  /// Builds from any rule that linear_coefficients accepts at arity 2r+1.
+  /// Throws std::invalid_argument for nonlinear rules.
+  static LinearRingCA from_rule(const rules::Rule& rule, std::uint32_t radius,
+                                std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// The circulant global map as an explicit GF(2) matrix.
+  [[nodiscard]] const Gf2Matrix& matrix() const noexcept { return matrix_; }
+
+  /// One step, via the matrix (must equal the engine's step).
+  [[nodiscard]] core::Configuration step(const core::Configuration& x) const;
+
+  /// t steps in O(log t) matrix products.
+  [[nodiscard]] core::Configuration step_many(const core::Configuration& x,
+                                              std::uint64_t t) const;
+
+  [[nodiscard]] std::size_t rank() const { return matrix_.rank(); }
+  [[nodiscard]] std::size_t nullity() const { return matrix_.nullity(); }
+
+  /// 2^nullity if it fits in 64 bits (nullity < 64), else saturated max.
+  [[nodiscard]] std::uint64_t preimages_per_reachable_state() const;
+
+  /// 2^n - 2^rank (saturating).
+  [[nodiscard]] std::uint64_t garden_of_eden_count() const;
+
+  /// True iff the global map is a bijection (reversible CA).
+  [[nodiscard]] bool is_reversible() const { return rank() == n_; }
+
+  /// One preimage of y, or std::nullopt if y is a Garden of Eden.
+  [[nodiscard]] std::optional<core::Configuration> preimage(
+      const core::Configuration& y) const;
+
+ private:
+  std::vector<rules::State> coeffs_;
+  std::size_t n_;
+  Gf2Matrix matrix_;
+};
+
+}  // namespace tca::analysis

@@ -1,0 +1,51 @@
+#include "analysis/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tca::analysis {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  for (const auto& [value, count] : bins_) {
+    const double pct =
+        total_ == 0 ? 0.0
+                    : 100.0 * static_cast<double>(count) /
+                          static_cast<double>(total_);
+    out += "  " + std::to_string(value) + ": " + std::to_string(count) + " (" +
+           format_fixed(pct, 2) + "%)\n";
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace tca::analysis

@@ -1,0 +1,52 @@
+#pragma once
+// Small statistics utilities for the experiment harness (DESIGN.md S5):
+// streaming mean/variance (Welford), min/max, and integer histograms with
+// text rendering. No external dependencies, deterministic output.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tca::analysis {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm;
+/// numerically stable, single pass).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sparse integer histogram.
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& bins() const {
+    return bins_;
+  }
+  /// "value: count (percent)" lines, one per bin, ascending value.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Fixed-point formatting helper: value with `decimals` fractional digits.
+[[nodiscard]] std::string format_fixed(double value, int decimals = 2);
+
+}  // namespace tca::analysis

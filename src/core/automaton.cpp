@@ -1,0 +1,118 @@
+#include "core/automaton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace tca::core {
+namespace {
+
+std::vector<std::vector<NodeId>> graph_inputs(const graph::Graph& g,
+                                              Memory memory) {
+  std::vector<std::vector<NodeId>> inputs(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& in = inputs[v];
+    const auto nbrs = g.neighbors(v);
+    in.reserve(nbrs.size() + 1);
+    if (memory == Memory::kWith) in.push_back(v);
+    in.insert(in.end(), nbrs.begin(), nbrs.end());
+  }
+  return inputs;
+}
+
+}  // namespace
+
+Automaton Automaton::from_graph(const graph::Graph& g, Rule rule,
+                                Memory memory) {
+  Automaton a;
+  a.inputs_ = graph_inputs(g, memory);
+  a.rules_ = {std::move(rule)};
+  a.memory_ = memory;
+  a.finalize();
+  return a;
+}
+
+Automaton Automaton::from_graph_per_node(const graph::Graph& g,
+                                         std::vector<Rule> rules,
+                                         Memory memory) {
+  if (rules.size() != g.num_nodes()) {
+    throw std::invalid_argument("from_graph_per_node: need one rule per node");
+  }
+  Automaton a;
+  a.inputs_ = graph_inputs(g, memory);
+  a.rules_ = std::move(rules);
+  a.memory_ = memory;
+  a.finalize();
+  return a;
+}
+
+Automaton Automaton::line(std::size_t n, std::uint32_t radius,
+                          Boundary boundary, Rule rule, Memory memory) {
+  if (n == 0) throw std::invalid_argument("line: n must be >= 1");
+  if (radius == 0) throw std::invalid_argument("line: radius must be >= 1");
+  if (boundary == Boundary::kRing && n < 2 * std::size_t{radius} + 1) {
+    throw std::invalid_argument("line: ring needs n >= 2r+1");
+  }
+  Automaton a;
+  a.inputs_.resize(n);
+  const auto sn = static_cast<std::int64_t>(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto& in = a.inputs_[v];
+    for (std::int64_t d = -static_cast<std::int64_t>(radius);
+         d <= static_cast<std::int64_t>(radius); ++d) {
+      if (d == 0 && memory == Memory::kWithout) continue;
+      const std::int64_t raw = static_cast<std::int64_t>(v) + d;
+      switch (boundary) {
+        case Boundary::kRing:
+          in.push_back(static_cast<NodeId>(((raw % sn) + sn) % sn));
+          break;
+        case Boundary::kFixedZero:
+          in.push_back(raw < 0 || raw >= sn ? kConstZero
+                                            : static_cast<NodeId>(raw));
+          break;
+        case Boundary::kClip:
+          if (raw >= 0 && raw < sn) in.push_back(static_cast<NodeId>(raw));
+          break;
+      }
+    }
+  }
+  a.rules_ = {std::move(rule)};
+  a.memory_ = memory;
+  a.finalize();
+  return a;
+}
+
+void Automaton::finalize() {
+  max_arity_ = 0;
+  for (std::size_t v = 0; v < inputs_.size(); ++v) {
+    const auto arity = static_cast<std::uint32_t>(inputs_[v].size());
+    max_arity_ = std::max(max_arity_, arity);
+    const Rule& r = rule(static_cast<NodeId>(v));
+    const std::uint32_t fixed = rules::required_arity(r);
+    if (fixed != 0 && fixed != arity) {
+      throw std::invalid_argument(
+          "Automaton: node " + std::to_string(v) + " has arity " +
+          std::to_string(arity) + " but rule '" + rules::describe(r) +
+          "' requires " + std::to_string(fixed));
+    }
+  }
+}
+
+State Automaton::eval_node(NodeId v, const Configuration& c) const {
+  const auto in = inputs(v);
+  // Small stack buffer covers every realistic neighborhood; fall back to
+  // heap for very high-degree nodes (e.g. large complete graphs).
+  State stack_buf[64];
+  std::vector<State> heap_buf;
+  State* buf = stack_buf;
+  if (in.size() > 64) {
+    heap_buf.resize(in.size());
+    buf = heap_buf.data();
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    buf[i] = in[i] == kConstZero ? State{0} : c.get(in[i]);
+  }
+  return rules::eval(rule(v), std::span<const State>(buf, in.size()));
+}
+
+}  // namespace tca::core

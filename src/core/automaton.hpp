@@ -1,0 +1,102 @@
+#pragma once
+// The cellular automaton object (DESIGN.md S3): Definition 2 of the paper —
+// a cellular space (graph + fundamental neighborhood) plus a local update
+// rule per node.
+//
+// An Automaton stores, for every node, an ORDERED list of input node ids.
+// The order matters for asymmetric rules (TableRule / Wolfram codes): 1-D
+// neighborhoods are ordered spatially left-to-right, with the node itself in
+// the middle when the automaton has memory. Graph-derived neighborhoods put
+// self first (if memory) followed by neighbors in ascending id order —
+// sufficient for the symmetric rules the paper studies.
+//
+// "With memory" (the paper's default) means the node's own current state is
+// one of the rule's inputs; "memoryless" means it is not.
+//
+// The sentinel input id `kConstZero` denotes a phantom cell frozen in the
+// quiescent state 0; it implements fixed-zero boundary conditions on finite
+// lines without special-casing the engines.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "graph/graph.hpp"
+#include "rules/rule.hpp"
+
+namespace tca::core {
+
+using graph::NodeId;
+using rules::Rule;
+
+/// Whether a node's own state is an input to its update rule (Definition 2:
+/// "CA with memory" vs "memoryless CA").
+enum class Memory : std::uint8_t { kWith, kWithout };
+
+/// Boundary handling for finite 1-D lines.
+enum class Boundary : std::uint8_t {
+  kRing,       ///< circular boundary conditions (the paper's finite case)
+  kFixedZero,  ///< out-of-range cells read as the quiescent state 0
+  kClip,       ///< out-of-range cells dropped (variable arity; symmetric
+               ///< arity-generic rules only)
+};
+
+/// Phantom input id representing a cell frozen at state 0.
+inline constexpr NodeId kConstZero = 0xFFFFFFFFu;
+
+/// A concrete, finite cellular automaton: per-node ordered input lists plus
+/// per-node rules (homogeneous CA share one rule).
+class Automaton {
+ public:
+  Automaton() = default;
+
+  /// CA over an arbitrary graph: inputs are self (if memory) then neighbors
+  /// ascending. `rule` is shared by all nodes (homogeneous CA).
+  static Automaton from_graph(const graph::Graph& g, Rule rule, Memory memory);
+
+  /// Non-homogeneous CA over a graph: one rule per node (Section 4
+  /// extension). rules.size() must equal g.num_nodes().
+  static Automaton from_graph_per_node(const graph::Graph& g,
+                                       std::vector<Rule> rules, Memory memory);
+
+  /// 1-D CA of radius r on n cells, neighborhoods ordered left-to-right
+  /// (node i's inputs are i-r, ..., i, ..., i+r; self omitted when
+  /// memoryless). Requires n >= 2r+1 for kRing.
+  static Automaton line(std::size_t n, std::uint32_t radius, Boundary boundary,
+                        Rule rule, Memory memory);
+
+  /// Number of cells.
+  [[nodiscard]] std::size_t size() const noexcept { return inputs_.size(); }
+
+  /// Ordered input list of node v (may contain kConstZero phantoms).
+  [[nodiscard]] std::span<const NodeId> inputs(NodeId v) const {
+    return inputs_.at(v);
+  }
+
+  /// The update rule of node v.
+  [[nodiscard]] const Rule& rule(NodeId v) const {
+    return rules_.size() == 1 ? rules_[0] : rules_.at(v);
+  }
+
+  /// True if all nodes share one rule object.
+  [[nodiscard]] bool homogeneous() const noexcept { return rules_.size() == 1; }
+
+  [[nodiscard]] Memory memory() const noexcept { return memory_; }
+
+  /// Largest input-list length over all nodes.
+  [[nodiscard]] std::uint32_t max_arity() const noexcept { return max_arity_; }
+
+  /// Computes node v's next state from configuration `c` (gather + eval).
+  [[nodiscard]] State eval_node(NodeId v, const Configuration& c) const;
+
+ private:
+  void finalize();  // validates arities, computes max_arity_
+
+  std::vector<std::vector<NodeId>> inputs_;
+  std::vector<Rule> rules_;
+  Memory memory_ = Memory::kWith;
+  std::uint32_t max_arity_ = 0;
+};
+
+}  // namespace tca::core

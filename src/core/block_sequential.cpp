@@ -1,0 +1,72 @@
+#include "core/block_sequential.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace tca::core {
+
+BlockOrder::BlockOrder(std::vector<std::vector<NodeId>> blocks, std::size_t n)
+    : blocks_(std::move(blocks)) {
+  std::vector<bool> seen(n, false);
+  std::size_t total = 0;
+  for (const auto& block : blocks_) {
+    if (block.empty()) throw std::invalid_argument("BlockOrder: empty block");
+    for (NodeId v : block) {
+      if (v >= n) throw std::invalid_argument("BlockOrder: id out of range");
+      if (seen[v]) throw std::invalid_argument("BlockOrder: duplicate node");
+      seen[v] = true;
+      ++total;
+    }
+  }
+  if (total != n) {
+    throw std::invalid_argument("BlockOrder: not a partition of all nodes");
+  }
+}
+
+BlockOrder BlockOrder::synchronous(std::size_t n) {
+  std::vector<NodeId> all(n);
+  for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<NodeId>(v);
+  return BlockOrder({std::move(all)}, n);
+}
+
+BlockOrder BlockOrder::even_odd(std::size_t n) {
+  std::vector<NodeId> evens, odds;
+  for (std::size_t v = 0; v < n; ++v) {
+    (v % 2 == 0 ? evens : odds).push_back(static_cast<NodeId>(v));
+  }
+  std::vector<std::vector<NodeId>> blocks;
+  if (!evens.empty()) blocks.push_back(std::move(evens));
+  if (!odds.empty()) blocks.push_back(std::move(odds));
+  return BlockOrder(std::move(blocks), n);
+}
+
+BlockOrder BlockOrder::sequential(std::span<const NodeId> order) {
+  std::vector<std::vector<NodeId>> blocks;
+  blocks.reserve(order.size());
+  for (NodeId v : order) blocks.push_back({v});
+  return BlockOrder(std::move(blocks), order.size());
+}
+
+std::size_t step_block_sequential(const Automaton& a, Configuration& c,
+                                  const BlockOrder& order) {
+  if (c.size() != a.size()) {
+    throw std::invalid_argument("step_block_sequential: size mismatch");
+  }
+  std::size_t changes = 0;
+  std::vector<State> next;  // staged writes for the current block
+  for (const auto& block : order.blocks()) {
+    next.resize(block.size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      next[i] = a.eval_node(block[i], c);
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (c.get(block[i]) != next[i]) {
+        c.set(block[i], next[i]);
+        ++changes;
+      }
+    }
+  }
+  return changes;
+}
+
+}  // namespace tca::core

@@ -1,0 +1,139 @@
+#include "core/packed_kernels.hpp"
+
+#include <stdexcept>
+
+namespace tca::core {
+namespace {
+
+void require_same_ring(const Configuration& in, const Configuration& out,
+                       std::size_t min_n) {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("packed kernel: size mismatch");
+  }
+  if (in.size() < min_n) {
+    throw std::invalid_argument("packed kernel: ring too small");
+  }
+  if (&in == &out) {
+    throw std::invalid_argument("packed kernel: in and out must differ");
+  }
+}
+
+}  // namespace
+
+void ring_shift_up(const Configuration& in, Configuration& out) {
+  require_same_ring(in, out, 1);
+  const std::size_t n = in.size();
+  const auto src = in.words();
+  auto dst = out.words();
+  // Initial carry: cell n-1 wraps into cell 0.
+  std::uint64_t carry = (src[(n - 1) >> 6] >> ((n - 1) & 63)) & 1u;
+  for (std::size_t w = 0; w < src.size(); ++w) {
+    const std::uint64_t word = src[w];
+    dst[w] = (word << 1) | carry;
+    carry = word >> 63;
+  }
+  out.mask_padding();
+}
+
+void ring_shift_down(const Configuration& in, Configuration& out) {
+  require_same_ring(in, out, 1);
+  const std::size_t n = in.size();
+  const auto src = in.words();
+  auto dst = out.words();
+  const std::uint64_t wrap = src[0] & 1u;  // cell 0 wraps into cell n-1
+  for (std::size_t w = 0; w + 1 < src.size(); ++w) {
+    dst[w] = (src[w] >> 1) | (src[w + 1] << 63);
+  }
+  dst[src.size() - 1] = src[src.size() - 1] >> 1;
+  // Place the wrapped bit at cell n-1.
+  const std::size_t top_word = (n - 1) >> 6;
+  const std::size_t top_bit = (n - 1) & 63;
+  dst[top_word] =
+      (dst[top_word] & ~(std::uint64_t{1} << top_bit)) | (wrap << top_bit);
+  out.mask_padding();
+}
+
+void step_ring_majority3_packed(const Configuration& in, Configuration& out,
+                                PackedScratch& scratch) {
+  require_same_ring(in, out, 3);
+  ring_shift_up(in, scratch.left);
+  ring_shift_down(in, scratch.right);
+  const auto l = scratch.left.words();
+  const auto s = in.words();
+  const auto r = scratch.right.words();
+  auto dst = out.words();
+  for (std::size_t w = 0; w < dst.size(); ++w) {
+    dst[w] = (l[w] & s[w]) | (s[w] & r[w]) | (l[w] & r[w]);
+  }
+  out.mask_padding();
+}
+
+void step_ring_majority5_packed(const Configuration& in, Configuration& out,
+                                PackedScratch& scratch) {
+  require_same_ring(in, out, 5);
+  ring_shift_up(in, scratch.left);
+  ring_shift_up(scratch.left, scratch.left2);
+  ring_shift_down(in, scratch.right);
+  ring_shift_down(scratch.right, scratch.right2);
+  const auto a = scratch.left2.words();
+  const auto b = scratch.left.words();
+  const auto c = in.words();
+  const auto d = scratch.right.words();
+  const auto e = scratch.right2.words();
+  auto dst = out.words();
+  for (std::size_t w = 0; w < dst.size(); ++w) {
+    // Carry-save addition of the five bit columns: count = s2 + 2*(c1+c2);
+    // majority (count >= 3) <=> both carries, or one carry plus the sum bit.
+    const std::uint64_t s1 = a[w] ^ b[w] ^ c[w];
+    const std::uint64_t c1 = (a[w] & b[w]) | (b[w] & c[w]) | (a[w] & c[w]);
+    const std::uint64_t s2 = s1 ^ d[w] ^ e[w];
+    const std::uint64_t c2 = (s1 & d[w]) | (d[w] & e[w]) | (s1 & e[w]);
+    dst[w] = (c1 & c2) | ((c1 ^ c2) & s2);
+  }
+  out.mask_padding();
+}
+
+void step_ring_parity3_packed(const Configuration& in, Configuration& out,
+                              PackedScratch& scratch) {
+  require_same_ring(in, out, 3);
+  ring_shift_up(in, scratch.left);
+  ring_shift_down(in, scratch.right);
+  const auto l = scratch.left.words();
+  const auto s = in.words();
+  const auto r = scratch.right.words();
+  auto dst = out.words();
+  for (std::size_t w = 0; w < dst.size(); ++w) {
+    dst[w] = l[w] ^ s[w] ^ r[w];
+  }
+  out.mask_padding();
+}
+
+void step_ring_table3_packed(const rules::TableRule& rule,
+                             const Configuration& in, Configuration& out,
+                             PackedScratch& scratch) {
+  require_same_ring(in, out, 3);
+  if (rule.table.size() != 8) {
+    throw std::invalid_argument("step_ring_table3_packed: arity-3 table only");
+  }
+  ring_shift_up(in, scratch.left);
+  ring_shift_down(in, scratch.right);
+  const auto l = scratch.left.words();
+  const auto s = in.words();
+  const auto r = scratch.right.words();
+  auto dst = out.words();
+  for (std::size_t w = 0; w < dst.size(); ++w) {
+    std::uint64_t acc = 0;
+    for (std::size_t p = 0; p < 8; ++p) {
+      if (rule.table[p] == 0) continue;
+      // TableRule convention: inputs (left, self, right), left is MSB.
+      const std::uint64_t lt = (p & 4) != 0 ? l[w] : ~l[w];
+      const std::uint64_t st = (p & 2) != 0 ? s[w] : ~s[w];
+      const std::uint64_t rt = (p & 1) != 0 ? r[w] : ~r[w];
+      acc |= lt & st & rt;
+    }
+    dst[w] = acc;
+  }
+  out.mask_padding();
+}
+
+}  // namespace tca::core

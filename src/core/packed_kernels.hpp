@@ -1,0 +1,63 @@
+#pragma once
+// Word-parallel kernels for 1-D ring CA (DESIGN.md S3, decision 2).
+//
+// For rings with radius-1/2 neighborhoods the synchronous step can process
+// 64 cells per ALU operation on the bit-packed configuration: the left/right
+// neighbor columns are whole-vector ring shifts, and the local rule becomes
+// a short boolean-network over the shifted vectors (majority via
+// carry-save adders, arbitrary radius-1 tables via a sum-of-products over
+// the 8 neighborhood patterns).
+//
+// These kernels are bit-for-bit equivalent to the generic engine
+// (cross-validated by tests/packed_kernels_test.cpp) and are what the
+// throughput bench and `ablation_packing` measure.
+//
+// All kernels implement CA WITH memory on a ring (the paper's default).
+
+#include <cstdint>
+#include <span>
+
+#include "core/configuration.hpp"
+#include "rules/rule.hpp"
+
+namespace tca::core {
+
+/// out bit i := in bit (i-1+n) mod n (the "left neighbor" column).
+void ring_shift_up(const Configuration& in, Configuration& out);
+
+/// out bit i := in bit (i+1) mod n (the "right neighbor" column).
+void ring_shift_down(const Configuration& in, Configuration& out);
+
+/// Scratch buffers reused across steps (avoid per-step allocation).
+struct PackedScratch {
+  Configuration left;
+  Configuration right;
+  Configuration left2;
+  Configuration right2;
+  explicit PackedScratch(std::size_t n)
+      : left(n), right(n), left2(n), right2(n) {}
+};
+
+/// Synchronous step of the radius-1 MAJORITY (2-of-3) ring CA with memory:
+/// out_i = maj(x_{i-1}, x_i, x_{i+1}).
+void step_ring_majority3_packed(const Configuration& in, Configuration& out,
+                                PackedScratch& scratch);
+
+/// Synchronous step of the radius-2 MAJORITY (3-of-5) ring CA with memory.
+/// Requires n >= 5.
+void step_ring_majority5_packed(const Configuration& in, Configuration& out,
+                                PackedScratch& scratch);
+
+/// Synchronous step of the radius-1 XOR/parity ring CA with memory:
+/// out_i = x_{i-1} ^ x_i ^ x_{i+1}.
+void step_ring_parity3_packed(const Configuration& in, Configuration& out,
+                              PackedScratch& scratch);
+
+/// Synchronous step of an arbitrary radius-1 TableRule (e.g. a Wolfram
+/// elementary rule; inputs ordered left,self,right) on a ring with memory.
+/// Sum-of-products over the <= 8 accepting neighborhood patterns.
+void step_ring_table3_packed(const rules::TableRule& rule,
+                             const Configuration& in, Configuration& out,
+                             PackedScratch& scratch);
+
+}  // namespace tca::core

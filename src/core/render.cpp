@@ -1,0 +1,53 @@
+#include "core/render.hpp"
+
+#include "core/synchronous_fast.hpp"
+
+namespace tca::core {
+
+std::string render_row(const Configuration& c, RenderStyle style) {
+  std::string out(c.size(), style.zero);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c.get(i) != 0) out[i] = style.one;
+  }
+  return out;
+}
+
+std::string render_spacetime(const Automaton& a, const Configuration& start,
+                             std::uint64_t steps, RenderStyle style) {
+  std::string out;
+  Configuration current = start;
+  out += render_row(current, style);
+  out += '\n';
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    advance_synchronous_fast(a, current, 1);
+    out += render_row(current, style);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_spacetime(Simulation& sim, std::uint64_t steps,
+                             RenderStyle style) {
+  std::string out;
+  out += render_row(sim.configuration(), style);
+  out += '\n';
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    sim.step();
+    out += render_row(sim.configuration(), style);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_grid(const TorusGrid& grid, RenderStyle style) {
+  std::string out;
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      out += grid.get(r, c) != 0 ? style.one : style.zero;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tca::core

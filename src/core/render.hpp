@@ -1,0 +1,43 @@
+#pragma once
+// Text rendering of configurations, space-time diagrams and 2-D grids
+// (DESIGN.md S3). The examples and the CLI all draw through this module,
+// so glyphs and layout are consistent and tested.
+
+#include <cstdint>
+#include <string>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "core/packed2d.hpp"
+#include "core/simulation.hpp"
+
+namespace tca::core {
+
+/// Glyphs used for dead/live cells.
+struct RenderStyle {
+  char zero = '.';
+  char one = '#';
+};
+
+/// One configuration as a single line.
+[[nodiscard]] std::string render_row(const Configuration& c,
+                                     RenderStyle style = {});
+
+/// Space-time diagram of `steps + 1` rows (the start plus `steps`
+/// synchronous steps), one line per time step, earliest first.
+[[nodiscard]] std::string render_spacetime(const Automaton& a,
+                                           const Configuration& start,
+                                           std::uint64_t steps,
+                                           RenderStyle style = {});
+
+/// Space-time diagram driven by a Simulation's update discipline (the
+/// simulation is advanced by `steps` macro steps).
+[[nodiscard]] std::string render_spacetime(Simulation& sim,
+                                           std::uint64_t steps,
+                                           RenderStyle style = {});
+
+/// A 2-D torus grid, one line per row.
+[[nodiscard]] std::string render_grid(const TorusGrid& grid,
+                                      RenderStyle style = {});
+
+}  // namespace tca::core

@@ -1,0 +1,117 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tca::core {
+
+CyclicSchedule::CyclicSchedule(std::vector<NodeId> order)
+    : order_(std::move(order)) {
+  if (order_.empty()) {
+    throw std::invalid_argument("CyclicSchedule: empty order");
+  }
+}
+
+NodeId CyclicSchedule::next() {
+  const NodeId v = order_[pos_];
+  pos_ = (pos_ + 1) % order_.size();
+  return v;
+}
+
+RandomUniformSchedule::RandomUniformSchedule(std::size_t n, std::uint64_t seed)
+    : n_(n), seed_(seed), rng_(seed) {
+  if (n == 0) throw std::invalid_argument("RandomUniformSchedule: n == 0");
+}
+
+NodeId RandomUniformSchedule::next() {
+  std::uniform_int_distribution<std::size_t> dist(0, n_ - 1);
+  return static_cast<NodeId>(dist(rng_));
+}
+
+void RandomUniformSchedule::reset() { rng_.seed(seed_); }
+
+RandomSweepSchedule::RandomSweepSchedule(std::size_t n, std::uint64_t seed)
+    : seed_(seed), rng_(seed), order_(n) {
+  if (n == 0) throw std::invalid_argument("RandomSweepSchedule: n == 0");
+  std::iota(order_.begin(), order_.end(), NodeId{0});
+  reshuffle();
+}
+
+void RandomSweepSchedule::reshuffle() {
+  std::shuffle(order_.begin(), order_.end(), rng_);
+  pos_ = 0;
+}
+
+NodeId RandomSweepSchedule::next() {
+  if (pos_ == order_.size()) reshuffle();
+  return order_[pos_++];
+}
+
+void RandomSweepSchedule::reset() {
+  rng_.seed(seed_);
+  std::iota(order_.begin(), order_.end(), NodeId{0});
+  reshuffle();
+}
+
+StarvingSchedule::StarvingSchedule(std::size_t n, NodeId starved)
+    : n_(n), starved_(starved) {
+  if (n < 2) throw std::invalid_argument("StarvingSchedule: n < 2");
+  if (starved >= n) {
+    throw std::invalid_argument("StarvingSchedule: starved node out of range");
+  }
+}
+
+NodeId StarvingSchedule::next() {
+  NodeId v = static_cast<NodeId>(pos_ % (n_ - 1));
+  if (v >= starved_) ++v;  // skip the starved node
+  ++pos_;
+  return v;
+}
+
+std::vector<NodeId> identity_order(std::size_t n) {
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return order;
+}
+
+std::vector<NodeId> reversed_order(std::size_t n) {
+  auto order = identity_order(n);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<NodeId> random_permutation(std::size_t n, std::mt19937_64& rng) {
+  auto order = identity_order(n);
+  std::shuffle(order.begin(), order.end(), rng);
+  return order;
+}
+
+bool is_bounded_fair(std::span<const NodeId> seq, std::size_t n,
+                     std::size_t bound) {
+  if (bound < n) return false;
+  if (seq.size() < bound) return false;
+  for (std::size_t start = 0; start + bound <= seq.size(); ++start) {
+    std::vector<bool> seen(n, false);
+    std::size_t distinct = 0;
+    for (std::size_t i = start; i < start + bound; ++i) {
+      const NodeId v = seq[i];
+      if (v < n && !seen[v]) {
+        seen[v] = true;
+        ++distinct;
+      }
+    }
+    if (distinct != n) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> take(Schedule& schedule, std::size_t count) {
+  schedule.reset();
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(schedule.next());
+  return out;
+}
+
+}  // namespace tca::core

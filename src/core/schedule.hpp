@@ -1,0 +1,112 @@
+#pragma once
+// Node-update schedules for sequential CA (DESIGN.md S3; paper footnote 2).
+//
+// The paper quantifies over ARBITRARY sequences of node indices — "not
+// necessarily a (finite or infinite) permutation" — subject, when
+// convergence is claimed, to a fairness condition: a fixed upper bound on
+// the number of steps before any given node gets its turn. These
+// generators provide the sequence families used in experiments, plus the
+// bounded-fairness checker.
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tca::core {
+
+using graph::NodeId;
+
+/// An (conceptually infinite) sequence of node indices.
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+  /// The next node to update.
+  virtual NodeId next() = 0;
+  /// Restarts the sequence from its beginning (re-seeds deterministic
+  /// generators to their construction state).
+  virtual void reset() = 0;
+};
+
+/// Repeats a fixed permutation forever: pi(0), pi(1), ..., pi(n-1), pi(0)...
+/// Bounded-fair with bound n.
+class CyclicSchedule final : public Schedule {
+ public:
+  explicit CyclicSchedule(std::vector<NodeId> order);
+  NodeId next() override;
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::vector<NodeId> order_;
+  std::size_t pos_ = 0;
+};
+
+/// Independent uniform draws over {0..n-1}. Fair with probability 1 but not
+/// bounded-fair for any fixed bound.
+class RandomUniformSchedule final : public Schedule {
+ public:
+  RandomUniformSchedule(std::size_t n, std::uint64_t seed);
+  NodeId next() override;
+  void reset() override;
+
+ private:
+  std::size_t n_;
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+/// A fresh uniformly-random permutation each sweep. Bounded-fair with bound
+/// 2n-1.
+class RandomSweepSchedule final : public Schedule {
+ public:
+  RandomSweepSchedule(std::size_t n, std::uint64_t seed);
+  NodeId next() override;
+  void reset() override;
+
+ private:
+  void reshuffle();
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  std::vector<NodeId> order_;
+  std::size_t pos_ = 0;
+};
+
+/// Cycles over all nodes EXCEPT one permanently starved node — an unfair
+/// sequence used to show the necessity of the fairness condition.
+/// Requires n >= 2.
+class StarvingSchedule final : public Schedule {
+ public:
+  StarvingSchedule(std::size_t n, NodeId starved);
+  NodeId next() override;
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::size_t n_;
+  NodeId starved_;
+  std::size_t pos_ = 0;
+};
+
+/// The identity permutation 0, 1, ..., n-1.
+[[nodiscard]] std::vector<NodeId> identity_order(std::size_t n);
+
+/// n-1, ..., 1, 0.
+[[nodiscard]] std::vector<NodeId> reversed_order(std::size_t n);
+
+/// Uniformly random permutation (Fisher-Yates with the supplied RNG).
+[[nodiscard]] std::vector<NodeId> random_permutation(std::size_t n,
+                                                     std::mt19937_64& rng);
+
+/// True if, within `seq`, every window of `bound` consecutive entries
+/// contains every node of {0..n-1} — the paper's sufficient fairness
+/// condition ("a fixed upper bound on the number of sequential steps before
+/// any given node gets its turn"), checked over the given finite prefix.
+[[nodiscard]] bool is_bounded_fair(std::span<const NodeId> seq, std::size_t n,
+                                   std::size_t bound);
+
+/// Materializes the first `count` draws of a schedule (resets it first).
+[[nodiscard]] std::vector<NodeId> take(Schedule& schedule, std::size_t count);
+
+}  // namespace tca::core

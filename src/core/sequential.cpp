@@ -1,0 +1,61 @@
+#include "core/sequential.hpp"
+
+#include <stdexcept>
+
+namespace tca::core {
+
+bool update_node(const Automaton& a, Configuration& c, NodeId v) {
+  if (v >= a.size()) throw std::invalid_argument("update_node: bad node id");
+  const State next = a.eval_node(v, c);
+  if (next == c.get(v)) return false;
+  c.set(v, next);
+  return true;
+}
+
+std::size_t apply_sequence(const Automaton& a, Configuration& c,
+                           std::span<const NodeId> order) {
+  std::size_t changes = 0;
+  for (NodeId v : order) {
+    if (update_node(a, c, v)) ++changes;
+  }
+  return changes;
+}
+
+std::optional<std::uint64_t> run_sweeps_to_fixed_point(
+    const Automaton& a, Configuration& c, std::span<const NodeId> order,
+    std::uint64_t max_sweeps) {
+  for (std::uint64_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (apply_sequence(a, c, order) == 0) return sweep;
+  }
+  // One more probe: the state may have become fixed on the last sweep.
+  if (apply_sequence(a, c, order) == 0) return max_sweeps;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> run_schedule_to_fixed_point(
+    const Automaton& a, Configuration& c, Schedule& schedule,
+    std::uint64_t max_updates) {
+  if (is_fixed_point_sequential(a, c)) return 0;
+  std::uint64_t quiet = 0;  // consecutive no-change updates
+  for (std::uint64_t t = 0; t < max_updates; ++t) {
+    if (update_node(a, c, schedule.next())) {
+      quiet = 0;
+    } else if (++quiet >= a.size()) {
+      // n consecutive no-ops is only conclusive if the schedule covered all
+      // nodes; verify explicitly (cheap relative to the run).
+      if (is_fixed_point_sequential(a, c)) return t + 1;
+      quiet = 0;
+    }
+  }
+  if (is_fixed_point_sequential(a, c)) return max_updates;
+  return std::nullopt;
+}
+
+bool is_fixed_point_sequential(const Automaton& a, const Configuration& c) {
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    if (a.eval_node(static_cast<NodeId>(v), c) != c.get(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace tca::core

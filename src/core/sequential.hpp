@@ -1,0 +1,54 @@
+#pragma once
+// Sequential CA (SCA) engine (DESIGN.md S3).
+//
+// Nodes update ONE AT A TIME, in place: the update of node v immediately
+// becomes visible to every later update. A "sequence" is any (finite here,
+// conceptually infinite) list of node indices — not necessarily a
+// permutation (Lemma 1's remark). A "sweep" applies a permutation once.
+//
+// The paper's central objects: the same automaton object is interpreted
+// either synchronously (synchronous.hpp) or sequentially (this engine), and
+// the phase spaces are then compared.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "core/schedule.hpp"
+
+namespace tca::core {
+
+/// Updates node v in place. Returns true iff the state changed.
+bool update_node(const Automaton& a, Configuration& c, NodeId v);
+
+/// Applies updates for each node in `order` (one pass). Returns the number
+/// of state changes.
+std::size_t apply_sequence(const Automaton& a, Configuration& c,
+                           std::span<const NodeId> order);
+
+/// Repeats whole sweeps of the permutation `order` until a sweep changes
+/// nothing (a fixed point of the CA — note a zero-change sweep implies c is
+/// a fixed point of the full automaton because every node was tried), or
+/// until `max_sweeps` is exhausted. Returns the number of sweeps performed
+/// if a fixed point was reached, std::nullopt otherwise.
+std::optional<std::uint64_t> run_sweeps_to_fixed_point(
+    const Automaton& a, Configuration& c, std::span<const NodeId> order,
+    std::uint64_t max_sweeps);
+
+/// Draws node indices from `schedule` and applies them until the
+/// configuration is a fixed point of the automaton (checked every
+/// `check_interval` updates and on every change), or until `max_updates`.
+/// Returns the number of individual node updates if a fixed point was
+/// reached.
+std::optional<std::uint64_t> run_schedule_to_fixed_point(
+    const Automaton& a, Configuration& c, Schedule& schedule,
+    std::uint64_t max_updates);
+
+/// True if no single node update can change c (c is a fixed point for every
+/// sequential order AND for the synchronous map — these coincide).
+[[nodiscard]] bool is_fixed_point_sequential(const Automaton& a,
+                                             const Configuration& c);
+
+}  // namespace tca::core

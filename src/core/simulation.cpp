@@ -1,0 +1,86 @@
+#include "core/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/synchronous_fast.hpp"
+
+namespace tca::core {
+
+Simulation::Simulation(Automaton automaton, Configuration initial,
+                       UpdateScheme scheme)
+    : a_(std::move(automaton)),
+      config_(std::move(initial)),
+      back_(config_.size()),
+      scheme_(std::move(scheme)) {
+  if (config_.size() != a_.size()) {
+    throw std::invalid_argument("Simulation: configuration size mismatch");
+  }
+  if (const auto* seq = std::get_if<SequentialScheme>(&scheme_)) {
+    if (seq->order.empty()) {
+      throw std::invalid_argument("Simulation: empty sequential order");
+    }
+    for (NodeId v : seq->order) {
+      if (v >= a_.size()) {
+        throw std::invalid_argument("Simulation: order id out of range");
+      }
+    }
+  } else if (const auto* block = std::get_if<BlockSequentialScheme>(&scheme_)) {
+    block_order_.emplace(block->blocks, a_.size());
+  }
+}
+
+double Simulation::density() const {
+  return config_.size() == 0
+             ? 0.0
+             : static_cast<double>(config_.popcount()) /
+                   static_cast<double>(config_.size());
+}
+
+std::size_t Simulation::step() {
+  std::size_t changes = 0;
+  if (const auto* sync = std::get_if<SynchronousScheme>(&scheme_)) {
+    if (sync->monomorphized) {
+      step_synchronous_fast(a_, config_, back_);
+    } else {
+      step_synchronous(a_, config_, back_);
+    }
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      if (config_.get(i) != back_.get(i)) ++changes;
+    }
+    std::swap(config_, back_);
+  } else if (const auto* seq = std::get_if<SequentialScheme>(&scheme_)) {
+    changes = apply_sequence(a_, config_, seq->order);
+  } else {
+    changes = step_block_sequential(a_, config_, *block_order_);
+  }
+  ++time_;
+  for (const Observer& obs : observers_) obs(time_, config_);
+  return changes;
+}
+
+void Simulation::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) step();
+}
+
+std::optional<std::uint64_t> Simulation::run_to_fixed_point(
+    std::uint64_t max_steps) {
+  for (std::uint64_t t = 0; t <= max_steps; ++t) {
+    if (is_fixed_point_sequential(a_, config_)) return t;
+    if (t == max_steps) break;
+    step();
+  }
+  return std::nullopt;
+}
+
+void Simulation::reset(Configuration initial) {
+  if (initial.size() != a_.size()) {
+    throw std::invalid_argument("Simulation::reset: size mismatch");
+  }
+  config_ = std::move(initial);
+  time_ = 0;
+}
+
+}  // namespace tca::core

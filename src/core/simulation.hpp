@@ -1,0 +1,83 @@
+#pragma once
+// High-level simulation facade (DESIGN.md S3).
+//
+// Bundles an automaton, a configuration, and an update discipline behind
+// one stepping interface with observer hooks — the convenience layer the
+// examples and downstream users drive, so they never hand-roll the
+// double-buffer / sweep / block plumbing.
+//
+// One Simulation::step() is one MACRO step: a full parallel update, one
+// full sweep of the order, or one block pass — so "time" is comparable
+// across disciplines the way the paper compares them.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/block_sequential.hpp"
+#include "core/configuration.hpp"
+
+namespace tca::core {
+
+/// Update disciplines selectable at construction.
+struct SynchronousScheme {
+  bool monomorphized = true;  ///< use the hoisted-dispatch engine
+};
+struct SequentialScheme {
+  std::vector<NodeId> order;  ///< one sweep per step
+};
+struct BlockSequentialScheme {
+  std::vector<std::vector<NodeId>> blocks;
+};
+
+using UpdateScheme =
+    std::variant<SynchronousScheme, SequentialScheme, BlockSequentialScheme>;
+
+/// Automaton + configuration + update discipline with observer hooks.
+class Simulation {
+ public:
+  /// Observer invoked after every macro step with (time, configuration).
+  using Observer = std::function<void(std::uint64_t, const Configuration&)>;
+
+  Simulation(Automaton automaton, Configuration initial, UpdateScheme scheme);
+
+  [[nodiscard]] const Automaton& automaton() const noexcept { return a_; }
+  [[nodiscard]] const Configuration& configuration() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::uint64_t time() const noexcept { return time_; }
+
+  /// Fraction of cells in state 1.
+  [[nodiscard]] double density() const;
+
+  /// Registers an observer (kept for the simulation's lifetime).
+  void observe(Observer observer) { observers_.push_back(std::move(observer)); }
+
+  /// One macro step. Returns the number of cells that changed.
+  std::size_t step();
+
+  /// `steps` macro steps.
+  void run(std::uint64_t steps);
+
+  /// Steps until a fixed point of the AUTOMATON is reached (not merely a
+  /// zero-change macro step), or until `max_steps`. Returns the number of
+  /// macro steps taken on success.
+  std::optional<std::uint64_t> run_to_fixed_point(std::uint64_t max_steps);
+
+  /// Replaces the configuration and resets time to zero.
+  void reset(Configuration initial);
+
+ private:
+  Automaton a_;
+  Configuration config_;
+  Configuration back_;  // scratch for synchronous stepping
+  UpdateScheme scheme_;
+  std::optional<BlockOrder> block_order_;  // materialized for block scheme
+  std::uint64_t time_ = 0;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace tca::core

@@ -1,0 +1,63 @@
+#include "core/synchronous_fast.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/synchronous.hpp"
+
+namespace tca::core {
+namespace {
+
+// The cell loop, monomorphic in the concrete rule type: the eval call is a
+// direct (inlinable) function call, not a variant visit.
+template <typename ConcreteRule>
+void step_loop(const Automaton& a, const ConcreteRule& rule,
+               const Configuration& in, Configuration& out) {
+  State stack_buf[64];
+  std::vector<State> heap_buf;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto slots = a.inputs(static_cast<NodeId>(v));
+    State* buf = stack_buf;
+    if (slots.size() > 64) {
+      heap_buf.resize(slots.size());
+      buf = heap_buf.data();
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      buf[i] = slots[i] == kConstZero ? State{0} : in.get(slots[i]);
+    }
+    out.set(v, rules::eval(rule,
+                           std::span<const State>(buf, slots.size())));
+  }
+}
+
+}  // namespace
+
+void step_synchronous_fast(const Automaton& a, const Configuration& in,
+                           Configuration& out) {
+  if (in.size() != a.size() || out.size() != a.size()) {
+    throw std::invalid_argument("step_synchronous_fast: size mismatch");
+  }
+  if (&in == &out) {
+    throw std::invalid_argument(
+        "step_synchronous_fast: in and out must differ");
+  }
+  if (!a.homogeneous()) {
+    step_synchronous(a, in, out);
+    return;
+  }
+  std::visit([&](const auto& rule) { step_loop(a, rule, in, out); },
+             a.rule(0));
+}
+
+void advance_synchronous_fast(const Automaton& a, Configuration& c,
+                              std::uint64_t steps) {
+  Configuration back(c.size());
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    step_synchronous_fast(a, c, back);
+    std::swap(c, back);
+  }
+}
+
+}  // namespace tca::core

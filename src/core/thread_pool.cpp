@@ -1,0 +1,86 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tca::core {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const unsigned extra = num_threads - 1;  // calling thread is a worker too
+  tasks_.resize(extra);
+  workers_.reserve(extra);
+  for (unsigned i = 0; i < extra; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t last_seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || (generation_ != last_seen && fn_ != nullptr);
+      });
+      if (stopping_) return;
+      last_seen = generation_;
+      fn = fn_;
+      task = tasks_[index];
+    }
+    if (task.begin < task.end) (*fn)(task.begin, task.end);
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t align,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (align == 0) align = 1;
+  const std::size_t total = end - begin;
+  const unsigned parts = size();
+  // Chunk size rounded up to the alignment unit.
+  const std::size_t chunk =
+      ((total + parts - 1) / parts + align - 1) / align * align;
+
+  Task own{begin, std::min(end, begin + chunk)};
+  {
+    std::lock_guard lock(mutex_);
+    std::size_t cursor = own.end;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const std::size_t b = std::min(end, cursor);
+      const std::size_t e = std::min(end, b + chunk);
+      tasks_[i] = Task{b, e};
+      cursor = e;
+    }
+    fn_ = &fn;
+    pending_ = static_cast<unsigned>(tasks_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(own.begin, own.end);
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+}
+
+}  // namespace tca::core

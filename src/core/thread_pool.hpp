@@ -1,0 +1,65 @@
+#pragma once
+// Minimal fork-join thread pool (DESIGN.md S3, decision 3).
+//
+// The synchronous CA step is a textbook data-parallel loop: every cell's
+// next state depends only on the front buffer, so the cell range can be
+// split across worker threads with no synchronization beyond the join
+// barrier. Workers are created once and reused every step (creating
+// threads per step would dominate at CA step granularity).
+//
+// Race-freedom contract: chunk functions receive disjoint index ranges and
+// must write only to locations owned by their range. threaded.cpp
+// guarantees this by aligning chunk boundaries to 64-cell words of the
+// bit-packed configuration.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tca::core {
+
+/// Fixed-size pool executing half-open index ranges in parallel.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). `ThreadPool(0)` uses
+  /// hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size() + 1);  // + calling thread
+  }
+
+  /// Splits [begin, end) into size() contiguous chunks whose boundaries are
+  /// multiples of `align`, and runs `chunk_fn(chunk_begin, chunk_end)` on
+  /// each — workers take one chunk each, the calling thread takes the
+  /// first. Returns after all chunks complete (fork-join). Not reentrant.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t align,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> tasks_;  // one slot per worker
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace tca::core

@@ -1,0 +1,38 @@
+#include "core/threaded.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tca::core {
+
+void step_synchronous_threaded(const Automaton& a, const Configuration& in,
+                               Configuration& out, ThreadPool& pool) {
+  if (in.size() != a.size() || out.size() != a.size()) {
+    throw std::invalid_argument("step_synchronous_threaded: size mismatch");
+  }
+  if (&in == &out) {
+    throw std::invalid_argument(
+        "step_synchronous_threaded: in and out must differ");
+  }
+  Configuration* out_ptr = &out;
+  const Automaton* ap = &a;
+  const Configuration* in_ptr = &in;
+  pool.parallel_for(0, a.size(), /*align=*/64,
+                    [ap, in_ptr, out_ptr](std::size_t b, std::size_t e) {
+                      for (std::size_t v = b; v < e; ++v) {
+                        out_ptr->set(v, ap->eval_node(
+                                            static_cast<NodeId>(v), *in_ptr));
+                      }
+                    });
+}
+
+void advance_synchronous_threaded(const Automaton& a, Configuration& c,
+                                  std::uint64_t steps, ThreadPool& pool) {
+  Configuration back(c.size());
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    step_synchronous_threaded(a, c, back, pool);
+    std::swap(c, back);
+  }
+}
+
+}  // namespace tca::core

@@ -1,0 +1,25 @@
+#pragma once
+// Multithreaded synchronous step (DESIGN.md S3, decision 3).
+//
+// The node range is tiled into contiguous chunks with boundaries aligned to
+// 64 cells, so each chunk owns whole words of the bit-packed back buffer —
+// no two threads ever touch the same word. Reads go only to the front
+// buffer, which nobody writes during the step, so the step is race-free by
+// construction (no atomics or locks in the cell loop).
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "core/thread_pool.hpp"
+
+namespace tca::core {
+
+/// Parallel step out := F(in) executed across the pool's threads.
+/// Bit-for-bit identical to step_synchronous.
+void step_synchronous_threaded(const Automaton& a, const Configuration& in,
+                               Configuration& out, ThreadPool& pool);
+
+/// Advances `c` by `steps` threaded parallel steps in place.
+void advance_synchronous_threaded(const Automaton& a, Configuration& c,
+                                  std::uint64_t steps, ThreadPool& pool);
+
+}  // namespace tca::core

@@ -1,0 +1,93 @@
+#include "core/trajectory.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+
+namespace tca::core {
+
+std::optional<Orbit> find_orbit(const StepFn& step, const Configuration& start,
+                                std::uint64_t max_steps) {
+  // Brent: find the period first (power-of-two teleporting tortoise), then
+  // the transient by aligned walkers.
+  std::uint64_t power = 1;
+  std::uint64_t period = 0;
+  Configuration tortoise = start;
+  Configuration hare = step(start);
+  std::uint64_t applied = 1;
+  std::uint64_t lam = 1;
+  while (tortoise != hare) {
+    if (applied >= max_steps) return std::nullopt;
+    if (power == lam) {
+      tortoise = hare;
+      power *= 2;
+      lam = 0;
+    }
+    hare = step(hare);
+    ++applied;
+    ++lam;
+  }
+  period = lam;
+
+  // Transient: walkers `period` apart advance together; meeting point is the
+  // cycle entry.
+  Configuration ahead = start;
+  for (std::uint64_t i = 0; i < period; ++i) ahead = step(ahead);
+  Configuration behind = start;
+  std::uint64_t mu = 0;
+  while (behind != ahead) {
+    behind = step(behind);
+    ahead = step(ahead);
+    ++mu;
+  }
+  return Orbit{mu, period, std::move(behind)};
+}
+
+std::optional<Orbit> find_orbit_synchronous(const Automaton& a,
+                                            const Configuration& start,
+                                            std::uint64_t max_steps) {
+  return find_orbit(synchronous_step_fn(a), start, max_steps);
+}
+
+std::optional<Orbit> find_orbit_sweep(const Automaton& a,
+                                      const Configuration& start,
+                                      std::span<const NodeId> order,
+                                      std::uint64_t max_steps) {
+  return find_orbit(
+      sweep_step_fn(a, std::vector<NodeId>(order.begin(), order.end())), start,
+      max_steps);
+}
+
+std::optional<Trace> trace_orbit(const StepFn& step, const Configuration& start,
+                                 std::uint64_t max_states) {
+  Trace trace;
+  std::unordered_map<Configuration, std::uint64_t, ConfigurationHash> seen;
+  Configuration current = start;
+  for (std::uint64_t t = 0; t < max_states; ++t) {
+    const auto [it, inserted] = seen.emplace(current, t);
+    if (!inserted) {
+      trace.transient = it->second;
+      trace.period = t - it->second;
+      return trace;
+    }
+    trace.states.push_back(current);
+    current = step(current);
+  }
+  return std::nullopt;
+}
+
+StepFn synchronous_step_fn(const Automaton& a) {
+  return [&a](const Configuration& c) { return step_synchronous(a, c); };
+}
+
+StepFn sweep_step_fn(const Automaton& a, std::vector<NodeId> order) {
+  return [&a, order = std::move(order)](const Configuration& c) {
+    Configuration next = c;
+    apply_sequence(a, next, order);
+    return next;
+  };
+}
+
+}  // namespace tca::core

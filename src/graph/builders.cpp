@@ -1,0 +1,187 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace tca::graph {
+namespace {
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+Graph path(NodeId n, NodeId radius) {
+  require(radius >= 1, "path: radius must be >= 1");
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId d = 1; d <= radius && i + d < n; ++d) {
+      edges.push_back(Edge{i, i + d});
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph ring(NodeId n, NodeId radius) {
+  require(radius >= 1, "ring: radius must be >= 1");
+  require(n >= 2 * radius + 1,
+          "ring: need n >= 2*radius+1 (got n=" + std::to_string(n) + ")");
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId d = 1; d <= radius; ++d) {
+      const NodeId j = (i + d) % n;
+      edges.push_back(i < j ? Edge{i, j} : Edge{j, i});
+    }
+  }
+  // Each undirected edge was generated exactly once because d <= radius < n/2
+  // ... except when n == 2*radius+1 is odd this still holds; dedupe defensively
+  std::set<Edge> unique(edges.begin(), edges.end());
+  std::vector<Edge> deduped(unique.begin(), unique.end());
+  return Graph(n, deduped);
+}
+
+Graph grid2d(NodeId rows, NodeId cols, bool torus, GridNeighborhood nbhd) {
+  require(rows >= 1 && cols >= 1, "grid2d: empty grid");
+  if (torus) {
+    require(rows >= 3 && cols >= 3, "grid2d: torus needs both dims >= 3");
+  }
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::set<Edge> edges;
+  const auto add = [&edges](NodeId a, NodeId b) {
+    if (a != b) edges.insert(a < b ? Edge{a, b} : Edge{b, a});
+  };
+  const NodeId n = rows * cols;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      const auto link = [&](std::int64_t dr, std::int64_t dc) {
+        std::int64_t nr = static_cast<std::int64_t>(r) + dr;
+        std::int64_t nc = static_cast<std::int64_t>(c) + dc;
+        if (torus) {
+          nr = (nr + rows) % rows;
+          nc = (nc + cols) % cols;
+        } else if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
+          return;
+        }
+        add(id(r, c), id(static_cast<NodeId>(nr), static_cast<NodeId>(nc)));
+      };
+      link(0, 1);
+      link(1, 0);
+      if (nbhd == GridNeighborhood::kMoore) {
+        link(1, 1);
+        link(1, -1);
+      }
+    }
+  }
+  std::vector<Edge> list(edges.begin(), edges.end());
+  return Graph(n, list);
+}
+
+Graph hypercube(NodeId dimension) {
+  require(dimension <= 20, "hypercube: dimension too large");
+  const NodeId n = NodeId{1} << dimension;
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId b = 0; b < dimension; ++b) {
+      const NodeId w = v ^ (NodeId{1} << b);
+      if (v < w) edges.push_back(Edge{v, w});
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph complete(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return Graph(n, edges);
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) edges.push_back(Edge{u, a + v});
+  }
+  return Graph(a + b, edges);
+}
+
+Graph circulant(NodeId n, std::span<const NodeId> offsets) {
+  require(n >= 2, "circulant: need n >= 2");
+  std::set<Edge> edges;
+  std::set<NodeId> seen;
+  for (NodeId s : offsets) {
+    require(s >= 1 && s <= n / 2, "circulant: offset out of [1, n/2]");
+    require(seen.insert(s).second, "circulant: duplicate offset");
+    for (NodeId i = 0; i < n; ++i) {
+      const NodeId j = (i + s) % n;
+      if (i != j) edges.insert(i < j ? Edge{i, j} : Edge{j, i});
+    }
+  }
+  std::vector<Edge> list(edges.begin(), edges.end());
+  return Graph(n, list);
+}
+
+Graph star(NodeId n) {
+  require(n >= 1, "star: need n >= 1");
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return Graph(n, edges);
+}
+
+Graph from_edges(NodeId n, std::span<const Edge> edges) {
+  return Graph(n, edges);
+}
+
+Graph random_gnp(NodeId n, double p, std::uint64_t seed) {
+  require(p >= 0.0 && p <= 1.0, "random_gnp: p must be in [0, 1]");
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(p);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (coin(rng)) edges.push_back(Edge{u, v});
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph random_regular(NodeId n, NodeId d, std::uint64_t seed) {
+  require(d < n, "random_regular: need d < n");
+  require((static_cast<std::uint64_t>(n) * d) % 2 == 0,
+          "random_regular: n*d must be even");
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    stubs.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId k = 0; k < d; ++k) stubs.push_back(v);
+    }
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    std::set<Edge> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (!edges.insert(u < v ? Edge{u, v} : Edge{v, u}).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      std::vector<Edge> list(edges.begin(), edges.end());
+      return Graph(n, list);
+    }
+  }
+  throw std::runtime_error("random_regular: pairing model did not converge");
+}
+
+}  // namespace tca::graph

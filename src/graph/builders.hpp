@@ -1,0 +1,67 @@
+#pragma once
+// Builders for the cellular spaces the paper uses (DESIGN.md S1):
+// 1-D lines and rings (with radius-r neighborhoods), 2-D grids and tori,
+// hypercubes, complete and complete-bipartite graphs, and circulant
+// (Cayley) graphs.
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tca::graph {
+
+/// 1-D path 0-1-...-(n-1). Radius-r variant connects nodes at distance <= r.
+/// Boundary nodes simply have smaller neighborhoods ("fixed" boundary).
+[[nodiscard]] Graph path(NodeId n, NodeId radius = 1);
+
+/// 1-D ring (circular boundary conditions). Radius-r variant connects nodes
+/// at ring distance <= r. Requires n >= 2*radius + 1 so neighborhoods do not
+/// wrap onto themselves or collide.
+[[nodiscard]] Graph ring(NodeId n, NodeId radius = 1);
+
+/// Neighborhood shape for 2-D grids.
+enum class GridNeighborhood : std::uint8_t {
+  kVonNeumann,  ///< 4 axis neighbors
+  kMoore,       ///< 8 neighbors incl. diagonals
+};
+
+/// 2-D grid of rows x cols. `torus` wraps both dimensions (requires the
+/// wrapped dimension >= 3 to avoid duplicate edges).
+[[nodiscard]] Graph grid2d(NodeId rows, NodeId cols, bool torus = false,
+                           GridNeighborhood nbhd = GridNeighborhood::kVonNeumann);
+
+/// d-dimensional hypercube Q_d on 2^d nodes; node ids are bit vectors,
+/// edges connect ids at Hamming distance 1. Requires d <= 20.
+[[nodiscard]] Graph hypercube(NodeId dimension);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(NodeId n);
+
+/// Complete bipartite graph K_{a,b}; the first `a` ids form one side.
+[[nodiscard]] Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Circulant (cyclic Cayley) graph on n nodes: i ~ i +/- s (mod n) for each
+/// connection offset s. Offsets must be in [1, n/2] and distinct; an offset
+/// of exactly n/2 contributes a single perfect-matching edge per node.
+[[nodiscard]] Graph circulant(NodeId n, std::span<const NodeId> offsets);
+
+/// Star K_{1,n-1} with node 0 at the center.
+[[nodiscard]] Graph star(NodeId n);
+
+/// Arbitrary graph from an edge list (validates like the Graph ctor).
+[[nodiscard]] Graph from_edges(NodeId n, std::span<const Edge> edges);
+
+/// Erdos-Renyi G(n, p): each of the C(n,2) possible edges present
+/// independently with probability p. Deterministic under `seed`.
+[[nodiscard]] Graph random_gnp(NodeId n, double p, std::uint64_t seed);
+
+/// Random d-regular graph by the configuration (pairing) model with
+/// rejection of self-loops and multi-edges. Requires n*d even, d < n.
+/// Deterministic under `seed`; throws after too many rejected pairings
+/// (does not happen for the small d used here).
+[[nodiscard]] Graph random_regular(NodeId n, NodeId d, std::uint64_t seed);
+
+}  // namespace tca::graph

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tca::graph {
+
+Graph::Graph(NodeId num_nodes, std::span<const Edge> edges)
+    : num_nodes_(num_nodes) {
+  std::vector<Edge> normalized;
+  normalized.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u == e.v) {
+      throw std::invalid_argument("Graph: self-loop on node " +
+                                  std::to_string(e.u));
+    }
+    if (e.u >= num_nodes || e.v >= num_nodes) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    normalized.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+  }
+  std::sort(normalized.begin(), normalized.end());
+  if (std::adjacent_find(normalized.begin(), normalized.end()) !=
+      normalized.end()) {
+    throw std::invalid_argument("Graph: duplicate edge");
+  }
+
+  std::vector<NodeId> degree(num_nodes, 0);
+  for (const Edge& e : normalized) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree[v];
+    max_degree_ = std::max(max_degree_, degree[v]);
+  }
+  adjacency_.resize(offsets_[num_nodes]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : normalized) {
+    adjacency_[cursor[e.u]++] = e.v;
+    adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Adjacency lists are sorted because edges were processed in sorted order
+  // for the low endpoint; the high endpoint's list needs a per-list sort.
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    auto first = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+    auto last = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+    std::sort(first, last);
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.push_back(Edge{u, v});
+    }
+  }
+  return out;
+}
+
+std::string Graph::summary() const {
+  return "Graph(n=" + std::to_string(num_nodes_) +
+         ", m=" + std::to_string(num_edges()) + ")";
+}
+
+}  // namespace tca::graph

@@ -1,0 +1,84 @@
+#pragma once
+// Undirected graph substrate for cellular spaces (DESIGN.md S1).
+//
+// A tca::graph::Graph is an immutable undirected graph in CSR
+// (compressed-sparse-row) form.  Cellular automata read a node's neighbor
+// list every step, so the representation is optimized for cache-friendly
+// sequential scans: all adjacency lists live in one contiguous array.
+//
+// Neighbor lists are sorted ascending and contain no duplicates and no
+// self-loops (a CA "with memory" includes the node itself via the
+// neighborhood kind, not via a loop edge; see tca::core::Automaton).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tca::graph {
+
+/// Node identifier. Graphs are limited to 2^32-1 nodes.
+using NodeId = std::uint32_t;
+
+/// An undirected edge as an unordered pair (stored with u < v).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected graph in CSR form.
+class Graph {
+ public:
+  /// Empty graph (0 nodes).
+  Graph() = default;
+
+  /// Builds a graph on `num_nodes` nodes from an edge list.
+  /// Duplicate edges and self-loops are rejected with std::invalid_argument,
+  /// as is any endpoint >= num_nodes.
+  Graph(NodeId num_nodes, std::span<const Edge> edges);
+
+  /// Number of nodes.
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return adjacency_.size() / 2;
+  }
+
+  /// Degree of node `v`.
+  [[nodiscard]] NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(offsets_.at(v + 1) - offsets_.at(v));
+  }
+
+  /// Sorted neighbor list of node `v`. The span stays valid for the
+  /// lifetime of the graph.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return std::span<const NodeId>(adjacency_)
+        .subspan(offsets_.at(v), offsets_.at(v + 1) - offsets_.at(v));
+  }
+
+  /// True if {u, v} is an edge. O(log degree(u)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges, each once, with u < v, sorted lexicographically.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  [[nodiscard]] NodeId max_degree() const noexcept { return max_degree_; }
+
+  /// Human-readable one-line summary, e.g. "Graph(n=8, m=12)".
+  [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  NodeId num_nodes_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<std::size_t> offsets_ = {0};  // size num_nodes_+1
+  std::vector<NodeId> adjacency_;           // size 2*num_edges
+};
+
+}  // namespace tca::graph

@@ -1,0 +1,81 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace tca::graph {
+namespace {
+
+/// BFS from every unvisited node; calls `on_component` once per component
+/// start and `on_edge_color` for each tree/cross edge with both endpoint
+/// colors already assigned. Returns the color array (BFS parity).
+std::vector<std::uint8_t> bfs_two_color(const Graph& g,
+                                        std::size_t& components,
+                                        bool& odd_cycle) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint8_t> color(n, 2);  // 2 = unvisited
+  components = 0;
+  odd_cycle = false;
+  std::queue<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (color[s] != 2) continue;
+    ++components;
+    color[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (color[v] == 2) {
+          color[v] = static_cast<std::uint8_t>(1 - color[u]);
+          queue.push(v);
+        } else if (color[v] == color[u]) {
+          odd_cycle = true;
+        }
+      }
+    }
+  }
+  return color;
+}
+
+}  // namespace
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  std::size_t components = 0;
+  bool odd = false;
+  bfs_two_color(g, components, odd);
+  return components == 1;
+}
+
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g) {
+  std::size_t components = 0;
+  bool odd = false;
+  auto color = bfs_two_color(g, components, odd);
+  if (odd) return std::nullopt;
+  return color;
+}
+
+std::optional<NodeId> regular_degree(const Graph& g) {
+  if (g.num_nodes() == 0) return NodeId{0};
+  const NodeId d = g.degree(0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) != d) return std::nullopt;
+  }
+  return d;
+}
+
+std::vector<NodeId> degree_histogram(const Graph& g) {
+  std::vector<NodeId> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+std::size_t component_count(const Graph& g) {
+  std::size_t components = 0;
+  bool odd = false;
+  bfs_two_color(g, components, odd);
+  return components;
+}
+
+}  // namespace tca::graph

@@ -1,0 +1,38 @@
+#pragma once
+// Structural graph properties used by the paper's extension results
+// (DESIGN.md S1): bipartiteness (threshold CA over bipartite spaces have
+// two-cycles, Section 3.2), regularity (cellular spaces are regular graphs,
+// Definition 1), and connectivity.
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tca::graph {
+
+/// True if the graph is connected (the empty graph and K_1 count as
+/// connected).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// If bipartite, returns a 2-coloring (color[v] in {0,1}); otherwise
+/// std::nullopt. Isolated nodes get color 0.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> bipartition(
+    const Graph& g);
+
+/// True if the graph is bipartite (contains no odd cycle).
+[[nodiscard]] inline bool is_bipartite(const Graph& g) {
+  return bipartition(g).has_value();
+}
+
+/// If every node has the same degree, returns that degree; otherwise
+/// std::nullopt. The empty graph returns 0.
+[[nodiscard]] std::optional<NodeId> regular_degree(const Graph& g);
+
+/// Histogram of node degrees: result[d] = number of nodes with degree d.
+[[nodiscard]] std::vector<NodeId> degree_histogram(const Graph& g);
+
+/// Number of connected components.
+[[nodiscard]] std::size_t component_count(const Graph& g);
+
+}  // namespace tca::graph

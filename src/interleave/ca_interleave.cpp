@@ -1,0 +1,84 @@
+#include "interleave/ca_interleave.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/trajectory.hpp"
+
+namespace tca::interleave {
+
+std::optional<std::vector<NodeId>> reach_parallel_step(
+    const Automaton& a, const Configuration& x, std::uint64_t max_states) {
+  const Configuration target = core::step_synchronous(a, x);
+  if (target == x) return std::vector<NodeId>{};
+
+  // BFS over configurations; parent map reconstructs the witness.
+  struct Parent {
+    Configuration from;
+    NodeId via;
+  };
+  std::unordered_map<Configuration, Parent, core::ConfigurationHash> parent;
+  std::deque<Configuration> queue{x};
+  parent.emplace(x, Parent{x, 0});
+  while (!queue.empty()) {
+    const Configuration current = queue.front();
+    queue.pop_front();
+    for (std::size_t v = 0; v < a.size(); ++v) {
+      Configuration next = current;
+      core::update_node(a, next, static_cast<NodeId>(v));
+      if (parent.contains(next)) continue;
+      parent.emplace(next, Parent{current, static_cast<NodeId>(v)});
+      if (next == target) {
+        std::vector<NodeId> path;
+        Configuration at = next;
+        while (!(at == x)) {
+          const Parent& p = parent.at(at);
+          path.push_back(p.via);
+          at = p.from;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      if (parent.size() >= max_states) return std::nullopt;
+      queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<NodeId>> permutation_sweep_reproduces(
+    const Automaton& a, const Configuration& x) {
+  const std::size_t n = a.size();
+  if (n > 9) {
+    throw std::invalid_argument("permutation_sweep_reproduces: n > 9");
+  }
+  const Configuration target = core::step_synchronous(a, x);
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  std::sort(perm.begin(), perm.end());
+  do {
+    Configuration c = x;
+    core::apply_sequence(a, c, perm);
+    if (c == target) return perm;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> first_irreproducible_step(
+    const Automaton& a, const Configuration& start, std::uint64_t max_steps) {
+  const auto orbit = core::find_orbit_synchronous(a, start, max_steps);
+  const std::uint64_t horizon =
+      orbit ? orbit->transient + orbit->period : max_steps;
+  Configuration x = start;
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    if (!reach_parallel_step(a, x)) return t;
+    x = core::step_synchronous(a, x);
+  }
+  return std::nullopt;
+}
+
+}  // namespace tca::interleave

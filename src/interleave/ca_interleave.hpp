@@ -1,0 +1,50 @@
+#pragma once
+// Can sequential interleavings of node updates reproduce a parallel CA
+// step or trajectory? (DESIGN.md S7; the paper's central question.)
+//
+// Searches over the nondeterministic single-node-update transition system:
+//  * reach_parallel_step: is F(x) reachable from x by SOME finite sequence
+//    of single-node updates?
+//  * permutation_sweep_reproduces: is there a PERMUTATION whose one sweep
+//    from x yields exactly F(x)? (exhaustive over n! for n <= 9)
+//  * trajectory analysis: along the parallel orbit of x, at which step does
+//    sequential reproducibility first fail (if ever)?
+// For threshold CA on a two-cycle, both searches provably fail — that is
+// Lemma 1 made executable.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+
+namespace tca::interleave {
+
+using core::Automaton;
+using core::Configuration;
+using core::NodeId;
+
+/// If F(x) (the parallel successor) is reachable from x via single-node
+/// updates, returns a shortest witness sequence of node ids (possibly empty
+/// when F(x) == x); otherwise std::nullopt. BFS over at most `max_states`
+/// distinct configurations.
+[[nodiscard]] std::optional<std::vector<NodeId>> reach_parallel_step(
+    const Automaton& a, const Configuration& x,
+    std::uint64_t max_states = 1u << 22);
+
+/// Is there a permutation pi with sweep_pi(x) == F(x)? Exhaustive over all
+/// n! permutations; requires n <= 9. Returns a witness if one exists.
+[[nodiscard]] std::optional<std::vector<NodeId>> permutation_sweep_reproduces(
+    const Automaton& a, const Configuration& x);
+
+/// Walks the parallel orbit of `start` and reports the first time step t
+/// such that the parallel transition x(t) -> x(t+1) is NOT reachable by any
+/// sequential interleaving from x(t); std::nullopt if every step along the
+/// orbit (up to its full transient + period, capped at max_steps) is
+/// sequentially reproducible.
+[[nodiscard]] std::optional<std::uint64_t> first_irreproducible_step(
+    const Automaton& a, const Configuration& start,
+    std::uint64_t max_steps = 4096);
+
+}  // namespace tca::interleave

@@ -1,0 +1,102 @@
+#include "interleave/explorer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace tca::interleave {
+
+std::set<std::vector<std::int64_t>> interleaving_outcomes(
+    const Machine& m, const MachineState& initial) {
+  std::set<std::vector<std::int64_t>> outcomes;
+  std::set<MachineState> seen;
+  std::vector<MachineState> stack{initial};
+  while (!stack.empty()) {
+    MachineState s = std::move(stack.back());
+    stack.pop_back();
+    if (!seen.insert(s).second) continue;
+    if (m.all_finished(s)) {
+      outcomes.insert(s.shared);
+      continue;
+    }
+    for (std::size_t p = 0; p < m.num_processes(); ++p) {
+      if (m.finished(s, p)) continue;
+      MachineState next = s;
+      m.step(next, p);
+      stack.push_back(std::move(next));
+    }
+  }
+  return outcomes;
+}
+
+std::uint64_t count_interleavings(const Machine& m) {
+  // Schedules = interleavings of the programs' instruction streams; count
+  // by DFS over pc-vectors with memoization. Only meaningful for
+  // straight-line programs: a branch makes the schedule count
+  // data-dependent (and possibly unbounded).
+  for (std::size_t p = 0; p < m.num_processes(); ++p) {
+    for (const Instr& instr : m.program(p)) {
+      if (std::holds_alternative<BranchIfZero>(instr)) {
+        throw std::invalid_argument(
+            "count_interleavings: straight-line programs only");
+      }
+    }
+  }
+  std::map<std::vector<std::size_t>, std::uint64_t> memo;
+  std::vector<std::size_t> lengths(m.num_processes());
+  for (std::size_t p = 0; p < m.num_processes(); ++p) {
+    lengths[p] = m.program(p).size();
+  }
+  const std::function<std::uint64_t(std::vector<std::size_t>&)> count =
+      [&](std::vector<std::size_t>& pc) -> std::uint64_t {
+    if (pc == lengths) return 1;
+    const auto it = memo.find(pc);
+    if (it != memo.end()) return it->second;
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < pc.size(); ++p) {
+      if (pc[p] < lengths[p]) {
+        ++pc[p];
+        total += count(pc);
+        --pc[p];
+      }
+    }
+    memo[pc] = total;
+    return total;
+  };
+  std::vector<std::size_t> pc(m.num_processes(), 0);
+  return count(pc);
+}
+
+std::set<std::vector<std::int64_t>> parallel_outcomes(
+    const Machine& m, const MachineState& initial) {
+  // Validate shape and collect each process's (var, imm).
+  struct Write {
+    std::uint8_t var;
+    std::int64_t value;
+  };
+  std::vector<Write> writes;
+  for (std::size_t p = 0; p < m.num_processes(); ++p) {
+    const Program& prog = m.program(p);
+    if (prog.size() != 1 || !std::holds_alternative<AtomicAddVar>(prog[0])) {
+      throw std::invalid_argument(
+          "parallel_outcomes: processes must each be one AtomicAddVar");
+    }
+    const auto& op = std::get<AtomicAddVar>(prog[0]);
+    // Simultaneous read of the time-0 shared state:
+    writes.push_back(Write{op.var, initial.shared[op.var] + op.imm});
+  }
+  // Apply the writes in every order; later writes clobber earlier ones.
+  std::vector<std::size_t> perm(writes.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end());
+  std::set<std::vector<std::int64_t>> outcomes;
+  do {
+    std::vector<std::int64_t> shared = initial.shared;
+    for (std::size_t i : perm) shared[writes[i].var] = writes[i].value;
+    outcomes.insert(std::move(shared));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return outcomes;
+}
+
+}  // namespace tca::interleave

@@ -1,0 +1,36 @@
+#pragma once
+// Exhaustive interleaving exploration for the register VM (DESIGN.md S7).
+//
+// Enumerates every sequential interleaving of the processes' instructions
+// (DFS with memoization over machine states) and collects the set of final
+// shared-variable vectors. Also implements the truly-simultaneous
+// "parallel" semantics for one-atomic-statement processes: every process
+// reads the shared state of time t, computes, and the writes land in every
+// possible order — the lost-update behaviour the paper's Section 1.1
+// example exhibits.
+
+#include <set>
+#include <vector>
+
+#include "interleave/vm.hpp"
+
+namespace tca::interleave {
+
+/// All final shared-variable vectors over every interleaving.
+[[nodiscard]] std::set<std::vector<std::int64_t>> interleaving_outcomes(
+    const Machine& m, const MachineState& initial);
+
+/// Number of distinct complete interleavings (schedules), counted over the
+/// execution DAG (multinomial for independent programs; exact count by DFS
+/// with memoization on (pc-vector) positions only).
+[[nodiscard]] std::uint64_t count_interleavings(const Machine& m);
+
+/// Truly-simultaneous outcomes for machines whose processes are each a
+/// SINGLE AtomicAddVar statement: all processes read the same initial
+/// shared state, then their writes are applied in every possible order
+/// (each write stores its own read-modify result, clobbering earlier
+/// writes to the same variable). Throws if a process has a different shape.
+[[nodiscard]] std::set<std::vector<std::int64_t>> parallel_outcomes(
+    const Machine& m, const MachineState& initial);
+
+}  // namespace tca::interleave

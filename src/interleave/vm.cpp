@@ -1,0 +1,169 @@
+#include "interleave/vm.hpp"
+
+#include <stdexcept>
+
+namespace tca::interleave {
+
+Machine::Machine(std::vector<Program> processes, std::size_t num_shared,
+                 std::size_t num_regs)
+    : processes_(std::move(processes)),
+      num_shared_(num_shared),
+      num_regs_(num_regs) {
+  for (const Program& prog : processes_) {
+    for (const Instr& instr : prog) {
+      std::visit(
+          [&](const auto& op) {
+            using T = std::decay_t<decltype(op)>;
+            if constexpr (std::is_same_v<T, Load> || std::is_same_v<T, Store>) {
+              if (op.var >= num_shared_ || op.reg >= num_regs_) {
+                throw std::invalid_argument("Machine: operand out of range");
+              }
+            } else if constexpr (std::is_same_v<T, AddImm>) {
+              if (op.reg >= num_regs_) {
+                throw std::invalid_argument("Machine: register out of range");
+              }
+            } else if constexpr (std::is_same_v<T, AtomicAddVar>) {
+              if (op.var >= num_shared_) {
+                throw std::invalid_argument("Machine: variable out of range");
+              }
+            } else if constexpr (std::is_same_v<T, Mov>) {
+              if (op.dst >= num_regs_ || op.src >= num_regs_) {
+                throw std::invalid_argument("Machine: register out of range");
+              }
+            } else if constexpr (std::is_same_v<T, Cas>) {
+              if (op.var >= num_shared_ || op.expected >= num_regs_ ||
+                  op.desired >= num_regs_ || op.result >= num_regs_) {
+                throw std::invalid_argument("Machine: CAS operand out of "
+                                            "range");
+              }
+            } else if constexpr (std::is_same_v<T, BranchIfZero>) {
+              if (op.reg >= num_regs_ || op.target >= prog.size()) {
+                throw std::invalid_argument("Machine: branch out of range");
+              }
+            }
+          },
+          instr);
+    }
+  }
+}
+
+MachineState Machine::initial(std::vector<std::int64_t> shared) const {
+  if (shared.size() != num_shared_) {
+    throw std::invalid_argument("Machine::initial: wrong shared count");
+  }
+  MachineState s;
+  s.shared = std::move(shared);
+  s.regs.assign(processes_.size(),
+                std::vector<std::int64_t>(num_regs_, 0));
+  s.pc.assign(processes_.size(), 0);
+  return s;
+}
+
+bool Machine::all_finished(const MachineState& s) const {
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    if (!finished(s, p)) return false;
+  }
+  return true;
+}
+
+void Machine::step(MachineState& s, std::size_t p) const {
+  if (finished(s, p)) {
+    throw std::logic_error("Machine::step: process already finished");
+  }
+  const Instr& instr = processes_[p][s.pc[p]];
+  bool jumped = false;
+  std::visit(
+      [&](const auto& op) {
+        using T = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<T, Load>) {
+          s.regs[p][op.reg] = s.shared[op.var];
+        } else if constexpr (std::is_same_v<T, AddImm>) {
+          s.regs[p][op.reg] += op.imm;
+        } else if constexpr (std::is_same_v<T, Store>) {
+          s.shared[op.var] = s.regs[p][op.reg];
+        } else if constexpr (std::is_same_v<T, AtomicAddVar>) {
+          s.shared[op.var] += op.imm;
+        } else if constexpr (std::is_same_v<T, Mov>) {
+          s.regs[p][op.dst] = s.regs[p][op.src];
+        } else if constexpr (std::is_same_v<T, Cas>) {
+          if (s.shared[op.var] == s.regs[p][op.expected]) {
+            s.shared[op.var] = s.regs[p][op.desired];
+            s.regs[p][op.result] = 1;
+          } else {
+            s.regs[p][op.result] = 0;
+          }
+        } else if constexpr (std::is_same_v<T, BranchIfZero>) {
+          if (s.regs[p][op.reg] == 0) {
+            s.pc[p] = op.target;
+            jumped = true;
+          }
+        }
+      },
+      instr);
+  if (!jumped) ++s.pc[p];
+}
+
+Machine statement_level_example(std::int64_t a, std::int64_t b) {
+  return Machine({Program{AtomicAddVar{0, a}}, Program{AtomicAddVar{0, b}}},
+                 /*num_shared=*/1, /*num_regs=*/1);
+}
+
+Machine machine_level_example(std::int64_t a, std::int64_t b) {
+  const auto compile = [](std::int64_t imm) {
+    return Program{Load{0, 0}, AddImm{0, imm}, Store{0, 0}};
+  };
+  return Machine({compile(a), compile(b)}, /*num_shared=*/1, /*num_regs=*/1);
+}
+
+Machine cas_level_example(std::int64_t a, std::int64_t b) {
+  const auto compile = [](std::int64_t imm) {
+    return Program{
+        /*0*/ Load{0, 0},       // r0 = x (expected)
+        /*1*/ Mov{1, 0},        // r1 = r0
+        /*2*/ AddImm{1, imm},   // r1 = old + imm (desired)
+        /*3*/ Cas{0, 0, 1, 2},  // try to publish; r2 = success
+        /*4*/ BranchIfZero{2, 0},  // retry from the LOAD on failure
+    };
+  };
+  return Machine({compile(a), compile(b)}, /*num_shared=*/1, /*num_regs=*/3);
+}
+
+std::string to_string(const Instr& instr) {
+  return std::visit(
+      [](const auto& op) -> std::string {
+        using T = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<T, Load>) {
+          return "LOAD r" + std::to_string(op.reg) + ", x" +
+                 std::to_string(op.var);
+        } else if constexpr (std::is_same_v<T, AddImm>) {
+          return "ADDI r" + std::to_string(op.reg) + ", " +
+                 std::to_string(op.imm);
+        } else if constexpr (std::is_same_v<T, Store>) {
+          return "STORE x" + std::to_string(op.var) + ", r" +
+                 std::to_string(op.reg);
+        } else if constexpr (std::is_same_v<T, Mov>) {
+          return "MOV r" + std::to_string(op.dst) + ", r" +
+                 std::to_string(op.src);
+        } else if constexpr (std::is_same_v<T, Cas>) {
+          return "CAS x" + std::to_string(op.var) + ", r" +
+                 std::to_string(op.expected) + " -> r" +
+                 std::to_string(op.desired) + " (ok: r" +
+                 std::to_string(op.result) + ")";
+        } else if constexpr (std::is_same_v<T, BranchIfZero>) {
+          return "BZ r" + std::to_string(op.reg) + ", @" +
+                 std::to_string(op.target);
+        } else {
+          std::string out = "x";
+          out += std::to_string(op.var);
+          out += " := x";
+          out += std::to_string(op.var);
+          out += " + ";
+          out += std::to_string(op.imm);
+          out += "  (atomic)";
+          return out;
+        }
+      },
+      instr);
+}
+
+}  // namespace tca::interleave

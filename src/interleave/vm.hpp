@@ -1,0 +1,128 @@
+#pragma once
+// A tiny shared-memory register machine (DESIGN.md S7).
+//
+// Reproduces the paper's Section 1.1 programming exercise: two processes
+// running `x := x + 1` and `x := x + 2` over shared x. At STATEMENT
+// granularity each assignment is one atomic instruction; at MACHINE
+// granularity it is LOAD / ADDI / STORE over a private register. The
+// interleaving explorer (explorer.hpp) then shows which outcome sets each
+// granularity level can produce, and parallel_outcomes() gives the
+// truly-simultaneous semantics (all reads, then all writes) the paper uses
+// to argue that statement-level interleavings cannot reproduce parallel
+// execution while machine-level ones can.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tca::interleave {
+
+/// reg := shared[var]
+struct Load {
+  std::uint8_t reg;
+  std::uint8_t var;
+};
+/// reg := reg + imm
+struct AddImm {
+  std::uint8_t reg;
+  std::int64_t imm;
+};
+/// shared[var] := reg
+struct Store {
+  std::uint8_t reg;
+  std::uint8_t var;
+};
+/// shared[var] := shared[var] + imm, as ONE atomic action (statement
+/// granularity).
+struct AtomicAddVar {
+  std::uint8_t var;
+  std::int64_t imm;
+};
+/// dst := src (register copy).
+struct Mov {
+  std::uint8_t dst;
+  std::uint8_t src;
+};
+/// Atomic compare-and-swap: if shared[var] == regs[expected] then
+/// shared[var] := regs[desired], regs[result] := 1; else regs[result] := 0.
+struct Cas {
+  std::uint8_t var;
+  std::uint8_t expected;
+  std::uint8_t desired;
+  std::uint8_t result;
+};
+/// If regs[reg] == 0, jump to instruction index `target`.
+struct BranchIfZero {
+  std::uint8_t reg;
+  std::uint8_t target;
+};
+
+using Instr =
+    std::variant<Load, AddImm, Store, AtomicAddVar, Mov, Cas, BranchIfZero>;
+using Program = std::vector<Instr>;
+
+/// Snapshot of the whole machine: shared variables, each process's
+/// registers and program counter.
+struct MachineState {
+  std::vector<std::int64_t> shared;
+  std::vector<std::vector<std::int64_t>> regs;  ///< per process
+  std::vector<std::size_t> pc;                  ///< per process
+
+  friend bool operator==(const MachineState&, const MachineState&) = default;
+  friend auto operator<=>(const MachineState&, const MachineState&) = default;
+};
+
+/// A fixed set of concurrent processes over shared variables.
+class Machine {
+ public:
+  Machine(std::vector<Program> processes, std::size_t num_shared,
+          std::size_t num_regs);
+
+  [[nodiscard]] std::size_t num_processes() const noexcept {
+    return processes_.size();
+  }
+
+  /// Initial state with the given shared-variable values, zeroed registers.
+  [[nodiscard]] MachineState initial(std::vector<std::int64_t> shared) const;
+
+  /// True if process p has finished its program in `s`.
+  [[nodiscard]] bool finished(const MachineState& s, std::size_t p) const {
+    return s.pc[p] >= processes_[p].size();
+  }
+
+  /// True if all processes are done.
+  [[nodiscard]] bool all_finished(const MachineState& s) const;
+
+  /// Executes the next instruction of process p (must not be finished).
+  void step(MachineState& s, std::size_t p) const;
+
+  /// The program of process p.
+  [[nodiscard]] const Program& program(std::size_t p) const {
+    return processes_[p];
+  }
+
+ private:
+  std::vector<Program> processes_;
+  std::size_t num_shared_;
+  std::size_t num_regs_;
+};
+
+/// The paper's example at statement granularity:
+/// P1: x := x + a (atomic), P2: x := x + b (atomic).
+[[nodiscard]] Machine statement_level_example(std::int64_t a, std::int64_t b);
+
+/// The same programs compiled to LOAD/ADDI/STORE machine code.
+[[nodiscard]] Machine machine_level_example(std::int64_t a, std::int64_t b);
+
+/// The same programs compiled as LOCK-FREE retry loops over CAS:
+///   loop: LOAD r0, x; MOV r1, r0; ADDI r1, imm; CAS x, r0 -> r1, r2;
+///         BZ r2, loop
+/// Optimistic concurrency restores statement-level atomicity: every
+/// interleaving yields x = a + b again.
+[[nodiscard]] Machine cas_level_example(std::int64_t a, std::int64_t b);
+
+/// Human-readable rendering of an instruction.
+[[nodiscard]] std::string to_string(const Instr& instr);
+
+}  // namespace tca::interleave

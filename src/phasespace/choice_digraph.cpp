@@ -1,0 +1,123 @@
+#include "phasespace/choice_digraph.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "phasespace/scc.hpp"
+
+namespace tca::phasespace {
+
+ChoiceDigraph::ChoiceDigraph(const core::Automaton& a)
+    : bits_(static_cast<std::uint32_t>(a.size())),
+      choices_(static_cast<std::uint32_t>(a.size())) {
+  if (bits_ > 22) {
+    throw std::invalid_argument(
+        "ChoiceDigraph: too many cells for explicit enumeration (max 22)");
+  }
+  const StateCode count = StateCode{1} << bits_;
+  succ_.resize(count * choices_);
+  const std::size_t n = a.size();
+  for (StateCode s = 0; s < count; ++s) {
+    const auto c = core::Configuration::from_bits(s, n);
+    for (std::uint32_t v = 0; v < choices_; ++v) {
+      const core::State next = a.eval_node(v, c);
+      StateCode t = s;
+      if (next != 0) {
+        t |= StateCode{1} << v;
+      } else {
+        t &= ~(StateCode{1} << v);
+      }
+      succ_[s * choices_ + v] = t;
+    }
+  }
+}
+
+ChoiceAnalysis analyze(const ChoiceDigraph& g) {
+  ChoiceAnalysis out;
+  const StateCode count = g.num_states();
+  const std::uint32_t n = g.num_choices();
+
+  const auto scc = strongly_connected_components(
+      count, [n](std::uint64_t) { return n; },
+      [&g](std::uint64_t s, std::uint32_t i) { return g.succ(s, i); });
+  out.scc_id = scc.component;
+  out.num_sccs = scc.num_components;
+  for (StateCode s = 0; s < count; ++s) {
+    if (scc.component_size[scc.component[s]] >= 2) {
+      ++out.num_proper_cycle_states;
+    }
+  }
+
+  for (StateCode s = 0; s < count; ++s) {
+    std::uint32_t self_loops = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (g.succ(s, v) == s) ++self_loops;
+    }
+    if (self_loops == n) {
+      ++out.num_fixed_points;
+      out.fixed_points.push_back(s);
+    } else if (self_loops > 0) {
+      ++out.num_pseudo_fixed_points;
+      out.pseudo_fixed_points.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> reachable_from(const ChoiceDigraph& g,
+                                         StateCode start) {
+  std::vector<std::uint8_t> seen(g.num_states(), 0);
+  std::deque<StateCode> queue{start};
+  seen[start] = 1;
+  while (!queue.empty()) {
+    const StateCode s = queue.front();
+    queue.pop_front();
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      const StateCode t = g.succ(s, v);
+      if (!seen[t]) {
+        seen[t] = 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<std::uint8_t> can_reach(const ChoiceDigraph& g, StateCode target) {
+  // Reverse BFS needs predecessor lists; build them once.
+  const StateCode count = g.num_states();
+  std::vector<std::uint32_t> pred_count(count, 0);
+  for (StateCode s = 0; s < count; ++s) {
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      ++pred_count[g.succ(s, v)];
+    }
+  }
+  std::vector<std::size_t> offset(count + 1, 0);
+  for (StateCode s = 0; s < count; ++s) {
+    offset[s + 1] = offset[s] + pred_count[s];
+  }
+  std::vector<StateCode> preds(offset[count]);
+  std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+  for (StateCode s = 0; s < count; ++s) {
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      preds[cursor[g.succ(s, v)]++] = s;
+    }
+  }
+
+  std::vector<std::uint8_t> seen(count, 0);
+  std::deque<StateCode> queue{target};
+  seen[target] = 1;
+  while (!queue.empty()) {
+    const StateCode s = queue.front();
+    queue.pop_front();
+    for (std::size_t i = offset[s]; i < offset[s + 1]; ++i) {
+      if (!seen[preds[i]]) {
+        seen[preds[i]] = 1;
+        queue.push_back(preds[i]);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace tca::phasespace

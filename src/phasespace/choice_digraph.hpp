@@ -1,0 +1,83 @@
+#pragma once
+// Nondeterministic sequential phase spaces (DESIGN.md S4).
+//
+// A sequential CA with a FREE choice of which node updates next is a
+// nondeterministic transition system: from state x there is one transition
+// per node v, to x with cell v replaced by its update. This digraph is the
+// union of ALL possible sequential interleavings — exactly the object the
+// paper draws in Fig. 1(b) and quantifies over in Lemma 1(ii)/Theorem 1
+// ("irrespective of the sequential node update order").
+//
+// Key facts extracted here:
+//  * a PROPER CYCLE (a directed cycle through >= 2 distinct states) exists
+//    iff some strongly connected component has >= 2 states — if no such
+//    component exists, NO update sequence whatsoever can ever revisit a
+//    left state, proving cycle-freeness for all orders at once;
+//  * FIXED POINTS are states where every choice self-loops;
+//  * PSEUDO-FIXED POINTS (the paper's term for Fig. 1(b)) are non-fixed
+//    states where at least one choice self-loops;
+//  * reachability (which parallel behaviours sequential interleavings can
+//    or cannot reproduce).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "phasespace/functional_graph.hpp"
+
+namespace tca::phasespace {
+
+/// Explicit one-edge-per-node-choice transition table on n-bit states.
+class ChoiceDigraph {
+ public:
+  /// Builds the full table: succ(s, v) for all states s and nodes v.
+  /// Requires bits <= 22 (table size = 2^bits * n entries).
+  explicit ChoiceDigraph(const core::Automaton& a);
+
+  [[nodiscard]] std::uint32_t bits() const noexcept { return bits_; }
+  [[nodiscard]] StateCode num_states() const noexcept {
+    return StateCode{1} << bits_;
+  }
+  [[nodiscard]] std::uint32_t num_choices() const noexcept { return choices_; }
+
+  /// Successor of state s when node v updates.
+  [[nodiscard]] StateCode succ(StateCode s, std::uint32_t v) const {
+    return succ_[s * choices_ + v];
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+  std::uint32_t choices_ = 0;
+  std::vector<StateCode> succ_;
+};
+
+/// Analysis of the full nondeterministic sequential phase space.
+struct ChoiceAnalysis {
+  std::vector<std::uint32_t> scc_id;     ///< per state
+  std::uint64_t num_sccs = 0;
+  std::uint64_t num_proper_cycle_states = 0;  ///< states in SCCs of size >= 2
+  std::uint64_t num_fixed_points = 0;
+  std::uint64_t num_pseudo_fixed_points = 0;
+  std::vector<StateCode> fixed_points;
+  std::vector<StateCode> pseudo_fixed_points;
+
+  /// True iff some update sequence can revisit a previously-left state —
+  /// i.e. the sequential phase space has a proper temporal cycle.
+  [[nodiscard]] bool has_proper_cycle() const {
+    return num_proper_cycle_states > 0;
+  }
+};
+
+/// Runs SCC + fixed-point classification over the whole digraph.
+[[nodiscard]] ChoiceAnalysis analyze(const ChoiceDigraph& g);
+
+/// States reachable from `start` by any sequence of node-update choices
+/// (BFS; includes `start`).
+[[nodiscard]] std::vector<std::uint8_t> reachable_from(const ChoiceDigraph& g,
+                                                       StateCode start);
+
+/// All states from which `target` is reachable (reverse reachability).
+[[nodiscard]] std::vector<std::uint8_t> can_reach(const ChoiceDigraph& g,
+                                                  StateCode target);
+
+}  // namespace tca::phasespace

@@ -1,0 +1,123 @@
+#include "phasespace/ctl.hpp"
+
+#include <stdexcept>
+
+namespace tca::phasespace {
+namespace {
+
+void require_size(const ChoiceDigraph& g, const StateSet& s) {
+  if (s.size() != g.num_states()) {
+    throw std::invalid_argument("ctl: state set size mismatch");
+  }
+}
+
+}  // namespace
+
+StateSet make_set(const ChoiceDigraph& g,
+                  const std::function<bool(StateCode)>& pred) {
+  StateSet out(g.num_states(), 0);
+  for (StateCode s = 0; s < g.num_states(); ++s) {
+    out[s] = pred(s) ? 1 : 0;
+  }
+  return out;
+}
+
+StateSet set_not(const StateSet& a) {
+  StateSet out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ? 0 : 1;
+  return out;
+}
+
+StateSet set_and(const StateSet& a, const StateSet& b) {
+  StateSet out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = (a[i] && b[i]) ? 1 : 0;
+  return out;
+}
+
+StateSet set_or(const StateSet& a, const StateSet& b) {
+  StateSet out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = (a[i] || b[i]) ? 1 : 0;
+  return out;
+}
+
+std::uint64_t set_size(const StateSet& a) {
+  std::uint64_t total = 0;
+  for (const auto b : a) total += b;
+  return total;
+}
+
+StateSet ex(const ChoiceDigraph& g, const StateSet& target) {
+  require_size(g, target);
+  StateSet out(g.num_states(), 0);
+  for (StateCode s = 0; s < g.num_states(); ++s) {
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      if (target[g.succ(s, v)]) {
+        out[s] = 1;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StateSet ax(const ChoiceDigraph& g, const StateSet& target) {
+  require_size(g, target);
+  StateSet out(g.num_states(), 1);
+  for (StateCode s = 0; s < g.num_states(); ++s) {
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      if (!target[g.succ(s, v)]) {
+        out[s] = 0;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+StateSet least_fixpoint(const ChoiceDigraph& g, const StateSet& target,
+                        StateSet (*step)(const ChoiceDigraph&,
+                                         const StateSet&)) {
+  StateSet z = target;
+  for (;;) {
+    const StateSet next = set_or(z, step(g, z));
+    if (next == z) return z;
+    z = next;
+  }
+}
+
+StateSet greatest_fixpoint(const ChoiceDigraph& g, const StateSet& target,
+                           StateSet (*step)(const ChoiceDigraph&,
+                                            const StateSet&)) {
+  StateSet z = target;
+  for (;;) {
+    const StateSet next = set_and(z, step(g, z));
+    if (next == z) return z;
+    z = next;
+  }
+}
+
+}  // namespace
+
+StateSet ef(const ChoiceDigraph& g, const StateSet& target) {
+  require_size(g, target);
+  return least_fixpoint(g, target, &ex);
+}
+
+StateSet af(const ChoiceDigraph& g, const StateSet& target) {
+  require_size(g, target);
+  return least_fixpoint(g, target, &ax);
+}
+
+StateSet eg(const ChoiceDigraph& g, const StateSet& target) {
+  require_size(g, target);
+  return greatest_fixpoint(g, target, &ex);
+}
+
+StateSet ag(const ChoiceDigraph& g, const StateSet& target) {
+  require_size(g, target);
+  return greatest_fixpoint(g, target, &ax);
+}
+
+}  // namespace tca::phasespace

@@ -1,0 +1,58 @@
+#pragma once
+// CTL-style reachability operators over the sequential choice digraph
+// (DESIGN.md S4 extension; the reachability-problem substrate of the
+// paper's reference [4], Barrett et al., "Reachability problems for
+// sequential dynamical systems with threshold functions").
+//
+// The choice digraph is a nondeterministic transition system (one
+// transition per node choice), so the standard CTL fixpoints answer
+// scheduling questions directly:
+//   EF T — "SOME update sequence reaches T"        (possible)
+//   AF T — "EVERY update sequence reaches T"       (inevitable)
+//   EG T — "some sequence stays in T forever"      (maintainable)
+//   AG T — "every sequence stays in T forever"     (invariant)
+// Note every state has a self-loop-capable choice in most CA (updating a
+// stable node), so AF is strict: a state outside T with a self-loop never
+// satisfies AF T. That is exactly the fairness subtlety of the paper's
+// footnote 2, visible in the logic.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "phasespace/choice_digraph.hpp"
+
+namespace tca::phasespace {
+
+/// Characteristic vector over the 2^n states of a choice digraph.
+using StateSet = std::vector<std::uint8_t>;
+
+/// Builds a StateSet from a predicate on state codes.
+[[nodiscard]] StateSet make_set(const ChoiceDigraph& g,
+                                const std::function<bool(StateCode)>& pred);
+
+/// Set algebra.
+[[nodiscard]] StateSet set_not(const StateSet& a);
+[[nodiscard]] StateSet set_and(const StateSet& a, const StateSet& b);
+[[nodiscard]] StateSet set_or(const StateSet& a, const StateSet& b);
+[[nodiscard]] std::uint64_t set_size(const StateSet& a);
+
+/// EX T: states with at least one choice leading into T.
+[[nodiscard]] StateSet ex(const ChoiceDigraph& g, const StateSet& target);
+
+/// AX T: states whose every choice leads into T.
+[[nodiscard]] StateSet ax(const ChoiceDigraph& g, const StateSet& target);
+
+/// EF T: least fixpoint of Z = T or EX Z (reachability by some schedule).
+[[nodiscard]] StateSet ef(const ChoiceDigraph& g, const StateSet& target);
+
+/// AF T: least fixpoint of Z = T or AX Z (inevitable under any schedule).
+[[nodiscard]] StateSet af(const ChoiceDigraph& g, const StateSet& target);
+
+/// EG T: greatest fixpoint of Z = T and EX Z.
+[[nodiscard]] StateSet eg(const ChoiceDigraph& g, const StateSet& target);
+
+/// AG T: greatest fixpoint of Z = T and AX Z.
+[[nodiscard]] StateSet ag(const ChoiceDigraph& g, const StateSet& target);
+
+}  // namespace tca::phasespace

@@ -1,0 +1,109 @@
+#include "phasespace/dot.hpp"
+
+namespace tca::phasespace {
+
+std::string state_label(StateCode s, std::uint32_t bits) {
+  std::string label(bits, '0');
+  for (std::uint32_t b = 0; b < bits; ++b) {
+    if ((s >> b) & 1u) label[b] = '1';
+  }
+  return label;
+}
+
+std::string to_dot(const FunctionalGraph& fg, const std::string& name) {
+  const auto cls = classify(fg);
+  std::string out = "digraph " + name + " {\n  rankdir=LR;\n";
+  for (StateCode s = 0; s < fg.num_states(); ++s) {
+    out += "  \"" + state_label(s, fg.bits()) + "\"";
+    if (cls.kind[s] == StateKind::kFixedPoint) {
+      out += " [shape=doublecircle]";
+    } else if (cls.kind[s] == StateKind::kCycle) {
+      out += " [style=filled, fillcolor=lightgray]";
+    }
+    out += ";\n";
+  }
+  for (StateCode s = 0; s < fg.num_states(); ++s) {
+    out += "  \"" + state_label(s, fg.bits()) + "\" -> \"" +
+           state_label(fg.succ(s), fg.bits()) + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const ChoiceDigraph& g, const std::string& name) {
+  std::string out = "digraph " + name + " {\n  rankdir=LR;\n";
+  const auto analysis = analyze(g);
+  for (StateCode s = 0; s < g.num_states(); ++s) {
+    out += "  \"" + state_label(s, g.bits()) + "\"";
+    bool fp = false;
+    for (StateCode f : analysis.fixed_points) {
+      if (f == s) fp = true;
+    }
+    if (fp) out += " [shape=doublecircle]";
+    out += ";\n";
+  }
+  for (StateCode s = 0; s < g.num_states(); ++s) {
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      out += "  \"" + state_label(s, g.bits()) + "\" -> \"" +
+             state_label(g.succ(s, v), g.bits()) + "\" [label=\"" +
+             std::to_string(v + 1) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_text(const FunctionalGraph& fg) {
+  const auto cls = classify(fg);
+  std::string out;
+  for (StateCode s = 0; s < fg.num_states(); ++s) {
+    out += state_label(s, fg.bits()) + " -> " +
+           state_label(fg.succ(s), fg.bits());
+    switch (cls.kind[s]) {
+      case StateKind::kFixedPoint:
+        out += "   [fixed point]";
+        break;
+      case StateKind::kCycle:
+        out += "   [cycle, period " +
+               std::to_string(cls.attractors[cls.attractor[s]].period) + "]";
+        break;
+      case StateKind::kTransient:
+        out += "   [transient]";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_text(const ChoiceDigraph& g) {
+  const auto analysis = analyze(g);
+  std::string out;
+  for (StateCode s = 0; s < g.num_states(); ++s) {
+    out += state_label(s, g.bits()) + " -> {";
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      if (v != 0) out += ", ";
+      out += "node" + std::to_string(v + 1) + ": " +
+             state_label(g.succ(s, v), g.bits());
+    }
+    out += "}";
+    for (StateCode f : analysis.fixed_points) {
+      if (f == s) out += "   [fixed point]";
+    }
+    for (StateCode f : analysis.pseudo_fixed_points) {
+      if (f == s) out += "   [pseudo-fixed point]";
+    }
+    if (analysis.scc_id.size() > s) {
+      // annotate proper-cycle membership
+      std::uint64_t members = 0;
+      for (StateCode t = 0; t < g.num_states(); ++t) {
+        if (analysis.scc_id[t] == analysis.scc_id[s]) ++members;
+      }
+      if (members >= 2) out += "   [on a proper cycle]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tca::phasespace

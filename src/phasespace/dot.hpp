@@ -1,0 +1,38 @@
+#pragma once
+// Graphviz DOT export of phase spaces (DESIGN.md S4) — regenerates the
+// paper's Fig. 1 drawings. Deterministic phase spaces get plain edges;
+// choice digraphs label each edge with the updating node (1-based, matching
+// the paper's figure).
+
+#include <string>
+
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/classify.hpp"
+#include "phasespace/functional_graph.hpp"
+
+namespace tca::phasespace {
+
+/// Binary label of a state code, cell 0 first ("01" for code 2 at 2 bits).
+[[nodiscard]] std::string state_label(StateCode s, std::uint32_t bits);
+
+/// DOT digraph of a deterministic phase space. Fixed points are drawn as
+/// doubled circles, proper cycle states shaded.
+[[nodiscard]] std::string to_dot(const FunctionalGraph& fg,
+                                 const std::string& name = "phase_space");
+
+/// DOT digraph of a nondeterministic sequential phase space; each edge is
+/// labelled with the 1-based updating node. Self-loop edges are included
+/// (they are what makes pseudo-fixed points visible).
+[[nodiscard]] std::string to_dot(const ChoiceDigraph& g,
+                                 const std::string& name = "sca_phase_space");
+
+/// Compact text rendering of a deterministic phase space: one line per
+/// state, "<state> -> <succ>   [kind]". Used by the experiment binaries so
+/// the paper's figure is reproducible without Graphviz.
+[[nodiscard]] std::string to_text(const FunctionalGraph& fg);
+
+/// Compact text rendering of a choice digraph: one line per state with all
+/// per-node successors, annotated FP / pseudo-FP.
+[[nodiscard]] std::string to_text(const ChoiceDigraph& g);
+
+}  // namespace tca::phasespace

@@ -1,0 +1,78 @@
+#include "phasespace/functional_graph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+
+namespace tca::phasespace {
+
+FunctionalGraph::FunctionalGraph(std::uint32_t bits, const CodeStepFn& step)
+    : bits_(bits) {
+  if (bits > kMaxExplicitBits) {
+    throw std::invalid_argument("FunctionalGraph: too many cells for explicit "
+                                "enumeration (max 26)");
+  }
+  const StateCode count = StateCode{1} << bits;
+  succ_.resize(count);
+  for (StateCode s = 0; s < count; ++s) succ_[s] = step(s);
+}
+
+FunctionalGraph FunctionalGraph::synchronous(const core::Automaton& a) {
+  return FunctionalGraph(static_cast<std::uint32_t>(a.size()),
+                         synchronous_code_step(a));
+}
+
+FunctionalGraph FunctionalGraph::synchronous_parallel(const core::Automaton& a,
+                                                      core::ThreadPool& pool) {
+  const auto bits = static_cast<std::uint32_t>(a.size());
+  if (bits > kMaxExplicitBits) {
+    throw std::invalid_argument("FunctionalGraph: too many cells for explicit "
+                                "enumeration (max 26)");
+  }
+  FunctionalGraph fg;
+  fg.bits_ = bits;
+  fg.succ_.resize(StateCode{1} << bits);
+  const std::size_t n = a.size();
+  StateCode* out = fg.succ_.data();
+  // Each worker evaluates a contiguous state range with its own buffers:
+  // writes are disjoint, reads are to the shared immutable automaton.
+  pool.parallel_for(0, fg.succ_.size(), /*align=*/1024,
+                    [&a, n, out](std::size_t begin, std::size_t end) {
+                      core::Configuration front(n);
+                      core::Configuration back(n);
+                      for (std::size_t s = begin; s < end; ++s) {
+                        front = core::Configuration::from_bits(s, n);
+                        core::step_synchronous(a, front, back);
+                        out[s] = back.to_bits();
+                      }
+                    });
+  return fg;
+}
+
+FunctionalGraph FunctionalGraph::sweep(const core::Automaton& a,
+                                       std::vector<core::NodeId> order) {
+  return FunctionalGraph(static_cast<std::uint32_t>(a.size()),
+                         sweep_code_step(a, std::move(order)));
+}
+
+CodeStepFn synchronous_code_step(const core::Automaton& a) {
+  const std::size_t n = a.size();
+  return [&a, n](StateCode s) {
+    const auto c = core::Configuration::from_bits(s, n);
+    return core::step_synchronous(a, c).to_bits();
+  };
+}
+
+CodeStepFn sweep_code_step(const core::Automaton& a,
+                           std::vector<core::NodeId> order) {
+  const std::size_t n = a.size();
+  return [&a, n, order = std::move(order)](StateCode s) {
+    auto c = core::Configuration::from_bits(s, n);
+    core::apply_sequence(a, c, order);
+    return c.to_bits();
+  };
+}
+
+}  // namespace tca::phasespace

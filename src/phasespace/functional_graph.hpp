@@ -1,0 +1,72 @@
+#pragma once
+// Explicit phase spaces of deterministic CA (DESIGN.md S4).
+//
+// The paper's Section 2 views a CA as a discrete dynamical system whose
+// phase space is the digraph on all 2^n global configurations with an edge
+// x -> F(x). For a DETERMINISTIC update scheme (classical parallel CA, or a
+// sequential CA with a fixed sweep order) every state has out-degree 1, so
+// the phase space is a functional graph: disjoint cycles with trees hanging
+// off them.
+//
+// Global configurations are encoded as uint64 state codes with bit i =
+// cell i; explicit construction is limited to n <= 26 cells.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "core/thread_pool.hpp"
+
+namespace tca::phasespace {
+
+/// Encoded global configuration (bit i = cell i).
+using StateCode = std::uint64_t;
+
+/// Deterministic successor map over encoded states.
+using CodeStepFn = std::function<StateCode(StateCode)>;
+
+/// Hard cap on explicit enumeration (2^26 states x 4 bytes = 256 MiB).
+inline constexpr std::uint32_t kMaxExplicitBits = 26;
+
+/// The full successor table of a deterministic map on n-bit states.
+class FunctionalGraph {
+ public:
+  /// Builds succ[s] = step(s) for all s in [0, 2^bits).
+  FunctionalGraph(std::uint32_t bits, const CodeStepFn& step);
+
+  /// Phase space of the classical parallel CA (synchronous global map F).
+  static FunctionalGraph synchronous(const core::Automaton& a);
+
+  /// Same table, built across a thread pool (the 2^n state evaluations
+  /// are independent). Bit-for-bit identical to synchronous().
+  static FunctionalGraph synchronous_parallel(const core::Automaton& a,
+                                              core::ThreadPool& pool);
+
+  /// Phase space of the SCA whose step is one full sweep of `order`.
+  static FunctionalGraph sweep(const core::Automaton& a,
+                               std::vector<core::NodeId> order);
+
+  [[nodiscard]] std::uint32_t bits() const noexcept { return bits_; }
+  [[nodiscard]] StateCode num_states() const noexcept {
+    return StateCode{1} << bits_;
+  }
+  [[nodiscard]] StateCode succ(StateCode s) const { return succ_[s]; }
+  [[nodiscard]] const std::vector<StateCode>& successors() const noexcept {
+    return succ_;
+  }
+
+ private:
+  FunctionalGraph() = default;  // for the parallel builder
+
+  std::uint32_t bits_ = 0;
+  std::vector<StateCode> succ_;
+};
+
+/// Adapters from automata to encoded-state step functions.
+[[nodiscard]] CodeStepFn synchronous_code_step(const core::Automaton& a);
+[[nodiscard]] CodeStepFn sweep_code_step(const core::Automaton& a,
+                                         std::vector<core::NodeId> order);
+
+}  // namespace tca::phasespace

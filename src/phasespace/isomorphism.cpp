@@ -1,0 +1,99 @@
+#include "phasespace/isomorphism.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "phasespace/classify.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+/// AHU canonical encoding of the tree of transient predecessors hanging
+/// off `root` (children = preimages; cycle predecessors excluded).
+/// Iterative post-order over the preimage lists.
+std::string tree_encoding(StateCode root,
+                          const std::vector<std::vector<StateCode>>& tree_preds) {
+  // Post-order: children encodings must be complete before the parent's.
+  struct Frame {
+    StateCode node;
+    std::size_t next_child = 0;
+    std::vector<std::string> child_codes;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root, 0, {}});
+  std::string result;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& children = tree_preds[frame.node];
+    if (frame.next_child < children.size()) {
+      stack.push_back(Frame{children[frame.next_child++], 0, {}});
+      continue;
+    }
+    std::sort(frame.child_codes.begin(), frame.child_codes.end());
+    std::string code = "(";
+    for (const auto& c : frame.child_codes) code += c;
+    code += ")";
+    stack.pop_back();
+    if (stack.empty()) {
+      result = std::move(code);
+    } else {
+      stack.back().child_codes.push_back(std::move(code));
+    }
+  }
+  return result;
+}
+
+/// Lexicographically smallest rotation of `items` joined with separators.
+std::string minimal_rotation(const std::vector<std::string>& items) {
+  std::string best;
+  for (std::size_t shift = 0; shift < items.size(); ++shift) {
+    std::string candidate;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      candidate += items[(shift + i) % items.size()];
+      candidate += "|";
+    }
+    if (best.empty() || candidate < best) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string canonical_form(const FunctionalGraph& fg) {
+  const auto cls = classify(fg);
+  const StateCode count = fg.num_states();
+
+  // Preimage lists restricted to transient (tree) edges.
+  std::vector<std::vector<StateCode>> tree_preds(count);
+  for (StateCode s = 0; s < count; ++s) {
+    if (cls.kind[s] == StateKind::kTransient) {
+      tree_preds[fg.succ(s)].push_back(s);
+    }
+  }
+
+  // Walk each attractor's cycle once, collecting per-node tree encodings.
+  std::vector<std::string> components;
+  for (const auto& attractor : cls.attractors) {
+    std::vector<std::string> around;
+    StateCode s = attractor.representative;
+    for (std::uint64_t i = 0; i < attractor.period; ++i) {
+      around.push_back(tree_encoding(s, tree_preds));
+      s = fg.succ(s);
+    }
+    std::string component = "[";
+    component += minimal_rotation(around);
+    component += "]";
+    components.push_back(std::move(component));
+  }
+  std::sort(components.begin(), components.end());
+  std::string out;
+  for (const auto& c : components) out += c;
+  return out;
+}
+
+bool isomorphic(const FunctionalGraph& a, const FunctionalGraph& b) {
+  if (a.num_states() != b.num_states()) return false;
+  return canonical_form(a) == canonical_form(b);
+}
+
+}  // namespace tca::phasespace

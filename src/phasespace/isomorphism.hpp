@@ -1,0 +1,33 @@
+#pragma once
+// Isomorphism of deterministic phase spaces (DESIGN.md S4 extension).
+//
+// The paper's Section 3.1: "one can find a CA such that no sequential CA
+// with the same underlying cellular space and the same node update rule
+// can reproduce identical or even ISOMORPHIC computation". Two phase
+// spaces are isomorphic when a state bijection commutes with the
+// successor maps — i.e. the functional graphs are isomorphic as digraphs.
+//
+// Functional graphs admit a canonical form in near-linear time: every
+// component is a cycle of rooted trees, so
+//   * each hanging tree gets its AHU canonical encoding,
+//   * each cycle gets the lexicographically minimal rotation of its
+//     sequence of tree encodings,
+//   * the graph is the sorted multiset of component encodings.
+// Equality of canonical forms is exactly digraph isomorphism.
+
+#include <string>
+
+#include "phasespace/functional_graph.hpp"
+
+namespace tca::phasespace {
+
+/// Canonical encoding of the functional graph; equal strings <=>
+/// isomorphic phase spaces.
+[[nodiscard]] std::string canonical_form(const FunctionalGraph& fg);
+
+/// True iff the two phase spaces are isomorphic as digraphs (sizes may
+/// differ, in which case the answer is false).
+[[nodiscard]] bool isomorphic(const FunctionalGraph& a,
+                              const FunctionalGraph& b);
+
+}  // namespace tca::phasespace

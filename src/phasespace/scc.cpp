@@ -1,0 +1,73 @@
+#include "phasespace/scc.hpp"
+
+#include <limits>
+
+namespace tca::phasespace {
+
+SccResult strongly_connected_components(
+    std::uint64_t num_states,
+    const std::function<std::uint32_t(std::uint64_t)>& out_degree,
+    const std::function<std::uint64_t(std::uint64_t, std::uint32_t)>& edge) {
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  SccResult result;
+  result.component.assign(num_states, kUnset);
+
+  std::vector<std::uint32_t> index(num_states, kUnset);
+  std::vector<std::uint32_t> lowlink(num_states, 0);
+  std::vector<std::uint8_t> on_stack(num_states, 0);
+  std::vector<std::uint64_t> tarjan_stack;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frames: (state, next out-edge to explore).
+  struct Frame {
+    std::uint64_t state;
+    std::uint32_t next_edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint64_t root = 0; root < num_states; ++root) {
+    if (index[root] != kUnset) continue;
+    dfs.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    tarjan_stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const std::uint64_t s = frame.state;
+      if (frame.next_edge < out_degree(s)) {
+        const std::uint64_t t = edge(s, frame.next_edge++);
+        if (index[t] == kUnset) {
+          index[t] = lowlink[t] = next_index++;
+          tarjan_stack.push_back(t);
+          on_stack[t] = 1;
+          dfs.push_back(Frame{t, 0});
+        } else if (on_stack[t] && index[t] < lowlink[s]) {
+          lowlink[s] = index[t];
+        }
+      } else {
+        if (lowlink[s] == index[s]) {
+          const auto comp = static_cast<std::uint32_t>(result.num_components++);
+          std::uint64_t size = 0;
+          for (;;) {
+            const std::uint64_t w = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            on_stack[w] = 0;
+            result.component[w] = comp;
+            ++size;
+            if (w == s) break;
+          }
+          result.component_size.push_back(size);
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const std::uint64_t parent = dfs.back().state;
+          if (lowlink[s] < lowlink[parent]) lowlink[parent] = lowlink[s];
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tca::phasespace

@@ -1,0 +1,30 @@
+#pragma once
+// Strongly connected components for implicit digraphs (DESIGN.md S4).
+//
+// Iterative Tarjan over a digraph given as (num_states, out_degree,
+// edge(state, index)) callbacks, so both ChoiceDigraph and ad-hoc
+// transition systems (the ACA explorer) can reuse it without materializing
+// an edge list.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tca::phasespace {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  std::vector<std::uint32_t> component;  ///< per state, ids in reverse
+                                         ///< topological order of the DAG
+  std::uint64_t num_components = 0;
+  std::vector<std::uint64_t> component_size;  ///< per component id
+};
+
+/// Iterative Tarjan. `out_degree(s)` and `edge(s, i)` describe the digraph;
+/// states are [0, num_states).
+[[nodiscard]] SccResult strongly_connected_components(
+    std::uint64_t num_states,
+    const std::function<std::uint32_t(std::uint64_t)>& out_degree,
+    const std::function<std::uint64_t(std::uint64_t, std::uint32_t)>& edge);
+
+}  // namespace tca::phasespace

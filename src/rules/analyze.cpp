@@ -1,0 +1,154 @@
+#include "rules/analyze.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tca::rules {
+namespace {
+
+std::uint32_t table_arity(const std::vector<State>& table) {
+  if (table.empty() || (table.size() & (table.size() - 1)) != 0) {
+    throw std::invalid_argument("table size must be a power of two");
+  }
+  return static_cast<std::uint32_t>(std::countr_zero(table.size()));
+}
+
+}  // namespace
+
+std::vector<State> truth_table(const Rule& rule, std::uint32_t arity) {
+  if (arity > 20) throw std::invalid_argument("truth_table: arity > 20");
+  const std::uint32_t fixed = required_arity(rule);
+  if (fixed != 0 && fixed != arity) {
+    throw std::invalid_argument("truth_table: rule arity mismatch");
+  }
+  const std::size_t size = std::size_t{1} << arity;
+  std::vector<State> table(size);
+  std::vector<State> inputs(arity);
+  for (std::size_t idx = 0; idx < size; ++idx) {
+    for (std::uint32_t b = 0; b < arity; ++b) {
+      inputs[b] = static_cast<State>((idx >> (arity - 1 - b)) & 1u);
+    }
+    table[idx] = eval(rule, inputs);
+  }
+  return table;
+}
+
+bool is_monotone(const std::vector<State>& table) {
+  const std::uint32_t m = table_arity(table);
+  // f monotone iff flipping any single 0-bit to 1 never decreases f.
+  for (std::size_t x = 0; x < table.size(); ++x) {
+    for (std::uint32_t b = 0; b < m; ++b) {
+      const std::size_t bit = std::size_t{1} << b;
+      if ((x & bit) == 0 && table[x] > table[x | bit]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_symmetric(const std::vector<State>& table) {
+  const std::uint32_t m = table_arity(table);
+  std::vector<std::int8_t> by_count(m + 1, -1);
+  for (std::size_t x = 0; x < table.size(); ++x) {
+    const auto ones = static_cast<std::uint32_t>(std::popcount(x));
+    if (by_count[ones] < 0) {
+      by_count[ones] = static_cast<std::int8_t>(table[x]);
+    } else if (by_count[ones] != table[x]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_constant(const std::vector<State>& table) {
+  for (State s : table) {
+    if (s != table[0]) return false;
+  }
+  return true;
+}
+
+bool is_self_dual(const std::vector<State>& table) {
+  const std::size_t mask = table.size() - 1;
+  for (std::size_t x = 0; x < table.size(); ++x) {
+    if (table[x] == table[~x & mask]) return false;
+  }
+  return true;
+}
+
+bool is_monotone(const Rule& rule, std::uint32_t arity) {
+  return is_monotone(truth_table(rule, arity));
+}
+
+bool is_symmetric(const Rule& rule, std::uint32_t arity) {
+  return is_symmetric(truth_table(rule, arity));
+}
+
+std::optional<ThresholdForm> threshold_representation(
+    const std::vector<State>& table, std::uint64_t max_updates) {
+  const std::uint32_t m = table_arity(table);
+  // Perceptron on inputs augmented with a constant -1 coordinate for the
+  // threshold. Separating hyperplane: w.x - theta >= 0 <=> label 1. We train
+  // with the strict-margin trick: treat ">= 0 vs < 0" by nudging labels.
+  std::vector<std::int64_t> w(m, 0);
+  std::int64_t theta = 0;
+  bool converged = false;
+  std::uint64_t updates = 0;
+  while (!converged && updates <= max_updates) {
+    converged = true;
+    for (std::size_t x = 0; x < table.size(); ++x) {
+      std::int64_t dot = -theta;
+      for (std::uint32_t b = 0; b < m; ++b) {
+        if (x >> (m - 1 - b) & 1u) dot += w[b];
+      }
+      const bool predict = dot >= 0;
+      const bool want = table[x] != 0;
+      if (predict == want) continue;
+      converged = false;
+      ++updates;
+      const std::int64_t dir = want ? 1 : -1;
+      for (std::uint32_t b = 0; b < m; ++b) {
+        if (x >> (m - 1 - b) & 1u) w[b] += dir;
+      }
+      theta -= dir;  // augmented coordinate is -1
+      // Keep the "want 0" side strict: when dir is -1 and dot was exactly
+      // 0, the update above already moves dot negative next time around.
+    }
+  }
+  if (!converged) return std::nullopt;
+  ThresholdForm form;
+  form.weights.reserve(m);
+  for (std::int64_t wi : w) {
+    form.weights.push_back(static_cast<std::int32_t>(wi));
+  }
+  form.theta = static_cast<std::int32_t>(theta);
+  return form;
+}
+
+std::optional<std::uint32_t> as_k_of_n(const std::vector<State>& table) {
+  if (!is_symmetric(table) || !is_monotone(table) || is_constant(table)) {
+    return std::nullopt;
+  }
+  const std::uint32_t m = table_arity(table);
+  // Monotone symmetric non-constant => accept vector is 0^k 1^(m+1-k).
+  for (std::uint32_t k = 0; k <= m; ++k) {
+    const std::size_t probe = (std::size_t{1} << k) - 1;  // k ones
+    if (table[probe] != 0) return k;
+  }
+  return std::nullopt;  // unreachable for non-constant monotone symmetric
+}
+
+std::uint32_t essential_arity(const std::vector<State>& table) {
+  const std::uint32_t m = table_arity(table);
+  std::uint32_t essential = 0;
+  for (std::uint32_t b = 0; b < m; ++b) {
+    const std::size_t bit = std::size_t{1} << b;
+    for (std::size_t x = 0; x < table.size(); ++x) {
+      if ((x & bit) == 0 && table[x] != table[x | bit]) {
+        ++essential;
+        break;
+      }
+    }
+  }
+  return essential;
+}
+
+}  // namespace tca::rules

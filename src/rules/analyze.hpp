@@ -1,0 +1,68 @@
+#pragma once
+// Boolean-function property analyzers (DESIGN.md S2).
+//
+// The paper's class boundaries are properties of the local rule:
+//  * Theorem 1 covers MONOTONE SYMMETRIC rules (== simple thresholds),
+//  * the XOR example works because parity is NOT monotone,
+//  * "totalistic" CA are exactly those with symmetric rules.
+// These analyzers let tests and experiments walk whole rule classes instead
+// of hand-picked instances.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace tca::rules {
+
+/// Full truth table of `rule` at arity `m`: result[idx] for idx in [0, 2^m),
+/// with inputs[0] as the most significant bit (TableRule convention).
+/// Throws if the rule has a fixed arity different from m, or m > 20.
+[[nodiscard]] std::vector<State> truth_table(const Rule& rule,
+                                             std::uint32_t arity);
+
+/// True if f(x) <= f(y) whenever x <= y bitwise (monotone nondecreasing).
+[[nodiscard]] bool is_monotone(const std::vector<State>& table);
+
+/// True if the output depends only on the number of ones in the input.
+[[nodiscard]] bool is_symmetric(const std::vector<State>& table);
+
+/// True if the function is constant (0 or 1 everywhere).
+[[nodiscard]] bool is_constant(const std::vector<State>& table);
+
+/// True if f(~x) = ~f(x) for all x (self-dual; e.g. odd-arity majority).
+[[nodiscard]] bool is_self_dual(const std::vector<State>& table);
+
+/// Convenience overloads evaluating the rule at a given arity first.
+[[nodiscard]] bool is_monotone(const Rule& rule, std::uint32_t arity);
+[[nodiscard]] bool is_symmetric(const Rule& rule, std::uint32_t arity);
+
+/// An integer-weight linear threshold representation: output 1 iff
+/// sum_i weights[i] * x_i >= theta.
+struct ThresholdForm {
+  std::vector<std::int32_t> weights;
+  std::int32_t theta = 0;
+};
+
+/// If the function given by `table` is a linear threshold function, returns
+/// an integer representation; otherwise std::nullopt.
+///
+/// Implementation: perceptron training on the full truth table. The
+/// perceptron convergence theorem guarantees termination when the function
+/// is separable; every threshold function of m <= 9 variables has an
+/// integer representation with |weights| <= 2^(m^2) but in practice tiny,
+/// so we cap iterations generously and report nullopt past the cap.
+/// Exact for every function exercised in this repository (arity <= 7).
+[[nodiscard]] std::optional<ThresholdForm> threshold_representation(
+    const std::vector<State>& table, std::uint64_t max_updates = 2'000'000);
+
+/// If the symmetric function `table` is monotone and non-constant, returns
+/// the unique k such that f == (ones >= k); otherwise std::nullopt.
+[[nodiscard]] std::optional<std::uint32_t> as_k_of_n(
+    const std::vector<State>& table);
+
+/// Number of input variables the function actually depends on.
+[[nodiscard]] std::uint32_t essential_arity(const std::vector<State>& table);
+
+}  // namespace tca::rules

@@ -1,0 +1,63 @@
+#include "rules/enumerate.hpp"
+
+#include <stdexcept>
+
+#include "rules/analyze.hpp"
+
+namespace tca::rules {
+
+std::vector<SymmetricRule> all_monotone_symmetric(std::uint32_t arity) {
+  std::vector<SymmetricRule> out;
+  out.reserve(arity + 2);
+  // Monotone symmetric <=> accept vector is a nondecreasing 0/1 step
+  // function of the ones-count: 0^j 1^(arity+1-j) for j = 0..arity+1.
+  for (std::uint32_t j = 0; j <= arity + 1; ++j) {
+    SymmetricRule r;
+    r.accept.assign(arity + 1, 0);
+    for (std::uint32_t s = j; s <= arity; ++s) r.accept[s] = 1;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<SymmetricRule> all_symmetric(std::uint32_t arity) {
+  if (arity > 20) throw std::invalid_argument("all_symmetric: arity > 20");
+  const std::size_t count = std::size_t{1} << (arity + 1);
+  std::vector<SymmetricRule> out;
+  out.reserve(count);
+  for (std::size_t bits = 0; bits < count; ++bits) {
+    SymmetricRule r;
+    r.accept.resize(arity + 1);
+    for (std::uint32_t s = 0; s <= arity; ++s) {
+      r.accept[s] = static_cast<State>((bits >> s) & 1u);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<std::vector<State>> all_monotone_tables(std::uint32_t arity) {
+  if (arity > 4) {
+    throw std::invalid_argument("all_monotone_tables: arity > 4");
+  }
+  const std::size_t rows = std::size_t{1} << arity;
+  const std::size_t tables = std::size_t{1} << rows;
+  std::vector<std::vector<State>> out;
+  for (std::size_t bits = 0; bits < tables; ++bits) {
+    std::vector<State> table(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      table[r] = static_cast<State>((bits >> r) & 1u);
+    }
+    if (is_monotone(table)) out.push_back(std::move(table));
+  }
+  return out;
+}
+
+std::vector<KOfNRule> all_k_of_n(std::uint32_t arity) {
+  std::vector<KOfNRule> out;
+  out.reserve(arity);
+  for (std::uint32_t k = 1; k <= arity; ++k) out.push_back(KOfNRule{k});
+  return out;
+}
+
+}  // namespace tca::rules

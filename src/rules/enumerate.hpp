@@ -1,0 +1,35 @@
+#pragma once
+// Enumeration of whole rule classes (DESIGN.md S2).
+//
+// The paper's theorems quantify over classes of rules ("for ANY monotone
+// symmetric rule..."), so the test suite and the experiment harness sweep
+// entire classes rather than spot-check single rules.
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace tca::rules {
+
+/// All monotone symmetric Boolean functions of the given arity, as
+/// SymmetricRules. These are exactly: constant 0, constant 1, and the
+/// k-of-n thresholds for k = 1..arity — i.e. (arity + 2) rules. This
+/// classical fact is itself verified by a test (enumerate_test).
+[[nodiscard]] std::vector<SymmetricRule> all_monotone_symmetric(
+    std::uint32_t arity);
+
+/// All 2^(arity+1) symmetric (totalistic) Boolean functions of given arity.
+/// Throws for arity > 20.
+[[nodiscard]] std::vector<SymmetricRule> all_symmetric(std::uint32_t arity);
+
+/// All monotone Boolean functions of the given arity as truth tables
+/// (Dedekind numbers: 2, 3, 6, 20, 168 for arity 0..4). Brute-force over
+/// all tables; throws for arity > 4.
+[[nodiscard]] std::vector<std::vector<State>> all_monotone_tables(
+    std::uint32_t arity);
+
+/// All non-constant k-of-n rules at the given arity (k = 1..arity).
+[[nodiscard]] std::vector<KOfNRule> all_k_of_n(std::uint32_t arity);
+
+}  // namespace tca::rules

@@ -1,0 +1,164 @@
+#include "rules/rule.hpp"
+
+namespace tca::rules {
+
+State eval(const SymmetricRule& r, std::span<const State> inputs) {
+  const std::uint32_t ones = count_ones(inputs);
+  if (r.accept.size() != inputs.size() + 1) {
+    throw std::invalid_argument(
+        "SymmetricRule: accept vector sized " + std::to_string(r.accept.size()) +
+        " but arity is " + std::to_string(inputs.size()));
+  }
+  return r.accept[ones];
+}
+
+State eval(const TableRule& r, std::span<const State> inputs) {
+  if (r.table.size() != (std::size_t{1} << inputs.size())) {
+    throw std::invalid_argument(
+        "TableRule: table sized " + std::to_string(r.table.size()) +
+        " but arity is " + std::to_string(inputs.size()));
+  }
+  std::size_t idx = 0;
+  for (State s : inputs) idx = (idx << 1) | s;
+  return r.table[idx];
+}
+
+State eval(const WeightedThresholdRule& r, std::span<const State> inputs) {
+  if (r.weights.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "WeightedThresholdRule: " + std::to_string(r.weights.size()) +
+        " weights but arity is " + std::to_string(inputs.size()));
+  }
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    acc += static_cast<std::int64_t>(r.weights[i]) * inputs[i];
+  }
+  return acc >= r.theta ? State{1} : State{0};
+}
+
+State eval(const OuterTotalisticRule& r, std::span<const State> inputs) {
+  if (r.born.size() != inputs.size() || r.survive.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "OuterTotalisticRule: born/survive sized for arity " +
+        std::to_string(r.born.size()) + " but got " +
+        std::to_string(inputs.size()) + " inputs");
+  }
+  if (r.self_index >= inputs.size()) {
+    throw std::invalid_argument("OuterTotalisticRule: self_index out of range");
+  }
+  const State self = inputs[r.self_index];
+  const std::uint32_t others = count_ones(inputs) - self;
+  return self != 0 ? r.survive[others] : r.born[others];
+}
+
+std::uint32_t required_arity(const Rule& rule) {
+  struct Visitor {
+    std::uint32_t operator()(const MajorityRule&) const { return 0; }
+    std::uint32_t operator()(const KOfNRule&) const { return 0; }
+    std::uint32_t operator()(const ParityRule&) const { return 0; }
+    std::uint32_t operator()(const SymmetricRule& r) const {
+      return static_cast<std::uint32_t>(r.accept.size() - 1);
+    }
+    std::uint32_t operator()(const TableRule& r) const {
+      std::uint32_t m = 0;
+      while ((std::size_t{1} << m) < r.table.size()) ++m;
+      return m;
+    }
+    std::uint32_t operator()(const WeightedThresholdRule& r) const {
+      return static_cast<std::uint32_t>(r.weights.size());
+    }
+    std::uint32_t operator()(const OuterTotalisticRule& r) const {
+      return static_cast<std::uint32_t>(r.born.size());
+    }
+  };
+  return std::visit(Visitor{}, rule);
+}
+
+std::string describe(const Rule& rule) {
+  struct Visitor {
+    std::string operator()(const MajorityRule& r) const {
+      return r.tie == MajorityTie::kZero ? "majority(tie->0)"
+                                         : "majority(tie->1)";
+    }
+    std::string operator()(const KOfNRule& r) const {
+      return std::to_string(r.k) + "-of-n";
+    }
+    std::string operator()(const ParityRule&) const { return "parity"; }
+    std::string operator()(const SymmetricRule& r) const {
+      std::string s = "symmetric[";
+      for (State a : r.accept) s += static_cast<char>('0' + a);
+      return s + "]";
+    }
+    std::string operator()(const TableRule& r) const {
+      std::string s = "table[";
+      for (State a : r.table) s += static_cast<char>('0' + a);
+      return s + "]";
+    }
+    std::string operator()(const WeightedThresholdRule& r) const {
+      return "threshold(theta=" + std::to_string(r.theta) + ", " +
+             std::to_string(r.weights.size()) + " weights)";
+    }
+    std::string operator()(const OuterTotalisticRule& r) const {
+      std::string s = "outer-totalistic(B";
+      for (std::size_t i = 0; i < r.born.size(); ++i) {
+        if (r.born[i] != 0) s += std::to_string(i);
+      }
+      s += "/S";
+      for (std::size_t i = 0; i < r.survive.size(); ++i) {
+        if (r.survive[i] != 0) s += std::to_string(i);
+      }
+      return s + ")";
+    }
+  };
+  return std::visit(Visitor{}, rule);
+}
+
+Rule majority_k_of(std::uint32_t arity) {
+  if (arity % 2 == 0) {
+    throw std::invalid_argument("majority_k_of: arity must be odd");
+  }
+  return KOfNRule{(arity + 1) / 2};
+}
+
+OuterTotalisticRule life_like(std::span<const std::uint32_t> born,
+                              std::span<const std::uint32_t> survive,
+                              std::uint32_t neighbors,
+                              std::uint32_t self_index) {
+  OuterTotalisticRule r;
+  r.born.assign(neighbors + 1, 0);
+  r.survive.assign(neighbors + 1, 0);
+  r.self_index = self_index;
+  for (std::uint32_t b : born) {
+    if (b > neighbors) {
+      throw std::invalid_argument("life_like: born count > neighbors");
+    }
+    r.born[b] = 1;
+  }
+  for (std::uint32_t s : survive) {
+    if (s > neighbors) {
+      throw std::invalid_argument("life_like: survive count > neighbors");
+    }
+    r.survive[s] = 1;
+  }
+  return r;
+}
+
+OuterTotalisticRule game_of_life() {
+  const std::uint32_t born[] = {3};
+  const std::uint32_t survive[] = {2, 3};
+  return life_like(born, survive, 8);
+}
+
+TableRule wolfram(std::uint32_t code) {
+  if (code > 255) {
+    throw std::invalid_argument("wolfram: code must be in [0, 255]");
+  }
+  TableRule r;
+  r.table.resize(8);
+  for (std::size_t idx = 0; idx < 8; ++idx) {
+    r.table[idx] = static_cast<State>((code >> idx) & 1u);
+  }
+  return r;
+}
+
+}  // namespace tca::rules

@@ -1,0 +1,118 @@
+#include "sds/order_equivalence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "sds/sds.hpp"
+
+namespace tca::sds {
+
+std::vector<NodeId> canonical_order(const graph::Graph& g,
+                                    std::span<const NodeId> order) {
+  // Lexicographically least word of the trace class, built greedily: at
+  // each step take the smallest remaining node that can be commuted to the
+  // front (i.e. is graph-non-adjacent to everything before it in the
+  // remaining word). This is the standard normal form for trace monoids
+  // and is canonical, unlike naive bubble passes which can stall in
+  // different local minima.
+  std::vector<NodeId> rest(order.begin(), order.end());
+  std::vector<NodeId> out;
+  out.reserve(rest.size());
+  while (!rest.empty()) {
+    std::size_t best = 0;  // rest[0] is trivially movable to the front
+    for (std::size_t i = 1; i < rest.size(); ++i) {
+      if (rest[i] >= rest[best]) continue;
+      bool movable = true;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (g.has_edge(rest[i], rest[j])) {
+          movable = false;
+          break;
+        }
+      }
+      if (movable) best = i;
+    }
+    out.push_back(rest[best]);
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  return out;
+}
+
+bool commutation_equivalent(const graph::Graph& g,
+                            std::span<const NodeId> order1,
+                            std::span<const NodeId> order2) {
+  return canonical_order(g, order1) == canonical_order(g, order2);
+}
+
+std::uint64_t count_commutation_classes(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n > 9) {
+    throw std::invalid_argument("count_commutation_classes: n > 9");
+  }
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  std::set<std::vector<NodeId>> canonical;
+  do {
+    canonical.insert(canonical_order(g, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return canonical.size();
+}
+
+std::uint64_t count_acyclic_orientations(const graph::Graph& g) {
+  const auto edges = g.edges();
+  const std::size_t m = edges.size();
+  if (m > 24) {
+    throw std::invalid_argument("count_acyclic_orientations: m > 24");
+  }
+  const std::size_t n = g.num_nodes();
+  std::uint64_t count = 0;
+  // Orientation bit e: 0 = u->v, 1 = v->u. Acyclic check: Kahn's algorithm.
+  std::vector<std::uint32_t> indeg(n);
+  std::vector<std::vector<NodeId>> out(n);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << m); ++bits) {
+    std::fill(indeg.begin(), indeg.end(), 0u);
+    for (auto& o : out) o.clear();
+    for (std::size_t e = 0; e < m; ++e) {
+      const NodeId from = ((bits >> e) & 1u) ? edges[e].v : edges[e].u;
+      const NodeId to = ((bits >> e) & 1u) ? edges[e].u : edges[e].v;
+      out[from].push_back(to);
+      ++indeg[to];
+    }
+    std::vector<NodeId> ready;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (indeg[v] == 0) ready.push_back(static_cast<NodeId>(v));
+    }
+    std::size_t removed = 0;
+    while (!ready.empty()) {
+      const NodeId v = ready.back();
+      ready.pop_back();
+      ++removed;
+      for (NodeId w : out[v]) {
+        if (--indeg[w] == 0) ready.push_back(w);
+      }
+    }
+    if (removed == n) ++count;
+  }
+  return count;
+}
+
+std::uint64_t count_distinct_sweep_maps(const core::Automaton& a) {
+  const std::size_t n = a.size();
+  if (n > 9) {
+    throw std::invalid_argument("count_distinct_sweep_maps: n > 9");
+  }
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  std::set<std::vector<StateCode>> maps;
+  const StateCode count = StateCode{1} << n;
+  do {
+    const Sds sds(a, perm);
+    std::vector<StateCode> table(count);
+    for (StateCode s = 0; s < count; ++s) table[s] = sds.sweep(s);
+    maps.insert(std::move(table));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return maps.size();
+}
+
+}  // namespace tca::sds

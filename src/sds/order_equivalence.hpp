@@ -1,0 +1,52 @@
+#pragma once
+// Update-order equivalence for SDS (DESIGN.md S6).
+//
+// Two permutations that differ by swapping ADJACENT-IN-THE-ORDER nodes that
+// are NOT adjacent in the graph induce the same sweep map (their updates
+// commute — neither reads the other's output). The commutation classes are
+// in bijection with the acyclic orientations of the graph (Cartier–Foata /
+// Mortveit–Reidys), so the number of functionally distinct SDS maps is at
+// most a(G), the number of acyclic orientations. Tests verify both the
+// canonical-form machinery and the bound against brute-force map
+// comparison.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "graph/graph.hpp"
+
+namespace tca::sds {
+
+using core::NodeId;
+
+/// Canonical representative of `order`'s commutation class w.r.t. graph
+/// `g`: the lexicographically least permutation in the class, computed by
+/// the standard greedy trace-monoid normal form (repeatedly extract the
+/// smallest node that commutes past everything before it).
+[[nodiscard]] std::vector<NodeId> canonical_order(const graph::Graph& g,
+                                                  std::span<const NodeId> order);
+
+/// True if the two orders are in the same commutation class (equal
+/// canonical forms) — a SUFFICIENT condition for inducing the same sweep
+/// map on any automaton over g.
+[[nodiscard]] bool commutation_equivalent(const graph::Graph& g,
+                                          std::span<const NodeId> order1,
+                                          std::span<const NodeId> order2);
+
+/// Number of distinct commutation classes over ALL n! permutations
+/// (equals the number of acyclic orientations of g). Exhaustive; n <= 9.
+[[nodiscard]] std::uint64_t count_commutation_classes(const graph::Graph& g);
+
+/// Number of acyclic orientations of g, by brute force over all 2^m edge
+/// orientations with a cycle check; m <= 24.
+[[nodiscard]] std::uint64_t count_acyclic_orientations(const graph::Graph& g);
+
+/// Number of FUNCTIONALLY distinct sweep maps of automaton `a` over all n!
+/// update permutations (exhaustive map comparison; n <= 9, 2^n states
+/// each). By Mortveit–Reidys this is <= count_acyclic_orientations(g).
+[[nodiscard]] std::uint64_t count_distinct_sweep_maps(
+    const core::Automaton& a);
+
+}  // namespace tca::sds

@@ -1,0 +1,69 @@
+#pragma once
+// Sequential dynamical systems (DESIGN.md S6).
+//
+// The formal substrate the paper repeatedly cites ([2-6], Barrett, Mortveit,
+// Reidys et al.): an SDS is a graph, one local rule per node, and a
+// PERMUTATION update order pi; one "SDS step" is a full sweep applying the
+// updates in order. Unlike the free-interleaving view (ChoiceDigraph), the
+// sweep map is deterministic, so SDS phase spaces are functional graphs and
+// all of Definition 3 applies. This module adds the SDS-specific
+// questions: when do two orders induce the SAME global map, is the map
+// invertible, and which states are Gardens of Eden.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "phasespace/functional_graph.hpp"
+
+namespace tca::sds {
+
+using core::Automaton;
+using core::NodeId;
+using phasespace::FunctionalGraph;
+using phasespace::StateCode;
+
+/// A sequential dynamical system: automaton + update permutation. The
+/// automaton is stored by value, so temporaries are safe.
+class Sds {
+ public:
+  /// `order` must be a permutation of {0..n-1}.
+  Sds(Automaton a, std::vector<NodeId> order);
+
+  [[nodiscard]] const Automaton& automaton() const noexcept { return a_; }
+  [[nodiscard]] std::span<const NodeId> order() const noexcept {
+    return order_;
+  }
+
+  /// One sweep applied to an encoded state.
+  [[nodiscard]] StateCode sweep(StateCode s) const;
+
+  /// The full phase space of the sweep map (n <= 26).
+  [[nodiscard]] FunctionalGraph phase_space() const;
+
+ private:
+  Automaton a_;
+  std::vector<NodeId> order_;
+};
+
+/// True if the two orders induce the same global sweep map on `a`
+/// (compared exhaustively over all 2^n states; n <= 26).
+[[nodiscard]] bool functionally_equivalent(const Automaton& a,
+                                           std::span<const NodeId> order1,
+                                           std::span<const NodeId> order2);
+
+/// True if the sweep map is a bijection on the state space.
+[[nodiscard]] bool is_invertible(const Sds& sds);
+
+/// All Garden-of-Eden states (no preimage under the sweep map); at most
+/// `limit` are returned, plus the total count.
+struct GardenOfEden {
+  std::uint64_t count = 0;
+  std::vector<StateCode> examples;
+};
+[[nodiscard]] GardenOfEden gardens_of_eden(const Sds& sds,
+                                           std::size_t limit = 16);
+
+}  // namespace tca::sds

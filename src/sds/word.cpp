@@ -1,0 +1,58 @@
+#include "sds/word.hpp"
+
+#include <stdexcept>
+
+#include "core/sequential.hpp"
+
+namespace tca::sds {
+
+WordSystem::WordSystem(Automaton a, std::vector<NodeId> word)
+    : a_(std::move(a)), word_(std::move(word)) {
+  for (NodeId v : word_) {
+    if (v >= a_.size()) {
+      throw std::invalid_argument("WordSystem: node id out of range");
+    }
+  }
+}
+
+bool WordSystem::covers_all_nodes() const {
+  std::vector<bool> seen(a_.size(), false);
+  for (NodeId v : word_) seen[v] = true;
+  for (bool s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+StateCode WordSystem::apply(StateCode s) const {
+  auto c = core::Configuration::from_bits(s, a_.size());
+  core::apply_sequence(a_, c, word_);
+  return c.to_bits();
+}
+
+FunctionalGraph WordSystem::phase_space() const {
+  return FunctionalGraph(
+      static_cast<std::uint32_t>(a_.size()),
+      [this](StateCode s) { return apply(s); });
+}
+
+std::vector<StateCode> WordSystem::map_fixed_points() const {
+  std::vector<StateCode> out;
+  const StateCode count = StateCode{1} << a_.size();
+  for (StateCode s = 0; s < count; ++s) {
+    if (apply(s) == s) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<StateCode> WordSystem::automaton_fixed_points() const {
+  std::vector<StateCode> out;
+  const StateCode count = StateCode{1} << a_.size();
+  for (StateCode s = 0; s < count; ++s) {
+    const auto c = core::Configuration::from_bits(s, a_.size());
+    if (core::is_fixed_point_sequential(a_, c)) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace tca::sds

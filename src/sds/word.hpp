@@ -1,0 +1,57 @@
+#pragma once
+// Word dynamical systems (DESIGN.md S6 extension): the SDS notion
+// generalized from permutations to arbitrary WORDS over the node set —
+// sequences that may repeat or omit nodes, matching the paper's remark
+// that an SCA schedule "is an arbitrary sequence of nodes, not necessarily
+// a permutation". A word w induces the deterministic map "apply the
+// updates in order", and the classical facts carry over:
+//  * fixed points of the automaton are fixed under EVERY word map;
+//  * a word containing every node has exactly the automaton's fixed points
+//    as its map's fixed points when the rules are monotone threshold
+//    (tested), but may have MORE fixed points when nodes are omitted.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "phasespace/functional_graph.hpp"
+
+namespace tca::sds {
+
+using core::Automaton;
+using core::NodeId;
+using phasespace::FunctionalGraph;
+using phasespace::StateCode;
+
+/// A word dynamical system: automaton + arbitrary update word.
+class WordSystem {
+ public:
+  /// `word` entries must be valid node ids; repetitions/omissions allowed.
+  WordSystem(Automaton a, std::vector<NodeId> word);
+
+  [[nodiscard]] const Automaton& automaton() const noexcept { return a_; }
+  [[nodiscard]] std::span<const NodeId> word() const noexcept { return word_; }
+
+  /// True if every node occurs in the word at least once.
+  [[nodiscard]] bool covers_all_nodes() const;
+
+  /// One application of the word to an encoded state.
+  [[nodiscard]] StateCode apply(StateCode s) const;
+
+  /// Full phase space of the word map (n <= 26).
+  [[nodiscard]] FunctionalGraph phase_space() const;
+
+  /// Fixed points of the WORD MAP (apply(s) == s). A superset of the
+  /// automaton's fixed points whenever the word omits nodes.
+  [[nodiscard]] std::vector<StateCode> map_fixed_points() const;
+
+  /// Fixed points of the AUTOMATON (no single update changes the state).
+  [[nodiscard]] std::vector<StateCode> automaton_fixed_points() const;
+
+ private:
+  Automaton a_;
+  std::vector<NodeId> word_;
+};
+
+}  // namespace tca::sds

@@ -1,0 +1,183 @@
+// Unit tests for the asynchronous CA model (src/aca) — the paper's
+// Section 4 proposal and its subsumption claim.
+
+#include <gtest/gtest.h>
+
+#include "aca/aca.hpp"
+#include "aca/explorer.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::aca {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Memory;
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+Automaton parity_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::parity(),
+                         Memory::kWith);
+}
+
+TEST(AcaSystem, ChannelCountExcludesSelfInputs) {
+  // Radius-1 ring with memory: 3 inputs per node, one of them self, so two
+  // channels per node.
+  const AcaSystem sys(majority_ring(5));
+  EXPECT_EQ(sys.num_channels(), 10u);
+  EXPECT_EQ(sys.num_actions(), 15u);
+}
+
+TEST(AcaSystem, RejectsTooManyBits) {
+  EXPECT_THROW(AcaSystem(majority_ring(22)), std::invalid_argument);
+}
+
+TEST(AcaSystem, InitialStateIsConsistentSnapshot) {
+  const AcaSystem sys(majority_ring(5));
+  const AcaState s = sys.initial(0b10110);
+  EXPECT_EQ(sys.config_of(s), 0b10110u);
+  // A consistent snapshot: delivering any channel changes nothing.
+  for (std::uint32_t c = 0; c < sys.num_channels(); ++c) {
+    EXPECT_EQ(sys.apply(s, Action{Action::Kind::kDeliver, c}), s);
+  }
+}
+
+TEST(AcaSystem, SynchronousMacroStepMatchesEngine) {
+  const auto a = majority_ring(6);
+  const AcaSystem sys(a);
+  for (StateCode x = 0; x < 64; ++x) {
+    const AcaState after = sys.synchronous_macro_step(sys.initial(x));
+    const auto c = core::Configuration::from_bits(x, 6);
+    EXPECT_EQ(sys.config_of(after), core::step_synchronous(a, c).to_bits())
+        << x;
+  }
+}
+
+TEST(AcaSystem, SequentialMacroUpdateMatchesEngine) {
+  const auto a = majority_ring(6);
+  const AcaSystem sys(a);
+  for (StateCode x = 0; x < 64; ++x) {
+    for (core::NodeId v = 0; v < 6; ++v) {
+      const AcaState after = sys.sequential_macro_update(sys.initial(x), v);
+      auto c = core::Configuration::from_bits(x, 6);
+      core::update_node(a, c, v);
+      EXPECT_EQ(sys.config_of(after), c.to_bits()) << "x=" << x << " v=" << v;
+    }
+  }
+}
+
+TEST(AcaSystem, StaleReadsAllowOldValuesToPropagate) {
+  // Compute BEFORE deliver uses the stale snapshot: from 110 on a 3-ring
+  // majority, flip node 0 via fresh values, then compute node 2 with its
+  // channels still holding the ORIGINAL state.
+  const auto a = majority_ring(3);
+  const AcaSystem sys(a);
+  AcaState s = sys.initial(0b011);  // cells: x0=1, x1=1, x2=0
+  // Node 2 computes from stale channels (x0=1, x1=1): majority(1,1,0) = 1.
+  s = sys.apply(s, Action{Action::Kind::kCompute, 2});
+  EXPECT_EQ(sys.config_of(s), 0b111u);
+}
+
+TEST(Quiescence, UniformStatesAreQuiescent) {
+  const AcaSystem sys(majority_ring(5));
+  EXPECT_TRUE(sys.quiescent(sys.initial(0b00000)));
+  EXPECT_TRUE(sys.quiescent(sys.initial(0b11111)));
+  EXPECT_FALSE(sys.quiescent(sys.initial(0b00100)));
+}
+
+TEST(Quiescence, StaleChannelIsNotQuiescent) {
+  const AcaSystem sys(majority_ring(5));
+  AcaState s = sys.initial(0b00100);
+  // Flip node 2 to 0 by computing it (its neighbors are 0).
+  s = sys.apply(s, Action{Action::Kind::kCompute, 2});
+  EXPECT_EQ(sys.config_of(s), 0u);
+  // Node states are uniform zero, but some channels still carry the old 1.
+  EXPECT_FALSE(sys.quiescent(s));
+}
+
+TEST(Explore, SubsumesClassicalAndSequentialOnMajorityRings) {
+  for (const std::size_t n : {4u, 5u, 6u}) {
+    const auto a = majority_ring(n);
+    // The alternating-ish start exercises the blinker where possible.
+    StateCode start = 0;
+    for (std::size_t i = 0; i < n; i += 2) start |= StateCode{1} << i;
+    const auto verdict = compare_reach_sets(a, start);
+    EXPECT_TRUE(verdict.contains_synchronous) << n;
+    EXPECT_TRUE(verdict.contains_sequential) << n;
+  }
+}
+
+TEST(Explore, SubsumesClassicalAndSequentialOnParityRings) {
+  for (const std::size_t n : {3u, 4u, 5u}) {
+    const auto a = parity_ring(n);
+    const auto verdict = compare_reach_sets(a, 1);
+    EXPECT_TRUE(verdict.contains_synchronous) << n;
+    EXPECT_TRUE(verdict.contains_sequential) << n;
+  }
+}
+
+TEST(Explore, AsynchronyIsStrictlyRicherForXor) {
+  // Two-node XOR: sequentially 00 is unreachable from 11 and 01/10 — but
+  // an ACA schedule reaches it (both nodes compute from the consistent
+  // snapshot of 11, i.e. the parallel step is one of the interleavings of
+  // ACA actions). Starting from 01, even the union of classical and
+  // sequential reach sets misses states ACA can produce.
+  const auto a = Automaton::from_graph(graph::complete(2), rules::parity(),
+                                       Memory::kWith);
+  const auto verdict = compare_reach_sets(a, 0b01);
+  EXPECT_TRUE(verdict.contains_synchronous);
+  EXPECT_TRUE(verdict.contains_sequential);
+  EXPECT_EQ(verdict.aca_total, 4u);  // everything is asynchronously reachable
+}
+
+TEST(Explore, ReachSetHelpersAgreeWithDefinitions) {
+  const auto a = majority_ring(4);
+  const auto sync = reach_synchronous(a, 0b0101);
+  // Parallel orbit of the blinker: exactly the two alternating states.
+  EXPECT_EQ(sync, (std::set<StateCode>{0b0101, 0b1010}));
+  const auto seq = reach_sequential(a, 0b0101);
+  // Sequentially the blinker can decay to many states; must contain start.
+  EXPECT_TRUE(seq.contains(0b0101));
+  EXPECT_FALSE(seq.contains(0b1010));  // Lemma 1(ii) in reach-set form
+}
+
+TEST(RandomRun, ConvergesOnMajorityRing) {
+  const AcaSystem sys(majority_ring(8));
+  const auto result = run_random(sys, 0b01010101, /*seed=*/3, 100000);
+  EXPECT_TRUE(result.quiesced);
+  // The final configuration is a fixed point of the classical automaton.
+  const auto a = majority_ring(8);
+  const auto c = core::Configuration::from_bits(result.final_config, 8);
+  EXPECT_TRUE(core::is_fixed_point_sequential(a, c));
+}
+
+TEST(RandomRun, DeterministicUnderSeed) {
+  const AcaSystem sys(majority_ring(8));
+  const auto r1 = run_random(sys, 0b00110101, 9, 100000);
+  const auto r2 = run_random(sys, 0b00110101, 9, 100000);
+  EXPECT_EQ(r1.final_config, r2.final_config);
+  EXPECT_EQ(r1.actions, r2.actions);
+}
+
+TEST(Actions, IndexRoundTrip) {
+  const AcaSystem sys(majority_ring(4));
+  for (std::uint32_t i = 0; i < sys.num_actions(); ++i) {
+    const Action a = sys.action(i);
+    if (i < sys.num_channels()) {
+      EXPECT_EQ(a.kind, Action::Kind::kDeliver);
+      EXPECT_EQ(a.index, i);
+    } else {
+      EXPECT_EQ(a.kind, Action::Kind::kCompute);
+      EXPECT_EQ(a.index, i - sys.num_channels());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tca::aca

@@ -1,0 +1,174 @@
+// Unit tests for Boolean-function analyzers (src/rules/analyze.hpp).
+
+#include <gtest/gtest.h>
+
+#include "rules/analyze.hpp"
+#include "rules/enumerate.hpp"
+#include "rules/rule.hpp"
+
+namespace tca::rules {
+namespace {
+
+TEST(TruthTable, MajorityArity3) {
+  const auto t = truth_table(majority(), 3);
+  // idx (MSB-first inputs): 000,001,010,011,100,101,110,111
+  const std::vector<State> expected{0, 0, 0, 1, 0, 1, 1, 1};
+  EXPECT_EQ(t, expected);
+}
+
+TEST(TruthTable, ParityArity2) {
+  const auto t = truth_table(parity(), 2);
+  const std::vector<State> expected{0, 1, 1, 0};
+  EXPECT_EQ(t, expected);
+}
+
+TEST(TruthTable, FixedArityMismatchThrows) {
+  EXPECT_THROW(truth_table(Rule{wolfram(30)}, 2), std::invalid_argument);
+}
+
+TEST(TruthTable, MatchesTableRuleRoundTrip) {
+  const TableRule r = wolfram(90);
+  EXPECT_EQ(truth_table(Rule{r}, 3), r.table);
+}
+
+TEST(IsMonotone, MajorityYesParityNo) {
+  EXPECT_TRUE(is_monotone(majority(), 3));
+  EXPECT_TRUE(is_monotone(majority(), 5));
+  EXPECT_FALSE(is_monotone(parity(), 2));
+  EXPECT_FALSE(is_monotone(parity(), 3));
+}
+
+TEST(IsMonotone, AndOrConstantsAreMonotone) {
+  EXPECT_TRUE(is_monotone(Rule{KOfNRule{3}}, 3));  // AND of 3
+  EXPECT_TRUE(is_monotone(Rule{KOfNRule{1}}, 3));  // OR of 3
+  EXPECT_TRUE(is_monotone(Rule{KOfNRule{0}}, 3));  // constant 1
+  EXPECT_TRUE(is_monotone(Rule{KOfNRule{9}}, 3));  // constant 0
+}
+
+TEST(IsSymmetric, SymmetricRulesAndCounterexample) {
+  EXPECT_TRUE(is_symmetric(majority(), 3));
+  EXPECT_TRUE(is_symmetric(parity(), 4));
+  // Projection to the first input is not symmetric.
+  const TableRule proj{{0, 0, 1, 1}};
+  EXPECT_FALSE(is_symmetric(proj.table));
+}
+
+TEST(IsConstant, DetectsConstants) {
+  EXPECT_TRUE(is_constant(truth_table(Rule{KOfNRule{0}}, 3)));
+  EXPECT_TRUE(is_constant(truth_table(Rule{KOfNRule{7}}, 3)));
+  EXPECT_FALSE(is_constant(truth_table(majority(), 3)));
+}
+
+TEST(IsSelfDual, OddMajorityIsSelfDual) {
+  EXPECT_TRUE(is_self_dual(truth_table(majority(), 3)));
+  EXPECT_TRUE(is_self_dual(truth_table(majority(), 5)));
+  EXPECT_FALSE(is_self_dual(truth_table(Rule{KOfNRule{1}}, 3)));  // OR
+}
+
+TEST(ThresholdRepresentation, MajorityIsThreshold) {
+  const auto form = threshold_representation(truth_table(majority(), 3));
+  ASSERT_TRUE(form.has_value());
+  // Verify the representation reproduces the function.
+  for (std::size_t x = 0; x < 8; ++x) {
+    std::int64_t dot = 0;
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      if ((x >> (2 - b)) & 1u) dot += form->weights[b];
+    }
+    const State want = truth_table(majority(), 3)[x];
+    EXPECT_EQ(dot >= form->theta, want != 0) << "x=" << x;
+  }
+}
+
+TEST(ThresholdRepresentation, XorIsNotThreshold) {
+  EXPECT_FALSE(
+      threshold_representation(truth_table(parity(), 2)).has_value());
+  EXPECT_FALSE(
+      threshold_representation(truth_table(parity(), 3)).has_value());
+}
+
+TEST(ThresholdRepresentation, AndOrAreThreshold) {
+  EXPECT_TRUE(
+      threshold_representation(truth_table(Rule{KOfNRule{3}}, 3)).has_value());
+  EXPECT_TRUE(
+      threshold_representation(truth_table(Rule{KOfNRule{1}}, 3)).has_value());
+}
+
+TEST(ThresholdRepresentation, WeightedNonSymmetricThreshold) {
+  // f = x0 OR (x1 AND x2) is threshold: 2*x0 + x1 + x2 >= 2.
+  const WeightedThresholdRule r{{2, 1, 1}, 2};
+  const auto form = threshold_representation(truth_table(Rule{r}, 3));
+  EXPECT_TRUE(form.has_value());
+}
+
+TEST(ThresholdRepresentation, TwoOutOfFourPairsIsNotThreshold) {
+  // f(x) = (x0 AND x1) OR (x2 AND x3) is the classic non-threshold monotone
+  // function (not 2-asummable).
+  TableRule r;
+  r.table.resize(16);
+  for (std::size_t x = 0; x < 16; ++x) {
+    const bool a = (x >> 3) & 1u, b = (x >> 2) & 1u;
+    const bool c = (x >> 1) & 1u, d = x & 1u;
+    r.table[x] = static_cast<State>((a && b) || (c && d));
+  }
+  EXPECT_TRUE(is_monotone(r.table));
+  EXPECT_FALSE(threshold_representation(r.table).has_value());
+}
+
+TEST(AsKOfN, RecoverasThresholdIndex) {
+  EXPECT_EQ(as_k_of_n(truth_table(majority(), 3)), 2u);
+  EXPECT_EQ(as_k_of_n(truth_table(majority(), 5)), 3u);
+  EXPECT_EQ(as_k_of_n(truth_table(Rule{KOfNRule{1}}, 4)), 1u);
+  EXPECT_EQ(as_k_of_n(truth_table(Rule{KOfNRule{4}}, 4)), 4u);
+}
+
+TEST(AsKOfN, RejectsNonMonotoneOrConstant) {
+  EXPECT_EQ(as_k_of_n(truth_table(parity(), 3)), std::nullopt);
+  EXPECT_EQ(as_k_of_n(truth_table(Rule{KOfNRule{0}}, 3)), std::nullopt);
+}
+
+TEST(EssentialArity, DetectsDummyVariables) {
+  EXPECT_EQ(essential_arity(truth_table(majority(), 3)), 3u);
+  // Projection to first input: only one essential variable out of two.
+  const TableRule proj{{0, 0, 1, 1}};
+  EXPECT_EQ(essential_arity(proj.table), 1u);
+  EXPECT_EQ(essential_arity(truth_table(Rule{KOfNRule{0}}, 3)), 0u);
+}
+
+// Property sweep: EVERY monotone symmetric rule is threshold-representable
+// (they are exactly the k-of-n rules) — the class identity behind Theorem 1.
+class MonotoneSymmetricThreshold : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotoneSymmetricThreshold, AllAreThresholdFunctions) {
+  const auto arity = static_cast<std::uint32_t>(GetParam());
+  for (const SymmetricRule& r : all_monotone_symmetric(arity)) {
+    const auto table = truth_table(Rule{r}, arity);
+    EXPECT_TRUE(is_monotone(table));
+    EXPECT_TRUE(is_symmetric(table));
+    EXPECT_TRUE(threshold_representation(table).has_value())
+        << describe(Rule{r});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, MonotoneSymmetricThreshold,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Property sweep: a symmetric rule is monotone iff it is constant or k-of-n.
+class SymmetricClassification : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricClassification, MonotoneIffStepAcceptVector) {
+  const auto arity = static_cast<std::uint32_t>(GetParam());
+  for (const SymmetricRule& r : all_symmetric(arity)) {
+    const auto table = truth_table(Rule{r}, arity);
+    bool step = true;  // accept vector nondecreasing?
+    for (std::size_t i = 0; i + 1 < r.accept.size(); ++i) {
+      if (r.accept[i] > r.accept[i + 1]) step = false;
+    }
+    EXPECT_EQ(is_monotone(table), step) << describe(Rule{r});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, SymmetricClassification,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tca::rules

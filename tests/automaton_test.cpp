@@ -1,0 +1,162 @@
+// Unit tests for the Automaton (src/core/automaton.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::core {
+namespace {
+
+using rules::Rule;
+
+std::vector<NodeId> to_vec(std::span<const NodeId> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(AutomatonFromGraph, SelfFirstThenSortedNeighbors) {
+  const auto g = graph::ring(5);
+  const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(to_vec(a.inputs(0)), (std::vector<NodeId>{0, 1, 4}));
+  EXPECT_EQ(to_vec(a.inputs(2)), (std::vector<NodeId>{2, 1, 3}));
+}
+
+TEST(AutomatonFromGraph, MemorylessOmitsSelf) {
+  const auto g = graph::ring(5);
+  const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWithout);
+  EXPECT_EQ(to_vec(a.inputs(0)), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(a.memory(), Memory::kWithout);
+}
+
+TEST(AutomatonLine, RingNeighborhoodIsSpatiallyOrdered) {
+  const auto a = Automaton::line(5, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  EXPECT_EQ(to_vec(a.inputs(0)), (std::vector<NodeId>{4, 0, 1}));
+  EXPECT_EQ(to_vec(a.inputs(2)), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(to_vec(a.inputs(4)), (std::vector<NodeId>{3, 4, 0}));
+}
+
+TEST(AutomatonLine, RadiusTwoRing) {
+  const auto a = Automaton::line(7, 2, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  EXPECT_EQ(to_vec(a.inputs(0)), (std::vector<NodeId>{5, 6, 0, 1, 2}));
+  EXPECT_EQ(a.max_arity(), 5u);
+}
+
+TEST(AutomatonLine, FixedZeroBoundaryUsesPhantoms) {
+  const auto a = Automaton::line(4, 1, Boundary::kFixedZero, rules::majority(),
+                                 Memory::kWith);
+  EXPECT_EQ(to_vec(a.inputs(0)), (std::vector<NodeId>{kConstZero, 0, 1}));
+  EXPECT_EQ(to_vec(a.inputs(3)), (std::vector<NodeId>{2, 3, kConstZero}));
+  EXPECT_EQ(a.max_arity(), 3u);  // phantoms keep the arity fixed
+}
+
+TEST(AutomatonLine, ClipBoundaryShrinksNeighborhoods) {
+  const auto a = Automaton::line(4, 1, Boundary::kClip, rules::majority(),
+                                 Memory::kWith);
+  EXPECT_EQ(to_vec(a.inputs(0)), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(to_vec(a.inputs(1)), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(AutomatonLine, RejectsTooSmallRing) {
+  EXPECT_THROW(
+      Automaton::line(4, 2, Boundary::kRing, rules::majority(), Memory::kWith),
+      std::invalid_argument);
+}
+
+TEST(AutomatonLine, RejectsZeroSizeOrRadius) {
+  EXPECT_THROW(
+      Automaton::line(0, 1, Boundary::kRing, rules::majority(), Memory::kWith),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Automaton::line(5, 0, Boundary::kRing, rules::majority(), Memory::kWith),
+      std::invalid_argument);
+}
+
+TEST(AutomatonValidation, FixedArityRuleMustMatch) {
+  // Wolfram rules need arity 3: a memoryless radius-1 ring gives arity 2.
+  EXPECT_THROW(Automaton::line(5, 1, Boundary::kRing, Rule{rules::wolfram(30)},
+                               Memory::kWithout),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Automaton::line(5, 1, Boundary::kRing,
+                                  Rule{rules::wolfram(30)}, Memory::kWith));
+}
+
+TEST(AutomatonValidation, ClipBoundaryBreaksFixedArityRules) {
+  EXPECT_THROW(Automaton::line(5, 1, Boundary::kClip, Rule{rules::wolfram(30)},
+                               Memory::kWith),
+               std::invalid_argument);
+}
+
+TEST(AutomatonPerNode, RulesPerNode) {
+  const auto g = graph::ring(3);
+  std::vector<Rule> rules{rules::majority(), rules::parity(),
+                          Rule{rules::KOfNRule{1}}};
+  const auto a = Automaton::from_graph_per_node(g, rules, Memory::kWith);
+  EXPECT_FALSE(a.homogeneous());
+  EXPECT_EQ(rules::describe(a.rule(1)), "parity");
+}
+
+TEST(AutomatonPerNode, WrongRuleCountThrows) {
+  const auto g = graph::ring(3);
+  std::vector<Rule> rules{rules::majority()};
+  EXPECT_THROW(Automaton::from_graph_per_node(g, rules, Memory::kWith),
+               std::invalid_argument);
+}
+
+TEST(EvalNode, MajorityOnRing) {
+  const auto a = Automaton::line(4, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto c = Configuration::from_string("1100");
+  // node 0: inputs (3,0,1) = (0,1,1) -> 1
+  EXPECT_EQ(a.eval_node(0, c), 1);
+  // node 2: inputs (1,2,3) = (1,0,0) -> 0
+  EXPECT_EQ(a.eval_node(2, c), 0);
+}
+
+TEST(EvalNode, PhantomReadsZero) {
+  const auto a = Automaton::line(3, 1, Boundary::kFixedZero, rules::majority(),
+                                 Memory::kWith);
+  const auto c = Configuration::from_string("110");
+  // node 0: inputs (phantom, 0, 1) = (0, 1, 1) -> 1
+  EXPECT_EQ(a.eval_node(0, c), 1);
+  // node 2: inputs (1, 2, phantom) = (1, 0, 0) -> 0
+  EXPECT_EQ(a.eval_node(2, c), 0);
+}
+
+TEST(EvalNode, WolframOrientation) {
+  // Rule 2: only neighborhood (0,0,1) maps to 1 — a left-moving glider.
+  const auto a = Automaton::line(5, 1, Boundary::kRing,
+                                 Rule{rules::wolfram(2)}, Memory::kWith);
+  const auto c = Configuration::from_string("00100");
+  // node 1: (left,self,right) = (cell0, cell1, cell2) = (0,0,1) -> 1.
+  EXPECT_EQ(a.eval_node(1, c), 1);
+  // node 3: (cell2, cell3, cell4) = (1,0,0) -> 0.
+  EXPECT_EQ(a.eval_node(3, c), 0);
+}
+
+TEST(EvalNode, HighDegreeNodeUsesHeapBuffer) {
+  // Star with 70 leaves: center has arity 71 (> the 64-slot stack buffer).
+  const auto g = graph::star(71);
+  const auto a = Automaton::from_graph(g, Rule{rules::KOfNRule{35}},
+                                       Memory::kWith);
+  Configuration c(71);
+  for (std::size_t i = 1; i <= 40; ++i) c.set(i, 1);
+  EXPECT_EQ(a.eval_node(0, c), 1);  // 40 >= 35
+  Configuration d(71);
+  for (std::size_t i = 1; i <= 30; ++i) d.set(i, 1);
+  EXPECT_EQ(a.eval_node(0, d), 0);
+}
+
+TEST(Homogeneous, SharedRuleReportedForAllNodes) {
+  const auto a = Automaton::line(6, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  EXPECT_TRUE(a.homogeneous());
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(rules::describe(a.rule(v)), "majority(tie->0)");
+  }
+}
+
+}  // namespace
+}  // namespace tca::core

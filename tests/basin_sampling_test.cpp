@@ -1,0 +1,91 @@
+// Unit tests for statistical basin sampling (src/analysis/basin_sampling).
+
+#include <gtest/gtest.h>
+
+#include "analysis/basin_sampling.hpp"
+#include "core/synchronous.hpp"
+#include "phasespace/classify.hpp"
+
+namespace tca::analysis {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Configuration;
+using core::Memory;
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(BasinSampling, AllMajorityOrbitsResolveToFixedPointsOrTwoCycles) {
+  const auto portrait = sample_basins(majority_ring(64), 200, 1, 1000);
+  EXPECT_EQ(portrait.samples, 200u);
+  EXPECT_EQ(portrait.unresolved, 0u);
+  EXPECT_EQ(portrait.to_longer_cycle, 0u);  // Proposition 1
+  EXPECT_EQ(portrait.to_fixed_point + portrait.to_two_cycle, 200u);
+  // Random starts essentially never hit the measure-zero two-cycle basin.
+  EXPECT_EQ(portrait.to_two_cycle, 0u);
+  EXPECT_GT(portrait.distinct_attractors(), 1u);
+}
+
+TEST(BasinSampling, ParityRingsShowLongCycles) {
+  const auto a = Automaton::line(17, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto portrait = sample_basins(a, 50, 2, 1u << 20);
+  EXPECT_EQ(portrait.unresolved, 0u);
+  EXPECT_GT(portrait.to_longer_cycle, 0u);  // XOR rules are not thresholds
+}
+
+TEST(BasinSampling, DeterministicUnderSeed) {
+  const auto p1 = sample_basins(majority_ring(32), 50, 9, 1000);
+  const auto p2 = sample_basins(majority_ring(32), 50, 9, 1000);
+  EXPECT_EQ(p1.to_fixed_point, p2.to_fixed_point);
+  EXPECT_EQ(p1.attractor_hits, p2.attractor_hits);
+}
+
+TEST(BasinSampling, HitCountsSumToResolvedSamples) {
+  const auto portrait = sample_basins(majority_ring(24), 100, 3, 1000);
+  std::uint64_t total = 0;
+  for (const auto& [key, hits] : portrait.attractor_hits) total += hits;
+  EXPECT_EQ(total, portrait.samples - portrait.unresolved);
+  EXPECT_GT(portrait.dominant_share(), 0.0);
+  EXPECT_LE(portrait.dominant_share(), 1.0);
+}
+
+TEST(BasinSampling, SmallSystemMatchesExplicitCensusDiversity) {
+  // At n = 10 the sampled attractor set must be a subset of the explicit
+  // attractor census (and with 500 samples, likely hits the big basins).
+  const auto a = majority_ring(10);
+  const auto cls =
+      phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+  const auto portrait = sample_basins(a, 500, 4, 1000);
+  EXPECT_LE(portrait.distinct_attractors(), cls.attractors.size());
+  EXPECT_GT(portrait.distinct_attractors(), cls.attractors.size() / 8);
+}
+
+TEST(AttractorKey, RotationIndependentForTwoCycles) {
+  // Both phases of the blinker map to the same key.
+  const auto a = majority_ring(8);
+  const auto alt = Configuration::from_string("01010101");
+  const auto flip = core::step_synchronous(a, alt);
+  EXPECT_EQ(attractor_key(a, alt, 2), attractor_key(a, flip, 2));
+}
+
+TEST(AttractorKey, DistinguishesDistinctFixedPoints) {
+  const auto a = majority_ring(8);
+  EXPECT_NE(attractor_key(a, Configuration::from_string("00000000"), 1),
+            attractor_key(a, Configuration::from_string("11111111"), 1));
+}
+
+TEST(BasinSampling, UnresolvedWhenBudgetTiny) {
+  // Parity on a long ring has orbits far beyond a 4-step budget.
+  const auto a = Automaton::line(31, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto portrait = sample_basins(a, 10, 5, 4);
+  EXPECT_GT(portrait.unresolved, 0u);
+}
+
+}  // namespace
+}  // namespace tca::analysis

@@ -1,0 +1,80 @@
+// Unit tests for the block-sequential scheme (src/core/block_sequential.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "core/block_sequential.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::core {
+namespace {
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(BlockOrder, ValidatesPartition) {
+  EXPECT_THROW(BlockOrder({{0, 1}, {1, 2}}, 3), std::invalid_argument);  // dup
+  EXPECT_THROW(BlockOrder({{0, 1}}, 3), std::invalid_argument);  // missing 2
+  EXPECT_THROW(BlockOrder({{0}, {}, {1, 2}}, 3), std::invalid_argument);
+  EXPECT_THROW(BlockOrder({{0, 3}}, 3), std::invalid_argument);  // range
+  EXPECT_NO_THROW(BlockOrder({{2, 0}, {1}}, 3));
+}
+
+TEST(BlockSequential, OneBlockEqualsSynchronousStep) {
+  const auto a = majority_ring(10);
+  const auto order = BlockOrder::synchronous(10);
+  for (std::uint64_t bits = 0; bits < 1024; bits += 17) {
+    auto c = Configuration::from_bits(bits, 10);
+    const auto expected = step_synchronous(a, c);
+    step_block_sequential(a, c, order);
+    EXPECT_EQ(c, expected) << bits;
+  }
+}
+
+TEST(BlockSequential, SingletonBlocksEqualSequentialSweep) {
+  const auto a = majority_ring(10);
+  const auto perm = reversed_order(10);
+  const auto order = BlockOrder::sequential(perm);
+  for (std::uint64_t bits = 0; bits < 1024; bits += 13) {
+    auto c = Configuration::from_bits(bits, 10);
+    auto d = c;
+    step_block_sequential(a, c, order);
+    apply_sequence(a, d, perm);
+    EXPECT_EQ(c, d) << bits;
+  }
+}
+
+TEST(BlockSequential, ReturnsChangeCount) {
+  const auto a = majority_ring(6);
+  auto c = Configuration::from_string("010000");
+  const auto changes =
+      step_block_sequential(a, c, BlockOrder::synchronous(6));
+  EXPECT_EQ(changes, 1u);
+  EXPECT_EQ(c.to_string(), "000000");
+}
+
+TEST(BlockSequential, MixedBlocksInterpolate) {
+  // Two halves: within a half parallel, across halves sequential. On the
+  // alternating ring this damps the blinker (unlike the pure parallel
+  // step), because the second half reads the first half's new values.
+  const auto a = majority_ring(8);
+  auto c = Configuration::from_string("01010101");
+  const BlockOrder order({{0, 1, 2, 3}, {4, 5, 6, 7}}, 8);
+  step_block_sequential(a, c, order);
+  EXPECT_NE(c.to_string(), "10101010");
+}
+
+TEST(BlockSequential, SizeMismatchThrows) {
+  const auto a = majority_ring(6);
+  Configuration c(5);
+  EXPECT_THROW(step_block_sequential(a, c, BlockOrder::synchronous(6)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tca::core

@@ -1,0 +1,161 @@
+// Property tests extending the paper's dichotomy to finite lines with
+// fixed boundaries and to non-ring cellular spaces — the settings the
+// paper waves at ("finite line graph", "2D grid", "hypercube") but only
+// proves for rings.
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/trajectory.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/classify.hpp"
+
+namespace tca {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Configuration;
+using core::Memory;
+
+TEST(FixedBoundary, SequentialMajorityCycleFreeOnLines) {
+  // Phantom-zero boundaries are just threshold networks on path graphs
+  // with extra constant-0 inputs; the Lyapunov argument is unaffected.
+  for (const std::size_t n : {4u, 7u, 10u}) {
+    for (const auto boundary : {Boundary::kFixedZero, Boundary::kClip}) {
+      const auto a = Automaton::line(n, 1, boundary, rules::majority(),
+                                     Memory::kWith);
+      EXPECT_FALSE(
+          phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle())
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(FixedBoundary, ParallelMajorityPeriodAtMostTwoOnLines) {
+  for (const std::size_t n : {6u, 9u, 12u}) {
+    for (const auto boundary : {Boundary::kFixedZero, Boundary::kClip}) {
+      const auto a = Automaton::line(n, 1, boundary, rules::majority(),
+                                     Memory::kWith);
+      const auto cls =
+          phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+      EXPECT_LE(cls.max_period(), 2u) << "n=" << n;
+    }
+  }
+}
+
+TEST(FixedBoundary, OpenLineHasNoBlinker) {
+  // The alternating state is NOT a two-cycle on an open line: the
+  // boundary cells see phantom zeros and break the symmetry.
+  const std::size_t n = 8;
+  const auto a = Automaton::line(n, 1, Boundary::kFixedZero, rules::majority(),
+                                 Memory::kWith);
+  Configuration alt(n);
+  for (std::size_t i = 1; i < n; i += 2) alt.set(i, 1);
+  const auto orbit = core::find_orbit_synchronous(a, alt, 64);
+  ASSERT_TRUE(orbit.has_value());
+  EXPECT_EQ(orbit->period, 1u);  // decays to a fixed point instead
+}
+
+TEST(FixedBoundary, ClipAndPhantomCoincideAtRadiusOne) {
+  // At radius 1 the two boundary conventions agree: majority of {x, y}
+  // with tie -> 0 equals majority of (0, x, y). Verified over all states.
+  const std::size_t n = 6;
+  const auto clip = Automaton::line(n, 1, Boundary::kClip, rules::majority(),
+                                    Memory::kWith);
+  const auto phantom = Automaton::line(n, 1, Boundary::kFixedZero,
+                                       rules::majority(), Memory::kWith);
+  for (std::uint64_t bits = 0; bits < 64; ++bits) {
+    const auto c = Configuration::from_bits(bits, n);
+    EXPECT_EQ(core::step_synchronous(clip, c),
+              core::step_synchronous(phantom, c))
+        << bits;
+  }
+}
+
+TEST(FixedBoundary, ClipAndPhantomDifferAtRadiusTwo) {
+  // At radius 2 the edge cell has 3 inputs under clip (2-of-3 majority)
+  // but 5 under phantom (3-of-5 with two constant zeros): the state
+  // 110000... flips cell 0 differently.
+  const std::size_t n = 8;
+  const auto clip = Automaton::line(n, 2, Boundary::kClip, rules::majority(),
+                                    Memory::kWith);
+  const auto phantom = Automaton::line(n, 2, Boundary::kFixedZero,
+                                       rules::majority(), Memory::kWith);
+  const auto c = Configuration::from_string("11000000");
+  // clip: cell 0 sees {1, 1, 0} -> 1; phantom: (0, 0, 1, 1, 0) -> 0.
+  EXPECT_EQ(core::step_synchronous(clip, c).get(0), 1);
+  EXPECT_EQ(core::step_synchronous(phantom, c).get(0), 0);
+}
+
+TEST(NonRingSpaces, SequentialMajorityCycleFreeOnGridAndHypercube) {
+  // The grid/hypercube versions of Lemma 1(ii), exhaustive over the
+  // choice digraph.
+  {
+    const auto g = graph::grid2d(3, 3);
+    const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle());
+  }
+  {
+    const auto g = graph::grid2d(3, 4, true);
+    const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle());
+  }
+  {
+    const auto g = graph::hypercube(3);
+    const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle());
+  }
+  {
+    const auto g = graph::complete_bipartite(3, 3);
+    const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle());
+  }
+}
+
+TEST(NonRingSpaces, StarGraphThresholds) {
+  // Extreme irregularity: a star's center sees everything. Still a
+  // threshold network, still sequentially cycle-free.
+  const auto g = graph::star(9);
+  const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+  EXPECT_FALSE(
+      phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle());
+  const auto cls =
+      phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+  EXPECT_LE(cls.max_period(), 2u);
+}
+
+TEST(NonRingSpaces, MemorylessMajoritySequentialCycleFree) {
+  // The paper's default is CA WITH memory; the energy argument also
+  // covers memoryless threshold networks (w_vv = 0), so the sequential
+  // dichotomy persists.
+  for (const std::size_t n : {6u, 9u}) {
+    const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                   Memory::kWithout);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle())
+        << n;
+  }
+}
+
+TEST(NonRingSpaces, MemorylessMajorityParallelStillBlinks) {
+  const std::size_t n = 8;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWithout);
+  Configuration alt(n);
+  for (std::size_t i = 1; i < n; i += 2) alt.set(i, 1);
+  const auto orbit = core::find_orbit_synchronous(a, alt, 16);
+  ASSERT_TRUE(orbit.has_value());
+  EXPECT_EQ(orbit->period, 2u);
+}
+
+}  // namespace
+}  // namespace tca

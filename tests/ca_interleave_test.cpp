@@ -1,0 +1,124 @@
+// Unit tests for CA interleaving reproducibility (src/interleave/
+// ca_interleave.hpp) — the paper's central question made executable.
+
+#include <gtest/gtest.h>
+
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "graph/builders.hpp"
+#include "interleave/ca_interleave.hpp"
+
+namespace tca::interleave {
+namespace {
+
+using core::Boundary;
+using core::Memory;
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(ReachParallelStep, FixedPointTriviallyReachable) {
+  const auto a = majority_ring(6);
+  const auto witness =
+      reach_parallel_step(a, Configuration::from_string("111000"));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST(ReachParallelStep, SimpleDecayReachableWithWitness) {
+  const auto a = majority_ring(6);
+  const auto x = Configuration::from_string("010000");
+  const auto witness = reach_parallel_step(a, x);
+  ASSERT_TRUE(witness.has_value());
+  // Replaying the witness reproduces F(x).
+  Configuration c = x;
+  for (const NodeId v : *witness) core::update_node(a, c, v);
+  EXPECT_EQ(c, core::step_synchronous(a, x));
+}
+
+TEST(ReachParallelStep, MajorityBlinkerStepIsUnreachable) {
+  // Lemma 1: from the alternating state, the parallel successor (the
+  // complementary alternating state) is not reachable by ANY sequence of
+  // single-node updates.
+  for (const std::size_t n : {4u, 6u, 8u, 10u}) {
+    std::string alt;
+    for (std::size_t i = 0; i < n; ++i) alt += (i % 2 == 0 ? '0' : '1');
+    const auto a = majority_ring(n);
+    EXPECT_FALSE(
+        reach_parallel_step(a, Configuration::from_string(alt)).has_value())
+        << "n=" << n;
+  }
+}
+
+TEST(ReachParallelStep, XorTwoNodeAnnihilationIsUnreachable) {
+  // Fig. 1: 11 ->parallel 00, but sequentially 00 cannot be reached.
+  const auto a = Automaton::from_graph(graph::complete(2), rules::parity(),
+                                       Memory::kWith);
+  EXPECT_FALSE(
+      reach_parallel_step(a, Configuration::from_string("11")).has_value());
+}
+
+TEST(ReachParallelStep, XorTwoNodeGrowthIsReachable) {
+  // 01 ->parallel 11 is reachable sequentially (update node 0).
+  const auto a = Automaton::from_graph(graph::complete(2), rules::parity(),
+                                       Memory::kWith);
+  const auto witness =
+      reach_parallel_step(a, Configuration::from_string("01"));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(*witness, (std::vector<NodeId>{0}));
+}
+
+TEST(PermutationSweep, ReproducesMonotoneDecaySteps) {
+  const auto a = majority_ring(6);
+  const auto x = Configuration::from_string("010000");
+  const auto perm = permutation_sweep_reproduces(a, x);
+  ASSERT_TRUE(perm.has_value());
+  Configuration c = x;
+  core::apply_sequence(a, c, *perm);
+  EXPECT_EQ(c, core::step_synchronous(a, x));
+}
+
+TEST(PermutationSweep, CannotReproduceTheBlinker) {
+  const auto a = majority_ring(6);
+  EXPECT_FALSE(
+      permutation_sweep_reproduces(a, Configuration::from_string("010101"))
+          .has_value());
+}
+
+TEST(PermutationSweep, RejectsLargeSystems) {
+  const auto a = majority_ring(12);
+  EXPECT_THROW(
+      permutation_sweep_reproduces(a, Configuration(12)),
+      std::invalid_argument);
+}
+
+TEST(FirstIrreproducibleStep, BlinkerFailsAtStepZero) {
+  const auto a = majority_ring(8);
+  EXPECT_EQ(first_irreproducible_step(
+                a, Configuration::from_string("01010101")),
+            0u);
+}
+
+TEST(FirstIrreproducibleStep, DecayingOrbitsAreFullyReproducible) {
+  const auto a = majority_ring(8);
+  EXPECT_EQ(first_irreproducible_step(
+                a, Configuration::from_string("01100100")),
+            std::nullopt);
+}
+
+TEST(FirstIrreproducibleStep, TransientIntoBlinkerFailsWhenItArrives) {
+  // 2-of-3 threshold differs from majority only off the main cases; build a
+  // state that decays INTO the blinker: with radius-1 majority that cannot
+  // happen (cycles have no incoming transients), so instead check the XOR
+  // two-node system: 01 -> 11 -> 00; step 0 (01->11) is reproducible,
+  // step 1 (11->00) is not.
+  const auto a = Automaton::from_graph(graph::complete(2), rules::parity(),
+                                       Memory::kWith);
+  EXPECT_EQ(first_irreproducible_step(a, Configuration::from_string("01")),
+            1u);
+}
+
+}  // namespace
+}  // namespace tca::interleave

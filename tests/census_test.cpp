@@ -1,0 +1,128 @@
+// Unit tests for phase-space censuses (src/analysis/census.hpp), including
+// the paper's "rare cycles without incoming transients" remark.
+
+#include <gtest/gtest.h>
+
+#include "analysis/census.hpp"
+#include "analysis/stats.hpp"
+#include "core/schedule.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::analysis {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Memory;
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(Census, CountsArePartition) {
+  const auto c = census_synchronous(majority_ring(10));
+  EXPECT_EQ(c.states, 1024u);
+  EXPECT_EQ(c.fixed_points + c.cycle_states + c.transient_states, c.states);
+}
+
+TEST(Census, MajorityRingTwoCycleIsRareAndIsolated) {
+  // Section 4 remark ([19]): the non-FP cycles are very few and have no
+  // incoming transients.
+  for (const std::size_t n : {4u, 6u, 8u, 10u, 12u, 14u}) {
+    const auto c = census_synchronous(majority_ring(n));
+    EXPECT_EQ(c.cycle_states, 2u) << n;
+    EXPECT_TRUE(c.cycles_have_no_incoming_transients) << n;
+    EXPECT_LT(c.cycle_state_fraction(), 0.01 + 2.0 / 16.0) << n;
+  }
+}
+
+TEST(Census, XorTwoNodeCensus) {
+  const auto a = Automaton::from_graph(graph::complete(2), rules::parity(),
+                                       Memory::kWith);
+  const auto c = census_synchronous(a);
+  EXPECT_EQ(c.states, 4u);
+  EXPECT_EQ(c.fixed_points, 1u);
+  EXPECT_EQ(c.cycle_states, 0u);
+  EXPECT_EQ(c.transient_states, 3u);
+  EXPECT_EQ(c.gardens_of_eden, 2u);
+  EXPECT_EQ(c.max_transient, 2u);
+}
+
+TEST(Census, XorCyclesHaveIncomingTransientsSometimes) {
+  // Contrast case for the no-incoming-transients flag: the XOR ring n=9
+  // has proper cycles fed by transients (the parity map is non-invertible
+  // there, and 3 | 9 gives it a nontrivial kernel with long cycles).
+  const auto a = Automaton::line(9, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto c = census_synchronous(a);
+  EXPECT_GT(c.cycle_states, 0u);
+  EXPECT_GT(c.transient_states, 0u);
+  EXPECT_FALSE(c.cycles_have_no_incoming_transients);
+}
+
+TEST(Census, SweepCensusIsCycleFreeForMajority) {
+  const auto a = majority_ring(10);
+  const auto c = census_sweep(a, core::identity_order(10));
+  EXPECT_EQ(c.cycle_states, 0u);
+  EXPECT_EQ(c.max_period, 1u);
+  EXPECT_GT(c.fixed_points, 0u);
+}
+
+TEST(Census, CycleLengthHistogramConsistent) {
+  const auto a = Automaton::line(7, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto c = census_synchronous(a);
+  std::uint64_t cycle_states_from_hist = 0;
+  for (const auto& [period, count] : c.cycle_lengths) {
+    if (period >= 2) cycle_states_from_hist += period * count;
+  }
+  EXPECT_EQ(cycle_states_from_hist, c.cycle_states);
+}
+
+TEST(Census, ToStringMentionsKeyFigures) {
+  const auto c = census_synchronous(majority_ring(6));
+  const auto s = to_string(c);
+  EXPECT_NE(s.find("fixed points"), std::string::npos);
+  EXPECT_NE(s.find("gardens of Eden"), std::string::npos);
+  EXPECT_NE(s.find("period 2"), std::string::npos);
+}
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyAndSingle) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(HistogramStats, BinsAndRendering) {
+  Histogram h;
+  h.add(1);
+  h.add(1);
+  h.add(3, 2);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bins().at(1), 2u);
+  EXPECT_EQ(h.bins().at(3), 2u);
+  const auto s = h.to_string();
+  EXPECT_NE(s.find("1: 2 (50.00%)"), std::string::npos);
+}
+
+TEST(FormatFixed, RendersDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace tca::analysis

@@ -1,0 +1,173 @@
+// Unit tests for the nondeterministic sequential phase space
+// (src/phasespace/choice_digraph.hpp) — the paper's Fig. 1(b) and the
+// "irrespective of update order" quantification.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/automaton.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/choice_digraph.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Memory;
+
+Automaton two_node_xor() {
+  return Automaton::from_graph(graph::complete(2), rules::parity(),
+                               Memory::kWith);
+}
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(ChoiceDigraph, TwoNodeXorTransitions) {
+  const ChoiceDigraph g(two_node_xor());
+  ASSERT_EQ(g.num_states(), 4u);
+  ASSERT_EQ(g.num_choices(), 2u);
+  // State encoding: bit v = node v. From 01 (= code 0b01, node0=1? NO:
+  // from_bits: bit i = cell i, so code 0b01 means node0 = 1).
+  // Use explicit codes: code 1 = "10" (node0 on), code 2 = "01" (node1 on).
+  // From code 2 ("01"): updating node 0 -> 0^1=1 -> code 3 ("11");
+  //                     updating node 1 -> 1^0=1 -> stays code 2.
+  EXPECT_EQ(g.succ(2, 0), 3u);
+  EXPECT_EQ(g.succ(2, 1), 2u);
+  // From code 3 ("11"): either node computes 1^1=0.
+  EXPECT_EQ(g.succ(3, 0), 2u);
+  EXPECT_EQ(g.succ(3, 1), 1u);
+  // 00 is fixed under both choices.
+  EXPECT_EQ(g.succ(0, 0), 0u);
+  EXPECT_EQ(g.succ(0, 1), 0u);
+}
+
+TEST(ChoiceAnalysis, Fig1bXorFacts) {
+  // The paper's Fig. 1(b): 00 is a FP unreachable from anywhere else;
+  // 01 and 10 are pseudo-fixed points; there are two temporal two-cycles
+  // ({01,11} and {10,11}); so 01, 10, 11 all lie on proper cycles.
+  const ChoiceDigraph g(two_node_xor());
+  const auto analysis = analyze(g);
+  EXPECT_EQ(analysis.num_fixed_points, 1u);
+  EXPECT_EQ(analysis.fixed_points, (std::vector<StateCode>{0}));
+  EXPECT_EQ(analysis.num_pseudo_fixed_points, 2u);
+  EXPECT_EQ(analysis.pseudo_fixed_points, (std::vector<StateCode>{1, 2}));
+  EXPECT_TRUE(analysis.has_proper_cycle());
+  EXPECT_EQ(analysis.num_proper_cycle_states, 3u);  // 01, 10, 11
+}
+
+TEST(ChoiceAnalysis, Fig1bSinkUnreachableSequentially) {
+  // "the union of all possible sequential computations cannot fully capture
+  // the concurrent computation: consider reachability of the state 00."
+  const ChoiceDigraph g(two_node_xor());
+  const auto from = can_reach(g, 0b00);
+  EXPECT_TRUE(from[0b00]);
+  EXPECT_FALSE(from[0b01]);
+  EXPECT_FALSE(from[0b10]);
+  EXPECT_FALSE(from[0b11]);
+}
+
+TEST(ChoiceAnalysis, Fig1bReachableSetsFromEachState) {
+  const ChoiceDigraph g(two_node_xor());
+  // From 11 every nonzero state is reachable, but never 00.
+  const auto r = reachable_from(g, 0b11);
+  EXPECT_FALSE(r[0b00]);
+  EXPECT_TRUE(r[0b01]);
+  EXPECT_TRUE(r[0b10]);
+  EXPECT_TRUE(r[0b11]);
+}
+
+TEST(ChoiceAnalysis, MajorityRingsAreCycleFreeForAllOrders) {
+  // Lemma 1(ii), fully quantified: the choice digraph contains NO directed
+  // cycle through two or more states, hence no update sequence of any kind
+  // (permutation or not) can ever cycle.
+  for (const std::size_t n : {4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u}) {
+    const ChoiceDigraph g(majority_ring(n));
+    const auto analysis = analyze(g);
+    EXPECT_FALSE(analysis.has_proper_cycle()) << "n=" << n;
+  }
+}
+
+TEST(ChoiceAnalysis, MajorityRadiusTwoCycleFree) {
+  // Lemma 2(ii).
+  for (const std::size_t n : {5u, 6u, 8u, 10u, 12u}) {
+    const auto a = Automaton::line(n, 2, Boundary::kRing, rules::majority(),
+                                   Memory::kWith);
+    EXPECT_FALSE(analyze(ChoiceDigraph(a)).has_proper_cycle()) << "n=" << n;
+  }
+}
+
+TEST(ChoiceAnalysis, MajorityFixedPointsMatchParallelOnes) {
+  const auto a = majority_ring(8);
+  const ChoiceDigraph g(a);
+  const auto analysis = analyze(g);
+  // 11110000 (code with cells 0-3 set = 0b00001111) and the uniform states
+  // are fixed points.
+  const auto is_fp = [&](StateCode s) {
+    return std::find(analysis.fixed_points.begin(), analysis.fixed_points.end(),
+                     s) != analysis.fixed_points.end();
+  };
+  EXPECT_TRUE(is_fp(0b00000000));
+  EXPECT_TRUE(is_fp(0b11111111));
+  EXPECT_TRUE(is_fp(0b00001111));
+  EXPECT_FALSE(is_fp(0b01010101));
+}
+
+TEST(ChoiceAnalysis, AlternatingStateIsNotPseudoFixedForMajority) {
+  // From the alternating state every single-node update changes the state
+  // (each isolated cell flips): no self-loops at all.
+  const ChoiceDigraph g(majority_ring(6));
+  const StateCode alt = 0b010101;
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    EXPECT_NE(g.succ(alt, v), alt) << "node " << v;
+  }
+}
+
+TEST(ChoiceAnalysis, XorRingPseudoFixedPointsExist) {
+  // Larger XOR systems keep the Fig. 1(b) flavor: pseudo-FPs exist.
+  const auto a = Automaton::line(4, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto analysis = analyze(ChoiceDigraph(a));
+  EXPECT_GT(analysis.num_pseudo_fixed_points, 0u);
+}
+
+TEST(ChoiceDigraph, RejectsTooManyCells) {
+  const auto a = majority_ring(23);
+  EXPECT_THROW(
+      {
+        const ChoiceDigraph g(a);
+        (void)g;
+      },
+      std::invalid_argument);
+}
+
+TEST(ReachableFrom, IncludesStartAndIsClosedUnderSuccessors) {
+  const ChoiceDigraph g(majority_ring(6));
+  const auto r = reachable_from(g, 0b010101);
+  EXPECT_TRUE(r[0b010101]);
+  for (StateCode s = 0; s < g.num_states(); ++s) {
+    if (!r[s]) continue;
+    for (std::uint32_t v = 0; v < g.num_choices(); ++v) {
+      EXPECT_TRUE(r[g.succ(s, v)]);
+    }
+  }
+}
+
+TEST(CanReach, IsConsistentWithForwardReachability) {
+  const ChoiceDigraph g(two_node_xor());
+  for (StateCode target = 0; target < 4; ++target) {
+    const auto backward = can_reach(g, target);
+    for (StateCode s = 0; s < 4; ++s) {
+      EXPECT_EQ(static_cast<bool>(backward[s]),
+                static_cast<bool>(reachable_from(g, s)[target]))
+          << "s=" << s << " target=" << target;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tca::phasespace

@@ -1,0 +1,185 @@
+// Additional edge-case coverage across modules: paths that the focused
+// unit suites do not reach (phantom-boundary ACA, memoryless preimages,
+// multi-offset circulants, long packed-engine compositions, degenerate
+// sizes).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aca/aca.hpp"
+#include "aca/explorer.hpp"
+#include "core/automaton.hpp"
+#include "core/packed_kernels.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "graph/builders.hpp"
+#include "graph/properties.hpp"
+#include "phasespace/classify.hpp"
+#include "phasespace/preimage.hpp"
+#include "rules/rule.hpp"
+
+namespace tca {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Configuration;
+using core::Memory;
+
+TEST(Coverage, CirculantMultipleOffsets) {
+  const std::vector<graph::NodeId> offsets{1, 2};
+  const auto g = graph::circulant(8, offsets);
+  EXPECT_EQ(g, graph::ring(8, 2));
+  const std::vector<graph::NodeId> skip{2, 4};
+  const auto h = graph::circulant(8, skip);
+  EXPECT_EQ(graph::regular_degree(h), graph::NodeId{3});  // 4 is n/2
+  EXPECT_EQ(graph::component_count(h), 2u);  // even-only and odd-only parts
+}
+
+TEST(Coverage, MooreTorusDegrees) {
+  const auto g = graph::grid2d(4, 5, true, graph::GridNeighborhood::kMoore);
+  EXPECT_EQ(graph::regular_degree(g), graph::NodeId{8});
+  EXPECT_EQ(g.num_edges(), 4u * 5u * 8u / 2u);
+}
+
+TEST(Coverage, AcaWithPhantomBoundary) {
+  // kFixedZero lines create phantom inputs; the ACA must route them as
+  // constant-zero reads, not channels.
+  const auto a = Automaton::line(5, 1, Boundary::kFixedZero, rules::majority(),
+                                 Memory::kWith);
+  const aca::AcaSystem sys(a);
+  // 2 channels per interior pair; phantom slots don't create channels:
+  // node 0 and node 4 each have only ONE real neighbor.
+  EXPECT_EQ(sys.num_channels(), 8u);
+  // Macro steps still match the engines.
+  for (phasespace::StateCode x = 0; x < 32; ++x) {
+    const auto after = sys.synchronous_macro_step(sys.initial(x));
+    const auto c = Configuration::from_bits(x, 5);
+    EXPECT_EQ(sys.config_of(after), core::step_synchronous(a, c).to_bits())
+        << x;
+  }
+  // Subsumption holds on the open line too.
+  const auto verdict = aca::compare_reach_sets(a, 0b01010);
+  EXPECT_TRUE(verdict.contains_synchronous);
+  EXPECT_TRUE(verdict.contains_sequential);
+}
+
+TEST(Coverage, MemorylessPreimageCrossValidation) {
+  const auto rule = rules::majority();
+  const std::size_t n = 9;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rule,
+                                 Memory::kWithout);
+  const auto fg = phasespace::FunctionalGraph::synchronous(a);
+  const auto indeg = phasespace::in_degrees(fg);
+  const phasespace::RingPreimageSolver solver(rule, 1, Memory::kWithout);
+  for (phasespace::StateCode s = 0; s < fg.num_states(); ++s) {
+    EXPECT_EQ(solver.count(Configuration::from_bits(s, n)), indeg[s]) << s;
+  }
+}
+
+TEST(Coverage, MemorylessFixedPointCount) {
+  const phasespace::RingPreimageSolver solver(rules::majority(), 1,
+                                              Memory::kWithout);
+  for (const std::size_t n : {5u, 8u, 11u}) {
+    const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                   Memory::kWithout);
+    const auto cls =
+        phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+    EXPECT_EQ(phasespace::count_fixed_points_ring(solver, n),
+              cls.num_fixed_points)
+        << n;
+  }
+}
+
+TEST(Coverage, PackedLongCompositionMatchesGeneric) {
+  // 500 packed steps vs 500 generic steps, awkward ring size.
+  const std::size_t n = 131;
+  const auto a = Automaton::line(n, 1, Boundary::kRing,
+                                 rules::Rule{rules::wolfram(30)},
+                                 Memory::kWith);
+  std::mt19937_64 rng(8);
+  Configuration generic(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    generic.set(i, static_cast<core::State>(rng() & 1u));
+  }
+  Configuration packed = generic;
+  const auto rule = rules::wolfram(30);
+  core::PackedScratch scratch(n);
+  Configuration out(n);
+  for (int t = 0; t < 500; ++t) {
+    core::step_ring_table3_packed(rule, packed, out, scratch);
+    std::swap(packed, out);
+  }
+  core::advance_synchronous(a, generic, 500);
+  EXPECT_EQ(packed, generic);
+}
+
+TEST(Coverage, SingleCellRingRejected) {
+  // n = 1 < 2r+1 for any radius — constructor must refuse.
+  EXPECT_THROW(
+      Automaton::line(1, 1, Boundary::kRing, rules::majority(), Memory::kWith),
+      std::invalid_argument);
+  // But a single-cell FIXED boundary line is fine (phantoms both sides).
+  const auto a = Automaton::line(1, 1, Boundary::kFixedZero, rules::majority(),
+                                 Memory::kWith);
+  // majority(0, x, 0) = 0: the lone cell always dies.
+  auto c = Configuration::from_string("1");
+  core::advance_synchronous(a, c, 1);
+  EXPECT_EQ(c.popcount(), 0u);
+}
+
+TEST(Coverage, EmptyInputRules) {
+  // Arity-generic rules on zero inputs: majority of nothing is 0 (tie->0),
+  // parity of nothing is 0, 1-of-n of nothing is 0, 0-of-n is 1.
+  const std::vector<rules::State> none;
+  EXPECT_EQ(rules::eval(rules::majority(), none), 0);
+  EXPECT_EQ(rules::eval(rules::parity(), none), 0);
+  EXPECT_EQ(rules::eval(rules::Rule{rules::KOfNRule{1}}, none), 0);
+  EXPECT_EQ(rules::eval(rules::Rule{rules::KOfNRule{0}}, none), 1);
+}
+
+TEST(Coverage, IsolatedNodeAutomaton) {
+  // An edgeless graph with memory: every node sees only itself; majority
+  // of one input is the identity — every state is a fixed point.
+  const graph::Graph g(4, std::vector<graph::Edge>{});
+  const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+  const auto cls =
+      phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+  EXPECT_EQ(cls.num_fixed_points, 16u);
+  EXPECT_EQ(cls.num_transient_states, 0u);
+}
+
+TEST(Coverage, SequentialEngineOnPerNodeMixedMemoryless) {
+  // Non-homogeneous memoryless automaton exercises rule(v) dispatch in the
+  // sequential path.
+  const auto g = graph::ring(6);
+  std::vector<rules::Rule> rs;
+  for (std::size_t v = 0; v < 6; ++v) {
+    rs.emplace_back(v % 2 == 0 ? rules::Rule{rules::KOfNRule{1}}
+                               : rules::Rule{rules::KOfNRule{2}});
+  }
+  const auto a = Automaton::from_graph_per_node(g, rs, Memory::kWithout);
+  auto c = Configuration::from_string("100000");
+  // node 1 (2-of-2 of neighbors {0,2} = {1,0}) stays 0; node 5 (2-of-2 of
+  // {4,0} = {0,1}) stays 0; node 0 (1-of-2 of {1,5} = {0,0}) -> 0.
+  EXPECT_FALSE(core::update_node(a, c, 1));
+  EXPECT_FALSE(core::update_node(a, c, 5));
+  EXPECT_TRUE(core::update_node(a, c, 0));
+  EXPECT_EQ(c.popcount(), 0u);
+}
+
+TEST(Coverage, ReachSetsOnDisconnectedGraph) {
+  // Components evolve independently; the reach sets factor.
+  const graph::Graph g(4, std::vector<graph::Edge>{{0, 1}, {2, 3}});
+  const auto a = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  const auto seq = aca::reach_sequential(a, 0b0101);
+  // Parity pair dynamics never reach 00 within a component from 01.
+  for (const auto s : seq) {
+    EXPECT_NE(s & 0b0011u, 0u) << s;  // low pair never both-zero
+    EXPECT_NE(s & 0b1100u, 0u) << s;  // high pair never both-zero
+  }
+}
+
+}  // namespace
+}  // namespace tca

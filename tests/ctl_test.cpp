@@ -1,0 +1,147 @@
+// Unit tests for the CTL operators over choice digraphs
+// (src/phasespace/ctl.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "core/sequential.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/ctl.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Memory;
+
+Automaton two_node_xor() {
+  return Automaton::from_graph(graph::complete(2), rules::parity(),
+                               Memory::kWith);
+}
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(SetAlgebra, Basics) {
+  const StateSet a{1, 0, 1, 0};
+  const StateSet b{1, 1, 0, 0};
+  EXPECT_EQ(set_and(a, b), (StateSet{1, 0, 0, 0}));
+  EXPECT_EQ(set_or(a, b), (StateSet{1, 1, 1, 0}));
+  EXPECT_EQ(set_not(a), (StateSet{0, 1, 0, 1}));
+  EXPECT_EQ(set_size(a), 2u);
+}
+
+TEST(Ctl, SizeMismatchThrows) {
+  const ChoiceDigraph g(two_node_xor());
+  EXPECT_THROW(ex(g, StateSet{1, 0}), std::invalid_argument);
+}
+
+TEST(Ctl, ExAxOnFig1) {
+  const ChoiceDigraph g(two_node_xor());
+  // Target = {11} (code 3).
+  const auto target = make_set(g, [](StateCode s) { return s == 3; });
+  const auto some = ex(g, target);
+  // 01 (code 2) can reach 11 by updating node 0; 10 (code 1) likewise.
+  EXPECT_TRUE(some[1]);
+  EXPECT_TRUE(some[2]);
+  EXPECT_FALSE(some[0]);  // 00 is a fixed point
+  EXPECT_FALSE(some[3]);  // both updates leave 11
+  const auto all = ax(g, target);
+  EXPECT_EQ(set_size(all), 0u);  // no state forces 11 under every choice
+}
+
+TEST(Ctl, EfMatchesReachability) {
+  // EF {00} on Fig. 1(b): only 00 itself — the paper's reachability
+  // observation as a formula.
+  const ChoiceDigraph g(two_node_xor());
+  const auto reach_00 = ef(g, make_set(g, [](StateCode s) { return s == 0; }));
+  EXPECT_EQ(set_size(reach_00), 1u);
+  EXPECT_TRUE(reach_00[0]);
+  // Cross-check EF against the BFS-based can_reach for every target.
+  for (StateCode t = 0; t < 4; ++t) {
+    const auto formula = ef(g, make_set(g, [t](StateCode s) { return s == t; }));
+    const auto bfs = can_reach(g, t);
+    for (StateCode s = 0; s < 4; ++s) {
+      EXPECT_EQ(static_cast<bool>(formula[s]), static_cast<bool>(bfs[s]))
+          << "t=" << t << " s=" << s;
+    }
+  }
+}
+
+TEST(Ctl, EfFixedPointsIsEverythingForMajority) {
+  // Every state can reach SOME fixed point by a suitable schedule
+  // (Theorem 1's convergence, as EF).
+  const auto a = majority_ring(8);
+  const ChoiceDigraph g(a);
+  const auto fps = make_set(g, [&](StateCode s) {
+    return core::is_fixed_point_sequential(
+        a, core::Configuration::from_bits(s, 8));
+  });
+  const auto possible = ef(g, fps);
+  EXPECT_EQ(set_size(possible), g.num_states());
+}
+
+TEST(Ctl, AfFixedPointsIsOnlyFixedPointsForMajority) {
+  // But convergence is NOT inevitable without fairness: any non-FP state
+  // has a lazy schedule that re-updates a stable node forever (a
+  // self-loop), so AF(FPs) = FPs exactly — footnote 2 in CTL form.
+  const auto a = majority_ring(8);
+  const ChoiceDigraph g(a);
+  const auto fps = make_set(g, [&](StateCode s) {
+    return core::is_fixed_point_sequential(
+        a, core::Configuration::from_bits(s, 8));
+  });
+  EXPECT_EQ(af(g, fps), fps);
+}
+
+TEST(Ctl, AgFixedPointIsInvariant) {
+  // A fixed point satisfies AG {itself}: no schedule can leave it.
+  const auto a = majority_ring(6);
+  const ChoiceDigraph g(a);
+  const auto zero = make_set(g, [](StateCode s) { return s == 0; });
+  const auto invariant = ag(g, zero);
+  EXPECT_TRUE(invariant[0]);
+  EXPECT_EQ(set_size(invariant), 1u);
+}
+
+TEST(Ctl, EgNonFixedPointsForXor) {
+  // On Fig. 1(b) a schedule can avoid 00 forever from any nonzero state
+  // (e.g. loop on a two-cycle): EG (not {00}) = {01, 10, 11}.
+  const ChoiceDigraph g(two_node_xor());
+  const auto not_zero = make_set(g, [](StateCode s) { return s != 0; });
+  const auto forever = eg(g, not_zero);
+  EXPECT_FALSE(forever[0]);
+  EXPECT_TRUE(forever[1]);
+  EXPECT_TRUE(forever[2]);
+  EXPECT_TRUE(forever[3]);
+}
+
+TEST(Ctl, EgNonFixedPointsEmptyForMajority) {
+  // For threshold CA no schedule can stay off the fixed points forever
+  // while CHANGING state... careful: lazily re-updating a stable node of
+  // a non-FP state stays off the FPs forever, so EG(not FPs) is NOT
+  // empty — it is exactly the non-FP states. The real impossibility
+  // (Lemma 1(ii)) is about REVISITING after change, which is the SCC
+  // statement, not an unfair-schedule CTL one.
+  const auto a = majority_ring(6);
+  const ChoiceDigraph g(a);
+  const auto fps = make_set(g, [&](StateCode s) {
+    return core::is_fixed_point_sequential(
+        a, core::Configuration::from_bits(s, 6));
+  });
+  EXPECT_EQ(eg(g, set_not(fps)), set_not(fps));
+}
+
+TEST(Ctl, DualityEfAg) {
+  // EF T == not AG (not T).
+  const ChoiceDigraph g(majority_ring(6));
+  const auto t = make_set(g, [](StateCode s) { return (s & 1u) != 0; });
+  EXPECT_EQ(ef(g, t), set_not(ag(g, set_not(t))));
+  EXPECT_EQ(af(g, t), set_not(eg(g, set_not(t))));
+}
+
+}  // namespace
+}  // namespace tca::phasespace

@@ -1,0 +1,140 @@
+// Unit tests for damage spreading / light cones (src/analysis/damage.hpp).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/damage.hpp"
+#include "analysis/linear_ca.hpp"
+#include "core/automaton.hpp"
+
+namespace tca::analysis {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Configuration;
+using core::Memory;
+
+Configuration random_config(std::size_t n, std::mt19937_64& rng) {
+  Configuration c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(i, static_cast<core::State>(rng() & 1u));
+  }
+  return c;
+}
+
+TEST(Damage, InitialDiffIsTheFlippedCell) {
+  const auto a = Automaton::line(16, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto trace =
+      damage_synchronous(a, Configuration(16), /*cell=*/5, /*steps=*/3);
+  ASSERT_EQ(trace.diffs.size(), 4u);
+  EXPECT_EQ(trace.diffs[0].popcount(), 1u);
+  EXPECT_EQ(trace.diffs[0].get(5), 1);
+}
+
+TEST(Damage, OutOfRangeCellThrows) {
+  const auto a = Automaton::line(8, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  EXPECT_THROW(damage_synchronous(a, Configuration(8), 8, 1),
+               std::invalid_argument);
+}
+
+TEST(Damage, LightConeHoldsForEveryTestedRuleAndState) {
+  // The "no sooner than d/r steps" upper bound: damage at time t stays
+  // within ring distance r*t of the perturbed cell — for ANY rule
+  // (synchronous updates simply cannot move information faster).
+  std::mt19937_64 rng(11);
+  const std::size_t n = 64;
+  for (const auto& rule :
+       {rules::majority(), rules::parity(), rules::Rule{rules::wolfram(110)},
+        rules::Rule{rules::wolfram(30)}}) {
+    for (const std::uint32_t r : {1u, 2u}) {
+      // Wolfram table rules are fixed at arity 3 (radius 1 only).
+      if (r != 1 && rules::required_arity(rule) != 0) continue;
+      const auto a = Automaton::line(n, r, Boundary::kRing, rule,
+                                     Memory::kWith);
+      for (int trial = 0; trial < 5; ++trial) {
+        const auto x = random_config(n, rng);
+        const std::size_t cell = rng() % n;
+        const auto trace = damage_synchronous(a, x, cell, 10);
+        EXPECT_TRUE(trace_within_light_cone(trace, cell, r))
+            << rules::describe(rule) << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(Damage, ParityDamageSaturatesTheCone) {
+  // For XOR rules the damage front moves at EXACTLY r cells per step
+  // (rule 150's unit response spreads like Pascal's triangle mod 2, whose
+  // extremal cells always survive).
+  const std::size_t n = 64;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  std::mt19937_64 rng(3);
+  const auto x = random_config(n, rng);
+  const auto trace = damage_synchronous(a, x, 32, 12);
+  for (std::uint64_t t = 0; t <= 12; ++t) {
+    EXPECT_EQ(trace.diffs[t].get((32 + t) % n), 1) << t;
+    EXPECT_EQ(trace.diffs[t].get((32 + n - t) % n), 1) << t;
+  }
+  EXPECT_EQ(steps_until_cone_boundary(trace, 32, 1), 1u);
+}
+
+TEST(Damage, LinearRuleDamageIsBackgroundIndependent) {
+  // Superposition: for a linear rule the damage trajectory equals the
+  // evolution of the lone perturbation, regardless of the background.
+  const std::size_t n = 32;
+  const auto a = Automaton::line(n, 1, Boundary::kRing,
+                                 rules::Rule{rules::wolfram(90)},
+                                 Memory::kWith);
+  std::mt19937_64 rng(9);
+  const auto bg1 = random_config(n, rng);
+  const auto bg2 = random_config(n, rng);
+  const auto t1 = damage_synchronous(a, bg1, 7, 10);
+  const auto t2 = damage_synchronous(a, bg2, 7, 10);
+  for (std::uint64_t t = 0; t <= 10; ++t) {
+    EXPECT_EQ(t1.diffs[t], t2.diffs[t]) << t;
+  }
+  // ...and equals the linear evolution of e_7.
+  const auto linear =
+      LinearRingCA::from_rule(rules::Rule{rules::wolfram(90)}, 1, n);
+  Configuration unit(n);
+  unit.set(7, 1);
+  EXPECT_EQ(t1.diffs[10], linear.step_many(unit, 10));
+}
+
+TEST(Damage, MajorityDamageOftenHeals) {
+  // Threshold rules are NOT background-independent: on the all-zero
+  // background a single flipped cell heals in one step.
+  const auto a = Automaton::line(32, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto trace = damage_synchronous(a, Configuration(32), 10, 4);
+  EXPECT_EQ(trace.diffs[1].popcount(), 0u);
+  const auto hamming = trace.hamming();
+  EXPECT_EQ(hamming, (std::vector<std::size_t>{1, 0, 0, 0, 0}));
+}
+
+TEST(Damage, ConeBoundaryDetectorIgnoresWrappedCones) {
+  // Once r*t >= n/2 the cone covers the ring and "boundary" is undefined;
+  // the detector must stop rather than report nonsense.
+  const auto a = Automaton::line(8, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto trace = damage_synchronous(a, Configuration(8), 0, 20);
+  const auto t = steps_until_cone_boundary(trace, 0, 1);
+  EXPECT_LE(t, 3u);  // n/2 = 4 caps the search
+}
+
+TEST(Damage, WithinLightConeRejectsEscapes) {
+  Configuration diff(16);
+  diff.set(8, 1);
+  EXPECT_TRUE(within_light_cone(diff, 8, 1, 0));
+  diff.set(11, 1);
+  EXPECT_FALSE(within_light_cone(diff, 8, 1, 2));
+  EXPECT_TRUE(within_light_cone(diff, 8, 1, 3));
+}
+
+}  // namespace
+}  // namespace tca::analysis

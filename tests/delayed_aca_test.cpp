@@ -1,0 +1,131 @@
+// Unit tests for the stochastic bounded-asynchrony simulator
+// (src/aca/delayed.hpp).
+
+#include <gtest/gtest.h>
+
+#include "aca/delayed.hpp"
+#include "core/automaton.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+
+namespace tca::aca {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Memory;
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(DelayedAca, FullRatesOnBlinkerNeverQuiesce) {
+  // compute_rate = deliver_rate = 1 reproduces the classical parallel CA:
+  // the blinker oscillates forever and the run hits the tick cap.
+  const AcaSystem sys(majority_ring(8));
+  DelayedParams params;
+  params.max_ticks = 2000;
+  const auto run = run_delayed(sys, 0b01010101, params, 1);
+  EXPECT_FALSE(run.quiesced);
+  EXPECT_EQ(run.ticks, 2000u);
+}
+
+TEST(DelayedAca, FullRatesMatchSynchronousTrajectory) {
+  // With both rates at 1 the config projection follows the synchronous
+  // orbit exactly.
+  const auto a = majority_ring(10);
+  const AcaSystem sys(a);
+  DelayedParams params;
+  params.max_ticks = 5;
+  const StateCode start = 0b0110110010;
+  const auto run = run_delayed(sys, start, params, 7);
+  auto c = core::Configuration::from_bits(start, 10);
+  // If the orbit reaches a fixed point before 5 ticks the run quiesces at
+  // it; otherwise compare at tick 5.
+  for (std::uint64_t t = 0; t < run.ticks; ++t) {
+    core::advance_synchronous(a, c, 1);
+  }
+  EXPECT_EQ(run.final_config, c.to_bits());
+}
+
+TEST(DelayedAca, PartialRatesBreakTheBlinker) {
+  // Random subset updates (deliver_rate 1, compute_rate 0.5) destroy the
+  // perfect synchrony the two-cycle depends on: the run quiesces.
+  const AcaSystem sys(majority_ring(8));
+  DelayedParams params;
+  params.compute_rate = 0.5;
+  params.max_ticks = 1u << 16;
+  const auto run = run_delayed(sys, 0b01010101, params, 11);
+  EXPECT_TRUE(run.quiesced);
+  // The final configuration is a genuine fixed point of the automaton.
+  const auto a = majority_ring(8);
+  const auto c = core::Configuration::from_bits(run.final_config, 8);
+  EXPECT_TRUE(core::is_fixed_point_sequential(a, c));
+}
+
+TEST(DelayedAca, SlowLinksStillConverge) {
+  const AcaSystem sys(majority_ring(8));
+  DelayedParams params;
+  params.compute_rate = 0.5;
+  params.deliver_rate = 0.2;
+  params.max_ticks = 1u << 18;
+  const auto run = run_delayed(sys, 0b00110101, params, 3);
+  EXPECT_TRUE(run.quiesced);
+  EXPECT_GT(run.total_delivers, 0u);
+  EXPECT_GT(run.total_computes, 0u);
+}
+
+TEST(DelayedAca, DeterministicUnderSeed) {
+  const AcaSystem sys(majority_ring(8));
+  DelayedParams params;
+  params.compute_rate = 0.3;
+  params.deliver_rate = 0.7;
+  const auto r1 = run_delayed(sys, 0b01010101, params, 42);
+  const auto r2 = run_delayed(sys, 0b01010101, params, 42);
+  EXPECT_EQ(r1.final_config, r2.final_config);
+  EXPECT_EQ(r1.ticks, r2.ticks);
+  EXPECT_EQ(r1.total_computes, r2.total_computes);
+}
+
+TEST(DelayedAca, QuiescentStartTakesZeroTicks) {
+  const AcaSystem sys(majority_ring(8));
+  DelayedParams params;
+  const auto run = run_delayed(sys, 0b00001111, params, 5);
+  EXPECT_TRUE(run.quiesced);
+  EXPECT_EQ(run.ticks, 0u);
+  EXPECT_EQ(run.final_config, 0b00001111u);
+}
+
+TEST(DelayedAca, MeasureAggregatesTrials) {
+  const AcaSystem sys(majority_ring(8));
+  DelayedParams params;
+  params.compute_rate = 0.5;
+  params.max_ticks = 1u << 16;
+  const auto stats = measure_delayed(sys, 0b01010101, params, 10, 100);
+  EXPECT_EQ(stats.trials, 10u);
+  EXPECT_EQ(stats.quiesced, 10u);
+  EXPECT_GT(stats.mean_ticks, 0.0);
+  EXPECT_GE(stats.max_ticks, stats.mean_ticks);
+}
+
+TEST(DelayedAca, SlowerDeliveryMeansSlowerConvergence) {
+  // Communication delay should not change WHERE we land (a fixed point)
+  // but should increase HOW LONG it takes, on average.
+  const AcaSystem sys(majority_ring(10));
+  DelayedParams fast;
+  fast.compute_rate = 0.5;
+  fast.deliver_rate = 1.0;
+  fast.max_ticks = 1u << 18;
+  DelayedParams slow = fast;
+  slow.deliver_rate = 0.05;
+  const StateCode start = 0b0101010101;
+  const auto fast_stats = measure_delayed(sys, start, fast, 20, 7);
+  const auto slow_stats = measure_delayed(sys, start, slow, 20, 7);
+  EXPECT_EQ(fast_stats.quiesced, 20u);
+  EXPECT_EQ(slow_stats.quiesced, 20u);
+  EXPECT_GT(slow_stats.mean_ticks, fast_stats.mean_ticks);
+}
+
+}  // namespace
+}  // namespace tca::aca

@@ -1,0 +1,60 @@
+// Unit tests for DOT / text export (src/phasespace/dot.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/dot.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+using core::Automaton;
+using core::Memory;
+
+Automaton two_node_xor() {
+  return Automaton::from_graph(graph::complete(2), rules::parity(),
+                               Memory::kWith);
+}
+
+TEST(StateLabel, CellZeroFirst) {
+  EXPECT_EQ(state_label(0b01, 2), "10");
+  EXPECT_EQ(state_label(0b10, 2), "01");
+  EXPECT_EQ(state_label(0b110, 4), "0110");
+}
+
+TEST(DotFunctional, ContainsAllStatesAndEdges) {
+  const auto dot = to_dot(FunctionalGraph::synchronous(two_node_xor()));
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"00\""), std::string::npos);
+  EXPECT_NE(dot.find("\"11\" -> \"00\""), std::string::npos);
+  EXPECT_NE(dot.find("\"10\" -> \"11\""), std::string::npos);
+}
+
+TEST(DotFunctional, FixedPointMarkedAsDoubleCircle) {
+  const auto dot = to_dot(FunctionalGraph::synchronous(two_node_xor()));
+  EXPECT_NE(dot.find("\"00\" [shape=doublecircle]"), std::string::npos);
+}
+
+TEST(DotChoice, EdgesCarryNodeLabels) {
+  const auto dot = to_dot(ChoiceDigraph(two_node_xor()));
+  // From "10" updating node 1 (paper numbering) -> "11".
+  EXPECT_NE(dot.find("[label=\"1\"]"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"2\"]"), std::string::npos);
+}
+
+TEST(TextFunctional, MarksKinds) {
+  const auto text = to_text(FunctionalGraph::synchronous(two_node_xor()));
+  EXPECT_NE(text.find("00 -> 00   [fixed point]"), std::string::npos);
+  EXPECT_NE(text.find("[transient]"), std::string::npos);
+}
+
+TEST(TextChoice, MarksFixedAndPseudoFixedPoints) {
+  const auto text = to_text(ChoiceDigraph(two_node_xor()));
+  EXPECT_NE(text.find("[fixed point]"), std::string::npos);
+  EXPECT_NE(text.find("[pseudo-fixed point]"), std::string::npos);
+  EXPECT_NE(text.find("[on a proper cycle]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tca::phasespace

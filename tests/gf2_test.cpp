@@ -1,0 +1,150 @@
+// Unit tests for GF(2) linear algebra (src/analysis/gf2.hpp).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/gf2.hpp"
+
+namespace tca::analysis {
+namespace {
+
+Gf2Matrix from_rows(const std::vector<std::vector<int>>& rows) {
+  Gf2Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      m.set(r, c, rows[r][c] != 0);
+    }
+  }
+  return m;
+}
+
+TEST(Gf2Matrix, GetSetRoundTrip) {
+  Gf2Matrix m(3, 130);  // multi-word rows
+  m.set(1, 0, true);
+  m.set(1, 64, true);
+  m.set(2, 129, true);
+  EXPECT_TRUE(m.get(1, 0));
+  EXPECT_TRUE(m.get(1, 64));
+  EXPECT_TRUE(m.get(2, 129));
+  EXPECT_FALSE(m.get(0, 0));
+  m.set(1, 64, false);
+  EXPECT_FALSE(m.get(1, 64));
+}
+
+TEST(Gf2Matrix, IdentityMultiplication) {
+  const auto a = from_rows({{1, 0, 1}, {0, 1, 1}, {1, 1, 0}});
+  EXPECT_EQ(a.multiply(Gf2Matrix::identity(3)), a);
+  EXPECT_EQ(Gf2Matrix::identity(3).multiply(a), a);
+}
+
+TEST(Gf2Matrix, KnownProduct) {
+  const auto a = from_rows({{1, 1}, {0, 1}});
+  const auto b = from_rows({{1, 0}, {1, 1}});
+  // a*b over GF(2): [[1+1, 0+1], [1, 1]] = [[0,1],[1,1]].
+  EXPECT_EQ(a.multiply(b), from_rows({{0, 1}, {1, 1}}));
+}
+
+TEST(Gf2Matrix, AddIsXor) {
+  const auto a = from_rows({{1, 1}, {0, 1}});
+  const auto b = from_rows({{1, 0}, {1, 1}});
+  EXPECT_EQ(a.add(b), from_rows({{0, 1}, {1, 0}}));
+  EXPECT_EQ(a.add(a), Gf2Matrix(2, 2));
+}
+
+TEST(Gf2Matrix, PowerMatchesRepeatedMultiply) {
+  const auto a = from_rows({{1, 1, 0}, {0, 1, 1}, {1, 0, 1}});
+  Gf2Matrix manual = Gf2Matrix::identity(3);
+  for (int i = 0; i < 13; ++i) manual = manual.multiply(a);
+  EXPECT_EQ(a.power(13), manual);
+  EXPECT_EQ(a.power(0), Gf2Matrix::identity(3));
+}
+
+TEST(Gf2Matrix, ApplyMatchesDefinition) {
+  const auto a = from_rows({{1, 1, 0}, {0, 0, 1}});
+  std::vector<std::uint64_t> x{0b011};  // x0 = 1, x1 = 1, x2 = 0
+  const auto y = a.apply(x);
+  EXPECT_FALSE(get_bit(y, 0));  // 1 ^ 1 = 0
+  EXPECT_FALSE(get_bit(y, 1));  // x2 = 0
+}
+
+TEST(Gf2Matrix, RankOfKnownMatrices) {
+  EXPECT_EQ(Gf2Matrix::identity(5).rank(), 5u);
+  EXPECT_EQ(Gf2Matrix(4, 4).rank(), 0u);
+  // Rank-2 matrix: third row is the XOR of the first two.
+  EXPECT_EQ(from_rows({{1, 0, 1}, {0, 1, 1}, {1, 1, 0}}).rank(), 2u);
+  // Non-square.
+  EXPECT_EQ(from_rows({{1, 0, 1, 1}, {0, 1, 0, 1}}).rank(), 2u);
+}
+
+TEST(Gf2Matrix, KernelBasisSpansTheKernel) {
+  const auto a = from_rows({{1, 0, 1}, {0, 1, 1}, {1, 1, 0}});
+  const auto basis = a.kernel_basis();
+  ASSERT_EQ(basis.size(), a.nullity());
+  ASSERT_EQ(basis.size(), 1u);
+  // Every basis vector maps to zero.
+  for (const auto& v : basis) {
+    const auto y = a.apply(v);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      EXPECT_FALSE(get_bit(y, i));
+    }
+  }
+  // The kernel of this matrix is {000, 111}.
+  EXPECT_TRUE(get_bit(basis[0], 0));
+  EXPECT_TRUE(get_bit(basis[0], 1));
+  EXPECT_TRUE(get_bit(basis[0], 2));
+}
+
+TEST(Gf2Matrix, SolveConsistentSystem) {
+  const auto a = from_rows({{1, 1, 0}, {0, 1, 1}});
+  std::vector<std::uint64_t> b{0b01};  // y0 = 1, y1 = 0
+  const auto x = a.solve(b);
+  ASSERT_TRUE(x.has_value());
+  const auto y = a.apply(*x);
+  EXPECT_TRUE(get_bit(y, 0));
+  EXPECT_FALSE(get_bit(y, 1));
+}
+
+TEST(Gf2Matrix, SolveDetectsInconsistency) {
+  // Rows 0 and 1 identical: b with different bits is inconsistent.
+  const auto a = from_rows({{1, 1}, {1, 1}});
+  std::vector<std::uint64_t> b{0b01};
+  EXPECT_EQ(a.solve(b), std::nullopt);
+  std::vector<std::uint64_t> ok{0b11};
+  EXPECT_TRUE(a.solve(ok).has_value());
+}
+
+TEST(Gf2Matrix, RandomRankNullityConsistency) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng() % 12;
+    Gf2Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        m.set(r, c, (rng() & 1u) != 0);
+      }
+    }
+    EXPECT_EQ(m.rank() + m.kernel_basis().size(), n);
+    // Every kernel basis vector is annihilated.
+    for (const auto& v : m.kernel_basis()) {
+      const auto y = m.apply(v);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_FALSE(get_bit(y, i));
+    }
+  }
+}
+
+TEST(Gf2Matrix, MultiWordRankAndSolve) {
+  // 100x100 identity plus one dependent row pattern.
+  const std::size_t n = 100;
+  Gf2Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  // Make row 99 = row 0 ^ row 1 (destroying its own pivot).
+  m.set(99, 99, false);
+  m.set(99, 0, true);
+  m.set(99, 1, true);
+  EXPECT_EQ(m.rank(), 99u);
+  EXPECT_EQ(m.nullity(), 1u);
+}
+
+}  // namespace
+}  // namespace tca::analysis

@@ -1,0 +1,240 @@
+// Unit tests for the graph substrate (src/graph).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builders.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace tca::graph {
+namespace {
+
+std::vector<NodeId> to_vec(std::span<const NodeId> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Graph, EmptyGraphHasNoNodesOrEdges) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, TriangleAdjacency) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  Graph g(3, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(to_vec(g.neighbors(0)), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(to_vec(g.neighbors(1)), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(to_vec(g.neighbors(2)), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Graph, EdgeOrderDoesNotMatter) {
+  Graph a(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  Graph b(3, std::vector<Edge>{{2, 1}, {1, 0}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  const std::vector<Edge> edges{{1, 1}};
+  EXPECT_THROW(Graph(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}};
+  EXPECT_THROW(Graph(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  const std::vector<Edge> edges{{0, 3}};
+  EXPECT_THROW(Graph(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, HasEdgeIsSymmetric) {
+  Graph g(4, std::vector<Edge>{{0, 2}, {1, 3}});
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 4));  // out of range is just "no"
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  const std::vector<Edge> edges{{0, 1}, {0, 3}, {2, 3}};
+  Graph g(4, edges);
+  EXPECT_EQ(g.edges(), edges);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  Graph g(4, std::vector<Edge>{{0, 1}});
+  EXPECT_EQ(g.summary(), "Graph(n=4, m=1)");
+}
+
+TEST(Builders, PathHasNMinusOneEdges) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Builders, PathRadiusTwo) {
+  const Graph g = path(5, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.degree(2), 4u);  // 0,1,3,4
+}
+
+TEST(Builders, RingIsTwoRegular) {
+  const Graph g = ring(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(regular_degree(g), NodeId{2});
+  EXPECT_TRUE(g.has_edge(0, 5));  // wraparound
+}
+
+TEST(Builders, RingRadiusTwoIsFourRegular) {
+  const Graph g = ring(8, 2);
+  EXPECT_EQ(regular_degree(g), NodeId{4});
+  EXPECT_TRUE(g.has_edge(0, 6));  // distance 2 across the wrap
+}
+
+TEST(Builders, RingRejectsTooSmall) {
+  EXPECT_THROW(ring(4, 2), std::invalid_argument);
+  EXPECT_THROW(ring(2, 1), std::invalid_argument);
+}
+
+TEST(Builders, MinimalRingRadius) {
+  // n = 2r+1 is allowed: every node adjacent to every other.
+  const Graph g = ring(5, 2);
+  EXPECT_EQ(regular_degree(g), NodeId{4});
+  EXPECT_EQ(g.num_edges(), 10u);  // K5
+}
+
+TEST(Builders, Grid2dOpenBoundaryDegrees) {
+  const Graph g = grid2d(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(1), 3u);   // edge
+  EXPECT_EQ(g.degree(5), 4u);   // interior
+  EXPECT_EQ(g.num_edges(), 17u);  // 3*3 + 2*4
+}
+
+TEST(Builders, Grid2dTorusIsFourRegular) {
+  const Graph g = grid2d(3, 4, /*torus=*/true);
+  EXPECT_EQ(regular_degree(g), NodeId{4});
+  EXPECT_EQ(g.num_edges(), 24u);
+}
+
+TEST(Builders, Grid2dMooreInteriorDegree) {
+  const Graph g = grid2d(3, 3, false, GridNeighborhood::kMoore);
+  EXPECT_EQ(g.degree(4), 8u);  // center of 3x3
+  EXPECT_EQ(g.degree(0), 3u);  // corner
+}
+
+TEST(Builders, Grid2dTorusRequiresDimsAtLeastThree) {
+  EXPECT_THROW(grid2d(2, 4, true), std::invalid_argument);
+}
+
+TEST(Builders, HypercubeQ3) {
+  const Graph g = hypercube(3);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(regular_degree(g), NodeId{3});
+  EXPECT_TRUE(g.has_edge(0b000, 0b100));
+  EXPECT_FALSE(g.has_edge(0b000, 0b110));
+}
+
+TEST(Builders, HypercubeQ0IsSingleNode) {
+  const Graph g = hypercube(0);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builders, CompleteGraph) {
+  const Graph g = complete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(regular_degree(g), NodeId{4});
+}
+
+TEST(Builders, CompleteBipartite) {
+  const Graph g = complete_bipartite(2, 3);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(Builders, CirculantMatchesRing) {
+  const std::vector<NodeId> offsets{1};
+  EXPECT_EQ(circulant(6, offsets), ring(6));
+}
+
+TEST(Builders, CirculantHalfOffsetPerfectMatching) {
+  const std::vector<NodeId> offsets{3};
+  const Graph g = circulant(6, offsets);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(regular_degree(g), NodeId{1});
+}
+
+TEST(Builders, CirculantRejectsBadOffsets) {
+  const std::vector<NodeId> zero{0};
+  const std::vector<NodeId> big{4};
+  const std::vector<NodeId> dup{1, 1};
+  EXPECT_THROW(circulant(6, zero), std::invalid_argument);
+  EXPECT_THROW(circulant(6, big), std::invalid_argument);
+  EXPECT_THROW(circulant(6, dup), std::invalid_argument);
+}
+
+TEST(Builders, StarDegrees) {
+  const Graph g = star(5);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Properties, ConnectivityDetectsComponents) {
+  EXPECT_TRUE(is_connected(ring(5)));
+  Graph two(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  EXPECT_FALSE(is_connected(two));
+  EXPECT_EQ(component_count(two), 2u);
+  EXPECT_EQ(component_count(ring(5)), 1u);
+}
+
+TEST(Properties, EvenRingIsBipartiteOddIsNot) {
+  EXPECT_TRUE(is_bipartite(ring(6)));
+  EXPECT_FALSE(is_bipartite(ring(5)));
+}
+
+TEST(Properties, HypercubeAndGridsAreBipartite) {
+  EXPECT_TRUE(is_bipartite(hypercube(4)));
+  EXPECT_TRUE(is_bipartite(grid2d(3, 5)));
+  EXPECT_TRUE(is_bipartite(complete_bipartite(3, 4)));
+}
+
+TEST(Properties, MooreGridIsNotBipartite) {
+  EXPECT_FALSE(is_bipartite(grid2d(3, 3, false, GridNeighborhood::kMoore)));
+}
+
+TEST(Properties, BipartitionIsProperColoring) {
+  const Graph g = hypercube(3);
+  const auto coloring = bipartition(g);
+  ASSERT_TRUE(coloring.has_value());
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE((*coloring)[e.u], (*coloring)[e.v]);
+  }
+}
+
+TEST(Properties, RegularDegreeDetectsIrregular) {
+  EXPECT_EQ(regular_degree(ring(7)), NodeId{2});
+  EXPECT_EQ(regular_degree(path(5)), std::nullopt);
+}
+
+TEST(Properties, DegreeHistogram) {
+  const auto hist = degree_histogram(path(5));
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[1], 2u);  // the two endpoints
+  EXPECT_EQ(hist[2], 3u);  // interior nodes
+}
+
+}  // namespace
+}  // namespace tca::graph

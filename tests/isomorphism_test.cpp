@@ -1,0 +1,123 @@
+// Unit tests for phase-space isomorphism (src/phasespace/isomorphism.hpp)
+// — including the paper's "not even isomorphic computation" claim.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/isomorphism.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Memory;
+
+/// Functional graph from an explicit successor table.
+FunctionalGraph from_table(const std::vector<StateCode>& succ) {
+  std::uint32_t bits = 0;
+  while ((StateCode{1} << bits) < succ.size()) ++bits;
+  return FunctionalGraph(bits, [&succ](StateCode s) { return succ[s]; });
+}
+
+TEST(Isomorphism, GraphIsIsomorphicToItself) {
+  const auto a = Automaton::line(8, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto fg = FunctionalGraph::synchronous(a);
+  EXPECT_TRUE(isomorphic(fg, fg));
+  EXPECT_EQ(canonical_form(fg), canonical_form(fg));
+}
+
+TEST(Isomorphism, RelabelingPreservesCanonicalForm) {
+  // Conjugating succ by any state permutation yields an isomorphic graph.
+  const auto a = Automaton::line(6, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto fg = FunctionalGraph::synchronous(a);
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<StateCode> perm(fg.num_states());
+    for (StateCode s = 0; s < fg.num_states(); ++s) perm[s] = s;
+    std::shuffle(perm.begin(), perm.end(), rng);
+    std::vector<StateCode> conjugated(fg.num_states());
+    for (StateCode s = 0; s < fg.num_states(); ++s) {
+      conjugated[perm[s]] = perm[fg.succ(s)];
+    }
+    EXPECT_TRUE(isomorphic(fg, from_table(conjugated))) << "trial " << trial;
+  }
+}
+
+TEST(Isomorphism, DistinguishesCycleLengths) {
+  // One 4-cycle vs two 2-cycles (same size, same in-degrees).
+  const auto one_cycle = from_table({1, 2, 3, 0});
+  const auto two_cycles = from_table({1, 0, 3, 2});
+  EXPECT_FALSE(isomorphic(one_cycle, two_cycles));
+}
+
+TEST(Isomorphism, DistinguishesTreeShapes) {
+  // Both: one fixed point, three transients; different tree shapes
+  // (a path of depth 3 vs a star of depth 1).
+  const auto path = from_table({0, 0, 1, 2});
+  const auto star = from_table({0, 0, 0, 0});
+  EXPECT_FALSE(isomorphic(path, star));
+}
+
+TEST(Isomorphism, SizeMismatchIsNotIsomorphic) {
+  const auto small = from_table({0, 0});
+  const auto big = from_table({0, 0, 0, 0});
+  EXPECT_FALSE(isomorphic(small, big));
+}
+
+TEST(Isomorphism, MinimalRotationHandlesCycleSymmetry) {
+  // A 3-cycle with one hair on different cycle nodes: rotations of each
+  // other, so isomorphic.
+  const auto hair_on_0 = from_table({1, 2, 0, 0});  // 3 -> 0, cycle 0,1,2
+  const auto hair_on_1 = from_table({1, 2, 0, 1});  // 3 -> 1
+  EXPECT_TRUE(isomorphic(hair_on_0, hair_on_1));
+}
+
+TEST(Isomorphism, PaperClaim_NoSweepOrderIsIsomorphicToParallelMajority) {
+  // For the majority ring, the parallel phase space has a two-cycle while
+  // every sweep phase space is cycle-free — so no update order gives an
+  // isomorphic computation. Checked over ALL 720 orders at n = 6.
+  const std::size_t n = 6;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto parallel = FunctionalGraph::synchronous(a);
+  const auto parallel_form = canonical_form(parallel);
+  auto perm = core::identity_order(n);
+  do {
+    const auto sweep = FunctionalGraph::sweep(a, perm);
+    ASSERT_NE(canonical_form(sweep), parallel_form);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Isomorphism, PaperClaim_XorTwoNodeParallelVsSequentialSweeps) {
+  // Fig. 1's system: neither order's sweep map is isomorphic to the
+  // parallel map (parallel has a depth-2 tail into 00; the sweeps behave
+  // differently).
+  const auto a = Automaton::from_graph(graph::complete(2), rules::parity(),
+                                       Memory::kWith);
+  const auto parallel = FunctionalGraph::synchronous(a);
+  for (const auto& order : {std::vector<core::NodeId>{0, 1},
+                            std::vector<core::NodeId>{1, 0}}) {
+    const auto sweep = FunctionalGraph::sweep(a, order);
+    EXPECT_FALSE(isomorphic(parallel, sweep));
+  }
+}
+
+TEST(Isomorphism, EquivalentSweepOrdersGiveEqualForms) {
+  // Non-adjacent swaps give the SAME map, hence equal canonical forms.
+  const auto a = Automaton::line(6, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto f1 = FunctionalGraph::sweep(a, {0, 2, 4, 1, 3, 5});
+  const auto f2 = FunctionalGraph::sweep(a, {2, 0, 4, 1, 3, 5});
+  EXPECT_EQ(canonical_form(f1), canonical_form(f2));
+}
+
+}  // namespace
+}  // namespace tca::phasespace

@@ -1,0 +1,189 @@
+// Unit tests for the linear-CA algebra (src/analysis/linear_ca.hpp):
+// algebraic predictions cross-validated against the engines, the preimage
+// solver, and explicit phase spaces.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/linear_ca.hpp"
+#include "core/automaton.hpp"
+#include "core/synchronous.hpp"
+#include "phasespace/classify.hpp"
+#include "phasespace/preimage.hpp"
+
+namespace tca::analysis {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Configuration;
+using core::Memory;
+
+TEST(LinearCoefficients, DetectsLinearRules) {
+  // Rule 90 = left XOR right; rule 150 = left XOR self XOR right.
+  const auto c90 = linear_coefficients(rules::Rule{rules::wolfram(90)}, 3);
+  ASSERT_TRUE(c90.has_value());
+  EXPECT_EQ(*c90, (std::vector<rules::State>{1, 0, 1}));
+  const auto c150 = linear_coefficients(rules::Rule{rules::wolfram(150)}, 3);
+  ASSERT_TRUE(c150.has_value());
+  EXPECT_EQ(*c150, (std::vector<rules::State>{1, 1, 1}));
+  const auto cparity = linear_coefficients(rules::parity(), 5);
+  ASSERT_TRUE(cparity.has_value());
+  EXPECT_EQ(*cparity, (std::vector<rules::State>(5, 1)));
+}
+
+TEST(LinearCoefficients, RejectsNonlinearRules) {
+  EXPECT_FALSE(linear_coefficients(rules::majority(), 3).has_value());
+  EXPECT_FALSE(
+      linear_coefficients(rules::Rule{rules::wolfram(110)}, 3).has_value());
+  // Rule 105 = NOT(l ^ s ^ r): affine but with constant term 1.
+  EXPECT_FALSE(
+      linear_coefficients(rules::Rule{rules::wolfram(105)}, 3).has_value());
+}
+
+TEST(LinearRingCA, StepMatchesEngine) {
+  for (const std::uint32_t code : {90u, 150u, 60u, 102u}) {
+    const std::size_t n = 12;
+    const auto a = Automaton::line(n, 1, Boundary::kRing,
+                                   rules::Rule{rules::wolfram(code)},
+                                   Memory::kWith);
+    const auto linear =
+        LinearRingCA::from_rule(rules::Rule{rules::wolfram(code)}, 1, n);
+    std::mt19937_64 rng(code);
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto x = Configuration::from_bits(rng() & 0xFFF, n);
+      EXPECT_EQ(linear.step(x), core::step_synchronous(a, x))
+          << "code " << code;
+    }
+  }
+}
+
+TEST(LinearRingCA, StepManyMatchesIteratedEngine) {
+  const std::size_t n = 14;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto linear = LinearRingCA::from_rule(rules::parity(), 1, n);
+  auto x = Configuration::from_bits(0b10110111001011 & ((1 << 14) - 1), n);
+  auto iterated = x;
+  core::advance_synchronous(a, iterated, 1000);
+  EXPECT_EQ(linear.step_many(x, 1000), iterated);
+}
+
+TEST(LinearRingCA, FromRuleRejectsNonlinear) {
+  EXPECT_THROW(LinearRingCA::from_rule(rules::majority(), 1, 8),
+               std::invalid_argument);
+}
+
+TEST(LinearRingCA, ReversibilityByCirculantPolynomialGcd) {
+  // The circulant of rule 90 is x + x^{n-1} ~ x(1 + x^{n-2}); its gcd with
+  // x^n + 1 always contains 1 + x, so rule 90 is NEVER bijective on a
+  // ring. Rule 150's polynomial 1 + x + x^2 divides x^3 + 1, so rule 150
+  // is bijective exactly when 3 does not divide n.
+  for (std::size_t n = 4; n <= 13; ++n) {
+    const auto r90 =
+        LinearRingCA::from_rule(rules::Rule{rules::wolfram(90)}, 1, n);
+    EXPECT_FALSE(r90.is_reversible()) << n;
+    const auto r150 =
+        LinearRingCA::from_rule(rules::Rule{rules::wolfram(150)}, 1, n);
+    EXPECT_EQ(r150.is_reversible(), n % 3 != 0) << n;
+  }
+}
+
+TEST(LinearRingCA, ReversibilityAgreesWithPreimageSolver) {
+  // Independent ground truth: bijective iff every state has exactly one
+  // preimage.
+  for (const std::uint32_t code : {90u, 150u}) {
+    for (const std::size_t n : {7u, 9u, 10u}) {
+      const auto linear =
+          LinearRingCA::from_rule(rules::Rule{rules::wolfram(code)}, 1, n);
+      const phasespace::RingPreimageSolver solver(
+          rules::Rule{rules::wolfram(code)}, 1, Memory::kWith);
+      bool all_unique = true;
+      for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+        if (solver.count(Configuration::from_bits(bits, n)) != 1) {
+          all_unique = false;
+          break;
+        }
+      }
+      EXPECT_EQ(linear.is_reversible(), all_unique)
+          << "code " << code << " n " << n;
+    }
+  }
+}
+
+TEST(LinearRingCA, PreimageCountsMatchTransferMatrix) {
+  // Algebra (2^nullity for reachable states, 0 for GoE) vs the de Bruijn
+  // solver, for every target.
+  for (const std::uint32_t code : {90u, 150u}) {
+    const std::size_t n = 10;
+    const auto linear =
+        LinearRingCA::from_rule(rules::Rule{rules::wolfram(code)}, 1, n);
+    const phasespace::RingPreimageSolver solver(
+        rules::Rule{rules::wolfram(code)}, 1, Memory::kWith);
+    const std::uint64_t expected = linear.preimages_per_reachable_state();
+    for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+      const auto y = Configuration::from_bits(bits, n);
+      const auto count = solver.count(y);
+      EXPECT_TRUE(count == 0 || count == expected)
+          << "code " << code << " y " << bits << " count " << count;
+    }
+  }
+}
+
+TEST(LinearRingCA, GardenOfEdenCountMatchesCensus) {
+  for (const std::uint32_t code : {90u, 150u, 60u}) {
+    const std::size_t n = 12;
+    const auto linear =
+        LinearRingCA::from_rule(rules::Rule{rules::wolfram(code)}, 1, n);
+    const phasespace::RingPreimageSolver solver(
+        rules::Rule{rules::wolfram(code)}, 1, Memory::kWith);
+    EXPECT_EQ(linear.garden_of_eden_count(),
+              phasespace::count_gardens_of_eden_ring(solver, n))
+        << "code " << code;
+  }
+}
+
+TEST(LinearRingCA, PreimageSolvesTheSystem) {
+  const std::size_t n = 12;
+  const auto linear = LinearRingCA::from_rule(rules::parity(), 1, n);
+  std::mt19937_64 rng(7);
+  int reachable = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto y = Configuration::from_bits(rng() & 0xFFF, n);
+    const auto x = linear.preimage(y);
+    if (x) {
+      ++reachable;
+      EXPECT_EQ(linear.step(*x), y);
+    }
+  }
+  EXPECT_GT(reachable, 0);
+}
+
+TEST(LinearRingCA, RankPredictsExplicitImageSize) {
+  // |image(F)| = 2^rank — checked against the explicit phase space.
+  const std::size_t n = 10;
+  const auto a = Automaton::line(n, 1, Boundary::kRing,
+                                 rules::Rule{rules::wolfram(90)},
+                                 Memory::kWith);
+  const auto linear =
+      LinearRingCA::from_rule(rules::Rule{rules::wolfram(90)}, 1, n);
+  const auto fg = phasespace::FunctionalGraph::synchronous(a);
+  std::vector<bool> in_image(fg.num_states(), false);
+  for (phasespace::StateCode s = 0; s < fg.num_states(); ++s) {
+    in_image[fg.succ(s)] = true;
+  }
+  std::uint64_t image = 0;
+  for (const bool b : in_image) image += b ? 1 : 0;
+  EXPECT_EQ(image, std::uint64_t{1} << linear.rank());
+}
+
+TEST(LinearRingCA, ValidatesArguments) {
+  EXPECT_THROW(LinearRingCA({1, 0}, 8), std::invalid_argument);  // even len
+  EXPECT_THROW(LinearRingCA({1, 1, 1}, 2), std::invalid_argument);  // small n
+  const auto linear = LinearRingCA::from_rule(rules::parity(), 1, 8);
+  EXPECT_THROW(linear.step(Configuration(7)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tca::analysis

@@ -1,0 +1,116 @@
+// Unit tests for update-order equivalence (src/sds/order_equivalence.hpp):
+// commutation classes, acyclic orientations, and the Mortveit–Reidys bound.
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "graph/builders.hpp"
+#include "sds/order_equivalence.hpp"
+#include "sds/sds.hpp"
+
+namespace tca::sds {
+namespace {
+
+using core::Boundary;
+using core::Memory;
+
+TEST(CanonicalOrder, SortsCommutingPrefix) {
+  // On a path 0-1-2-3, nodes 0 and 2 commute, 0 and 3 commute, 2 and 3 do
+  // not... canonical form bubbles non-adjacent out-of-order pairs.
+  const auto g = graph::path(4);
+  const std::vector<NodeId> order{2, 0, 3, 1};
+  const auto canon = canonical_order(g, order);
+  // 2,0 commute (not adjacent) -> 0,2,3,1; 3,1 not adjacent? path edges:
+  // 0-1,1-2,2-3. 3 and 1 non-adjacent -> swap -> 0,2,1,3; 2,1 adjacent stop.
+  EXPECT_EQ(canon, (std::vector<NodeId>{0, 2, 1, 3}));
+}
+
+TEST(CanonicalOrder, CompleteGraphNothingCommutes) {
+  const auto g = graph::complete(4);
+  const std::vector<NodeId> order{3, 1, 2, 0};
+  EXPECT_EQ(canonical_order(g, order), order);
+}
+
+TEST(CanonicalOrder, EdgelessGraphFullySorts) {
+  const graph::Graph g(4, std::vector<graph::Edge>{});
+  const std::vector<NodeId> order{3, 1, 2, 0};
+  EXPECT_EQ(canonical_order(g, order), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(CommutationEquivalent, DetectsEquivalence) {
+  const auto g = graph::ring(5);
+  const std::vector<NodeId> o1{0, 2, 4, 1, 3};
+  const std::vector<NodeId> o2{2, 0, 4, 1, 3};  // 0,2 non-adjacent swap
+  const std::vector<NodeId> o3{1, 2, 4, 0, 3};
+  EXPECT_TRUE(commutation_equivalent(g, o1, o2));
+  EXPECT_FALSE(commutation_equivalent(g, o1, o3));
+}
+
+TEST(AcyclicOrientations, KnownClosedForms) {
+  // a(path_n) = 2^(n-1); a(ring_n) = 2^n - 2; a(K_n) = n!.
+  EXPECT_EQ(count_acyclic_orientations(graph::path(4)), 8u);
+  EXPECT_EQ(count_acyclic_orientations(graph::path(6)), 32u);
+  EXPECT_EQ(count_acyclic_orientations(graph::ring(4)), 14u);
+  EXPECT_EQ(count_acyclic_orientations(graph::ring(6)), 62u);
+  EXPECT_EQ(count_acyclic_orientations(graph::complete(4)), 24u);
+  EXPECT_EQ(count_acyclic_orientations(graph::star(5)), 16u);
+}
+
+TEST(AcyclicOrientations, EdgelessGraphHasExactlyOne) {
+  const graph::Graph g(5, std::vector<graph::Edge>{});
+  EXPECT_EQ(count_acyclic_orientations(g), 1u);
+}
+
+TEST(CommutationClasses, EqualAcyclicOrientationCount) {
+  // Cartier–Foata: commutation classes of permutations are in bijection
+  // with acyclic orientations.
+  for (const auto& g : {graph::path(5), graph::ring(5), graph::complete(4),
+                        graph::star(4)}) {
+    EXPECT_EQ(count_commutation_classes(g), count_acyclic_orientations(g))
+        << g.summary();
+  }
+}
+
+TEST(DistinctSweepMaps, BoundedByAcyclicOrientations) {
+  // Mortveit–Reidys: functionally distinct SDS maps <= a(G).
+  const auto g = graph::ring(5);
+  const auto bound = count_acyclic_orientations(g);
+  const auto parity = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  const auto majority =
+      Automaton::from_graph(g, rules::majority(), Memory::kWith);
+  EXPECT_LE(count_distinct_sweep_maps(parity), bound);
+  EXPECT_LE(count_distinct_sweep_maps(majority), bound);
+}
+
+TEST(DistinctSweepMaps, ParityIsOrderSensitiveButBelowTheBound) {
+  // Parity separates many — but not all — commutation classes: on the
+  // 4-ring, 24 permutations fall into a(C4) = 14 commutation classes which
+  // collapse to 11 distinct sweep maps (extra coincidences beyond
+  // commutation are possible; the bound is an upper bound, not an equality).
+  const auto g = graph::ring(4);
+  const auto parity = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  const auto maps = count_distinct_sweep_maps(parity);
+  EXPECT_EQ(maps, 11u);  // regression-pinned measured value
+  EXPECT_GT(maps, 1u);
+  EXPECT_LE(maps, count_acyclic_orientations(g));
+}
+
+TEST(DistinctSweepMaps, ConstantRuleCollapsesToOneMap) {
+  const auto g = graph::ring(5);
+  const auto a = Automaton::from_graph(g, rules::Rule{rules::KOfNRule{0}},
+                                       Memory::kWith);
+  EXPECT_EQ(count_distinct_sweep_maps(a), 1u);
+}
+
+TEST(EquivalentOrdersInduceEqualMaps, SpotCheck) {
+  // Commutation equivalence is sufficient for functional equivalence.
+  const auto g = graph::ring(6);
+  const auto a = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  const std::vector<NodeId> o1{0, 2, 4, 1, 3, 5};
+  const std::vector<NodeId> o2{2, 0, 4, 1, 3, 5};
+  ASSERT_TRUE(commutation_equivalent(g, o1, o2));
+  EXPECT_TRUE(functionally_equivalent(a, o1, o2));
+}
+
+}  // namespace
+}  // namespace tca::sds

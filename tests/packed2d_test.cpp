@@ -1,0 +1,168 @@
+// Cross-validation of the bit-sliced 2-D torus engine
+// (src/core/packed2d.hpp) against the generic graph engine, plus
+// Game-of-Life ground truths.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/packed2d.hpp"
+#include "core/synchronous.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::core {
+namespace {
+
+Configuration random_config(std::size_t n, std::mt19937_64& rng) {
+  Configuration c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(i, static_cast<State>(rng() & 1u));
+  }
+  return c;
+}
+
+TEST(TorusGrid, GetSetAndConversionRoundTrip) {
+  std::mt19937_64 rng(1);
+  const std::size_t rows = 5, cols = 70;  // multi-word rows
+  const auto config = random_config(rows * cols, rng);
+  const auto grid = TorusGrid::from_configuration(config, rows, cols);
+  EXPECT_EQ(grid.to_configuration(), config);
+  EXPECT_EQ(grid.popcount(), config.popcount());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(grid.get(r, c), config.get(r * cols + c));
+    }
+  }
+}
+
+TEST(TorusGrid, Validation) {
+  EXPECT_THROW(TorusGrid(0, 5), std::invalid_argument);
+  EXPECT_THROW(TorusGrid::from_configuration(Configuration(10), 3, 4),
+               std::invalid_argument);
+}
+
+class Packed2dEquivalence
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(Packed2dEquivalence, LifeMatchesGenericEngine) {
+  const auto [rows, cols] = GetParam();
+  const auto g = graph::grid2d(static_cast<graph::NodeId>(rows),
+                               static_cast<graph::NodeId>(cols), true,
+                               graph::GridNeighborhood::kMoore);
+  const auto a = Automaton::from_graph(g, rules::Rule{rules::game_of_life()},
+                                       Memory::kWith);
+  std::mt19937_64 rng(rows * 1000 + cols);
+  Packed2dScratch scratch(rows, cols);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto config = random_config(rows * cols, rng);
+    const auto expected = step_synchronous(a, config);
+    const auto grid = TorusGrid::from_configuration(config, rows, cols);
+    TorusGrid out(rows, cols);
+    step_life_packed(grid, out, scratch);
+    EXPECT_EQ(out.to_configuration(), expected)
+        << rows << "x" << cols << " trial " << trial;
+  }
+}
+
+TEST_P(Packed2dEquivalence, ArbitraryBSRuleMatchesGenericEngine) {
+  const auto [rows, cols] = GetParam();
+  // HighLife (B36/S23) — distinguishes the generic B/S path from Life.
+  const std::uint32_t born[] = {3, 6};
+  const std::uint32_t survive[] = {2, 3};
+  const auto rule = rules::life_like(born, survive, 8);
+  const auto g = graph::grid2d(static_cast<graph::NodeId>(rows),
+                               static_cast<graph::NodeId>(cols), true,
+                               graph::GridNeighborhood::kMoore);
+  const auto a = Automaton::from_graph(g, rules::Rule{rule}, Memory::kWith);
+  std::mt19937_64 rng(rows + cols);
+  Packed2dScratch scratch(rows, cols);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto config = random_config(rows * cols, rng);
+    const auto expected = step_synchronous(a, config);
+    const auto grid = TorusGrid::from_configuration(config, rows, cols);
+    TorusGrid out(rows, cols);
+    step_outer_totalistic_packed(rule, grid, out, scratch);
+    EXPECT_EQ(out.to_configuration(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, Packed2dEquivalence,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(3, 3),
+                      std::make_pair<std::size_t, std::size_t>(4, 7),
+                      std::make_pair<std::size_t, std::size_t>(5, 63),
+                      std::make_pair<std::size_t, std::size_t>(6, 64),
+                      std::make_pair<std::size_t, std::size_t>(3, 65),
+                      std::make_pair<std::size_t, std::size_t>(8, 128),
+                      std::make_pair<std::size_t, std::size_t>(16, 130)));
+
+TEST(Packed2d, GliderPeriodFourTranslation) {
+  const std::size_t rows = 16, cols = 16;
+  TorusGrid grid(rows, cols);
+  grid.set(1, 2, 1);
+  grid.set(2, 3, 1);
+  grid.set(3, 1, 1);
+  grid.set(3, 2, 1);
+  grid.set(3, 3, 1);
+  Packed2dScratch scratch(rows, cols);
+  TorusGrid out(rows, cols);
+  TorusGrid expect(rows, cols);
+  // After 4 steps the glider translates by (+1, +1).
+  expect.set(2, 3, 1);
+  expect.set(3, 4, 1);
+  expect.set(4, 2, 1);
+  expect.set(4, 3, 1);
+  expect.set(4, 4, 1);
+  TorusGrid current = grid;
+  for (int t = 0; t < 4; ++t) {
+    step_life_packed(current, out, scratch);
+    std::swap(current, out);
+  }
+  EXPECT_EQ(current, expect);
+}
+
+TEST(Packed2d, BlockAndBlinkerGroundTruths) {
+  const std::size_t rows = 8, cols = 8;
+  Packed2dScratch scratch(rows, cols);
+  {
+    TorusGrid block(rows, cols);
+    block.set(2, 2, 1);
+    block.set(2, 3, 1);
+    block.set(3, 2, 1);
+    block.set(3, 3, 1);
+    TorusGrid out(rows, cols);
+    step_life_packed(block, out, scratch);
+    EXPECT_EQ(out, block);
+  }
+  {
+    TorusGrid blinker(rows, cols);
+    blinker.set(3, 2, 1);
+    blinker.set(3, 3, 1);
+    blinker.set(3, 4, 1);
+    TorusGrid out(rows, cols), back(rows, cols);
+    step_life_packed(blinker, out, scratch);
+    EXPECT_NE(out, blinker);
+    step_life_packed(out, back, scratch);
+    EXPECT_EQ(back, blinker);
+  }
+}
+
+TEST(Packed2d, Validation) {
+  TorusGrid grid(4, 4), out(4, 4), small(3, 5);
+  Packed2dScratch scratch(4, 4);
+  EXPECT_THROW(step_life_packed(grid, small, scratch), std::invalid_argument);
+  EXPECT_THROW(step_life_packed(grid, grid, scratch), std::invalid_argument);
+  TorusGrid tiny(2, 4), tiny_out(2, 4);
+  Packed2dScratch tiny_scratch(2, 4);
+  EXPECT_THROW(step_life_packed(tiny, tiny_out, tiny_scratch),
+               std::invalid_argument);
+  // Non-Moore arity rejected.
+  const std::uint32_t born[] = {1};
+  const auto bad = rules::life_like(born, {}, 4);
+  EXPECT_THROW(step_outer_totalistic_packed(bad, grid, out, scratch),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tca::core

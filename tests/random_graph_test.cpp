@@ -1,0 +1,173 @@
+// Unit tests for random graph builders plus property sweeps extending the
+// paper's theorems to arbitrary (random) cellular spaces — the Section 4
+// "arbitrary rather than only regular graphs" direction.
+
+#include <gtest/gtest.h>
+
+#include "analysis/energy.hpp"
+#include "core/automaton.hpp"
+#include "core/block_sequential.hpp"
+#include "core/sequential.hpp"
+#include "graph/builders.hpp"
+#include "graph/properties.hpp"
+#include "phasespace/choice_digraph.hpp"
+#include "phasespace/classify.hpp"
+
+namespace tca {
+namespace {
+
+using core::Automaton;
+using core::Configuration;
+using core::Memory;
+
+TEST(RandomGnp, DeterministicUnderSeed) {
+  EXPECT_EQ(graph::random_gnp(20, 0.3, 7), graph::random_gnp(20, 0.3, 7));
+  EXPECT_NE(graph::random_gnp(20, 0.3, 7), graph::random_gnp(20, 0.3, 8));
+}
+
+TEST(RandomGnp, ExtremesAreEmptyAndComplete) {
+  EXPECT_EQ(graph::random_gnp(10, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(graph::random_gnp(10, 1.0, 1).num_edges(), 45u);
+}
+
+TEST(RandomGnp, EdgeCountNearExpectation) {
+  const auto g = graph::random_gnp(100, 0.25, 42);
+  const double expected = 0.25 * 100 * 99 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(RandomGnp, RejectsBadProbability) {
+  EXPECT_THROW(graph::random_gnp(5, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(graph::random_gnp(5, 1.5, 1), std::invalid_argument);
+}
+
+TEST(RandomRegular, ProducesRegularSimpleGraphs) {
+  for (const auto [n, d] : {std::pair<graph::NodeId, graph::NodeId>{10, 3},
+                            {16, 4}, {9, 2}, {20, 5}}) {
+    const auto g = graph::random_regular(n, d, n * 31 + d);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(graph::regular_degree(g), d) << "n=" << n << " d=" << d;
+  }
+}
+
+TEST(RandomRegular, DeterministicUnderSeed) {
+  EXPECT_EQ(graph::random_regular(12, 3, 5), graph::random_regular(12, 3, 5));
+}
+
+TEST(RandomRegular, ValidatesArguments) {
+  EXPECT_THROW(graph::random_regular(5, 3, 1), std::invalid_argument);  // odd
+  EXPECT_THROW(graph::random_regular(4, 4, 1), std::invalid_argument);  // d>=n
+}
+
+// ---- the paper's theorems on random cellular spaces ----
+
+TEST(RandomSpaces, SequentialMajorityCycleFreeOnRandomGraphs) {
+  // Theorem 1's mechanism (threshold network + sequential updates) is
+  // graph-agnostic: the choice digraph is cycle-free on arbitrary random
+  // graphs too.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = graph::random_gnp(10, 0.35, seed);
+    const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle())
+        << "seed " << seed;
+  }
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto g = graph::random_regular(10, 3, seed);
+    const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+    EXPECT_FALSE(
+        phasespace::analyze(phasespace::ChoiceDigraph(a)).has_proper_cycle())
+        << "regular seed " << seed;
+  }
+}
+
+TEST(RandomSpaces, ParallelMajorityPeriodAtMostTwoOnRandomGraphs) {
+  // Goles-Martinez holds for any symmetric network, not just lattices.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = graph::random_gnp(12, 0.3, seed * 11);
+    const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+    const auto cls =
+        phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+    EXPECT_LE(cls.max_period(), 2u) << "seed " << seed;
+  }
+}
+
+TEST(RandomSpaces, EnergyCertificateHoldsOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto g = graph::random_gnp(9, 0.4, seed * 17);
+    const auto net = analysis::ThresholdNetwork::majority(g, true);
+    const auto a = net.automaton();
+    for (std::uint64_t bits = 0; bits < 512; ++bits) {
+      const auto c = Configuration::from_bits(bits, 9);
+      const auto before = analysis::sequential_energy(net, c);
+      for (graph::NodeId v = 0; v < 9; ++v) {
+        auto d = c;
+        if (core::update_node(a, d, v)) {
+          EXPECT_LE(analysis::sequential_energy(net, d), before - 1);
+        }
+      }
+    }
+  }
+}
+
+// ---- even/odd (checkerboard) block scheme ----
+
+TEST(EvenOdd, BlocksAreIndependentSetsOnEvenRings) {
+  const auto g = graph::ring(10);
+  const auto order = core::BlockOrder::even_odd(10);
+  for (const auto& block : order.blocks()) {
+    for (const auto u : block) {
+      for (const auto v : block) {
+        if (u != v) EXPECT_FALSE(g.has_edge(u, v));
+      }
+    }
+  }
+}
+
+TEST(EvenOdd, EqualsEvensThenOddsSequentialOnEvenRing) {
+  // Because each block is an independent set (radius-1, even n), the
+  // block-parallel sweep equals the fully sequential evens-then-odds
+  // sweep.
+  const std::size_t n = 10;
+  const auto a = Automaton::line(n, 1, core::Boundary::kRing,
+                                 rules::majority(), Memory::kWith);
+  std::vector<core::NodeId> seq_order;
+  for (std::size_t v = 0; v < n; v += 2) {
+    seq_order.push_back(static_cast<core::NodeId>(v));
+  }
+  for (std::size_t v = 1; v < n; v += 2) {
+    seq_order.push_back(static_cast<core::NodeId>(v));
+  }
+  const auto block = core::BlockOrder::even_odd(n);
+  for (std::uint64_t bits = 0; bits < 1024; bits += 7) {
+    auto c1 = Configuration::from_bits(bits, n);
+    auto c2 = c1;
+    core::step_block_sequential(a, c1, block);
+    core::apply_sequence(a, c2, seq_order);
+    EXPECT_EQ(c1, c2) << bits;
+  }
+}
+
+TEST(EvenOdd, CheckerboardSchemeIsCycleFreeForMajority) {
+  // The even/odd sweep is a composition of single-node updates, so the
+  // Lyapunov argument forbids cycles.
+  const std::size_t n = 10;
+  const auto a = Automaton::line(n, 1, core::Boundary::kRing,
+                                 rules::majority(), Memory::kWith);
+  const auto block = core::BlockOrder::even_odd(n);
+  const phasespace::FunctionalGraph fg(
+      static_cast<std::uint32_t>(n), [&](phasespace::StateCode s) {
+        auto c = Configuration::from_bits(s, n);
+        core::step_block_sequential(a, c, block);
+        return c.to_bits();
+      });
+  EXPECT_FALSE(phasespace::classify(fg).has_proper_cycle());
+}
+
+TEST(EvenOdd, SingleNodeCase) {
+  const auto order = core::BlockOrder::even_odd(1);
+  EXPECT_EQ(order.blocks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tca

@@ -1,0 +1,60 @@
+// Unit tests for text rendering (src/core/render.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "core/render.hpp"
+#include "core/schedule.hpp"
+
+namespace tca::core {
+namespace {
+
+TEST(RenderRow, DefaultGlyphs) {
+  EXPECT_EQ(render_row(Configuration::from_string("0110")), ".##.");
+}
+
+TEST(RenderRow, CustomGlyphs) {
+  RenderStyle style{'_', 'O'};
+  EXPECT_EQ(render_row(Configuration::from_string("101"), style), "O_O");
+}
+
+TEST(RenderSpacetime, BlinkerDiagram) {
+  const auto a = Automaton::line(6, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto diagram =
+      render_spacetime(a, Configuration::from_string("010101"), 2);
+  EXPECT_EQ(diagram, ".#.#.#\n#.#.#.\n.#.#.#\n");
+}
+
+TEST(RenderSpacetime, RowCountIsStepsPlusOne) {
+  const auto a = Automaton::line(8, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto diagram = render_spacetime(a, Configuration(8), 5);
+  std::size_t newlines = 0;
+  for (char c : diagram) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 6u);
+}
+
+TEST(RenderSpacetime, SimulationVariantUsesItsScheme) {
+  const auto a = Automaton::line(6, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  Simulation seq(a, Configuration::from_string("010101"),
+                 SequentialScheme{identity_order(6)});
+  const auto diagram = render_spacetime(seq, 1);
+  // One left-to-right sweep dissolves the blinker instead of flipping it.
+  EXPECT_EQ(diagram.substr(0, 7), ".#.#.#\n");
+  EXPECT_NE(diagram.substr(7, 7), "#.#.#.\n");
+  EXPECT_EQ(seq.time(), 1u);
+}
+
+TEST(RenderGrid, TorusRows) {
+  TorusGrid grid(2, 3);
+  grid.set(0, 1, 1);
+  grid.set(1, 2, 1);
+  EXPECT_EQ(render_grid(grid), ".#.\n..#\n");
+}
+
+}  // namespace
+}  // namespace tca::core

@@ -1,0 +1,174 @@
+// Unit tests for local rule evaluation (src/rules/rule.hpp).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace tca::rules {
+namespace {
+
+State run(const Rule& r, std::vector<State> in) { return eval(r, in); }
+
+TEST(MajorityRule, OddArityMajority) {
+  const Rule r = majority();
+  EXPECT_EQ(run(r, {0, 0, 0}), 0);
+  EXPECT_EQ(run(r, {1, 0, 0}), 0);
+  EXPECT_EQ(run(r, {1, 1, 0}), 1);
+  EXPECT_EQ(run(r, {1, 1, 1}), 1);
+  EXPECT_EQ(run(r, {1, 0, 1, 0, 1}), 1);
+  EXPECT_EQ(run(r, {1, 0, 1, 0, 0}), 0);
+}
+
+TEST(MajorityRule, TieBreaking) {
+  const Rule to_zero = MajorityRule{MajorityTie::kZero};
+  const Rule to_one = MajorityRule{MajorityTie::kOne};
+  EXPECT_EQ(run(to_zero, {1, 0, 1, 0}), 0);
+  EXPECT_EQ(run(to_one, {1, 0, 1, 0}), 1);
+  // No tie: both agree.
+  EXPECT_EQ(run(to_zero, {1, 1, 1, 0}), 1);
+  EXPECT_EQ(run(to_one, {1, 1, 1, 0}), 1);
+}
+
+TEST(KOfNRule, ThresholdSemantics) {
+  EXPECT_EQ(run(KOfNRule{2}, {1, 0, 0}), 0);
+  EXPECT_EQ(run(KOfNRule{2}, {1, 1, 0}), 1);
+  EXPECT_EQ(run(KOfNRule{1}, {0, 0, 0, 0}), 0);
+  EXPECT_EQ(run(KOfNRule{1}, {0, 0, 0, 1}), 1);
+}
+
+TEST(KOfNRule, DegenerateThresholds) {
+  EXPECT_EQ(run(KOfNRule{0}, {0, 0}), 1);  // constant 1
+  EXPECT_EQ(run(KOfNRule{5}, {1, 1, 1}), 0);  // k > arity: constant 0
+}
+
+TEST(KOfNRule, MajorityShorthandMatchesMajorityRule) {
+  const Rule k = majority_k_of(5);
+  const Rule m = majority();
+  for (std::uint32_t bits = 0; bits < 32; ++bits) {
+    std::vector<State> in(5);
+    for (std::uint32_t b = 0; b < 5; ++b) {
+      in[b] = static_cast<State>((bits >> b) & 1u);
+    }
+    EXPECT_EQ(eval(k, in), eval(m, in)) << "bits=" << bits;
+  }
+}
+
+TEST(KOfNRule, MajorityKOfRejectsEvenArity) {
+  EXPECT_THROW(majority_k_of(4), std::invalid_argument);
+}
+
+TEST(SymmetricRule, AcceptVectorSemantics) {
+  // Arity 3, accept exactly one or three ones (parity).
+  const SymmetricRule r{{0, 1, 0, 1}};
+  EXPECT_EQ(run(Rule{r}, {0, 0, 0}), 0);
+  EXPECT_EQ(run(Rule{r}, {1, 0, 0}), 1);
+  EXPECT_EQ(run(Rule{r}, {1, 1, 0}), 0);
+  EXPECT_EQ(run(Rule{r}, {1, 1, 1}), 1);
+}
+
+TEST(SymmetricRule, WrongAritySizeThrows) {
+  const SymmetricRule r{{0, 1}};  // arity 1
+  EXPECT_THROW(run(Rule{r}, {1, 0}), std::invalid_argument);
+}
+
+TEST(ParityRule, XorOfAllInputs) {
+  EXPECT_EQ(run(parity(), {0, 0}), 0);
+  EXPECT_EQ(run(parity(), {1, 0}), 1);
+  EXPECT_EQ(run(parity(), {1, 1}), 0);
+  EXPECT_EQ(run(parity(), {1, 1, 1}), 1);
+}
+
+TEST(TableRule, FirstInputIsMostSignificant) {
+  // Table for f(a, b) = a (projection to the first input).
+  const TableRule r{{0, 0, 1, 1}};
+  EXPECT_EQ(run(Rule{r}, {0, 0}), 0);
+  EXPECT_EQ(run(Rule{r}, {0, 1}), 0);
+  EXPECT_EQ(run(Rule{r}, {1, 0}), 1);
+  EXPECT_EQ(run(Rule{r}, {1, 1}), 1);
+}
+
+TEST(TableRule, WrongAritySizeThrows) {
+  const TableRule r{{0, 1}};  // arity 1
+  EXPECT_THROW(run(Rule{r}, {1, 0}), std::invalid_argument);
+}
+
+TEST(WolframRule, Rule110Lookups) {
+  // Rule 110 truth table, neighborhoods (l, s, r) from 111 down to 000:
+  // 0 1 1 0 1 1 1 0.
+  const TableRule r = wolfram(110);
+  const auto f = [&](State l, State s, State right) {
+    return eval(r, std::vector<State>{l, s, right});
+  };
+  EXPECT_EQ(f(1, 1, 1), 0);
+  EXPECT_EQ(f(1, 1, 0), 1);
+  EXPECT_EQ(f(1, 0, 1), 1);
+  EXPECT_EQ(f(1, 0, 0), 0);
+  EXPECT_EQ(f(0, 1, 1), 1);
+  EXPECT_EQ(f(0, 1, 0), 1);
+  EXPECT_EQ(f(0, 0, 1), 1);
+  EXPECT_EQ(f(0, 0, 0), 0);
+}
+
+TEST(WolframRule, Rule150IsParity) {
+  const TableRule r = wolfram(150);
+  for (std::uint32_t bits = 0; bits < 8; ++bits) {
+    std::vector<State> in{static_cast<State>((bits >> 2) & 1u),
+                          static_cast<State>((bits >> 1) & 1u),
+                          static_cast<State>(bits & 1u)};
+    EXPECT_EQ(eval(Rule{r}, in), eval(parity(), in)) << "bits=" << bits;
+  }
+}
+
+TEST(WolframRule, Rule232IsMajority) {
+  const TableRule r = wolfram(232);
+  for (std::uint32_t bits = 0; bits < 8; ++bits) {
+    std::vector<State> in{static_cast<State>((bits >> 2) & 1u),
+                          static_cast<State>((bits >> 1) & 1u),
+                          static_cast<State>(bits & 1u)};
+    EXPECT_EQ(eval(Rule{r}, in), eval(majority(), in)) << "bits=" << bits;
+  }
+}
+
+TEST(WolframRule, RejectsCodeAbove255) {
+  EXPECT_THROW(wolfram(256), std::invalid_argument);
+}
+
+TEST(WeightedThresholdRule, WeightedSum) {
+  const WeightedThresholdRule r{{2, -1, 1}, 2};
+  EXPECT_EQ(run(Rule{r}, {1, 0, 0}), 1);  // 2 >= 2
+  EXPECT_EQ(run(Rule{r}, {1, 1, 0}), 0);  // 1 < 2
+  EXPECT_EQ(run(Rule{r}, {1, 1, 1}), 1);  // 2 >= 2
+  EXPECT_EQ(run(Rule{r}, {0, 0, 1}), 0);  // 1 < 2
+}
+
+TEST(WeightedThresholdRule, WrongArityThrows) {
+  const WeightedThresholdRule r{{1, 1}, 1};
+  EXPECT_THROW(run(Rule{r}, {1, 1, 1}), std::invalid_argument);
+}
+
+TEST(RequiredArity, FixedVersusGeneric) {
+  EXPECT_EQ(required_arity(majority()), 0u);
+  EXPECT_EQ(required_arity(Rule{KOfNRule{3}}), 0u);
+  EXPECT_EQ(required_arity(parity()), 0u);
+  EXPECT_EQ(required_arity(Rule{SymmetricRule{{0, 1, 1}}}), 2u);
+  EXPECT_EQ(required_arity(Rule{wolfram(30)}), 3u);
+  EXPECT_EQ(required_arity(Rule{WeightedThresholdRule{{1, 1, 1, 1}, 2}}), 4u);
+}
+
+TEST(Describe, NamesAreStable) {
+  EXPECT_EQ(describe(majority()), "majority(tie->0)");
+  EXPECT_EQ(describe(Rule{KOfNRule{3}}), "3-of-n");
+  EXPECT_EQ(describe(parity()), "parity");
+  EXPECT_EQ(describe(Rule{SymmetricRule{{0, 1, 1}}}), "symmetric[011]");
+}
+
+TEST(CountOnes, CountsSetInputs) {
+  const std::vector<State> in{1, 0, 1, 1, 0};
+  EXPECT_EQ(count_ones(in), 3u);
+  EXPECT_EQ(count_ones(std::vector<State>{}), 0u);
+}
+
+}  // namespace
+}  // namespace tca::rules

@@ -1,0 +1,84 @@
+// Unit tests for the generic SCC decomposition (src/phasespace/scc.hpp).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "phasespace/scc.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+// Helper: run SCC over an explicit adjacency list.
+SccResult run(const std::vector<std::vector<std::uint64_t>>& adj) {
+  return strongly_connected_components(
+      adj.size(),
+      [&](std::uint64_t s) { return static_cast<std::uint32_t>(adj[s].size()); },
+      [&](std::uint64_t s, std::uint32_t i) { return adj[s][i]; });
+}
+
+TEST(Scc, SingletonNoEdges) {
+  const auto r = run({{}});
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.component_size[0], 1u);
+}
+
+TEST(Scc, DirectedPathIsAllSingletons) {
+  const auto r = run({{1}, {2}, {3}, {}});
+  EXPECT_EQ(r.num_components, 4u);
+  for (auto size : r.component_size) EXPECT_EQ(size, 1u);
+}
+
+TEST(Scc, DirectedCycleIsOneComponent) {
+  const auto r = run({{1}, {2}, {0}});
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.component_size[r.component[0]], 3u);
+}
+
+TEST(Scc, TwoCyclesJoinedByBridge) {
+  // 0 <-> 1 -> 2 <-> 3
+  const auto r = run({{1}, {0, 2}, {3}, {2}});
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+}
+
+TEST(Scc, SelfLoopStaysSingleton) {
+  const auto r = run({{0}, {}});
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.component_size[r.component[0]], 1u);
+}
+
+TEST(Scc, ComponentIdsAreReverseTopological) {
+  // Tarjan emits components in reverse topological order of the DAG:
+  // a component gets a smaller id than components that can reach it.
+  const auto r = run({{1}, {2}, {}});  // 0 -> 1 -> 2
+  EXPECT_LT(r.component[2], r.component[1]);
+  EXPECT_LT(r.component[1], r.component[0]);
+}
+
+TEST(Scc, ParallelEdgesAndDenseGraph) {
+  const auto r = run({{1, 1, 2}, {0, 2}, {0}});
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.component_size[0], 3u);
+}
+
+TEST(Scc, SizesSumToStateCount) {
+  const auto r = run({{1}, {2, 3}, {0}, {4}, {3}});
+  std::uint64_t total = 0;
+  for (auto s : r.component_size) total += s;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  // 100k-node chain exercises the iterative DFS.
+  std::vector<std::vector<std::uint64_t>> adj(100000);
+  for (std::uint64_t i = 0; i + 1 < adj.size(); ++i) adj[i] = {i + 1};
+  const auto r = run(adj);
+  EXPECT_EQ(r.num_components, 100000u);
+}
+
+}  // namespace
+}  // namespace tca::phasespace

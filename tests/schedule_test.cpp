@@ -1,0 +1,119 @@
+// Unit tests for update schedules (src/core/schedule.hpp).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/schedule.hpp"
+
+namespace tca::core {
+namespace {
+
+TEST(CyclicSchedule, RepeatsThePermutation) {
+  CyclicSchedule s({2, 0, 1});
+  const auto seq = take(s, 7);
+  EXPECT_EQ(seq, (std::vector<NodeId>{2, 0, 1, 2, 0, 1, 2}));
+}
+
+TEST(CyclicSchedule, EmptyOrderThrows) {
+  EXPECT_THROW(CyclicSchedule({}), std::invalid_argument);
+}
+
+TEST(CyclicSchedule, ResetRestarts) {
+  CyclicSchedule s({0, 1});
+  (void)s.next();
+  s.reset();
+  EXPECT_EQ(s.next(), 0u);
+}
+
+TEST(RandomUniformSchedule, DeterministicUnderSeed) {
+  RandomUniformSchedule a(8, 123);
+  RandomUniformSchedule b(8, 123);
+  EXPECT_EQ(take(a, 100), take(b, 100));
+}
+
+TEST(RandomUniformSchedule, DifferentSeedsDiffer) {
+  RandomUniformSchedule a(8, 1);
+  RandomUniformSchedule b(8, 2);
+  EXPECT_NE(take(a, 100), take(b, 100));
+}
+
+TEST(RandomUniformSchedule, StaysInRangeAndCoversAllNodes) {
+  RandomUniformSchedule s(5, 99);
+  std::set<NodeId> seen;
+  for (const NodeId v : take(s, 500)) {
+    ASSERT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomSweepSchedule, EverySweepIsAPermutation) {
+  RandomSweepSchedule s(6, 42);
+  const auto seq = take(s, 30);  // five sweeps
+  for (std::size_t sweep = 0; sweep < 5; ++sweep) {
+    std::set<NodeId> nodes(seq.begin() + static_cast<std::ptrdiff_t>(sweep * 6),
+                           seq.begin() + static_cast<std::ptrdiff_t>((sweep + 1) * 6));
+    EXPECT_EQ(nodes.size(), 6u) << "sweep " << sweep;
+  }
+}
+
+TEST(RandomSweepSchedule, IsBoundedFair) {
+  RandomSweepSchedule s(6, 7);
+  const auto seq = take(s, 600);
+  // Consecutive sweeps guarantee every window of 2n-1 covers all nodes.
+  EXPECT_TRUE(is_bounded_fair(seq, 6, 11));
+}
+
+TEST(StarvingSchedule, NeverPicksStarvedNode) {
+  StarvingSchedule s(5, 2);
+  for (const NodeId v : take(s, 100)) EXPECT_NE(v, 2u);
+}
+
+TEST(StarvingSchedule, CoversEveryOtherNode) {
+  StarvingSchedule s(5, 2);
+  const std::set<NodeId> seen = [&] {
+    const auto seq = take(s, 20);
+    return std::set<NodeId>(seq.begin(), seq.end());
+  }();
+  EXPECT_EQ(seen, (std::set<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(StarvingSchedule, ValidatesArguments) {
+  EXPECT_THROW(StarvingSchedule(1, 0), std::invalid_argument);
+  EXPECT_THROW(StarvingSchedule(4, 4), std::invalid_argument);
+}
+
+TEST(Orders, IdentityAndReversed) {
+  EXPECT_EQ(identity_order(4), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(reversed_order(4), (std::vector<NodeId>{3, 2, 1, 0}));
+}
+
+TEST(Orders, RandomPermutationIsPermutation) {
+  std::mt19937_64 rng(5);
+  auto perm = random_permutation(10, rng);
+  std::sort(perm.begin(), perm.end());
+  EXPECT_EQ(perm, identity_order(10));
+}
+
+TEST(BoundedFair, CyclicIsFairWithBoundN) {
+  CyclicSchedule s({0, 1, 2, 3});
+  const auto seq = take(s, 40);
+  EXPECT_TRUE(is_bounded_fair(seq, 4, 4));
+  EXPECT_FALSE(is_bounded_fair(seq, 4, 3));  // bound below n is impossible
+}
+
+TEST(BoundedFair, StarvingIsNeverFair) {
+  StarvingSchedule s(4, 0);
+  const auto seq = take(s, 100);
+  EXPECT_FALSE(is_bounded_fair(seq, 4, 50));
+}
+
+TEST(BoundedFair, TooShortPrefixIsNotFair) {
+  const std::vector<NodeId> seq{0, 1};
+  EXPECT_FALSE(is_bounded_fair(seq, 2, 4));
+}
+
+}  // namespace
+}  // namespace tca::core

@@ -1,0 +1,157 @@
+// Unit tests for the sequential (SCA) engine (src/core/sequential.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::core {
+namespace {
+
+Automaton majority_ring(std::size_t n, std::uint32_t r = 1) {
+  return Automaton::line(n, r, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(UpdateNode, ReportsChange) {
+  const auto a = majority_ring(4);
+  auto c = Configuration::from_string("0110");
+  // node 0: inputs (3,0,1) = (0,0,1) -> stays 0.
+  EXPECT_FALSE(update_node(a, c, 0));
+  EXPECT_EQ(c.to_string(), "0110");
+  // node 3: inputs (2,3,0) = (1,0,0) -> stays 0.
+  EXPECT_FALSE(update_node(a, c, 3));
+  // From 0100: node 1 inputs (0,1,2) = (0,1,0) -> flips to 0.
+  auto d = Configuration::from_string("0100");
+  EXPECT_TRUE(update_node(a, d, 1));
+  EXPECT_EQ(d.to_string(), "0000");
+}
+
+TEST(UpdateNode, OutOfRangeThrows) {
+  const auto a = majority_ring(4);
+  auto c = Configuration(4);
+  EXPECT_THROW(update_node(a, c, 4), std::invalid_argument);
+}
+
+TEST(ApplySequence, CountsChanges) {
+  const auto a = majority_ring(6);
+  auto c = Configuration::from_string("010101");
+  const auto order = identity_order(6);
+  const std::size_t changes = apply_sequence(a, c, order);
+  EXPECT_GT(changes, 0u);
+  // The alternating state breaks up sequentially instead of blinking.
+  EXPECT_NE(c.to_string(), "101010");
+}
+
+TEST(ApplySequence, UpdatesAreImmediatelyVisible) {
+  // Sequential semantics: node 1 sees node 0's new value within the sweep.
+  const auto a = majority_ring(4);
+  auto c = Configuration::from_string("1010");
+  // Parallel would blink to 0101. Sequentially with order 0,1,2,3:
+  // node 0: (c3,c0,c1) = (0,1,0) -> 0 giving 0010
+  // node 1: (c0,c1,c2) = (0,0,1) -> 0 (unchanged)
+  // node 2: (c1,c2,c3) = (0,1,0) -> 0 giving 0000
+  // node 3: stays 0.
+  apply_sequence(a, c, identity_order(4));
+  EXPECT_EQ(c.to_string(), "0000");
+}
+
+TEST(RunSweeps, ConvergesToFixedPoint) {
+  const auto a = majority_ring(16);
+  auto c = Configuration::from_string("0110100111010010");
+  const auto order = identity_order(16);
+  const auto sweeps = run_sweeps_to_fixed_point(a, c, order, 100);
+  ASSERT_TRUE(sweeps.has_value());
+  EXPECT_TRUE(is_fixed_point_sequential(a, c));
+  EXPECT_TRUE(is_fixed_point_synchronous(a, c));  // same notion
+}
+
+TEST(RunSweeps, AlreadyFixedTakesZeroSweeps) {
+  const auto a = majority_ring(8);
+  auto c = Configuration::from_string("11110000");
+  const auto sweeps =
+      run_sweeps_to_fixed_point(a, c, identity_order(8), 10);
+  EXPECT_EQ(sweeps, 0u);
+}
+
+TEST(RunSweeps, ReversedOrderAlsoConverges) {
+  const auto a = majority_ring(12);
+  auto c = Configuration::from_string("010110100101");
+  const auto sweeps =
+      run_sweeps_to_fixed_point(a, c, reversed_order(12), 100);
+  ASSERT_TRUE(sweeps.has_value());
+  EXPECT_TRUE(is_fixed_point_sequential(a, c));
+}
+
+TEST(RunSchedule, RandomUniformConverges) {
+  const auto a = majority_ring(16);
+  auto c = Configuration::from_string("0101010101010101");
+  RandomUniformSchedule schedule(16, /*seed=*/7);
+  const auto updates = run_schedule_to_fixed_point(a, c, schedule, 100000);
+  ASSERT_TRUE(updates.has_value());
+  EXPECT_TRUE(is_fixed_point_sequential(a, c));
+}
+
+TEST(RunSchedule, RandomSweepConverges) {
+  const auto a = majority_ring(16);
+  auto c = Configuration::from_string("1001101001011010");
+  RandomSweepSchedule schedule(16, /*seed=*/11);
+  const auto updates = run_schedule_to_fixed_point(a, c, schedule, 100000);
+  ASSERT_TRUE(updates.has_value());
+}
+
+TEST(RunSchedule, StarvationCanPreventConvergence) {
+  // Footnote 2: without fairness a needed node may never update. Starve a
+  // node whose update is required to reach any fixed point.
+  const auto a = majority_ring(4);
+  // 0100 needs node 1 to flip; starving node 1 leaves the state stuck in a
+  // non-fixed configuration forever.
+  auto c = Configuration::from_string("0100");
+  StarvingSchedule schedule(4, /*starved=*/1);
+  const auto updates = run_schedule_to_fixed_point(a, c, schedule, 10000);
+  EXPECT_FALSE(updates.has_value());
+  EXPECT_EQ(c.to_string(), "0100");  // nothing else could move
+}
+
+TEST(FixedPointNotions, SequentialAndSynchronousCoincide) {
+  // x is fixed for the parallel map iff no single-node update changes it.
+  const auto a = majority_ring(10);
+  for (std::uint64_t bits = 0; bits < 1024; ++bits) {
+    const auto c = Configuration::from_bits(bits, 10);
+    EXPECT_EQ(is_fixed_point_sequential(a, c),
+              is_fixed_point_synchronous(a, c))
+        << bits;
+  }
+}
+
+TEST(SequentialXor, PaperExampleTransitions) {
+  // Fig. 1(b): from 01, updating node 1 gives 11; updating node 2 keeps 01.
+  const auto g = graph::complete(2);
+  const auto a = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  auto c = Configuration::from_string("01");
+  EXPECT_FALSE(update_node(a, c, 1));  // paper's "node 2"
+  EXPECT_EQ(c.to_string(), "01");
+  EXPECT_TRUE(update_node(a, c, 0));  // paper's "node 1"
+  EXPECT_EQ(c.to_string(), "11");
+  // From 11 either node zeroes itself.
+  auto d = Configuration::from_string("11");
+  EXPECT_TRUE(update_node(a, d, 0));
+  EXPECT_EQ(d.to_string(), "01");
+}
+
+TEST(SequentialXor, TwoCycleUnderRepeatedSingleNodeUpdates) {
+  // Paper: updating node 1 repeatedly cycles 01 -> 11 -> 01 -> ...
+  const auto g = graph::complete(2);
+  const auto a = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  auto c = Configuration::from_string("01");
+  update_node(a, c, 0);
+  EXPECT_EQ(c.to_string(), "11");
+  update_node(a, c, 0);
+  EXPECT_EQ(c.to_string(), "01");
+}
+
+}  // namespace
+}  // namespace tca::core

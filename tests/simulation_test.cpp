@@ -1,0 +1,127 @@
+// Unit tests for the Simulation facade (src/core/simulation.hpp).
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/simulation.hpp"
+#include "core/synchronous.hpp"
+
+namespace tca::core {
+namespace {
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(Simulation, SynchronousStepMatchesEngine) {
+  const auto a = majority_ring(12);
+  const auto start = Configuration::from_string("010110100101");
+  Simulation sim(a, start, SynchronousScheme{});
+  const auto expected = step_synchronous(a, start);
+  sim.step();
+  EXPECT_EQ(sim.configuration(), expected);
+  EXPECT_EQ(sim.time(), 1u);
+}
+
+TEST(Simulation, MonomorphizedAndGenericAgree) {
+  const auto a = majority_ring(20);
+  const auto start = Configuration::from_string("01011010010101101001");
+  Simulation fast(a, start, SynchronousScheme{true});
+  Simulation slow(a, start, SynchronousScheme{false});
+  fast.run(10);
+  slow.run(10);
+  EXPECT_EQ(fast.configuration(), slow.configuration());
+}
+
+TEST(Simulation, SequentialSchemeSweeps) {
+  const auto a = majority_ring(8);
+  const auto start = Configuration::from_string("01010101");
+  Simulation sim(a, start, SequentialScheme{identity_order(8)});
+  auto manual = start;
+  apply_sequence(a, manual, identity_order(8));
+  sim.step();
+  EXPECT_EQ(sim.configuration(), manual);
+}
+
+TEST(Simulation, BlockSchemeWorks) {
+  const auto a = majority_ring(8);
+  const auto start = Configuration::from_string("01010101");
+  Simulation sim(a, start,
+                 BlockSequentialScheme{{{0, 1, 2, 3}, {4, 5, 6, 7}}});
+  EXPECT_GT(sim.step(), 0u);
+}
+
+TEST(Simulation, StepReturnsChangeCount) {
+  const auto a = majority_ring(8);
+  Simulation sim(a, Configuration::from_string("01000000"),
+                 SynchronousScheme{});
+  EXPECT_EQ(sim.step(), 1u);   // the isolated one dies
+  EXPECT_EQ(sim.step(), 0u);   // fixed point reached
+}
+
+TEST(Simulation, ObserversSeeEveryStep) {
+  const auto a = majority_ring(8);
+  Simulation sim(a, Configuration::from_string("01101001"),
+                 SynchronousScheme{});
+  std::vector<std::uint64_t> times;
+  sim.observe([&](std::uint64_t t, const Configuration& c) {
+    times.push_back(t);
+    EXPECT_EQ(c.size(), 8u);
+  });
+  sim.run(5);
+  EXPECT_EQ(times, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Simulation, RunToFixedPoint) {
+  const auto a = majority_ring(16);
+  Simulation sim(a, Configuration::from_string("0110100111010010"),
+                 SequentialScheme{identity_order(16)});
+  const auto steps = sim.run_to_fixed_point(100);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_TRUE(is_fixed_point_sequential(a, sim.configuration()));
+}
+
+TEST(Simulation, RunToFixedPointFailsOnBlinker) {
+  const auto a = majority_ring(8);
+  Simulation sim(a, Configuration::from_string("01010101"),
+                 SynchronousScheme{});
+  EXPECT_FALSE(sim.run_to_fixed_point(100).has_value());
+}
+
+TEST(Simulation, DensityTracksConfiguration) {
+  const auto a = majority_ring(8);
+  Simulation sim(a, Configuration::from_string("11110000"),
+                 SynchronousScheme{});
+  EXPECT_DOUBLE_EQ(sim.density(), 0.5);
+}
+
+TEST(Simulation, ResetRestartsClock) {
+  const auto a = majority_ring(8);
+  Simulation sim(a, Configuration::from_string("01101001"),
+                 SynchronousScheme{});
+  sim.run(3);
+  sim.reset(Configuration::from_string("11110000"));
+  EXPECT_EQ(sim.time(), 0u);
+  EXPECT_DOUBLE_EQ(sim.density(), 0.5);
+}
+
+TEST(Simulation, ValidatesArguments) {
+  const auto a = majority_ring(8);
+  EXPECT_THROW(Simulation(a, Configuration(7), SynchronousScheme{}),
+               std::invalid_argument);
+  EXPECT_THROW(Simulation(a, Configuration(8), SequentialScheme{{}}),
+               std::invalid_argument);
+  EXPECT_THROW(Simulation(a, Configuration(8), SequentialScheme{{9}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Simulation(a, Configuration(8), BlockSequentialScheme{{{0, 1}}}),
+      std::invalid_argument);
+  Simulation ok(a, Configuration(8), SynchronousScheme{});
+  EXPECT_THROW(ok.reset(Configuration(9)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tca::core

@@ -1,0 +1,117 @@
+// Equivalence tests for the monomorphized synchronous engine
+// (src/core/synchronous_fast.hpp) against the generic engine, across every
+// rule kind and awkward topologies.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/synchronous.hpp"
+#include "core/synchronous_fast.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::core {
+namespace {
+
+Configuration random_config(std::size_t n, std::mt19937_64& rng) {
+  Configuration c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(i, static_cast<State>(rng() & 1u));
+  }
+  return c;
+}
+
+void expect_equivalent(const Automaton& a, std::uint64_t seed,
+                       int trials = 10) {
+  std::mt19937_64 rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    const auto c = random_config(a.size(), rng);
+    Configuration generic(a.size()), fast(a.size());
+    step_synchronous(a, c, generic);
+    step_synchronous_fast(a, c, fast);
+    EXPECT_EQ(generic, fast) << "trial " << t;
+  }
+}
+
+TEST(FastEngine, MajorityRing) {
+  expect_equivalent(Automaton::line(100, 1, Boundary::kRing, rules::majority(),
+                                    Memory::kWith),
+                    1);
+}
+
+TEST(FastEngine, ParityRingMemoryless) {
+  expect_equivalent(Automaton::line(77, 2, Boundary::kRing, rules::parity(),
+                                    Memory::kWithout),
+                    2);
+}
+
+TEST(FastEngine, WolframRuleWithPhantomBoundary) {
+  expect_equivalent(Automaton::line(50, 1, Boundary::kFixedZero,
+                                    rules::Rule{rules::wolfram(110)},
+                                    Memory::kWith),
+                    3);
+}
+
+TEST(FastEngine, KOfNOnHypercube) {
+  expect_equivalent(Automaton::from_graph(graph::hypercube(6),
+                                          rules::Rule{rules::KOfNRule{4}},
+                                          Memory::kWith),
+                    4);
+}
+
+TEST(FastEngine, SymmetricRuleOnGrid) {
+  rules::SymmetricRule symmetric{{0, 1, 1, 0, 1, 0}};  // arity 5
+  expect_equivalent(Automaton::from_graph(graph::grid2d(5, 6, true),
+                                          rules::Rule{symmetric},
+                                          Memory::kWith),
+                    5);
+}
+
+TEST(FastEngine, WeightedThresholdOnRing) {
+  rules::WeightedThresholdRule wt{{2, -1, 2}, 2};
+  expect_equivalent(Automaton::line(64, 1, Boundary::kRing, rules::Rule{wt},
+                                    Memory::kWith),
+                    6);
+}
+
+TEST(FastEngine, GameOfLifeOnMooreTorus) {
+  expect_equivalent(Automaton::from_graph(
+                        graph::grid2d(8, 8, true,
+                                      graph::GridNeighborhood::kMoore),
+                        rules::Rule{rules::game_of_life()}, Memory::kWith),
+                    7);
+}
+
+TEST(FastEngine, NonHomogeneousFallsBackCorrectly) {
+  const auto g = graph::ring(12);
+  std::vector<rules::Rule> per_node;
+  for (std::size_t v = 0; v < 12; ++v) {
+    per_node.emplace_back(v % 2 == 0 ? rules::majority() : rules::parity());
+  }
+  const auto a = Automaton::from_graph_per_node(g, per_node, Memory::kWith);
+  expect_equivalent(a, 8);
+}
+
+TEST(FastEngine, AdvanceMatchesGenericAdvance) {
+  const auto a = Automaton::line(60, 1, Boundary::kRing,
+                                 rules::Rule{rules::wolfram(30)},
+                                 Memory::kWith);
+  std::mt19937_64 rng(9);
+  auto c1 = random_config(60, rng);
+  auto c2 = c1;
+  advance_synchronous(a, c1, 100);
+  advance_synchronous_fast(a, c2, 100);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(FastEngine, RejectsAliasingAndSizeMismatch) {
+  const auto a = Automaton::line(10, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  Configuration c(10), wrong(9);
+  EXPECT_THROW(step_synchronous_fast(a, c, c), std::invalid_argument);
+  EXPECT_THROW(step_synchronous_fast(a, c, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tca::core

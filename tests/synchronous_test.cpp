@@ -1,0 +1,161 @@
+// Unit tests for the synchronous engine (src/core/synchronous.hpp),
+// including the paper's concrete parallel phase-space facts.
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hpp"
+#include "core/synchronous.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::core {
+namespace {
+
+Automaton two_node_xor() {
+  // The paper's Section 3.1 example: two nodes, each computing XOR of its
+  // own state and its only neighbor's.
+  const auto g = graph::complete(2);
+  return Automaton::from_graph(g, rules::parity(), Memory::kWith);
+}
+
+TEST(Synchronous, TwoNodeXorMap) {
+  const auto a = two_node_xor();
+  const auto step = [&](const std::string& s) {
+    return step_synchronous(a, Configuration::from_string(s)).to_string();
+  };
+  EXPECT_EQ(step("00"), "00");
+  EXPECT_EQ(step("01"), "11");
+  EXPECT_EQ(step("10"), "11");
+  EXPECT_EQ(step("11"), "00");
+}
+
+TEST(Synchronous, TwoNodeXorSinkReachedInTwoSteps) {
+  // Paper: "regardless of the starting configuration, after at most two
+  // parallel steps, the fixed point sink state will be reached."
+  const auto a = two_node_xor();
+  for (const char* start : {"00", "01", "10", "11"}) {
+    Configuration c = Configuration::from_string(start);
+    advance_synchronous(a, c, 2);
+    EXPECT_EQ(c.to_string(), "00") << start;
+  }
+}
+
+TEST(Synchronous, MajorityRingTwoCycle) {
+  // Lemma 1(i): the alternating configurations form a two-cycle.
+  const auto a = Automaton::line(8, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto alt = Configuration::from_string("01010101");
+  const auto flip = Configuration::from_string("10101010");
+  EXPECT_EQ(step_synchronous(a, alt), flip);
+  EXPECT_EQ(step_synchronous(a, flip), alt);
+}
+
+TEST(Synchronous, MajorityFixedPoints) {
+  const auto a = Automaton::line(8, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  for (const char* fp : {"00000000", "11111111", "11110000", "00111100"}) {
+    const auto c = Configuration::from_string(fp);
+    EXPECT_TRUE(is_fixed_point_synchronous(a, c)) << fp;
+    EXPECT_EQ(step_synchronous(a, c), c);
+  }
+  EXPECT_FALSE(is_fixed_point_synchronous(
+      a, Configuration::from_string("01010101")));
+}
+
+TEST(Synchronous, MajorityIsolatedOnesDie) {
+  const auto a = Automaton::line(8, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  Configuration c = Configuration::from_string("01000100");
+  advance_synchronous(a, c, 1);
+  EXPECT_EQ(c.to_string(), "00000000");
+}
+
+TEST(Synchronous, Rule2GliderMovesLeft) {
+  // Wolfram rule 2 maps only (0,0,1) to 1: a lone 1 moves left each step.
+  const auto a = Automaton::line(6, 1, Boundary::kRing,
+                                 rules::Rule{rules::wolfram(2)}, Memory::kWith);
+  Configuration c = Configuration::from_string("000100");
+  advance_synchronous(a, c, 1);
+  EXPECT_EQ(c.to_string(), "001000");
+  advance_synchronous(a, c, 2);
+  EXPECT_EQ(c.to_string(), "100000");
+  advance_synchronous(a, c, 1);  // wraps around the ring
+  EXPECT_EQ(c.to_string(), "000001");
+}
+
+TEST(Synchronous, Rule90SierpinskiRow) {
+  // Rule 90 = XOR of the two outer neighbors (memory ignored by the rule).
+  const auto a = Automaton::line(8, 1, Boundary::kRing,
+                                 rules::Rule{rules::wolfram(90)}, Memory::kWith);
+  Configuration c = Configuration::from_string("00010000");
+  advance_synchronous(a, c, 1);
+  EXPECT_EQ(c.to_string(), "00101000");
+  advance_synchronous(a, c, 1);
+  EXPECT_EQ(c.to_string(), "01000100");
+}
+
+TEST(Synchronous, OutputBufferVariantMatchesReturnVariant) {
+  const auto a = Automaton::line(12, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  const auto c = Configuration::from_string("011010011010");
+  Configuration out(12);
+  step_synchronous(a, c, out);
+  EXPECT_EQ(out, step_synchronous(a, c));
+}
+
+TEST(Synchronous, InPlaceStepRejected) {
+  const auto a = Automaton::line(4, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  Configuration c(4);
+  EXPECT_THROW(step_synchronous(a, c, c), std::invalid_argument);
+}
+
+TEST(Synchronous, SizeMismatchRejected) {
+  const auto a = Automaton::line(4, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  Configuration c(5);
+  Configuration out(4);
+  EXPECT_THROW(step_synchronous(a, c, out), std::invalid_argument);
+}
+
+TEST(Synchronous, AdvanceZeroStepsIsIdentity) {
+  const auto a = Automaton::line(6, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  Configuration c = Configuration::from_string("010101");
+  const Configuration before = c;
+  advance_synchronous(a, c, 0);
+  EXPECT_EQ(c, before);
+}
+
+TEST(Synchronous, GridMajorityCheckerboardTwoCycle) {
+  // Bipartite extension: on a 4x4 torus the checkerboard blinks.
+  const auto g = graph::grid2d(4, 4, /*torus=*/true);
+  const auto a = Automaton::from_graph(g, rules::majority(), Memory::kWith);
+  Configuration c(16);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t col = 0; col < 4; ++col) {
+      if ((r + col) % 2 == 0) c.set(r * 4 + col, 1);
+    }
+  }
+  const Configuration start = c;
+  advance_synchronous(a, c, 1);
+  EXPECT_NE(c, start);
+  advance_synchronous(a, c, 1);
+  EXPECT_EQ(c, start);
+}
+
+TEST(Synchronous, MemorylessMajorityOnRing) {
+  // Without memory the rule sees only the two neighbors; ties go to 0, so
+  // a solid block shrinks from nothing — all-ones stays, single 1 dies.
+  const auto a = Automaton::line(6, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWithout);
+  EXPECT_EQ(step_synchronous(a, Configuration::from_string("111111")),
+            Configuration::from_string("111111"));
+  EXPECT_EQ(step_synchronous(a, Configuration::from_string("010000")),
+            Configuration::from_string("000000"));
+  // Alternating: each node's two neighbors agree and disagree with it.
+  EXPECT_EQ(step_synchronous(a, Configuration::from_string("010101")),
+            Configuration::from_string("101010"));
+}
+
+}  // namespace
+}  // namespace tca::core

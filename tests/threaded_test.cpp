@@ -1,0 +1,115 @@
+// Unit tests for the thread pool and the multithreaded synchronous step
+// (src/core/thread_pool.hpp, src/core/threaded.hpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/synchronous.hpp"
+#include "core/thread_pool.hpp"
+#include "core/threaded.hpp"
+
+namespace tca::core {
+namespace {
+
+TEST(ThreadPool, SizeCountsCallingThread) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  ThreadPool single(1);
+  EXPECT_EQ(single.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, AlignmentRespected) {
+  ThreadPool pool(3);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks(3);
+  std::atomic<std::size_t> idx{0};
+  pool.parallel_for(0, 100, 64, [&](std::size_t b, std::size_t e) {
+    chunks[idx.fetch_add(1)] = {b, e};
+  });
+  for (std::size_t i = 0; i < idx.load(); ++i) {
+    EXPECT_EQ(chunks[i].first % 64, 0u) << "chunk " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.parallel_for(0, 64, 1, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), 6400u);
+}
+
+class ThreadedStepEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadedStepEquivalence, MatchesSingleThreadedStep) {
+  const unsigned threads = GetParam();
+  ThreadPool pool(threads);
+  const std::size_t n = 500;
+  const auto a = Automaton::line(n, 2, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  std::mt19937_64 rng(threads);
+  for (int trial = 0; trial < 8; ++trial) {
+    Configuration c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c.set(i, static_cast<State>(rng() & 1u));
+    }
+    Configuration expected(n), actual(n);
+    step_synchronous(a, c, expected);
+    step_synchronous_threaded(a, c, actual, pool);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ThreadedStepEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(ThreadedAdvance, MultiStepTrajectoriesAgree) {
+  ThreadPool pool(4);
+  const std::size_t n = 300;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  Configuration c1(n), c2(n);
+  for (std::size_t i = 0; i < n; i += 7) {
+    c1.set(i, 1);
+    c2.set(i, 1);
+  }
+  advance_synchronous(a, c1, 50);
+  advance_synchronous_threaded(a, c2, 50, pool);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(ThreadedStep, RejectsAliasedBuffers) {
+  ThreadPool pool(2);
+  const auto a = Automaton::line(64, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  Configuration c(64);
+  EXPECT_THROW(step_synchronous_threaded(a, c, c, pool),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tca::core

@@ -1,0 +1,136 @@
+// Unit tests for orbit detection (src/core/trajectory.hpp).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/schedule.hpp"
+#include "core/trajectory.hpp"
+#include "graph/builders.hpp"
+
+namespace tca::core {
+namespace {
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(FindOrbit, FixedPointHasPeriodOne) {
+  const auto a = majority_ring(8);
+  const auto orbit = find_orbit_synchronous(
+      a, Configuration::from_string("11110000"), 100);
+  ASSERT_TRUE(orbit.has_value());
+  EXPECT_EQ(orbit->transient, 0u);
+  EXPECT_EQ(orbit->period, 1u);
+  EXPECT_EQ(orbit->entry.to_string(), "11110000");
+}
+
+TEST(FindOrbit, BlinkerHasPeriodTwo) {
+  const auto a = majority_ring(8);
+  const auto orbit = find_orbit_synchronous(
+      a, Configuration::from_string("01010101"), 100);
+  ASSERT_TRUE(orbit.has_value());
+  EXPECT_EQ(orbit->transient, 0u);
+  EXPECT_EQ(orbit->period, 2u);
+}
+
+TEST(FindOrbit, TransientIntoFixedPoint) {
+  const auto a = majority_ring(8);
+  // An isolated 1 dies in one step, landing on the all-zero fixed point.
+  const auto orbit = find_orbit_synchronous(
+      a, Configuration::from_string("01000000"), 100);
+  ASSERT_TRUE(orbit.has_value());
+  EXPECT_EQ(orbit->transient, 1u);
+  EXPECT_EQ(orbit->period, 1u);
+  EXPECT_EQ(orbit->entry.popcount(), 0u);
+}
+
+TEST(FindOrbit, XorTwoNodeTransient) {
+  const auto g = graph::complete(2);
+  const auto a = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  const auto orbit =
+      find_orbit_synchronous(a, Configuration::from_string("01"), 100);
+  ASSERT_TRUE(orbit.has_value());
+  EXPECT_EQ(orbit->transient, 2u);  // 01 -> 11 -> 00
+  EXPECT_EQ(orbit->period, 1u);
+  EXPECT_EQ(orbit->entry.to_string(), "00");
+}
+
+TEST(FindOrbit, MaxStepsExceededReturnsNullopt) {
+  // Parity on a 5-ring has long orbits; max_steps = 1 cannot find them
+  // from a state that is not on a tiny cycle.
+  const auto a = Automaton::line(5, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto orbit =
+      find_orbit_synchronous(a, Configuration::from_string("10000"), 1);
+  EXPECT_FALSE(orbit.has_value());
+}
+
+TEST(FindOrbitSweep, SequentialMajorityAlwaysPeriodOne) {
+  const auto a = majority_ring(10);
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto start = Configuration::from_bits(rng() & 1023, 10);
+    const auto orbit = find_orbit_sweep(a, start, identity_order(10), 10000);
+    ASSERT_TRUE(orbit.has_value());
+    EXPECT_EQ(orbit->period, 1u) << start.to_string();
+  }
+}
+
+TEST(TraceOrbit, RecordsAllVisitedStates) {
+  const auto g = graph::complete(2);
+  const auto a = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  const auto trace =
+      trace_orbit(synchronous_step_fn(a), Configuration::from_string("01"), 10);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->transient, 2u);
+  EXPECT_EQ(trace->period, 1u);
+  ASSERT_EQ(trace->states.size(), 3u);
+  EXPECT_EQ(trace->states[0].to_string(), "01");
+  EXPECT_EQ(trace->states[1].to_string(), "11");
+  EXPECT_EQ(trace->states[2].to_string(), "00");
+}
+
+TEST(TraceOrbit, CapRespected) {
+  const auto a = Automaton::line(9, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto trace = trace_orbit(synchronous_step_fn(a),
+                                 Configuration::from_string("100000000"), 3);
+  EXPECT_FALSE(trace.has_value());
+}
+
+TEST(BrentVersusTrace, AgreeOnRandomParityOrbits) {
+  // Property check: the O(1)-memory Brent detector and the hash tracer must
+  // report identical (transient, period) on arbitrary orbits. Parity CA
+  // give rich nontrivial cycle structure.
+  const auto a = Automaton::line(10, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  std::mt19937_64 rng(17);
+  const auto step = synchronous_step_fn(a);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto start = Configuration::from_bits(rng() & 1023, 10);
+    const auto brent = find_orbit(step, start, 100000);
+    const auto traced = trace_orbit(step, start, 100000);
+    ASSERT_TRUE(brent.has_value());
+    ASSERT_TRUE(traced.has_value());
+    EXPECT_EQ(brent->transient, traced->transient) << start.to_string();
+    EXPECT_EQ(brent->period, traced->period) << start.to_string();
+  }
+}
+
+TEST(BrentEntryState, IsOnTheCycle) {
+  const auto a = Automaton::line(10, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  const auto step = synchronous_step_fn(a);
+  const auto orbit = find_orbit(step, Configuration::from_bits(0b1011, 10),
+                                100000);
+  ASSERT_TRUE(orbit.has_value());
+  Configuration c = orbit->entry;
+  for (std::uint64_t i = 0; i < orbit->period; ++i) c = step(c);
+  EXPECT_EQ(c, orbit->entry);
+}
+
+}  // namespace
+}  // namespace tca::core

@@ -1,0 +1,134 @@
+// Unit tests for word dynamical systems (src/sds/word.hpp).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/schedule.hpp"
+#include "graph/builders.hpp"
+#include "phasespace/classify.hpp"
+#include "sds/sds.hpp"
+#include "sds/word.hpp"
+
+namespace tca::sds {
+namespace {
+
+using core::Boundary;
+using core::Memory;
+
+Automaton majority_ring(std::size_t n) {
+  return Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                         Memory::kWith);
+}
+
+TEST(WordSystem, ValidatesNodeIds) {
+  const auto a = majority_ring(4);
+  EXPECT_THROW(WordSystem(a, {0, 4}), std::invalid_argument);
+  EXPECT_NO_THROW(WordSystem(a, {0, 0, 0}));  // repetition allowed
+  EXPECT_NO_THROW(WordSystem(a, {}));         // empty word allowed
+}
+
+TEST(WordSystem, CoversAllNodes) {
+  const auto a = majority_ring(4);
+  EXPECT_TRUE(WordSystem(a, {3, 2, 1, 0}).covers_all_nodes());
+  EXPECT_TRUE(WordSystem(a, {0, 1, 1, 2, 3, 0}).covers_all_nodes());
+  EXPECT_FALSE(WordSystem(a, {0, 1, 2}).covers_all_nodes());
+  EXPECT_FALSE(WordSystem(a, {}).covers_all_nodes());
+}
+
+TEST(WordSystem, EmptyWordIsIdentity) {
+  const auto a = majority_ring(6);
+  const WordSystem w(a, {});
+  for (StateCode s = 0; s < 64; ++s) EXPECT_EQ(w.apply(s), s);
+}
+
+TEST(WordSystem, PermutationWordMatchesSds) {
+  const auto a = majority_ring(8);
+  const auto order = core::reversed_order(8);
+  const WordSystem w(a, order);
+  const Sds sds(a, order);
+  for (StateCode s = 0; s < 256; ++s) {
+    EXPECT_EQ(w.apply(s), sds.sweep(s)) << s;
+  }
+}
+
+TEST(WordSystem, AutomatonFixedPointsAreWordFixedPoints) {
+  // Every automaton fixed point is fixed under EVERY word, covering or not.
+  const auto a = majority_ring(8);
+  const std::vector<std::vector<NodeId>> words{
+      {}, {0}, {3, 3, 3}, {0, 1, 2, 3, 4, 5, 6, 7}, {7, 1, 7, 1, 2}};
+  const WordSystem probe(a, {});
+  const auto fps = probe.automaton_fixed_points();
+  ASSERT_FALSE(fps.empty());
+  for (const auto& word : words) {
+    const WordSystem w(a, word);
+    for (const StateCode fp : fps) {
+      EXPECT_EQ(w.apply(fp), fp) << "word size " << word.size();
+    }
+  }
+}
+
+TEST(WordSystem, CoveringThresholdWordsHaveExactlyAutomatonFixedPoints) {
+  // For monotone threshold rules, a word containing every node fixes a
+  // state iff no single update changes it: each update can only happen
+  // "forward" (energy strictly decreases), so a non-FP state must change
+  // during a covering word.
+  const auto a = majority_ring(8);
+  const std::vector<std::vector<NodeId>> covering{
+      {0, 1, 2, 3, 4, 5, 6, 7},
+      {7, 6, 5, 4, 3, 2, 1, 0},
+      {0, 0, 1, 2, 1, 3, 4, 5, 6, 7, 7},
+  };
+  const WordSystem probe(a, {});
+  const auto automaton_fps = probe.automaton_fixed_points();
+  for (const auto& word : covering) {
+    const WordSystem w(a, word);
+    EXPECT_EQ(w.map_fixed_points(), automaton_fps)
+        << "word size " << word.size();
+  }
+}
+
+TEST(WordSystem, OmittingWordsGainSpuriousFixedPoints) {
+  // A word that skips a node can freeze states the automaton would move.
+  const auto a = majority_ring(8);
+  const WordSystem partial(a, {0, 1, 2, 3});  // nodes 4..7 never update
+  const WordSystem probe(a, {});
+  const auto automaton_fps = probe.automaton_fixed_points();
+  const auto word_fps = partial.map_fixed_points();
+  EXPECT_GT(word_fps.size(), automaton_fps.size());
+  // ...but never loses any.
+  for (const StateCode fp : automaton_fps) {
+    EXPECT_TRUE(std::binary_search(word_fps.begin(), word_fps.end(), fp));
+  }
+}
+
+TEST(WordSystem, CoveringWordPhaseSpaceIsCycleFreeForMajority) {
+  // Theorem 1 extends to repeated-node words: the word map is a
+  // composition of single updates, so its orbit visits only
+  // single-update-reachable states; the energy argument still forbids
+  // revisits.
+  const auto a = majority_ring(8);
+  const WordSystem w(a, {0, 3, 3, 1, 6, 2, 5, 4, 7, 0});
+  const auto cls = phasespace::classify(w.phase_space());
+  EXPECT_FALSE(cls.has_proper_cycle());
+}
+
+TEST(WordSystem, NonCoveringWordPhaseSpaceStillCycleFreeForMajority) {
+  const auto a = majority_ring(8);
+  const WordSystem w(a, {2, 4, 2});
+  const auto cls = phasespace::classify(w.phase_space());
+  EXPECT_FALSE(cls.has_proper_cycle());
+}
+
+TEST(WordSystem, ParityWordsCanCycle) {
+  // Parity control: a single-node word is an involution on non-fixed
+  // states — period 2 in its phase space.
+  const auto g = graph::complete(2);
+  const auto a = Automaton::from_graph(g, rules::parity(), Memory::kWith);
+  const WordSystem w(a, {0});
+  const auto cls = phasespace::classify(w.phase_space());
+  EXPECT_TRUE(cls.has_proper_cycle());
+}
+
+}  // namespace
+}  // namespace tca::sds
