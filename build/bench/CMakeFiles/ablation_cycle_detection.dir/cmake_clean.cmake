@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cycle_detection.dir/ablation_cycle_detection.cpp.o"
+  "CMakeFiles/ablation_cycle_detection.dir/ablation_cycle_detection.cpp.o.d"
+  "ablation_cycle_detection"
+  "ablation_cycle_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycle_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dispatch.dir/ablation_dispatch.cpp.o"
+  "CMakeFiles/ablation_dispatch.dir/ablation_dispatch.cpp.o.d"
+  "ablation_dispatch"
+  "ablation_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_dispatch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_packing.dir/ablation_packing.cpp.o"
+  "CMakeFiles/ablation_packing.dir/ablation_packing.cpp.o.d"
+  "ablation_packing"
+  "ablation_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

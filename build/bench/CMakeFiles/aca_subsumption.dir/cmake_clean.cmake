@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aca_subsumption.dir/aca_subsumption.cpp.o"
+  "CMakeFiles/aca_subsumption.dir/aca_subsumption.cpp.o.d"
+  "aca_subsumption"
+  "aca_subsumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aca_subsumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aca_subsumption.
+# This may be replaced when dependencies are built.

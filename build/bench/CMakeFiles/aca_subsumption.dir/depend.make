@@ -1,0 +1,2 @@
+# Empty dependencies file for aca_subsumption.
+# This may be replaced when dependencies are built.

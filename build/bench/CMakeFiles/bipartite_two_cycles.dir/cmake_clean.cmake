@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipartite_two_cycles.dir/bipartite_two_cycles.cpp.o"
+  "CMakeFiles/bipartite_two_cycles.dir/bipartite_two_cycles.cpp.o.d"
+  "bipartite_two_cycles"
+  "bipartite_two_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipartite_two_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

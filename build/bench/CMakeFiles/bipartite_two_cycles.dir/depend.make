@@ -1,0 +1,2 @@
+# Empty dependencies file for bipartite_two_cycles.
+# This may be replaced when dependencies are built.

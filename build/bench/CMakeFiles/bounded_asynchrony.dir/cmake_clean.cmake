@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_asynchrony.dir/bounded_asynchrony.cpp.o"
+  "CMakeFiles/bounded_asynchrony.dir/bounded_asynchrony.cpp.o.d"
+  "bounded_asynchrony"
+  "bounded_asynchrony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_asynchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

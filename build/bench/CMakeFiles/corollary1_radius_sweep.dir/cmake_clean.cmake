@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corollary1_radius_sweep.dir/corollary1_radius_sweep.cpp.o"
+  "CMakeFiles/corollary1_radius_sweep.dir/corollary1_radius_sweep.cpp.o.d"
+  "corollary1_radius_sweep"
+  "corollary1_radius_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corollary1_radius_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for corollary1_radius_sweep.
+# This may be replaced when dependencies are built.

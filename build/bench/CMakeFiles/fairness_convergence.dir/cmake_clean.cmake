@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_convergence.dir/fairness_convergence.cpp.o"
+  "CMakeFiles/fairness_convergence.dir/fairness_convergence.cpp.o.d"
+  "fairness_convergence"
+  "fairness_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

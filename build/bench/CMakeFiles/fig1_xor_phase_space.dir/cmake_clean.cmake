@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_xor_phase_space.dir/fig1_xor_phase_space.cpp.o"
+  "CMakeFiles/fig1_xor_phase_space.dir/fig1_xor_phase_space.cpp.o.d"
+  "fig1_xor_phase_space"
+  "fig1_xor_phase_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_xor_phase_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/information_speed.dir/information_speed.cpp.o"
+  "CMakeFiles/information_speed.dir/information_speed.cpp.o.d"
+  "information_speed"
+  "information_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/information_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

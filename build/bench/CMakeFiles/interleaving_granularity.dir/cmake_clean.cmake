@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleaving_granularity.dir/interleaving_granularity.cpp.o"
+  "CMakeFiles/interleaving_granularity.dir/interleaving_granularity.cpp.o.d"
+  "interleaving_granularity"
+  "interleaving_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaving_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isomorphism_refutation.dir/isomorphism_refutation.cpp.o"
+  "CMakeFiles/isomorphism_refutation.dir/isomorphism_refutation.cpp.o.d"
+  "isomorphism_refutation"
+  "isomorphism_refutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isomorphism_refutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for isomorphism_refutation.
+# This may be replaced when dependencies are built.

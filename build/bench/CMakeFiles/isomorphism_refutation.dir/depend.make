@@ -1,0 +1,2 @@
+# Empty dependencies file for isomorphism_refutation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma1_majority_r1.dir/lemma1_majority_r1.cpp.o"
+  "CMakeFiles/lemma1_majority_r1.dir/lemma1_majority_r1.cpp.o.d"
+  "lemma1_majority_r1"
+  "lemma1_majority_r1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma1_majority_r1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

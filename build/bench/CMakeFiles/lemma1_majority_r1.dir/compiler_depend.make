@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemma1_majority_r1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma2_majority_r2.dir/lemma2_majority_r2.cpp.o"
+  "CMakeFiles/lemma2_majority_r2.dir/lemma2_majority_r2.cpp.o.d"
+  "lemma2_majority_r2"
+  "lemma2_majority_r2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma2_majority_r2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemma2_majority_r2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_xor_algebra.dir/linear_xor_algebra.cpp.o"
+  "CMakeFiles/linear_xor_algebra.dir/linear_xor_algebra.cpp.o.d"
+  "linear_xor_algebra"
+  "linear_xor_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_xor_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for linear_xor_algebra.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outcome_statistics.dir/outcome_statistics.cpp.o"
+  "CMakeFiles/outcome_statistics.dir/outcome_statistics.cpp.o.d"
+  "outcome_statistics"
+  "outcome_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outcome_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_life2d.dir/perf_life2d.cpp.o"
+  "CMakeFiles/perf_life2d.dir/perf_life2d.cpp.o.d"
+  "perf_life2d"
+  "perf_life2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_life2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

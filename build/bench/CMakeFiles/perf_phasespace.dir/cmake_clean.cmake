@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_phasespace.dir/perf_phasespace.cpp.o"
+  "CMakeFiles/perf_phasespace.dir/perf_phasespace.cpp.o.d"
+  "perf_phasespace"
+  "perf_phasespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_phasespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

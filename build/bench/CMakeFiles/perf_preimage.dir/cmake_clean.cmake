@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_preimage.dir/perf_preimage.cpp.o"
+  "CMakeFiles/perf_preimage.dir/perf_preimage.cpp.o.d"
+  "perf_preimage"
+  "perf_preimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_preimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop1_convergence.dir/prop1_convergence.cpp.o"
+  "CMakeFiles/prop1_convergence.dir/prop1_convergence.cpp.o.d"
+  "prop1_convergence"
+  "prop1_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop1_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

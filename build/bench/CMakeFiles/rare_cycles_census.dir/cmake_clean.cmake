@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rare_cycles_census.dir/rare_cycles_census.cpp.o"
+  "CMakeFiles/rare_cycles_census.dir/rare_cycles_census.cpp.o.d"
+  "rare_cycles_census"
+  "rare_cycles_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rare_cycles_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

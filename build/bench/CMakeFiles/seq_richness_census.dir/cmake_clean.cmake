@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_richness_census.dir/seq_richness_census.cpp.o"
+  "CMakeFiles/seq_richness_census.dir/seq_richness_census.cpp.o.d"
+  "seq_richness_census"
+  "seq_richness_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_richness_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_monotone_symmetric.dir/theorem1_monotone_symmetric.cpp.o"
+  "CMakeFiles/theorem1_monotone_symmetric.dir/theorem1_monotone_symmetric.cpp.o.d"
+  "theorem1_monotone_symmetric"
+  "theorem1_monotone_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_monotone_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

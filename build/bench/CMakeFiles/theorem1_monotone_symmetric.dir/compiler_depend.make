@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for theorem1_monotone_symmetric.
+# This may be replaced when dependencies are built.

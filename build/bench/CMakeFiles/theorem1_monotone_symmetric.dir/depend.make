@@ -1,0 +1,2 @@
+# Empty dependencies file for theorem1_monotone_symmetric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/totalistic_survey.dir/totalistic_survey.cpp.o"
+  "CMakeFiles/totalistic_survey.dir/totalistic_survey.cpp.o.d"
+  "totalistic_survey"
+  "totalistic_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/totalistic_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

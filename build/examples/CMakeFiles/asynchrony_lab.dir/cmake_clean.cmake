@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asynchrony_lab.dir/asynchrony_lab.cpp.o"
+  "CMakeFiles/asynchrony_lab.dir/asynchrony_lab.cpp.o.d"
+  "asynchrony_lab"
+  "asynchrony_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asynchrony_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_voting.dir/consensus_voting.cpp.o"
+  "CMakeFiles/consensus_voting.dir/consensus_voting.cpp.o.d"
+  "consensus_voting"
+  "consensus_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for consensus_voting.
+# This may be replaced when dependencies are built.

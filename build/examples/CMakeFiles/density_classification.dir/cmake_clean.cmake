@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_classification.dir/density_classification.cpp.o"
+  "CMakeFiles/density_classification.dir/density_classification.cpp.o.d"
+  "density_classification"
+  "density_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

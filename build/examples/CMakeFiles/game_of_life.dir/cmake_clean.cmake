@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_of_life.dir/game_of_life.cpp.o"
+  "CMakeFiles/game_of_life.dir/game_of_life.cpp.o.d"
+  "game_of_life"
+  "game_of_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_of_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

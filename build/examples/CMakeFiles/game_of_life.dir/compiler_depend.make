@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for game_of_life.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for game_of_life.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_space_explorer.dir/phase_space_explorer.cpp.o"
+  "CMakeFiles/phase_space_explorer.dir/phase_space_explorer.cpp.o.d"
+  "phase_space_explorer"
+  "phase_space_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_space_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcalab.dir/tcalab.cpp.o"
+  "CMakeFiles/tcalab.dir/tcalab.cpp.o.d"
+  "tcalab"
+  "tcalab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcalab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_rule184.dir/traffic_rule184.cpp.o"
+  "CMakeFiles/traffic_rule184.dir/traffic_rule184.cpp.o.d"
+  "traffic_rule184"
+  "traffic_rule184.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_rule184.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for traffic_rule184.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for traffic_rule184.
+# This may be replaced when dependencies are built.

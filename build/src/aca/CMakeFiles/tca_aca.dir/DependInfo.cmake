@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aca/aca.cpp" "src/aca/CMakeFiles/tca_aca.dir/aca.cpp.o" "gcc" "src/aca/CMakeFiles/tca_aca.dir/aca.cpp.o.d"
+  "/root/repo/src/aca/delayed.cpp" "src/aca/CMakeFiles/tca_aca.dir/delayed.cpp.o" "gcc" "src/aca/CMakeFiles/tca_aca.dir/delayed.cpp.o.d"
+  "/root/repo/src/aca/explorer.cpp" "src/aca/CMakeFiles/tca_aca.dir/explorer.cpp.o" "gcc" "src/aca/CMakeFiles/tca_aca.dir/explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phasespace/CMakeFiles/tca_phasespace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tca_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/tca_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_aca.dir/aca.cpp.o"
+  "CMakeFiles/tca_aca.dir/aca.cpp.o.d"
+  "CMakeFiles/tca_aca.dir/delayed.cpp.o"
+  "CMakeFiles/tca_aca.dir/delayed.cpp.o.d"
+  "CMakeFiles/tca_aca.dir/explorer.cpp.o"
+  "CMakeFiles/tca_aca.dir/explorer.cpp.o.d"
+  "libtca_aca.a"
+  "libtca_aca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_aca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtca_aca.a"
+)

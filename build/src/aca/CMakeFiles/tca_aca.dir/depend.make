@@ -1,0 +1,2 @@
+# Empty dependencies file for tca_aca.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/basin_sampling.cpp" "src/analysis/CMakeFiles/tca_analysis.dir/basin_sampling.cpp.o" "gcc" "src/analysis/CMakeFiles/tca_analysis.dir/basin_sampling.cpp.o.d"
+  "/root/repo/src/analysis/census.cpp" "src/analysis/CMakeFiles/tca_analysis.dir/census.cpp.o" "gcc" "src/analysis/CMakeFiles/tca_analysis.dir/census.cpp.o.d"
+  "/root/repo/src/analysis/damage.cpp" "src/analysis/CMakeFiles/tca_analysis.dir/damage.cpp.o" "gcc" "src/analysis/CMakeFiles/tca_analysis.dir/damage.cpp.o.d"
+  "/root/repo/src/analysis/energy.cpp" "src/analysis/CMakeFiles/tca_analysis.dir/energy.cpp.o" "gcc" "src/analysis/CMakeFiles/tca_analysis.dir/energy.cpp.o.d"
+  "/root/repo/src/analysis/gf2.cpp" "src/analysis/CMakeFiles/tca_analysis.dir/gf2.cpp.o" "gcc" "src/analysis/CMakeFiles/tca_analysis.dir/gf2.cpp.o.d"
+  "/root/repo/src/analysis/linear_ca.cpp" "src/analysis/CMakeFiles/tca_analysis.dir/linear_ca.cpp.o" "gcc" "src/analysis/CMakeFiles/tca_analysis.dir/linear_ca.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/tca_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/tca_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phasespace/CMakeFiles/tca_phasespace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tca_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/tca_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_analysis.dir/basin_sampling.cpp.o"
+  "CMakeFiles/tca_analysis.dir/basin_sampling.cpp.o.d"
+  "CMakeFiles/tca_analysis.dir/census.cpp.o"
+  "CMakeFiles/tca_analysis.dir/census.cpp.o.d"
+  "CMakeFiles/tca_analysis.dir/damage.cpp.o"
+  "CMakeFiles/tca_analysis.dir/damage.cpp.o.d"
+  "CMakeFiles/tca_analysis.dir/energy.cpp.o"
+  "CMakeFiles/tca_analysis.dir/energy.cpp.o.d"
+  "CMakeFiles/tca_analysis.dir/gf2.cpp.o"
+  "CMakeFiles/tca_analysis.dir/gf2.cpp.o.d"
+  "CMakeFiles/tca_analysis.dir/linear_ca.cpp.o"
+  "CMakeFiles/tca_analysis.dir/linear_ca.cpp.o.d"
+  "CMakeFiles/tca_analysis.dir/stats.cpp.o"
+  "CMakeFiles/tca_analysis.dir/stats.cpp.o.d"
+  "libtca_analysis.a"
+  "libtca_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

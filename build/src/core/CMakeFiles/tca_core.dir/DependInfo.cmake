@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/automaton.cpp" "src/core/CMakeFiles/tca_core.dir/automaton.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/automaton.cpp.o.d"
+  "/root/repo/src/core/block_sequential.cpp" "src/core/CMakeFiles/tca_core.dir/block_sequential.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/block_sequential.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/core/CMakeFiles/tca_core.dir/configuration.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/configuration.cpp.o.d"
+  "/root/repo/src/core/packed2d.cpp" "src/core/CMakeFiles/tca_core.dir/packed2d.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/packed2d.cpp.o.d"
+  "/root/repo/src/core/packed_kernels.cpp" "src/core/CMakeFiles/tca_core.dir/packed_kernels.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/packed_kernels.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/tca_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/tca_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "src/core/CMakeFiles/tca_core.dir/sequential.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/sequential.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/tca_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/synchronous.cpp" "src/core/CMakeFiles/tca_core.dir/synchronous.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/synchronous.cpp.o.d"
+  "/root/repo/src/core/synchronous_fast.cpp" "src/core/CMakeFiles/tca_core.dir/synchronous_fast.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/synchronous_fast.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/tca_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/core/threaded.cpp" "src/core/CMakeFiles/tca_core.dir/threaded.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/threaded.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/tca_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/tca_core.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tca_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/tca_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

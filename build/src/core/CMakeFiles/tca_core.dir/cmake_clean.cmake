@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_core.dir/automaton.cpp.o"
+  "CMakeFiles/tca_core.dir/automaton.cpp.o.d"
+  "CMakeFiles/tca_core.dir/block_sequential.cpp.o"
+  "CMakeFiles/tca_core.dir/block_sequential.cpp.o.d"
+  "CMakeFiles/tca_core.dir/configuration.cpp.o"
+  "CMakeFiles/tca_core.dir/configuration.cpp.o.d"
+  "CMakeFiles/tca_core.dir/packed2d.cpp.o"
+  "CMakeFiles/tca_core.dir/packed2d.cpp.o.d"
+  "CMakeFiles/tca_core.dir/packed_kernels.cpp.o"
+  "CMakeFiles/tca_core.dir/packed_kernels.cpp.o.d"
+  "CMakeFiles/tca_core.dir/render.cpp.o"
+  "CMakeFiles/tca_core.dir/render.cpp.o.d"
+  "CMakeFiles/tca_core.dir/schedule.cpp.o"
+  "CMakeFiles/tca_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/tca_core.dir/sequential.cpp.o"
+  "CMakeFiles/tca_core.dir/sequential.cpp.o.d"
+  "CMakeFiles/tca_core.dir/simulation.cpp.o"
+  "CMakeFiles/tca_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/tca_core.dir/synchronous.cpp.o"
+  "CMakeFiles/tca_core.dir/synchronous.cpp.o.d"
+  "CMakeFiles/tca_core.dir/synchronous_fast.cpp.o"
+  "CMakeFiles/tca_core.dir/synchronous_fast.cpp.o.d"
+  "CMakeFiles/tca_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/tca_core.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/tca_core.dir/threaded.cpp.o"
+  "CMakeFiles/tca_core.dir/threaded.cpp.o.d"
+  "CMakeFiles/tca_core.dir/trajectory.cpp.o"
+  "CMakeFiles/tca_core.dir/trajectory.cpp.o.d"
+  "libtca_core.a"
+  "libtca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

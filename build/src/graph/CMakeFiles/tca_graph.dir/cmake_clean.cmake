@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_graph.dir/builders.cpp.o"
+  "CMakeFiles/tca_graph.dir/builders.cpp.o.d"
+  "CMakeFiles/tca_graph.dir/graph.cpp.o"
+  "CMakeFiles/tca_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/tca_graph.dir/properties.cpp.o"
+  "CMakeFiles/tca_graph.dir/properties.cpp.o.d"
+  "libtca_graph.a"
+  "libtca_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_interleave.dir/ca_interleave.cpp.o"
+  "CMakeFiles/tca_interleave.dir/ca_interleave.cpp.o.d"
+  "CMakeFiles/tca_interleave.dir/explorer.cpp.o"
+  "CMakeFiles/tca_interleave.dir/explorer.cpp.o.d"
+  "CMakeFiles/tca_interleave.dir/vm.cpp.o"
+  "CMakeFiles/tca_interleave.dir/vm.cpp.o.d"
+  "libtca_interleave.a"
+  "libtca_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tca_interleave.
+# This may be replaced when dependencies are built.

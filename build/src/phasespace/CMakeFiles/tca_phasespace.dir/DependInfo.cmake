@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phasespace/choice_digraph.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/choice_digraph.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/choice_digraph.cpp.o.d"
+  "/root/repo/src/phasespace/classify.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/classify.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/classify.cpp.o.d"
+  "/root/repo/src/phasespace/ctl.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/ctl.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/ctl.cpp.o.d"
+  "/root/repo/src/phasespace/dot.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/dot.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/dot.cpp.o.d"
+  "/root/repo/src/phasespace/functional_graph.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/functional_graph.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/functional_graph.cpp.o.d"
+  "/root/repo/src/phasespace/isomorphism.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/isomorphism.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/phasespace/preimage.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/preimage.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/preimage.cpp.o.d"
+  "/root/repo/src/phasespace/scc.cpp" "src/phasespace/CMakeFiles/tca_phasespace.dir/scc.cpp.o" "gcc" "src/phasespace/CMakeFiles/tca_phasespace.dir/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tca_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/tca_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_phasespace.dir/choice_digraph.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/choice_digraph.cpp.o.d"
+  "CMakeFiles/tca_phasespace.dir/classify.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/classify.cpp.o.d"
+  "CMakeFiles/tca_phasespace.dir/ctl.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/ctl.cpp.o.d"
+  "CMakeFiles/tca_phasespace.dir/dot.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/dot.cpp.o.d"
+  "CMakeFiles/tca_phasespace.dir/functional_graph.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/functional_graph.cpp.o.d"
+  "CMakeFiles/tca_phasespace.dir/isomorphism.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/tca_phasespace.dir/preimage.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/preimage.cpp.o.d"
+  "CMakeFiles/tca_phasespace.dir/scc.cpp.o"
+  "CMakeFiles/tca_phasespace.dir/scc.cpp.o.d"
+  "libtca_phasespace.a"
+  "libtca_phasespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_phasespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/analyze.cpp" "src/rules/CMakeFiles/tca_rules.dir/analyze.cpp.o" "gcc" "src/rules/CMakeFiles/tca_rules.dir/analyze.cpp.o.d"
+  "/root/repo/src/rules/enumerate.cpp" "src/rules/CMakeFiles/tca_rules.dir/enumerate.cpp.o" "gcc" "src/rules/CMakeFiles/tca_rules.dir/enumerate.cpp.o.d"
+  "/root/repo/src/rules/rule.cpp" "src/rules/CMakeFiles/tca_rules.dir/rule.cpp.o" "gcc" "src/rules/CMakeFiles/tca_rules.dir/rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

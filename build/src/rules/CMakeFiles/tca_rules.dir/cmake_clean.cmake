@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_rules.dir/analyze.cpp.o"
+  "CMakeFiles/tca_rules.dir/analyze.cpp.o.d"
+  "CMakeFiles/tca_rules.dir/enumerate.cpp.o"
+  "CMakeFiles/tca_rules.dir/enumerate.cpp.o.d"
+  "CMakeFiles/tca_rules.dir/rule.cpp.o"
+  "CMakeFiles/tca_rules.dir/rule.cpp.o.d"
+  "libtca_rules.a"
+  "libtca_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

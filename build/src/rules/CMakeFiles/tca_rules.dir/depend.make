@@ -1,0 +1,2 @@
+# Empty dependencies file for tca_rules.
+# This may be replaced when dependencies are built.

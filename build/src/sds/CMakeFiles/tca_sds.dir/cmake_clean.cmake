@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca_sds.dir/order_equivalence.cpp.o"
+  "CMakeFiles/tca_sds.dir/order_equivalence.cpp.o.d"
+  "CMakeFiles/tca_sds.dir/sds.cpp.o"
+  "CMakeFiles/tca_sds.dir/sds.cpp.o.d"
+  "CMakeFiles/tca_sds.dir/word.cpp.o"
+  "CMakeFiles/tca_sds.dir/word.cpp.o.d"
+  "libtca_sds.a"
+  "libtca_sds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca_sds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

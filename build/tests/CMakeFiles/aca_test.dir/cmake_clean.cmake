@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aca_test.dir/aca_test.cpp.o"
+  "CMakeFiles/aca_test.dir/aca_test.cpp.o.d"
+  "aca_test"
+  "aca_test.pdb"
+  "aca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_test.dir/analyze_test.cpp.o"
+  "CMakeFiles/analyze_test.dir/analyze_test.cpp.o.d"
+  "analyze_test"
+  "analyze_test.pdb"
+  "analyze_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

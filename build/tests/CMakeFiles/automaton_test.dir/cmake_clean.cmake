@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automaton_test.dir/automaton_test.cpp.o"
+  "CMakeFiles/automaton_test.dir/automaton_test.cpp.o.d"
+  "automaton_test"
+  "automaton_test.pdb"
+  "automaton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basin_sampling_test.dir/basin_sampling_test.cpp.o"
+  "CMakeFiles/basin_sampling_test.dir/basin_sampling_test.cpp.o.d"
+  "basin_sampling_test"
+  "basin_sampling_test.pdb"
+  "basin_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basin_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_sequential_test.dir/block_sequential_test.cpp.o"
+  "CMakeFiles/block_sequential_test.dir/block_sequential_test.cpp.o.d"
+  "block_sequential_test"
+  "block_sequential_test.pdb"
+  "block_sequential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

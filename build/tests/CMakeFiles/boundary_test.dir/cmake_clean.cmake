@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_test.dir/boundary_test.cpp.o"
+  "CMakeFiles/boundary_test.dir/boundary_test.cpp.o.d"
+  "boundary_test"
+  "boundary_test.pdb"
+  "boundary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_interleave_test.dir/ca_interleave_test.cpp.o"
+  "CMakeFiles/ca_interleave_test.dir/ca_interleave_test.cpp.o.d"
+  "ca_interleave_test"
+  "ca_interleave_test.pdb"
+  "ca_interleave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_interleave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_test.dir/census_test.cpp.o"
+  "CMakeFiles/census_test.dir/census_test.cpp.o.d"
+  "census_test"
+  "census_test.pdb"
+  "census_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choice_digraph_test.dir/choice_digraph_test.cpp.o"
+  "CMakeFiles/choice_digraph_test.dir/choice_digraph_test.cpp.o.d"
+  "choice_digraph_test"
+  "choice_digraph_test.pdb"
+  "choice_digraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choice_digraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for choice_digraph_test.
+# This may be replaced when dependencies are built.

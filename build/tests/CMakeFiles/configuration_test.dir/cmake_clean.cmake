@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configuration_test.dir/configuration_test.cpp.o"
+  "CMakeFiles/configuration_test.dir/configuration_test.cpp.o.d"
+  "configuration_test"
+  "configuration_test.pdb"
+  "configuration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configuration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

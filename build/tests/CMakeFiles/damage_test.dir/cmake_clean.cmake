@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damage_test.dir/damage_test.cpp.o"
+  "CMakeFiles/damage_test.dir/damage_test.cpp.o.d"
+  "damage_test"
+  "damage_test.pdb"
+  "damage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

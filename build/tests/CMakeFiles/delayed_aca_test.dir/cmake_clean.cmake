@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delayed_aca_test.dir/delayed_aca_test.cpp.o"
+  "CMakeFiles/delayed_aca_test.dir/delayed_aca_test.cpp.o.d"
+  "delayed_aca_test"
+  "delayed_aca_test.pdb"
+  "delayed_aca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delayed_aca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_test.dir/energy_test.cpp.o"
+  "CMakeFiles/energy_test.dir/energy_test.cpp.o.d"
+  "energy_test"
+  "energy_test.pdb"
+  "energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerate_test.dir/enumerate_test.cpp.o"
+  "CMakeFiles/enumerate_test.dir/enumerate_test.cpp.o.d"
+  "enumerate_test"
+  "enumerate_test.pdb"
+  "enumerate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

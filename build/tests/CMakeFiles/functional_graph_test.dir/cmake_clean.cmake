@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_graph_test.dir/functional_graph_test.cpp.o"
+  "CMakeFiles/functional_graph_test.dir/functional_graph_test.cpp.o.d"
+  "functional_graph_test"
+  "functional_graph_test.pdb"
+  "functional_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf2_test.dir/gf2_test.cpp.o"
+  "CMakeFiles/gf2_test.dir/gf2_test.cpp.o.d"
+  "gf2_test"
+  "gf2_test.pdb"
+  "gf2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

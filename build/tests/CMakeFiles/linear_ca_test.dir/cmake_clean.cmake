@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_ca_test.dir/linear_ca_test.cpp.o"
+  "CMakeFiles/linear_ca_test.dir/linear_ca_test.cpp.o.d"
+  "linear_ca_test"
+  "linear_ca_test.pdb"
+  "linear_ca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_ca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

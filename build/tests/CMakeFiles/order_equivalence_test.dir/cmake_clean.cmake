@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_equivalence_test.dir/order_equivalence_test.cpp.o"
+  "CMakeFiles/order_equivalence_test.dir/order_equivalence_test.cpp.o.d"
+  "order_equivalence_test"
+  "order_equivalence_test.pdb"
+  "order_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outer_totalistic_test.dir/outer_totalistic_test.cpp.o"
+  "CMakeFiles/outer_totalistic_test.dir/outer_totalistic_test.cpp.o.d"
+  "outer_totalistic_test"
+  "outer_totalistic_test.pdb"
+  "outer_totalistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outer_totalistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed2d_test.dir/packed2d_test.cpp.o"
+  "CMakeFiles/packed2d_test.dir/packed2d_test.cpp.o.d"
+  "packed2d_test"
+  "packed2d_test.pdb"
+  "packed2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_kernels_test.dir/packed_kernels_test.cpp.o"
+  "CMakeFiles/packed_kernels_test.dir/packed_kernels_test.cpp.o.d"
+  "packed_kernels_test"
+  "packed_kernels_test.pdb"
+  "packed_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preimage_test.dir/preimage_test.cpp.o"
+  "CMakeFiles/preimage_test.dir/preimage_test.cpp.o.d"
+  "preimage_test"
+  "preimage_test.pdb"
+  "preimage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preimage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_graph_test.dir/random_graph_test.cpp.o"
+  "CMakeFiles/random_graph_test.dir/random_graph_test.cpp.o.d"
+  "random_graph_test"
+  "random_graph_test.pdb"
+  "random_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

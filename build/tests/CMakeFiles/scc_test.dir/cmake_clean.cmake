@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_test.dir/scc_test.cpp.o"
+  "CMakeFiles/scc_test.dir/scc_test.cpp.o.d"
+  "scc_test"
+  "scc_test.pdb"
+  "scc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_test.dir/sds_test.cpp.o"
+  "CMakeFiles/sds_test.dir/sds_test.cpp.o.d"
+  "sds_test"
+  "sds_test.pdb"
+  "sds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

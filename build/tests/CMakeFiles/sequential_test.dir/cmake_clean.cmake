@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_test.dir/sequential_test.cpp.o"
+  "CMakeFiles/sequential_test.dir/sequential_test.cpp.o.d"
+  "sequential_test"
+  "sequential_test.pdb"
+  "sequential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

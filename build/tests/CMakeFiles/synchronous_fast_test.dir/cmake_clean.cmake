@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronous_fast_test.dir/synchronous_fast_test.cpp.o"
+  "CMakeFiles/synchronous_fast_test.dir/synchronous_fast_test.cpp.o.d"
+  "synchronous_fast_test"
+  "synchronous_fast_test.pdb"
+  "synchronous_fast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronous_fast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

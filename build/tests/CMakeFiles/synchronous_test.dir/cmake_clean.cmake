@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronous_test.dir/synchronous_test.cpp.o"
+  "CMakeFiles/synchronous_test.dir/synchronous_test.cpp.o.d"
+  "synchronous_test"
+  "synchronous_test.pdb"
+  "synchronous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

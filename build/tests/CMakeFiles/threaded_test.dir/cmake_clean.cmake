@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_test.dir/threaded_test.cpp.o"
+  "CMakeFiles/threaded_test.dir/threaded_test.cpp.o.d"
+  "threaded_test"
+  "threaded_test.pdb"
+  "threaded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

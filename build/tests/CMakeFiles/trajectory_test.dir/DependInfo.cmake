@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trajectory_test.cpp" "tests/CMakeFiles/trajectory_test.dir/trajectory_test.cpp.o" "gcc" "tests/CMakeFiles/trajectory_test.dir/trajectory_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tca_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/tca_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phasespace/CMakeFiles/tca_phasespace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tca_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sds/CMakeFiles/tca_sds.dir/DependInfo.cmake"
+  "/root/repo/build/src/interleave/CMakeFiles/tca_interleave.dir/DependInfo.cmake"
+  "/root/repo/build/src/aca/CMakeFiles/tca_aca.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_test.dir/trajectory_test.cpp.o"
+  "CMakeFiles/trajectory_test.dir/trajectory_test.cpp.o.d"
+  "trajectory_test"
+  "trajectory_test.pdb"
+  "trajectory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

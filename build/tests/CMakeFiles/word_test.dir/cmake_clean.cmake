@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_test.dir/word_test.cpp.o"
+  "CMakeFiles/word_test.dir/word_test.cpp.o.d"
+  "word_test"
+  "word_test.pdb"
+  "word_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
