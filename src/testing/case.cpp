@@ -1,0 +1,205 @@
+#include "testing/case.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builders.hpp"
+
+namespace tca::testing {
+namespace {
+
+using rules::State;
+
+std::uint64_t parse_u64(std::string_view s) {
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+    base = 16;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, base);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("TestCase: bad number '" + std::string(s) +
+                                "'");
+  }
+  return value;
+}
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (!s.empty()) {
+    const auto pos = s.find(sep);
+    out.push_back(s.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+rules::Rule RuleSpec::materialize(std::uint32_t arity) const {
+  switch (kind) {
+    case Kind::kMajority:
+      return rules::MajorityRule{rules::MajorityTie::kZero};
+    case Kind::kMajorityTieOne:
+      return rules::MajorityRule{rules::MajorityTie::kOne};
+    case Kind::kParity:
+      return rules::ParityRule{};
+    case Kind::kKOfN:
+      return rules::KOfNRule{k};
+    case Kind::kSymmetric: {
+      std::vector<State> accept(arity + 1);
+      for (std::uint32_t s = 0; s <= arity; ++s) {
+        accept[s] = static_cast<State>((bits >> (s % 64)) & 1u);
+      }
+      return rules::SymmetricRule{std::move(accept)};
+    }
+  }
+  throw std::logic_error("RuleSpec: unknown kind");
+}
+
+std::string RuleSpec::describe() const {
+  switch (kind) {
+    case Kind::kMajority: return "majority";
+    case Kind::kMajorityTieOne: return "majority(tie->1)";
+    case Kind::kParity: return "parity";
+    case Kind::kKOfN: return std::to_string(k) + "-of-n";
+    case Kind::kSymmetric: return "symmetric:" + hex(bits);
+  }
+  return "?";
+}
+
+graph::Graph TestCase::space() const {
+  return graph::from_edges(n, edges);
+}
+
+core::Automaton TestCase::automaton() const {
+  const auto g = space();
+  if (rule.kind != RuleSpec::Kind::kSymmetric) {
+    return core::Automaton::from_graph(g, rule.materialize(0), memory);
+  }
+  // Fixed-arity kind: one materialized rule per node so irregular degrees
+  // (and shrunk graphs) stay valid.
+  std::vector<rules::Rule> per_node;
+  per_node.reserve(n);
+  const std::uint32_t self = memory == core::Memory::kWith ? 1u : 0u;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    per_node.push_back(rule.materialize(g.degree(v) + self));
+  }
+  return core::Automaton::from_graph_per_node(g, std::move(per_node), memory);
+}
+
+core::Configuration TestCase::configuration() const {
+  return core::Configuration::from_bits(
+      n >= 64 ? config_bits : config_bits & ((std::uint64_t{1} << n) - 1), n);
+}
+
+std::string TestCase::serialize() const {
+  std::ostringstream os;
+  os << "v1;n=" << n << ";mem=" << (memory == core::Memory::kWith ? 1 : 0)
+     << ";rule=";
+  switch (rule.kind) {
+    case RuleSpec::Kind::kMajority: os << "maj"; break;
+    case RuleSpec::Kind::kMajorityTieOne: os << "maj1"; break;
+    case RuleSpec::Kind::kParity: os << "par"; break;
+    case RuleSpec::Kind::kKOfN: os << "kofn:" << rule.k; break;
+    case RuleSpec::Kind::kSymmetric: os << "sym:" << hex(rule.bits); break;
+  }
+  os << ";cfg=" << hex(config_bits) << ";steps=" << steps << ";seed="
+     << hex(seed) << ";edges=";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i != 0) os << ',';
+    os << edges[i].u << '-' << edges[i].v;
+  }
+  return os.str();
+}
+
+TestCase TestCase::deserialize(std::string_view text) {
+  TestCase c;
+  bool saw_version = false;
+  for (const auto field : split(text, ';')) {
+    if (field == "v1") {
+      saw_version = true;
+      continue;
+    }
+    const auto eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("TestCase: bad field '" +
+                                  std::string(field) + "'");
+    }
+    const auto key = field.substr(0, eq);
+    const auto value = field.substr(eq + 1);
+    if (key == "n") {
+      c.n = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "mem") {
+      c.memory =
+          parse_u64(value) != 0 ? core::Memory::kWith : core::Memory::kWithout;
+    } else if (key == "rule") {
+      if (value == "maj") {
+        c.rule = RuleSpec{RuleSpec::Kind::kMajority};
+      } else if (value == "maj1") {
+        c.rule = RuleSpec{RuleSpec::Kind::kMajorityTieOne};
+      } else if (value == "par") {
+        c.rule = RuleSpec{RuleSpec::Kind::kParity};
+      } else if (value.starts_with("kofn:")) {
+        c.rule = RuleSpec{RuleSpec::Kind::kKOfN,
+                          static_cast<std::uint32_t>(parse_u64(value.substr(5))),
+                          0};
+      } else if (value.starts_with("sym:")) {
+        c.rule = RuleSpec{RuleSpec::Kind::kSymmetric, 1,
+                          parse_u64(value.substr(4))};
+      } else {
+        throw std::invalid_argument("TestCase: bad rule '" +
+                                    std::string(value) + "'");
+      }
+    } else if (key == "cfg") {
+      c.config_bits = parse_u64(value);
+    } else if (key == "steps") {
+      c.steps = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "seed") {
+      c.seed = parse_u64(value);
+    } else if (key == "edges") {
+      if (!value.empty()) {
+        for (const auto e : split(value, ',')) {
+          const auto dash = e.find('-');
+          if (dash == std::string_view::npos) {
+            throw std::invalid_argument("TestCase: bad edge '" +
+                                        std::string(e) + "'");
+          }
+          graph::Edge edge{
+              static_cast<graph::NodeId>(parse_u64(e.substr(0, dash))),
+              static_cast<graph::NodeId>(parse_u64(e.substr(dash + 1)))};
+          if (edge.u > edge.v) std::swap(edge.u, edge.v);
+          c.edges.push_back(edge);
+        }
+      }
+    } else {
+      throw std::invalid_argument("TestCase: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  if (!saw_version) {
+    throw std::invalid_argument("TestCase: missing 'v1' version tag");
+  }
+  return c;
+}
+
+std::string TestCase::describe() const {
+  std::ostringstream os;
+  os << "n=" << n << " m=" << edges.size() << " rule=" << rule.describe()
+     << " memory=" << (memory == core::Memory::kWith ? "with" : "without")
+     << " config=" << configuration().to_string() << " steps=" << steps
+     << "\n  case: " << serialize();
+  return os.str();
+}
+
+}  // namespace tca::testing

@@ -1,0 +1,99 @@
+#pragma once
+// Concrete, shrinkable property-test cases (DESIGN.md S10).
+//
+// The paper's claims are universally quantified, so the randomized suite
+// (tests/fuzz_differential_test.cpp) draws automata at random. For a
+// counterexample to be USEFUL it must be reducible: shrinking needs a case
+// representation where "remove a node", "drop an edge" and "lower the
+// threshold" are total operations that always yield another valid case.
+// A TestCase therefore stores the substrate as an explicit edge list and
+// the rule as a RuleSpec that can be materialized at ANY arity — unlike a
+// rules::Rule, whose fixed-arity kinds (SymmetricRule) become invalid the
+// moment the graph changes under them.
+//
+// Cases serialize to a single line and back, so a failure can be replayed
+// exactly via the TCA_PBT_REPRO environment variable (see runner.hpp).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "graph/graph.hpp"
+#include "rules/rule.hpp"
+
+namespace tca::testing {
+
+/// Arity-polymorphic rule description. `materialize(arity)` yields the
+/// concrete rules::Rule for a node of that arity, so one RuleSpec works for
+/// every node of an irregular graph and survives node/edge shrinking.
+struct RuleSpec {
+  enum class Kind : std::uint8_t {
+    kMajority,        ///< strict majority (tie -> 0); monotone symmetric
+    kMajorityTieOne,  ///< majority with tie -> 1; monotone symmetric
+    kParity,          ///< XOR; symmetric, NOT monotone
+    kKOfN,            ///< threshold k (field `k`); monotone symmetric
+    kSymmetric,       ///< totalistic from `bits`: output on s ones =
+                      ///< bit (s mod 64) of `bits`; generally NOT monotone
+  };
+
+  Kind kind = Kind::kMajority;
+  std::uint32_t k = 1;      ///< threshold for kKOfN
+  std::uint64_t bits = 0;   ///< accept mask for kSymmetric
+
+  /// True for the paper's Theorem 1 class (monotone symmetric rules).
+  [[nodiscard]] bool monotone_symmetric() const noexcept {
+    return kind == Kind::kMajority || kind == Kind::kMajorityTieOne ||
+           kind == Kind::kKOfN;
+  }
+
+  /// The concrete rule for a node with `arity` ordered inputs.
+  [[nodiscard]] rules::Rule materialize(std::uint32_t arity) const;
+
+  /// Short name for messages, e.g. "3-of-n", "symmetric:0x1a".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const RuleSpec&, const RuleSpec&) = default;
+};
+
+/// A fully explicit randomized test case: substrate + rule + memory flag +
+/// initial configuration + step budget. n <= 64 so the configuration fits
+/// one word (`config_bits`), which keeps serialization and shrinking
+/// trivial.
+struct TestCase {
+  std::uint32_t n = 0;              ///< number of nodes
+  std::vector<graph::Edge> edges;   ///< explicit undirected edge list
+  RuleSpec rule;
+  core::Memory memory = core::Memory::kWith;
+  std::uint64_t config_bits = 0;    ///< initial configuration, bit i = cell i
+  std::uint32_t steps = 8;          ///< trajectory budget for step-bounded oracles
+  std::uint64_t seed = 0;           ///< provenance; also seeds per-case RNG
+                                    ///< (schedules, orders) inside oracles
+
+  /// The substrate graph (validates the edge list).
+  [[nodiscard]] graph::Graph space() const;
+
+  /// The automaton: homogeneous for arity-generic rule kinds, per-node
+  /// materialized rules for fixed-arity kinds (kSymmetric).
+  [[nodiscard]] core::Automaton automaton() const;
+
+  /// The initial configuration (low n bits of config_bits).
+  [[nodiscard]] core::Configuration configuration() const;
+
+  /// One-line machine-readable form, e.g.
+  /// "v1;n=5;mem=1;rule=kofn:2;cfg=0x13;steps=8;seed=0x2a;edges=0-1,1-2".
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses serialize() output; throws std::invalid_argument on malformed
+  /// input.
+  static TestCase deserialize(std::string_view text);
+
+  /// Human-readable multi-line description for failure messages.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const TestCase&, const TestCase&) = default;
+};
+
+}  // namespace tca::testing

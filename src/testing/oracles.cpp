@@ -1,0 +1,291 @@
+#include "testing/oracles.hpp"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "aca/aca.hpp"
+#include "analysis/energy.hpp"
+#include "core/block_sequential.hpp"
+#include "core/schedule.hpp"
+#include "core/sequential.hpp"
+#include "core/synchronous.hpp"
+#include "core/synchronous_fast.hpp"
+#include "core/thread_pool.hpp"
+#include "core/threaded.hpp"
+#include "graph/properties.hpp"
+#include "phasespace/classify.hpp"
+#include "phasespace/functional_graph.hpp"
+
+namespace tca::testing {
+namespace {
+
+using core::Automaton;
+using core::Configuration;
+
+/// Shared pool for the threaded engine path; sized past one worker even on
+/// single-core machines so the fork-join handoff is actually exercised.
+core::ThreadPool& shared_pool() {
+  static core::ThreadPool pool(3);
+  return pool;
+}
+
+/// Largest n whose phase space (2^n states) we enumerate explicitly.
+constexpr std::uint32_t kExplicitBits = 12;
+
+PropertyResult check_engines_agree(const TestCase& tc) {
+  const auto a = tc.automaton();
+  Configuration current = tc.configuration();
+  Configuration generic(a.size()), fast(a.size()), threaded(a.size());
+  for (std::uint32_t t = 0; t < tc.steps; ++t) {
+    core::step_synchronous(a, current, generic);
+    core::step_synchronous_fast(a, current, fast);
+    if (fast != generic) {
+      return PropertyResult::fail(
+          "step_synchronous_fast diverges from step_synchronous at step " +
+          std::to_string(t) + ": " + fast.to_string() + " vs " +
+          generic.to_string());
+    }
+    core::step_synchronous_threaded(a, current, threaded, shared_pool());
+    if (threaded != generic) {
+      return PropertyResult::fail(
+          "step_synchronous_threaded diverges from step_synchronous at step " +
+          std::to_string(t) + ": " + threaded.to_string() + " vs " +
+          generic.to_string());
+    }
+    Configuration block = current;
+    core::step_block_sequential(a, block,
+                                core::BlockOrder::synchronous(a.size()));
+    if (block != generic) {
+      return PropertyResult::fail(
+          "trivial-block block_sequential diverges from step_synchronous at "
+          "step " + std::to_string(t) + ": " + block.to_string() + " vs " +
+          generic.to_string());
+    }
+    current = generic;
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_sweep_consistency(const TestCase& tc) {
+  const auto a = tc.automaton();
+  std::mt19937_64 rng(tc.seed ^ 0x5eedf00dull);
+  const auto order = core::random_permutation(a.size(), rng);
+
+  Configuration via_sequence = tc.configuration();
+  core::apply_sequence(a, via_sequence, order);
+
+  Configuration via_blocks = tc.configuration();
+  core::step_block_sequential(a, via_blocks,
+                              core::BlockOrder::sequential(order));
+
+  Configuration via_updates = tc.configuration();
+  for (const auto v : order) core::update_node(a, via_updates, v);
+
+  if (via_sequence != via_blocks) {
+    return PropertyResult::fail(
+        "apply_sequence vs singleton-block block_sequential: " +
+        via_sequence.to_string() + " vs " + via_blocks.to_string());
+  }
+  if (via_sequence != via_updates) {
+    return PropertyResult::fail("apply_sequence vs update_node chain: " +
+                                via_sequence.to_string() + " vs " +
+                                via_updates.to_string());
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_sca_no_cycle(const TestCase& tc) {
+  if (!tc.rule.monotone_symmetric()) return PropertyResult::pass();
+  const auto a = tc.automaton();
+  std::mt19937_64 rng(tc.seed ^ 0xc0ffeeull);
+
+  // Certificate 1 (exhaustive, n small): the one-sweep phase space of ANY
+  // fixed permutation has no proper cycle — Theorem 1 over all 2^n starts.
+  if (tc.n <= kExplicitBits) {
+    const auto order = core::random_permutation(a.size(), rng);
+    const auto cls = phasespace::classify(
+        phasespace::FunctionalGraph::sweep(a, order));
+    if (cls.max_period() > 1) {
+      return PropertyResult::fail(
+          "sequential sweep phase space has a proper cycle of period " +
+          std::to_string(cls.max_period()));
+    }
+  }
+
+  // Certificate 2 (trajectory): a bounded-fair random schedule converges
+  // from the case's start configuration.
+  Configuration c = tc.configuration();
+  core::RandomSweepSchedule schedule(a.size(), rng());
+  if (!core::run_schedule_to_fixed_point(a, c, schedule, 100000).has_value()) {
+    return PropertyResult::fail(
+        "bounded-fair random schedule failed to reach a fixed point within "
+        "100000 updates");
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_energy_descent(const TestCase& tc) {
+  if (tc.rule.kind != RuleSpec::Kind::kKOfN) return PropertyResult::pass();
+  const auto net = analysis::ThresholdNetwork::homogeneous(
+      tc.space(), tc.rule.k, tc.memory == core::Memory::kWith);
+  const auto a = net.automaton();
+  auto c = tc.configuration();
+  std::mt19937_64 rng(tc.seed ^ 0xe4e26eull);
+  for (std::uint32_t step = 0; step < 64; ++step) {
+    const auto before = analysis::sequential_energy(net, c);
+    const auto v = static_cast<core::NodeId>(rng() % a.size());
+    if (core::update_node(a, c, v)) {
+      const auto after = analysis::sequential_energy(net, c);
+      if (after > before - 1) {
+        return PropertyResult::fail(
+            "changing update of node " + std::to_string(v) +
+            " moved the Goles-Martinez energy from " +
+            std::to_string(before) + " to " + std::to_string(after) +
+            " (must drop by >= 1)");
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_parallel_period(const TestCase& tc) {
+  if (!tc.rule.monotone_symmetric() || tc.n > kExplicitBits) {
+    return PropertyResult::pass();
+  }
+  const auto a = tc.automaton();
+  const auto cls =
+      phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
+  if (cls.max_period() > 2) {
+    return PropertyResult::fail(
+        "parallel threshold CA has an attractor of period " +
+        std::to_string(cls.max_period()) + " (Proposition 1 bound is 2)");
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_bipartite_two_cycle(const TestCase& tc) {
+  // Envelope: memoryless k-of-n with k <= min degree on a bipartite
+  // substrate with both sides populated.
+  if (tc.memory != core::Memory::kWithout ||
+      tc.rule.kind != RuleSpec::Kind::kKOfN || tc.n == 0) {
+    return PropertyResult::pass();
+  }
+  const auto g = tc.space();
+  const auto coloring = graph::bipartition(g);
+  if (!coloring.has_value()) return PropertyResult::pass();
+  graph::NodeId min_deg = g.degree(0);
+  for (graph::NodeId v = 1; v < tc.n; ++v) {
+    min_deg = std::min(min_deg, g.degree(v));
+  }
+  if (min_deg < 1 || tc.rule.k > min_deg) return PropertyResult::pass();
+
+  const auto a = tc.automaton();
+  Configuration side0(tc.n), side1(tc.n);
+  for (graph::NodeId v = 0; v < tc.n; ++v) {
+    side0.set(v, (*coloring)[v] == 0 ? 1 : 0);
+    side1.set(v, (*coloring)[v] == 1 ? 1 : 0);
+  }
+  if (side0 == side1) return PropertyResult::pass();  // one side empty
+
+  const auto after_one = core::step_synchronous(a, side0);
+  if (after_one != side1) {
+    return PropertyResult::fail(
+        "one parallel step from the side-0 indicator gave " +
+        after_one.to_string() + ", expected the side-1 indicator " +
+        side1.to_string());
+  }
+  const auto after_two = core::step_synchronous(a, after_one);
+  if (after_two != side0) {
+    return PropertyResult::fail(
+        "bipartition indicator is not on a two-cycle: step^2 gave " +
+        after_two.to_string() + ", expected " + side0.to_string());
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_aca_subsumption(const TestCase& tc) {
+  const auto a = tc.automaton();
+  // AcaSystem needs node states + channels to fit one 64-bit word; one
+  // channel per non-self input slot = 2 * num_edges.
+  const std::size_t state_bits = tc.n + 2 * tc.edges.size();
+  if (tc.n == 0 || tc.n > 16 || state_bits > 63) return PropertyResult::pass();
+  const aca::AcaSystem sys(a);
+
+  const auto start = tc.configuration();
+  const auto x0 = start.to_bits();
+
+  // Classical parallel step == all-delivers-then-all-computes macro step.
+  aca::AcaState s = sys.initial(x0);
+  s = sys.synchronous_macro_step(s);
+  const auto parallel = core::step_synchronous(a, start);
+  if (sys.config_of(s) != parallel.to_bits()) {
+    return PropertyResult::fail(
+        "ACA synchronous macro step projects to " +
+        std::to_string(sys.config_of(s)) + ", classical parallel step gives " +
+        std::to_string(parallel.to_bits()));
+  }
+
+  // SCA chain == deliver-then-compute macro updates, node by node.
+  std::mt19937_64 rng(tc.seed ^ 0xacaacaull);
+  const auto order = core::random_permutation(a.size(), rng);
+  aca::AcaState t = sys.initial(x0);
+  Configuration sca = start;
+  for (const auto v : order) {
+    t = sys.sequential_macro_update(t, v);
+    core::update_node(a, sca, v);
+    if (sys.config_of(t) != sca.to_bits()) {
+      return PropertyResult::fail(
+          "ACA sequential macro updates diverge from the SCA chain after "
+          "node " + std::to_string(v));
+    }
+  }
+  return PropertyResult::pass();
+}
+
+std::vector<Oracle> build_registry() {
+  std::vector<Oracle> r;
+  CaseOptions any;
+
+  r.push_back({"engines-agree", "EnginesAgree", any, check_engines_agree});
+  r.push_back({"sweep-consistency", "SweepConsistency", any,
+               check_sweep_consistency});
+
+  CaseOptions monotone;
+  monotone.rules = CaseOptions::RuleClass::kMonotoneSymmetric;
+  r.push_back({"sca-no-cycle", "ScaNoCycle", monotone, check_sca_no_cycle});
+  r.push_back({"parallel-period-two", "ParallelPeriodAtMostTwo", monotone,
+               check_parallel_period});
+
+  CaseOptions threshold;
+  threshold.rules = CaseOptions::RuleClass::kThreshold;
+  r.push_back({"energy-descent", "EnergyDescent", threshold,
+               check_energy_descent});
+
+  CaseOptions bipartite;
+  bipartite.substrate = CaseOptions::SubstrateClass::kBipartite;
+  r.push_back({"bipartite-two-cycle", "BipartiteTwoCycle", bipartite,
+               check_bipartite_two_cycle});
+
+  CaseOptions tiny;
+  tiny.substrate = CaseOptions::SubstrateClass::kTiny;
+  r.push_back({"aca-subsumption", "AcaSubsumption", tiny,
+               check_aca_subsumption});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<Oracle>& oracles() {
+  static const std::vector<Oracle> registry = build_registry();
+  return registry;
+}
+
+const Oracle* find_oracle(std::string_view name) {
+  for (const auto& o : oracles()) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+}  // namespace tca::testing

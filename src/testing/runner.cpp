@@ -1,0 +1,90 @@
+#include "testing/runner.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace tca::testing {
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// The failure note for a case we already know fails (re-runs the check;
+/// exceptions become the note so reports never throw).
+std::string note_for(const Oracle& oracle, const TestCase& c) {
+  try {
+    return oracle.check(c).note;
+  } catch (const std::exception& e) {
+    return std::string("check threw: ") + e.what();
+  }
+}
+
+Failure make_failure(const Oracle& oracle, std::uint64_t case_seed,
+                     const TestCase& original, const RunOptions& options) {
+  Failure f;
+  f.oracle = oracle.name;
+  f.case_seed = case_seed;
+  f.original = original;
+  f.shrunk = options.shrink ? shrink(original, oracle.check, &f.stats)
+                            : original;
+  f.note = note_for(oracle, f.shrunk);
+  f.repro = "TCA_PBT_SEED=" + hex(case_seed) +
+            " TCA_PBT_CASES=1 ./tests/fuzz_differential_test "
+            "--gtest_filter='*." + oracle.test_name + "'";
+  return f;
+}
+
+}  // namespace
+
+RunOptions RunOptions::from_env() {
+  RunOptions o;
+  if (const char* s = std::getenv("TCA_PBT_SEED")) {
+    o.seed = std::strtoull(s, nullptr, 0);
+  }
+  if (const char* s = std::getenv("TCA_PBT_CASES")) {
+    o.num_cases = static_cast<std::uint32_t>(std::strtoul(s, nullptr, 0));
+  }
+  if (const char* s = std::getenv("TCA_PBT_REPRO")) {
+    o.repro = std::string(s);
+  }
+  return o;
+}
+
+std::string Failure::report() const {
+  std::ostringstream os;
+  os << "oracle '" << oracle << "' failed (case seed " << hex(case_seed)
+     << ")\n  " << note << "\n  shrunk counterexample ("
+     << stats.evaluations << " shrink evaluations, " << stats.accepted
+     << " reductions): " << shrunk.describe()
+     << "\n  repro (seeded): " << repro
+     << "\n  repro (exact):  TCA_PBT_REPRO='" << shrunk.serialize()
+     << "' ./tests/fuzz_differential_test";
+  return os.str();
+}
+
+std::optional<Failure> check_property(const Oracle& oracle,
+                                      const RunOptions& options) {
+  if (options.repro.has_value()) {
+    const TestCase c = TestCase::deserialize(*options.repro);
+    if (oracle.check(c).ok) return std::nullopt;
+    RunOptions no_gen = options;
+    return make_failure(oracle, c.seed, c, no_gen);
+  }
+  for (std::uint32_t i = 0; i < options.num_cases; ++i) {
+    // Case 0 uses the base seed verbatim, so the printed one-line repro
+    // (TCA_PBT_SEED=<case seed> TCA_PBT_CASES=1) regenerates the failing
+    // case exactly as case 0 of a fresh run.
+    const std::uint64_t case_seed =
+        i == 0 ? options.seed : mix_seed(options.seed, i);
+    const TestCase c = random_case(case_seed, oracle.options);
+    if (!oracle.check(c).ok) {
+      return make_failure(oracle, case_seed, c, options);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tca::testing

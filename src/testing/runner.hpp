@@ -1,0 +1,62 @@
+#pragma once
+// The property-run driver (DESIGN.md S10).
+//
+// check_property() draws `num_cases` cases from an oracle's envelope
+// (case 0's seed is the base seed itself; case i > 0 uses
+// mix_seed(base, i)), checks each, and on the first
+// failure shrinks it and packages everything a human needs:
+//
+//   * the original and the 1-minimal shrunk case (both serialized),
+//   * a ONE-LINE seeded repro command — re-running with the printed
+//     TCA_PBT_SEED regenerates the failing case as case 0 of a 1-case run,
+//   * a TCA_PBT_REPRO form that replays the exact shrunk case.
+//
+// Environment overrides (read by run_options_from_env):
+//   TCA_PBT_SEED=<u64>    base seed (default kDefaultSeed — runs are
+//                         deterministic unless you override this)
+//   TCA_PBT_CASES=<u32>   cases per oracle (default kDefaultCases)
+//   TCA_PBT_REPRO=<case>  skip generation; check exactly this serialized
+//                         case (see TestCase::serialize)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "testing/oracles.hpp"
+#include "testing/shrink.hpp"
+
+namespace tca::testing {
+
+inline constexpr std::uint64_t kDefaultSeed = 0x7CA2004u;  // fixed: CI-stable
+inline constexpr std::uint32_t kDefaultCases = 40;
+
+struct RunOptions {
+  std::uint64_t seed = kDefaultSeed;
+  std::uint32_t num_cases = kDefaultCases;
+  bool shrink = true;
+  std::optional<std::string> repro;  ///< serialized case to replay instead
+
+  /// Defaults overridden by TCA_PBT_SEED / TCA_PBT_CASES / TCA_PBT_REPRO.
+  static RunOptions from_env();
+};
+
+/// Everything known about one property failure.
+struct Failure {
+  std::string oracle;       ///< oracle name
+  std::uint64_t case_seed = 0;  ///< seed that regenerates the original case
+  TestCase original;
+  TestCase shrunk;
+  std::string note;         ///< the property's failure note on the shrunk case
+  ShrinkStats stats;
+  std::string repro;        ///< one-line seeded repro command
+
+  /// Multi-line report: note, shrunk case, repro lines.
+  [[nodiscard]] std::string report() const;
+};
+
+/// Runs the oracle over seeded cases; returns the first failure (shrunk,
+/// with repro commands) or nullopt if every case passes.
+[[nodiscard]] std::optional<Failure> check_property(const Oracle& oracle,
+                                                    const RunOptions& options);
+
+}  // namespace tca::testing

@@ -1,0 +1,129 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+
+namespace tca::testing {
+namespace {
+
+/// True if `candidate` still fails the property (exceptions count as "does
+/// not fail": a reduction that breaks case validity must be rejected, not
+/// crash the shrinker).
+bool still_fails(const TestCase& candidate, const Property& prop,
+                 ShrinkStats& stats) {
+  if (stats.evaluations >= kMaxShrinkEvaluations) return false;
+  ++stats.evaluations;
+  try {
+    return !prop(candidate).ok;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::uint64_t splice_bit_out(std::uint64_t bits, std::uint32_t i) {
+  const std::uint64_t low = bits & ((std::uint64_t{1} << i) - 1);
+  const std::uint64_t high = i >= 63 ? 0 : (bits >> (i + 1)) << i;
+  return low | high;
+}
+
+}  // namespace
+
+TestCase remove_node(const TestCase& c, std::uint32_t v) {
+  TestCase out = c;
+  out.n = c.n - 1;
+  out.edges.clear();
+  for (const auto& e : c.edges) {
+    if (e.u == v || e.v == v) continue;
+    out.edges.push_back(graph::Edge{e.u > v ? e.u - 1 : e.u,
+                                    e.v > v ? e.v - 1 : e.v});
+  }
+  out.config_bits = splice_bit_out(c.config_bits, v);
+  if (out.n < 64) out.config_bits &= (std::uint64_t{1} << out.n) - 1;
+  return out;
+}
+
+TestCase shrink(const TestCase& failing, const Property& prop,
+                ShrinkStats* stats_out) {
+  ShrinkStats stats;
+  TestCase best = failing;
+
+  bool improved = true;
+  while (improved && stats.evaluations < kMaxShrinkEvaluations) {
+    improved = false;
+    ++stats.rounds;
+
+    // 1. Remove nodes, highest id first (keeps earlier ids stable so one
+    //    pass can delete several nodes).
+    for (std::uint32_t v = best.n; v-- > 1;) {
+      if (best.n <= 1 || v >= best.n) continue;
+      const TestCase candidate = remove_node(best, v);
+      if (still_fails(candidate, prop, stats)) {
+        best = candidate;
+        ++stats.accepted;
+        improved = true;
+      }
+    }
+
+    // 2. Drop edges one at a time.
+    for (std::size_t i = best.edges.size(); i-- > 0;) {
+      TestCase candidate = best;
+      candidate.edges.erase(candidate.edges.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate, prop, stats)) {
+        best = std::move(candidate);
+        ++stats.accepted;
+        improved = true;
+      }
+    }
+
+    // 3. Simplify the rule: lower a k-of-n threshold toward 1; clear set
+    //    bits of a totalistic accept mask (toward the constant-0 rule).
+    if (best.rule.kind == RuleSpec::Kind::kKOfN) {
+      while (best.rule.k > 1) {
+        TestCase candidate = best;
+        --candidate.rule.k;
+        if (!still_fails(candidate, prop, stats)) break;
+        best = std::move(candidate);
+        ++stats.accepted;
+        improved = true;
+      }
+    } else if (best.rule.kind == RuleSpec::Kind::kSymmetric) {
+      for (std::uint32_t b = 0; b < 64; ++b) {
+        if ((best.rule.bits >> b & 1u) == 0) continue;
+        TestCase candidate = best;
+        candidate.rule.bits &= ~(std::uint64_t{1} << b);
+        if (still_fails(candidate, prop, stats)) {
+          best = std::move(candidate);
+          ++stats.accepted;
+          improved = true;
+        }
+      }
+    }
+
+    // 4. Clear live cells of the start configuration.
+    for (std::uint32_t b = 0; b < std::min(best.n, 64u); ++b) {
+      if ((best.config_bits >> b & 1u) == 0) continue;
+      TestCase candidate = best;
+      candidate.config_bits &= ~(std::uint64_t{1} << b);
+      if (still_fails(candidate, prop, stats)) {
+        best = std::move(candidate);
+        ++stats.accepted;
+        improved = true;
+      }
+    }
+
+    // 5. Cut the step budget: halve, then decrement.
+    while (best.steps > 1) {
+      TestCase candidate = best;
+      candidate.steps = best.steps > 2 ? best.steps / 2 : best.steps - 1;
+      if (!still_fails(candidate, prop, stats)) break;
+      best = std::move(candidate);
+      ++stats.accepted;
+      improved = true;
+    }
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return best;
+}
+
+}  // namespace tca::testing

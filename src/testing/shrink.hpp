@@ -1,0 +1,44 @@
+#pragma once
+// Counterexample shrinking by delta debugging (DESIGN.md S10).
+//
+// Given a failing TestCase and the property it fails, greedily applies
+// structure-reducing edits — remove a node (remapping edges and the
+// configuration), drop an edge, lower a k-of-n threshold, clear a bit of a
+// totalistic rule's accept mask, clear a live cell, cut the step budget —
+// keeping an edit only if the reduced case STILL fails the property. The
+// loop runs to a fixed point (no single edit reduces further), so reported
+// counterexamples are 1-minimal with respect to the edit set.
+//
+// Shrinking is sound against oracle preconditions because every oracle
+// passes vacuously outside its envelope (see oracles.hpp): an edit that
+// breaks a precondition makes the property pass, so it is rejected.
+
+#include <cstdint>
+
+#include "testing/case.hpp"
+#include "testing/oracles.hpp"
+
+namespace tca::testing {
+
+/// Bookkeeping from one shrink run.
+struct ShrinkStats {
+  std::uint32_t rounds = 0;       ///< full passes over the edit set
+  std::uint32_t evaluations = 0;  ///< property re-checks performed
+  std::uint32_t accepted = 0;     ///< edits that kept the failure
+};
+
+/// Hard cap on property re-checks per shrink (the cases are small, so this
+/// is never the binding constraint in practice).
+inline constexpr std::uint32_t kMaxShrinkEvaluations = 5000;
+
+/// Removes node `v`: drops incident edges, remaps higher node ids down by
+/// one, and splices bit v out of the configuration. Exposed for the
+/// harness's own tests.
+[[nodiscard]] TestCase remove_node(const TestCase& c, std::uint32_t v);
+
+/// Shrinks `failing` (which must fail `prop`) to a 1-minimal failing case.
+/// Returns `failing` unchanged if no edit preserves the failure.
+[[nodiscard]] TestCase shrink(const TestCase& failing, const Property& prop,
+                              ShrinkStats* stats = nullptr);
+
+}  // namespace tca::testing

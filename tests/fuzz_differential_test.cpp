@@ -1,170 +1,87 @@
-// Differential fuzzing across engines and invariants: random automata
-// (random graphs x random rules x random states, all seeded) must satisfy
-// every cross-implementation equivalence and every theorem-level invariant
-// the library promises. One parameterized suite, many seeds.
+// Differential fuzzing across engines and invariants, driven by the
+// property-based harness (src/testing/): every registered oracle runs over
+// seeded random cases, and any failure is delta-debug shrunk to a
+// 1-minimal counterexample and reported with a one-line seeded repro
+// command. Default seeds are fixed, so CI runs are deterministic;
+// set TCA_PBT_SEED / TCA_PBT_CASES to explore, TCA_PBT_REPRO to replay a
+// printed failure exactly (see docs/testing.md).
+//
+// This file replaces the pre-harness monolithic fuzzer. Notable fix over
+// that version: its "random symmetric rule" branch silently degenerated to
+// parity, so random totalistic rules were never exercised; the harness
+// generator draws a genuine random accept mask (RuleSpec::kSymmetric), and
+// GeneratorCoversRandomSymmetricRules pins that.
 
 #include <gtest/gtest.h>
 
-#include <random>
+#include <set>
 
-#include "analysis/energy.hpp"
-#include "core/automaton.hpp"
-#include "core/block_sequential.hpp"
-#include "core/schedule.hpp"
-#include "core/sequential.hpp"
-#include "core/synchronous.hpp"
-#include "core/synchronous_fast.hpp"
-#include "core/thread_pool.hpp"
-#include "core/threaded.hpp"
-#include "graph/builders.hpp"
-#include "phasespace/classify.hpp"
-#include "rules/enumerate.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracles.hpp"
+#include "testing/runner.hpp"
 
-namespace tca {
+namespace tca::testing {
 namespace {
 
-using core::Automaton;
-using core::Configuration;
-using core::Memory;
-
-rules::Rule random_rule(std::mt19937_64& rng) {
-  switch (rng() % 5) {
-    case 0: return rules::majority();
-    case 1: return rules::parity();
-    case 2: return rules::Rule{rules::KOfNRule{
-        1 + static_cast<std::uint32_t>(rng() % 4)}};
-    case 3: {
-      // random symmetric rule over the graph's max arity — built lazily by
-      // callers that know the arity; here default arity-agnostic parity.
-      return rules::parity();
-    }
-    default: return rules::Rule{rules::MajorityRule{rules::MajorityTie::kOne}};
-  }
+/// Runs one registry oracle under the env-configurable options and fails
+/// with the full shrunk-counterexample report if any case breaks.
+void run_oracle(const char* name) {
+  const Oracle* oracle = find_oracle(name);
+  ASSERT_NE(oracle, nullptr) << "oracle not registered: " << name;
+  const auto failure = check_property(*oracle, RunOptions::from_env());
+  EXPECT_FALSE(failure.has_value()) << failure->report();
 }
 
-graph::Graph random_space(std::mt19937_64& rng) {
-  switch (rng() % 5) {
-    case 0: return graph::ring(5 + rng() % 8);
-    case 1: return graph::random_gnp(
-        static_cast<graph::NodeId>(6 + rng() % 6), 0.4, rng());
-    case 2: return graph::grid2d(3, static_cast<graph::NodeId>(3 + rng() % 3));
-    case 3: return graph::hypercube(3);
-    default: return graph::random_regular(
-        static_cast<graph::NodeId>(8 + 2 * (rng() % 3)), 3, rng());
+// Cross-engine equalities: generic vs monomorphized vs threaded vs
+// trivial-block synchronous paths, and the three sequential-sweep paths.
+TEST(DifferentialFuzz, EnginesAgree) { run_oracle("engines-agree"); }
+TEST(DifferentialFuzz, SweepConsistency) { run_oracle("sweep-consistency"); }
+
+// Theorem-level oracles.
+TEST(DifferentialFuzz, ScaNoCycle) { run_oracle("sca-no-cycle"); }
+TEST(DifferentialFuzz, ParallelPeriodAtMostTwo) {
+  run_oracle("parallel-period-two");
+}
+TEST(DifferentialFuzz, EnergyDescent) { run_oracle("energy-descent"); }
+TEST(DifferentialFuzz, BipartiteTwoCycle) {
+  run_oracle("bipartite-two-cycle");
+}
+TEST(DifferentialFuzz, AcaSubsumption) { run_oracle("aca-subsumption"); }
+
+// The registry and this file must not drift apart: every registered oracle
+// has a TEST above (checked by name).
+TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
+  const std::set<std::string> driven = {
+      "engines-agree",     "sweep-consistency",   "sca-no-cycle",
+      "parallel-period-two", "energy-descent",
+      "bipartite-two-cycle", "aca-subsumption"};
+  for (const auto& o : oracles()) {
+    EXPECT_TRUE(driven.contains(o.name))
+        << "oracle '" << o.name << "' is registered but has no fuzz TEST";
   }
+  EXPECT_EQ(driven.size(), oracles().size());
 }
 
-Configuration random_config(std::size_t n, std::mt19937_64& rng) {
-  Configuration c(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    c.set(i, static_cast<core::State>(rng() & 1u));
+// The fixed generator actually produces random totalistic rules that are
+// NOT parity (the bug the old fuzzer shipped with).
+TEST(DifferentialFuzz, GeneratorCoversRandomSymmetricRules) {
+  CaseOptions any;
+  std::set<std::uint64_t> masks;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto c = random_case(mix_seed(0xFEEDu, i), any);
+    if (c.rule.kind == RuleSpec::Kind::kSymmetric) masks.insert(c.rule.bits);
   }
-  return c;
-}
-
-class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(DifferentialFuzz, AllSynchronousEnginePathsAgree) {
-  std::mt19937_64 rng(GetParam());
-  for (int round = 0; round < 10; ++round) {
-    const auto g = random_space(rng);
-    const auto rule = random_rule(rng);
-    const auto memory = (rng() & 1u) != 0 ? Memory::kWith : Memory::kWithout;
-    const auto a = Automaton::from_graph(g, rule, memory);
-    const auto c = random_config(a.size(), rng);
-
-    Configuration generic(a.size()), fast(a.size());
-    core::step_synchronous(a, c, generic);
-    core::step_synchronous_fast(a, c, fast);
-    ASSERT_EQ(generic, fast) << g.summary() << " " << rules::describe(rule);
-
-    Configuration block = c;
-    core::step_block_sequential(a, block,
-                                core::BlockOrder::synchronous(a.size()));
-    ASSERT_EQ(generic, block);
+  // Many distinct accept masks, not one degenerate value.
+  EXPECT_GE(masks.size(), 10u);
+  // And materialized at arity 3 they are not all the parity table 0...0101.
+  std::set<std::string> tables;
+  for (const auto bits : masks) {
+    const auto rule = RuleSpec{RuleSpec::Kind::kSymmetric, 1, bits}
+                          .materialize(3);
+    tables.insert(rules::describe(rule));
   }
+  EXPECT_GE(tables.size(), 5u);
 }
-
-TEST_P(DifferentialFuzz, ThreadedEngineAgrees) {
-  std::mt19937_64 rng(GetParam() * 31 + 7);
-  core::ThreadPool pool(1 + GetParam() % 4);
-  for (int round = 0; round < 5; ++round) {
-    const auto g = random_space(rng);
-    const auto a = Automaton::from_graph(g, random_rule(rng), Memory::kWith);
-    const auto c = random_config(a.size(), rng);
-    Configuration generic(a.size()), threaded(a.size());
-    core::step_synchronous(a, c, generic);
-    core::step_synchronous_threaded(a, c, threaded, pool);
-    ASSERT_EQ(generic, threaded);
-  }
-}
-
-TEST_P(DifferentialFuzz, SweepEqualsSingletonBlocksEqualsUpdateChain) {
-  std::mt19937_64 rng(GetParam() * 97 + 1);
-  for (int round = 0; round < 5; ++round) {
-    const auto g = random_space(rng);
-    const auto a = Automaton::from_graph(g, random_rule(rng), Memory::kWith);
-    const auto order = core::random_permutation(a.size(), rng);
-    const auto c = random_config(a.size(), rng);
-
-    Configuration via_sequence = c;
-    core::apply_sequence(a, via_sequence, order);
-
-    Configuration via_blocks = c;
-    core::step_block_sequential(a, via_blocks,
-                                core::BlockOrder::sequential(order));
-
-    Configuration via_updates = c;
-    for (const auto v : order) core::update_node(a, via_updates, v);
-
-    ASSERT_EQ(via_sequence, via_blocks);
-    ASSERT_EQ(via_sequence, via_updates);
-  }
-}
-
-TEST_P(DifferentialFuzz, MonotoneSymmetricInvariantsHold) {
-  // For random monotone symmetric rules on random spaces: the energy
-  // decreases on changing updates and random fair schedules converge.
-  std::mt19937_64 rng(GetParam() * 13 + 3);
-  for (int round = 0; round < 4; ++round) {
-    const auto g = random_space(rng);
-    const auto k = 1 + static_cast<std::uint32_t>(rng() % 3);
-    const auto net = analysis::ThresholdNetwork::homogeneous(g, k, true);
-    const auto a = net.automaton();
-    auto c = random_config(a.size(), rng);
-    // Energy strictly decreases on 64 random changing updates (or until a
-    // fixed point shows up).
-    for (int step = 0; step < 64; ++step) {
-      const auto before = analysis::sequential_energy(net, c);
-      const auto v = static_cast<core::NodeId>(rng() % a.size());
-      if (core::update_node(a, c, v)) {
-        ASSERT_LE(analysis::sequential_energy(net, c), before - 1);
-      }
-    }
-    // Random schedule converges.
-    core::RandomUniformSchedule schedule(a.size(), rng());
-    ASSERT_TRUE(
-        core::run_schedule_to_fixed_point(a, c, schedule, 100000).has_value())
-        << g.summary() << " k=" << k;
-  }
-}
-
-TEST_P(DifferentialFuzz, ParallelPeriodBoundForThresholds) {
-  std::mt19937_64 rng(GetParam() * 101 + 9);
-  for (int round = 0; round < 3; ++round) {
-    const auto g = random_space(rng);
-    if (g.num_nodes() > 14) continue;  // keep phase spaces explicit
-    const auto k = 1 + static_cast<std::uint32_t>(rng() % 3);
-    const auto a = Automaton::from_graph(g, rules::Rule{rules::KOfNRule{k}},
-                                         Memory::kWith);
-    const auto cls =
-        phasespace::classify(phasespace::FunctionalGraph::synchronous(a));
-    ASSERT_LE(cls.max_period(), 2u) << g.summary() << " k=" << k;
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
-                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
-}  // namespace tca
+}  // namespace tca::testing

@@ -1,0 +1,146 @@
+// Word-alignment boundary contract for the bit-packed engines: the packed
+// kernels (src/core/packed_kernels.hpp) and the threaded engine
+// (src/core/threaded.hpp, 64-cell chunk alignment) must be bit-for-bit
+// equal to the scalar step_synchronous at sizes straddling the 64-cell
+// word boundary: n in {1, 63, 64, 65, 127, 128}. (The packed ring kernels
+// require n >= 3 — radius-1 ring — and n >= 5 for radius 2, so n=1 is
+// covered by the threaded engine and the shift primitives only.)
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/automaton.hpp"
+#include "core/packed_kernels.hpp"
+#include "core/synchronous.hpp"
+#include "core/thread_pool.hpp"
+#include "core/threaded.hpp"
+#include "graph/builders.hpp"
+#include "rules/rule.hpp"
+
+namespace tca::core {
+namespace {
+
+constexpr std::size_t kBoundarySizes[] = {1, 63, 64, 65, 127, 128};
+
+Configuration random_config(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Configuration c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(i, static_cast<State>(rng() & 1u));
+  }
+  return c;
+}
+
+class PackedBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedBoundary, ThreadedMatchesScalarAcrossWordBoundaries) {
+  const std::size_t n = GetParam();
+  // Ring substrate when it exists; a single self-input cell for n < 3.
+  const auto a = n >= 3
+                     ? Automaton::line(n, 1, Boundary::kRing,
+                                       rules::majority(), Memory::kWith)
+                     : Automaton::from_graph(graph::path(
+                           static_cast<graph::NodeId>(n)),
+                           rules::majority(), Memory::kWith);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    Configuration current = random_config(n, 0x5EED0 + n);
+    Configuration scalar(n), threaded(n);
+    for (int step = 0; step < 8; ++step) {
+      step_synchronous(a, current, scalar);
+      step_synchronous_threaded(a, current, threaded, pool);
+      ASSERT_EQ(scalar, threaded)
+          << "n=" << n << " threads=" << threads << " step=" << step;
+      current = scalar;
+    }
+  }
+}
+
+TEST_P(PackedBoundary, RingShiftsInvertAcrossWordBoundaries) {
+  const std::size_t n = GetParam();
+  const auto c = random_config(n, 0xF00D0 + n);
+  Configuration up(n), back(n);
+  ring_shift_up(c, up);
+  ring_shift_down(up, back);
+  EXPECT_EQ(back, c) << "n=" << n;
+  // Shift semantics at the seam: cell 0 of the up-shift is cell n-1.
+  EXPECT_EQ(up.get(0), c.get(n - 1)) << "n=" << n;
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_EQ(up.get(i), c.get(i - 1)) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(PackedBoundary, Majority3KernelMatchesScalar) {
+  const std::size_t n = GetParam();
+  if (n < 3) GTEST_SKIP() << "radius-1 ring needs n >= 3";
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  PackedScratch scratch(n);
+  Configuration current = random_config(n, 0xAB + n);
+  Configuration scalar(n), packed(n);
+  for (int step = 0; step < 8; ++step) {
+    step_synchronous(a, current, scalar);
+    step_ring_majority3_packed(current, packed, scratch);
+    ASSERT_EQ(scalar, packed) << "n=" << n << " step=" << step;
+    current = scalar;
+  }
+}
+
+TEST_P(PackedBoundary, Majority5KernelMatchesScalar) {
+  const std::size_t n = GetParam();
+  if (n < 5) GTEST_SKIP() << "radius-2 ring needs n >= 5";
+  const auto a = Automaton::line(n, 2, Boundary::kRing,
+                                 rules::majority_k_of(5), Memory::kWith);
+  PackedScratch scratch(n);
+  Configuration current = random_config(n, 0xCD + n);
+  Configuration scalar(n), packed(n);
+  for (int step = 0; step < 8; ++step) {
+    step_synchronous(a, current, scalar);
+    step_ring_majority5_packed(current, packed, scratch);
+    ASSERT_EQ(scalar, packed) << "n=" << n << " step=" << step;
+    current = scalar;
+  }
+}
+
+TEST_P(PackedBoundary, ParityKernelMatchesScalar) {
+  const std::size_t n = GetParam();
+  if (n < 3) GTEST_SKIP() << "radius-1 ring needs n >= 3";
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  PackedScratch scratch(n);
+  Configuration current = random_config(n, 0xEF + n);
+  Configuration scalar(n), packed(n);
+  for (int step = 0; step < 8; ++step) {
+    step_synchronous(a, current, scalar);
+    step_ring_parity3_packed(current, packed, scratch);
+    ASSERT_EQ(scalar, packed) << "n=" << n << " step=" << step;
+    current = scalar;
+  }
+}
+
+TEST_P(PackedBoundary, Table3KernelMatchesScalarForWolframRules) {
+  const std::size_t n = GetParam();
+  if (n < 3) GTEST_SKIP() << "radius-1 ring needs n >= 3";
+  PackedScratch scratch(n);
+  for (std::uint32_t code : {30u, 90u, 110u, 184u}) {
+    const auto table = rules::wolfram(code);
+    const auto a = Automaton::line(n, 1, Boundary::kRing,
+                                   rules::Rule{table}, Memory::kWith);
+    Configuration current = random_config(n, 0x1234 + n + code);
+    Configuration scalar(n), packed(n);
+    for (int step = 0; step < 4; ++step) {
+      step_synchronous(a, current, scalar);
+      step_ring_table3_packed(table, current, packed, scratch);
+      ASSERT_EQ(scalar, packed)
+          << "n=" << n << " rule=" << code << " step=" << step;
+      current = scalar;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundarySizes, PackedBoundary,
+                         ::testing::ValuesIn(kBoundarySizes));
+
+}  // namespace
+}  // namespace tca::core
