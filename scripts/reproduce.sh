@@ -2,21 +2,67 @@
 # Full reproduction: configure, build, run the test suite, regenerate every
 # experiment and benchmark. Outputs land in test_output.txt and
 # bench_output.txt at the repository root.
+#
+# Robustness (docs/robustness.md): every bench binary runs under its own
+# wall-clock timeout, a crashing or hanging binary is recorded as CRASH
+# instead of taking the whole script down, and the script exits nonzero if
+# ANY stage failed — so CI and humans can trust a 0 exit.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Per-binary wall-clock limit (seconds); override: BENCH_TIMEOUT=60 ...
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+failures=0
+
+cmake -B build -G Ninja || exit 1
+cmake --build build -j || exit 1
+
+ctest --test-dir build --timeout 240 2>&1 | tee test_output.txt
+ctest_status=${PIPESTATUS[0]}
+if [ "$ctest_status" -ne 0 ]; then
+  echo "ctest exited with status $ctest_status" >&2
+  failures=$((failures + 1))
+fi
 
 # Every bench binary is standalone; experiment binaries end with
-# "<ID>: PASS|FAIL", google-benchmark binaries print their tables.
+# "<ID>: PASS|FAIL", google-benchmark binaries print their tables. Each one
+# gets its own timeout and its exit status is tallied: nonzero -> FAIL,
+# killed/crashed (signal or timeout) -> CRASH.
+: > bench_output.txt
+declare -a summary=()
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
-  "$b"
-done 2>&1 | tee bench_output.txt
+  name="$(basename "$b")"
+  echo "== $name ==" | tee -a bench_output.txt
+  timeout --signal=TERM --kill-after=10 "$BENCH_TIMEOUT" "$b" \
+    >> bench_output.txt 2>&1
+  status=$?
+  if [ "$status" -eq 0 ]; then
+    summary+=("PASS  $name")
+  elif [ "$status" -ge 124 ]; then
+    # 124 = timeout, 137 = SIGKILL, 128+N = died on signal N.
+    summary+=("CRASH $name (exit $status)")
+    failures=$((failures + 1))
+  else
+    summary+=("FAIL  $name (exit $status)")
+    failures=$((failures + 1))
+  fi
+done
+tail -n 40 bench_output.txt
 
 echo
 echo "== experiment verdicts =="
-grep -E "^[A-Z0-9-]+: (PASS|FAIL)$" bench_output.txt
+grep -E "^[A-Z0-9-]+: (PASS|FAIL)$" bench_output.txt || true
+
+echo
+echo "== binary summary =="
+printf '%s\n' "${summary[@]}"
+
+if [ "$failures" -ne 0 ]; then
+  echo
+  echo "reproduce.sh: $failures stage(s) failed" >&2
+  exit 1
+fi
+echo
+echo "reproduce.sh: all stages passed"

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "rules/rule.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::aca {
 
@@ -25,8 +26,9 @@ AcaSystem::AcaSystem(Automaton a) : a_(std::move(a)) {
     }
   }
   if (n + num_channels_ > 63) {
-    throw std::invalid_argument(
-        "AcaSystem: node + channel bits exceed 63 (use a smaller system)");
+    throw tca::InvalidArgumentError(
+        "AcaSystem: node + channel bits exceed 63 (use a smaller system)",
+        tca::ErrorCode::kDomainTooLarge);
   }
 }
 

@@ -7,6 +7,43 @@
 #include "core/synchronous.hpp"
 
 namespace tca::aca {
+namespace {
+
+/// Approximate bytes charged per stored global state: one hash-set slot
+/// plus transient queue residency.
+constexpr std::uint64_t kBytesPerGlobalState = 3 * sizeof(AcaState);
+
+Subsumption compare_with(const core::Automaton& a, StateCode start,
+                         const ReachSet& aca) {
+  const auto sync = reach_synchronous(a, start);
+  const auto seq = reach_sequential(a, start);
+
+  Subsumption out;
+  out.aca_total = aca.configs.size();
+  out.sync_total = sync.size();
+  out.seq_total = seq.size();
+  out.truncated = aca.truncated;
+  out.stop_reason = aca.stop_reason;
+  for (StateCode s : aca.configs) {
+    if (!sync.contains(s) && !seq.contains(s)) ++out.only_aca;
+  }
+  if (aca.truncated) {
+    // A truncated reach set cannot certify containment either way: leave
+    // the flags false and let callers skip on `truncated`.
+    return out;
+  }
+  out.contains_synchronous = true;
+  for (StateCode s : sync) {
+    if (!aca.configs.contains(s)) out.contains_synchronous = false;
+  }
+  out.contains_sequential = true;
+  for (StateCode s : seq) {
+    if (!aca.configs.contains(s)) out.contains_sequential = false;
+  }
+  return out;
+}
+
+}  // namespace
 
 ReachSet explore(const AcaSystem& sys, StateCode start,
                  std::uint64_t max_global_states) {
@@ -25,6 +62,7 @@ ReachSet explore(const AcaSystem& sys, StateCode start,
       if (seen.contains(t)) continue;
       if (seen.size() >= max_global_states) {
         out.truncated = true;
+        out.stop_reason = runtime::StopReason::kMaxStates;
         continue;
       }
       seen.insert(t);
@@ -32,6 +70,41 @@ ReachSet explore(const AcaSystem& sys, StateCode start,
     }
   }
   out.global_states = seen.size();
+  return out;
+}
+
+ReachSet explore(const AcaSystem& sys, StateCode start,
+                 runtime::RunControl& control) {
+  ReachSet out;
+  std::unordered_set<AcaState> seen;
+  std::deque<AcaState> queue;
+  const AcaState s0 = sys.initial(start);
+  seen.insert(s0);
+  queue.push_back(s0);
+  control.note_states();
+  control.note_bytes(kBytesPerGlobalState);
+  while (!queue.empty()) {
+    if (control.should_stop()) break;
+    const AcaState s = queue.front();
+    queue.pop_front();
+    out.configs.insert(sys.config_of(s));
+    for (std::uint32_t i = 0; i < sys.num_actions(); ++i) {
+      control.note_steps();
+      const AcaState t = sys.apply(s, sys.action(i));
+      if (seen.contains(t)) continue;
+      if (control.note_states() != runtime::StopReason::kNone ||
+          control.note_bytes(kBytesPerGlobalState) !=
+              runtime::StopReason::kNone) {
+        break;
+      }
+      seen.insert(t);
+      queue.push_back(t);
+    }
+  }
+  out.global_states = seen.size();
+  const auto status = control.status();
+  out.stop_reason = status.stop_reason;
+  out.truncated = status.truncated();
   return out;
 }
 
@@ -67,26 +140,13 @@ std::set<StateCode> reach_sequential(const core::Automaton& a,
 
 Subsumption compare_reach_sets(const core::Automaton& a, StateCode start) {
   const AcaSystem sys(a);
-  const ReachSet aca = explore(sys, start);
-  const auto sync = reach_synchronous(a, start);
-  const auto seq = reach_sequential(a, start);
+  return compare_with(a, start, explore(sys, start));
+}
 
-  Subsumption out;
-  out.aca_total = aca.configs.size();
-  out.sync_total = sync.size();
-  out.seq_total = seq.size();
-  out.contains_synchronous = true;
-  for (StateCode s : sync) {
-    if (!aca.configs.contains(s)) out.contains_synchronous = false;
-  }
-  out.contains_sequential = true;
-  for (StateCode s : seq) {
-    if (!aca.configs.contains(s)) out.contains_sequential = false;
-  }
-  for (StateCode s : aca.configs) {
-    if (!sync.contains(s) && !seq.contains(s)) ++out.only_aca;
-  }
-  return out;
+Subsumption compare_reach_sets(const core::Automaton& a, StateCode start,
+                               runtime::RunControl& control) {
+  const AcaSystem sys(a);
+  return compare_with(a, start, explore(sys, start, control));
 }
 
 }  // namespace tca::aca

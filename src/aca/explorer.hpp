@@ -7,11 +7,19 @@
 // subsumption claim — reach(classical CA) U reach(SCA) is contained in
 // reach(ACA) — and to measure how much STRICTLY larger the asynchronous
 // reach set is.
+//
+// Both explorers degrade gracefully: the legacy max_global_states cap and
+// the budgeted runtime::RunControl overloads return a well-formed partial
+// ReachSet with `truncated` + `stop_reason` set instead of aborting, and
+// compare_reach_sets propagates truncation so callers (the subsumption
+// oracle, the bench) can SKIP rather than mis-report containment verdicts
+// computed from an incomplete reach set.
 
 #include <set>
 #include <vector>
 
 #include "aca/aca.hpp"
+#include "runtime/budget.hpp"
 
 namespace tca::aca {
 
@@ -19,12 +27,19 @@ namespace tca::aca {
 struct ReachSet {
   std::set<StateCode> configs;        ///< reachable node-state projections
   std::uint64_t global_states = 0;    ///< distinct (x, channels) states seen
-  bool truncated = false;             ///< hit the exploration cap
+  bool truncated = false;             ///< exploration stopped early
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;  ///< why
 };
 
 /// All configurations reachable from `start` by ANY action sequence.
 [[nodiscard]] ReachSet explore(const AcaSystem& sys, StateCode start,
                                std::uint64_t max_global_states = 1u << 22);
+
+/// Budgeted exploration: stops the BFS the moment `control` trips (state /
+/// byte / deadline budgets, or cancellation) and returns the partial reach
+/// set collected so far.
+[[nodiscard]] ReachSet explore(const AcaSystem& sys, StateCode start,
+                               runtime::RunControl& control);
 
 /// Configurations visited by the (deterministic) classical parallel CA
 /// trajectory from `start` — the whole orbit, transient plus cycle.
@@ -44,10 +59,22 @@ struct Subsumption {
   std::uint64_t aca_total = 0;
   std::uint64_t sync_total = 0;
   std::uint64_t seq_total = 0;
+  /// True when the ACA exploration was truncated: the containment flags
+  /// above are then MEANINGLESS (a missing config may simply be unvisited)
+  /// and callers must skip, not fail.
+  bool truncated = false;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
 };
 
 /// Runs all three explorations and compares them.
 [[nodiscard]] Subsumption compare_reach_sets(const core::Automaton& a,
                                              StateCode start);
+
+/// Budgeted comparison: the ACA exploration runs under `control`; on
+/// truncation the verdict is returned with truncated == true and the
+/// containment flags left false.
+[[nodiscard]] Subsumption compare_reach_sets(const core::Automaton& a,
+                                             StateCode start,
+                                             runtime::RunControl& control);
 
 }  // namespace tca::aca

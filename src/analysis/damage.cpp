@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/synchronous.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::analysis {
 namespace {
@@ -26,7 +27,8 @@ DamageTrace damage_synchronous(const core::Automaton& a,
                                const core::Configuration& x, std::size_t cell,
                                std::uint64_t steps) {
   if (cell >= x.size()) {
-    throw std::invalid_argument("damage_synchronous: cell out of range");
+    throw tca::InvalidArgumentError(
+        "damage_synchronous: cell out of range", tca::ErrorCode::kOutOfRange);
   }
   core::Configuration original = x;
   core::Configuration perturbed = x;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "rules/rule.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::analysis {
 
@@ -41,7 +42,8 @@ core::Automaton ThresholdNetwork::automaton() const {
 std::int64_t sequential_energy(const ThresholdNetwork& net,
                                const core::Configuration& x) {
   if (x.size() != net.graph.num_nodes()) {
-    throw std::invalid_argument("sequential_energy: size mismatch");
+    throw tca::InvalidArgumentError(
+        "sequential_energy: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   std::int64_t e = 0;
   for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {
@@ -60,7 +62,9 @@ std::int64_t synchronous_pair_energy(const ThresholdNetwork& net,
                                      const core::Configuration& x,
                                      const core::Configuration& fx) {
   if (x.size() != net.graph.num_nodes() || fx.size() != x.size()) {
-    throw std::invalid_argument("synchronous_pair_energy: size mismatch");
+    throw tca::InvalidArgumentError(
+        "synchronous_pair_energy: size mismatch",
+        tca::ErrorCode::kSizeMismatch);
   }
   std::int64_t e = 0;
   for (graph::NodeId u = 0; u < net.graph.num_nodes(); ++u) {

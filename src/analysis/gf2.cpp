@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::analysis {
 namespace {
 
@@ -23,7 +25,8 @@ Gf2Matrix Gf2Matrix::identity(std::size_t n) {
 
 Gf2Matrix Gf2Matrix::multiply(const Gf2Matrix& other) const {
   if (cols_ != other.rows_) {
-    throw std::invalid_argument("Gf2Matrix::multiply: shape mismatch");
+    throw tca::InvalidArgumentError(
+        "Gf2Matrix::multiply: shape mismatch", tca::ErrorCode::kSizeMismatch);
   }
   Gf2Matrix out(rows_, other.cols_);
   // Row-by-row: out.row(i) = XOR of other.row(k) for set bits k of row(i).
@@ -46,7 +49,8 @@ Gf2Matrix Gf2Matrix::multiply(const Gf2Matrix& other) const {
 
 Gf2Matrix Gf2Matrix::add(const Gf2Matrix& other) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) {
-    throw std::invalid_argument("Gf2Matrix::add: shape mismatch");
+    throw tca::InvalidArgumentError(
+        "Gf2Matrix::add: shape mismatch", tca::ErrorCode::kSizeMismatch);
   }
   Gf2Matrix out = *this;
   for (std::size_t i = 0; i < words_.size(); ++i) {
@@ -57,7 +61,7 @@ Gf2Matrix Gf2Matrix::add(const Gf2Matrix& other) const {
 
 Gf2Matrix Gf2Matrix::power(std::uint64_t e) const {
   if (rows_ != cols_) {
-    throw std::invalid_argument("Gf2Matrix::power: square matrices only");
+    throw tca::InvalidArgumentError("Gf2Matrix::power: square matrices only");
   }
   Gf2Matrix result = identity(rows_);
   Gf2Matrix base = *this;
@@ -72,7 +76,7 @@ Gf2Matrix Gf2Matrix::power(std::uint64_t e) const {
 std::vector<std::uint64_t> Gf2Matrix::apply(
     const std::vector<std::uint64_t>& x) const {
   if (x.size() < words_per_row_) {
-    throw std::invalid_argument("Gf2Matrix::apply: vector too short");
+    throw tca::InvalidArgumentError("Gf2Matrix::apply: vector too short");
   }
   std::vector<std::uint64_t> y(words_for(rows_), 0);
   for (std::size_t i = 0; i < rows_; ++i) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "rules/analyze.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::analysis {
 
@@ -32,11 +33,12 @@ std::optional<std::vector<rules::State>> linear_coefficients(
 LinearRingCA::LinearRingCA(std::vector<rules::State> coeffs, std::size_t n)
     : coeffs_(std::move(coeffs)), n_(n), matrix_(n, n) {
   if (coeffs_.size() % 2 == 0) {
-    throw std::invalid_argument("LinearRingCA: coeffs must have odd length");
+    throw tca::InvalidArgumentError(
+        "LinearRingCA: coeffs must have odd length");
   }
   const std::size_t radius = coeffs_.size() / 2;
   if (n < 2 * radius + 1) {
-    throw std::invalid_argument("LinearRingCA: ring too small");
+    throw tca::InvalidArgumentError("LinearRingCA: ring too small");
   }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < coeffs_.size(); ++j) {
@@ -52,14 +54,15 @@ LinearRingCA LinearRingCA::from_rule(const rules::Rule& rule,
                                      std::uint32_t radius, std::size_t n) {
   const auto coeffs = linear_coefficients(rule, 2 * radius + 1);
   if (!coeffs) {
-    throw std::invalid_argument("LinearRingCA: rule is not linear");
+    throw tca::InvalidArgumentError("LinearRingCA: rule is not linear");
   }
   return LinearRingCA(*coeffs, n);
 }
 
 core::Configuration LinearRingCA::step(const core::Configuration& x) const {
   if (x.size() != n_) {
-    throw std::invalid_argument("LinearRingCA::step: size mismatch");
+    throw tca::InvalidArgumentError(
+        "LinearRingCA::step: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   std::vector<std::uint64_t> packed(x.words().begin(), x.words().end());
   const auto y = matrix_.apply(packed);
@@ -73,7 +76,9 @@ core::Configuration LinearRingCA::step(const core::Configuration& x) const {
 core::Configuration LinearRingCA::step_many(const core::Configuration& x,
                                             std::uint64_t t) const {
   if (x.size() != n_) {
-    throw std::invalid_argument("LinearRingCA::step_many: size mismatch");
+    throw tca::InvalidArgumentError(
+        "LinearRingCA::step_many: size mismatch",
+        tca::ErrorCode::kSizeMismatch);
   }
   const Gf2Matrix at = matrix_.power(t);
   std::vector<std::uint64_t> packed(x.words().begin(), x.words().end());
@@ -99,7 +104,8 @@ std::uint64_t LinearRingCA::garden_of_eden_count() const {
 std::optional<core::Configuration> LinearRingCA::preimage(
     const core::Configuration& y) const {
   if (y.size() != n_) {
-    throw std::invalid_argument("LinearRingCA::preimage: size mismatch");
+    throw tca::InvalidArgumentError(
+        "LinearRingCA::preimage: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   std::vector<std::uint64_t> packed(y.words().begin(), y.words().end());
   const auto x = matrix_.solve(packed);

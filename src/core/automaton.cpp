@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 namespace {
 
@@ -36,7 +38,8 @@ Automaton Automaton::from_graph_per_node(const graph::Graph& g,
                                          std::vector<Rule> rules,
                                          Memory memory) {
   if (rules.size() != g.num_nodes()) {
-    throw std::invalid_argument("from_graph_per_node: need one rule per node");
+    throw tca::InvalidArgumentError(
+        "from_graph_per_node: need one rule per node");
   }
   Automaton a;
   a.inputs_ = graph_inputs(g, memory);
@@ -48,10 +51,10 @@ Automaton Automaton::from_graph_per_node(const graph::Graph& g,
 
 Automaton Automaton::line(std::size_t n, std::uint32_t radius,
                           Boundary boundary, Rule rule, Memory memory) {
-  if (n == 0) throw std::invalid_argument("line: n must be >= 1");
-  if (radius == 0) throw std::invalid_argument("line: radius must be >= 1");
+  if (n == 0) throw tca::InvalidArgumentError("line: n must be >= 1");
+  if (radius == 0) throw tca::InvalidArgumentError("line: radius must be >= 1");
   if (boundary == Boundary::kRing && n < 2 * std::size_t{radius} + 1) {
-    throw std::invalid_argument("line: ring needs n >= 2r+1");
+    throw tca::InvalidArgumentError("line: ring needs n >= 2r+1");
   }
   Automaton a;
   a.inputs_.resize(n);
@@ -90,7 +93,7 @@ void Automaton::finalize() {
     const Rule& r = rule(static_cast<NodeId>(v));
     const std::uint32_t fixed = rules::required_arity(r);
     if (fixed != 0 && fixed != arity) {
-      throw std::invalid_argument(
+      throw tca::InvalidArgumentError(
           "Automaton: node " + std::to_string(v) + " has arity " +
           std::to_string(arity) + " but rule '" + rules::describe(r) +
           "' requires " + std::to_string(fixed));

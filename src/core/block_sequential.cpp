@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 
 BlockOrder::BlockOrder(std::vector<std::vector<NodeId>> blocks, std::size_t n)
@@ -10,16 +12,23 @@ BlockOrder::BlockOrder(std::vector<std::vector<NodeId>> blocks, std::size_t n)
   std::vector<bool> seen(n, false);
   std::size_t total = 0;
   for (const auto& block : blocks_) {
-    if (block.empty()) throw std::invalid_argument("BlockOrder: empty block");
+    if (block.empty()) {
+      throw tca::InvalidArgumentError("BlockOrder: empty block");
+    }
     for (NodeId v : block) {
-      if (v >= n) throw std::invalid_argument("BlockOrder: id out of range");
-      if (seen[v]) throw std::invalid_argument("BlockOrder: duplicate node");
+      if (v >= n) {
+        throw tca::InvalidArgumentError("BlockOrder: id out of range",
+                                        tca::ErrorCode::kOutOfRange);
+      }
+      if (seen[v]) {
+        throw tca::InvalidArgumentError("BlockOrder: duplicate node");
+      }
       seen[v] = true;
       ++total;
     }
   }
   if (total != n) {
-    throw std::invalid_argument("BlockOrder: not a partition of all nodes");
+    throw tca::InvalidArgumentError("BlockOrder: not a partition of all nodes");
   }
 }
 
@@ -50,7 +59,8 @@ BlockOrder BlockOrder::sequential(std::span<const NodeId> order) {
 std::size_t step_block_sequential(const Automaton& a, Configuration& c,
                                   const BlockOrder& order) {
   if (c.size() != a.size()) {
-    throw std::invalid_argument("step_block_sequential: size mismatch");
+    throw tca::InvalidArgumentError(
+        "step_block_sequential: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   std::size_t changes = 0;
   std::vector<State> next;  // staged writes for the current block

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 
 Configuration::Configuration(std::size_t num_cells, State fill)
@@ -16,7 +18,7 @@ Configuration Configuration::from_string(std::string_view bits) {
     if (bits[i] == '1') {
       c.set(i, 1);
     } else if (bits[i] != '0') {
-      throw std::invalid_argument("Configuration: expected '0'/'1', got '" +
+      throw tca::InvalidArgumentError("Configuration: expected '0'/'1', got '" +
                                   std::string(1, bits[i]) + "'");
     }
   }
@@ -26,7 +28,7 @@ Configuration Configuration::from_string(std::string_view bits) {
 Configuration Configuration::from_bits(std::uint64_t bits,
                                        std::size_t num_cells) {
   if (num_cells > 64) {
-    throw std::invalid_argument("Configuration::from_bits: num_cells > 64");
+    throw tca::InvalidArgumentError("Configuration::from_bits: num_cells > 64");
   }
   Configuration c(num_cells);
   if (num_cells > 0) {
@@ -39,7 +41,7 @@ Configuration Configuration::from_bits(std::uint64_t bits,
 
 std::uint64_t Configuration::to_bits() const {
   if (num_cells_ > 64) {
-    throw std::logic_error("Configuration::to_bits: more than 64 cells");
+    throw tca::StateError("Configuration::to_bits: more than 64 cells");
   }
   return words_.empty() ? 0 : words_[0];
 }

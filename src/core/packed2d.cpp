@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 namespace {
 
@@ -41,14 +43,16 @@ TorusGrid::TorusGrid(std::size_t rows, std::size_t cols)
       words_per_row_((cols + 63) / 64),
       words_(rows * words_per_row_, 0) {
   if (rows < 1 || cols < 1) {
-    throw std::invalid_argument("TorusGrid: empty grid");
+    throw tca::InvalidArgumentError("TorusGrid: empty grid");
   }
 }
 
 TorusGrid TorusGrid::from_configuration(const Configuration& c,
                                         std::size_t rows, std::size_t cols) {
   if (c.size() != rows * cols) {
-    throw std::invalid_argument("TorusGrid: configuration size mismatch");
+    throw tca::InvalidArgumentError(
+        "TorusGrid: configuration size mismatch",
+        tca::ErrorCode::kSizeMismatch);
   }
   TorusGrid g(rows, cols);
   for (std::size_t r = 0; r < rows; ++r) {
@@ -93,18 +97,20 @@ void step_outer_totalistic_packed(const rules::OuterTotalisticRule& rule,
   const std::size_t cols = in.cols();
   const std::size_t words = in.words_per_row();
   if (out.rows() != rows || out.cols() != cols) {
-    throw std::invalid_argument("step_outer_totalistic_packed: size mismatch");
+    throw tca::InvalidArgumentError(
+        "step_outer_totalistic_packed: size mismatch",
+        tca::ErrorCode::kSizeMismatch);
   }
   if (&in == &out) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "step_outer_totalistic_packed: in and out must differ");
   }
   if (rows < 3 || cols < 3) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "step_outer_totalistic_packed: torus needs rows, cols >= 3");
   }
   if (rule.born.size() != 9 || rule.survive.size() != 9) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "step_outer_totalistic_packed: Moore rules only (arity 9)");
   }
 

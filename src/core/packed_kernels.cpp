@@ -2,19 +2,22 @@
 
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 namespace {
 
 void require_same_ring(const Configuration& in, const Configuration& out,
                        std::size_t min_n) {
   if (in.size() != out.size()) {
-    throw std::invalid_argument("packed kernel: size mismatch");
+    throw tca::InvalidArgumentError(
+        "packed kernel: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   if (in.size() < min_n) {
-    throw std::invalid_argument("packed kernel: ring too small");
+    throw tca::InvalidArgumentError("packed kernel: ring too small");
   }
   if (&in == &out) {
-    throw std::invalid_argument("packed kernel: in and out must differ");
+    throw tca::InvalidArgumentError("packed kernel: in and out must differ");
   }
 }
 
@@ -113,7 +116,8 @@ void step_ring_table3_packed(const rules::TableRule& rule,
                              PackedScratch& scratch) {
   require_same_ring(in, out, 3);
   if (rule.table.size() != 8) {
-    throw std::invalid_argument("step_ring_table3_packed: arity-3 table only");
+    throw tca::InvalidArgumentError(
+        "step_ring_table3_packed: arity-3 table only");
   }
   ring_shift_up(in, scratch.left);
   ring_shift_down(in, scratch.right);

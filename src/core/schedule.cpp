@@ -4,12 +4,14 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 
 CyclicSchedule::CyclicSchedule(std::vector<NodeId> order)
     : order_(std::move(order)) {
   if (order_.empty()) {
-    throw std::invalid_argument("CyclicSchedule: empty order");
+    throw tca::InvalidArgumentError("CyclicSchedule: empty order");
   }
 }
 
@@ -21,7 +23,7 @@ NodeId CyclicSchedule::next() {
 
 RandomUniformSchedule::RandomUniformSchedule(std::size_t n, std::uint64_t seed)
     : n_(n), seed_(seed), rng_(seed) {
-  if (n == 0) throw std::invalid_argument("RandomUniformSchedule: n == 0");
+  if (n == 0) throw tca::InvalidArgumentError("RandomUniformSchedule: n == 0");
 }
 
 NodeId RandomUniformSchedule::next() {
@@ -33,7 +35,7 @@ void RandomUniformSchedule::reset() { rng_.seed(seed_); }
 
 RandomSweepSchedule::RandomSweepSchedule(std::size_t n, std::uint64_t seed)
     : seed_(seed), rng_(seed), order_(n) {
-  if (n == 0) throw std::invalid_argument("RandomSweepSchedule: n == 0");
+  if (n == 0) throw tca::InvalidArgumentError("RandomSweepSchedule: n == 0");
   std::iota(order_.begin(), order_.end(), NodeId{0});
   reshuffle();
 }
@@ -56,9 +58,11 @@ void RandomSweepSchedule::reset() {
 
 StarvingSchedule::StarvingSchedule(std::size_t n, NodeId starved)
     : n_(n), starved_(starved) {
-  if (n < 2) throw std::invalid_argument("StarvingSchedule: n < 2");
+  if (n < 2) throw tca::InvalidArgumentError("StarvingSchedule: n < 2");
   if (starved >= n) {
-    throw std::invalid_argument("StarvingSchedule: starved node out of range");
+    throw tca::InvalidArgumentError(
+        "StarvingSchedule: starved node out of range",
+        tca::ErrorCode::kOutOfRange);
   }
 }
 

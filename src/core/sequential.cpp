@@ -2,10 +2,14 @@
 
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 
 bool update_node(const Automaton& a, Configuration& c, NodeId v) {
-  if (v >= a.size()) throw std::invalid_argument("update_node: bad node id");
+  if (v >= a.size()) {
+    throw tca::InvalidArgumentError("update_node: bad node id");
+  }
   const State next = a.eval_node(v, c);
   if (next == c.get(v)) return false;
   c.set(v, next);

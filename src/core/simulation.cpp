@@ -6,6 +6,7 @@
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
 #include "core/synchronous_fast.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::core {
 
@@ -16,15 +17,18 @@ Simulation::Simulation(Automaton automaton, Configuration initial,
       back_(config_.size()),
       scheme_(std::move(scheme)) {
   if (config_.size() != a_.size()) {
-    throw std::invalid_argument("Simulation: configuration size mismatch");
+    throw tca::InvalidArgumentError(
+        "Simulation: configuration size mismatch",
+        tca::ErrorCode::kSizeMismatch);
   }
   if (const auto* seq = std::get_if<SequentialScheme>(&scheme_)) {
     if (seq->order.empty()) {
-      throw std::invalid_argument("Simulation: empty sequential order");
+      throw tca::InvalidArgumentError("Simulation: empty sequential order");
     }
     for (NodeId v : seq->order) {
       if (v >= a_.size()) {
-        throw std::invalid_argument("Simulation: order id out of range");
+        throw tca::InvalidArgumentError(
+            "Simulation: order id out of range", tca::ErrorCode::kOutOfRange);
       }
     }
   } else if (const auto* block = std::get_if<BlockSequentialScheme>(&scheme_)) {
@@ -77,7 +81,8 @@ std::optional<std::uint64_t> Simulation::run_to_fixed_point(
 
 void Simulation::reset(Configuration initial) {
   if (initial.size() != a_.size()) {
-    throw std::invalid_argument("Simulation::reset: size mismatch");
+    throw tca::InvalidArgumentError(
+        "Simulation::reset: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   config_ = std::move(initial);
   time_ = 0;

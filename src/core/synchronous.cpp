@@ -3,15 +3,18 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 
 void step_synchronous(const Automaton& a, const Configuration& in,
                       Configuration& out) {
   if (in.size() != a.size() || out.size() != a.size()) {
-    throw std::invalid_argument("step_synchronous: size mismatch");
+    throw tca::InvalidArgumentError(
+        "step_synchronous: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   if (&in == &out) {
-    throw std::invalid_argument("step_synchronous: in and out must differ");
+    throw tca::InvalidArgumentError("step_synchronous: in and out must differ");
   }
   for (std::size_t v = 0; v < a.size(); ++v) {
     out.set(v, a.eval_node(static_cast<NodeId>(v), in));

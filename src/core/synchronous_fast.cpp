@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/synchronous.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::core {
 namespace {
@@ -37,10 +38,11 @@ void step_loop(const Automaton& a, const ConcreteRule& rule,
 void step_synchronous_fast(const Automaton& a, const Configuration& in,
                            Configuration& out) {
   if (in.size() != a.size() || out.size() != a.size()) {
-    throw std::invalid_argument("step_synchronous_fast: size mismatch");
+    throw tca::InvalidArgumentError(
+        "step_synchronous_fast: size mismatch", tca::ErrorCode::kSizeMismatch);
   }
   if (&in == &out) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "step_synchronous_fast: in and out must differ");
   }
   if (!a.homogeneous()) {

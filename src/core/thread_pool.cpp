@@ -1,6 +1,10 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <system_error>
+
+#include "runtime/fault.hpp"
 
 namespace tca::core {
 
@@ -9,10 +13,26 @@ ThreadPool::ThreadPool(unsigned num_threads) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   const unsigned extra = num_threads - 1;  // calling thread is a worker too
-  tasks_.resize(extra);
   workers_.reserve(extra);
   for (unsigned i = 0; i < extra; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    try {
+      if (runtime::fault::should_fail_thread_spawn()) {
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "fault plan: injected thread-spawn failure");
+      }
+      workers_.emplace_back([this] { worker_loop(); });
+    } catch (const std::system_error& e) {
+      // Degrade to however many workers we managed (possibly none: serial
+      // execution on the calling thread). The pool stays fully functional,
+      // just narrower — warn once and move on.
+      std::fprintf(stderr,
+                   "tca::core::ThreadPool: spawned %u of %u worker threads "
+                   "(%s); degrading to %u-wide execution\n",
+                   static_cast<unsigned>(workers_.size()), extra, e.what(),
+                   static_cast<unsigned>(workers_.size()) + 1);
+      break;
+    }
   }
 }
 
@@ -25,11 +45,44 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop(unsigned index) {
+/// Takes chunks off the shared cursor until the range is exhausted, a
+/// chunk throws, or the run's control reports a stop. Exceptions are
+/// latched into first_error_ and flip abandon_ so other participants stop
+/// picking up new chunks; they never escape a worker thread.
+void ThreadPool::drain() {
+  const auto* fn = fn_;
+  runtime::RunControl* control = control_;
+  const std::size_t begin = run_begin_;
+  const std::size_t end = run_end_;
+  const std::size_t chunk = run_chunk_;
+  for (;;) {
+    if (abandon_.load(std::memory_order_acquire)) return;
+    if (control != nullptr && control->should_stop()) {
+      abandon_.store(true, std::memory_order_release);
+      return;
+    }
+    const std::size_t index =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t b = begin + index * chunk;
+    if (b >= end || b < begin /* overflow */) return;
+    const std::size_t e = std::min(end, b + chunk);
+    try {
+      runtime::fault::check_chunk();
+      (*fn)(b, e);
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      abandon_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
   std::uint64_t last_seen = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
-    Task task;
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] {
@@ -37,10 +90,8 @@ void ThreadPool::worker_loop(unsigned index) {
       });
       if (stopping_) return;
       last_seen = generation_;
-      fn = fn_;
-      task = tasks_[index];
     }
-    if (task.begin < task.end) (*fn)(task.begin, task.end);
+    drain();
     {
       std::lock_guard lock(mutex_);
       --pending_;
@@ -52,35 +103,49 @@ void ThreadPool::worker_loop(unsigned index) {
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end, std::size_t align,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (begin >= end) return;
+  (void)parallel_for(begin, end, align, fn, nullptr);
+}
+
+runtime::StopReason ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t align,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    runtime::RunControl* control) {
+  if (begin >= end) return runtime::StopReason::kNone;
   if (align == 0) align = 1;
   const std::size_t total = end - begin;
-  const unsigned parts = size();
+  const std::size_t parts = size() * kChunksPerThread;
   // Chunk size rounded up to the alignment unit.
   const std::size_t chunk =
       ((total + parts - 1) / parts + align - 1) / align * align;
 
-  Task own{begin, std::min(end, begin + chunk)};
   {
     std::lock_guard lock(mutex_);
-    std::size_t cursor = own.end;
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      const std::size_t b = std::min(end, cursor);
-      const std::size_t e = std::min(end, b + chunk);
-      tasks_[i] = Task{b, e};
-      cursor = e;
-    }
     fn_ = &fn;
-    pending_ = static_cast<unsigned>(tasks_.size());
+    control_ = control;
+    run_begin_ = begin;
+    run_end_ = end;
+    run_chunk_ = chunk;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    abandon_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    pending_ = static_cast<unsigned>(workers_.size());
     ++generation_;
   }
   start_cv_.notify_all();
-  fn(own.begin, own.end);
+  drain();
   {
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
     fn_ = nullptr;
+    control_ = nullptr;
   }
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  if (control != nullptr) return control->check();
+  return runtime::StopReason::kNone;
 }
 
 }  // namespace tca::core

@@ -11,21 +11,37 @@
 // must write only to locations owned by their range. threaded.cpp
 // guarantees this by aligning chunk boundaries to 64-cell words of the
 // bit-packed configuration.
+//
+// Fault tolerance (docs/robustness.md):
+//  * an exception thrown inside any chunk is captured, the remaining
+//    chunks are abandoned, every participant drains to the join barrier,
+//    and the FIRST exception is rethrown on the calling thread — never
+//    std::terminate, never a deadlocked join;
+//  * the cancellable overload polls a runtime::RunControl between chunks
+//    and returns StopReason::kCancelled instead of finishing the range
+//    (already-executed chunks keep their writes; the input is untouched);
+//  * if worker threads cannot be spawned (resource exhaustion, or the
+//    fault plan's fail_thread_spawn knob), construction degrades to a
+//    serial pool with a one-line stderr warning instead of throwing.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/budget.hpp"
 
 namespace tca::core {
 
 /// Fixed-size pool executing half-open index ranges in parallel.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1). `ThreadPool(0)` uses
-  /// hardware_concurrency().
+  /// Spawns `num_threads - 1` workers (the calling thread is the last
+  /// participant). `ThreadPool(0)` uses hardware_concurrency(). Spawn
+  /// failure degrades to fewer workers (possibly serial) with a warning.
   explicit ThreadPool(unsigned num_threads);
   ~ThreadPool();
 
@@ -36,27 +52,49 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size() + 1);  // + calling thread
   }
 
-  /// Splits [begin, end) into size() contiguous chunks whose boundaries are
-  /// multiples of `align`, and runs `chunk_fn(chunk_begin, chunk_end)` on
-  /// each — workers take one chunk each, the calling thread takes the
-  /// first. Returns after all chunks complete (fork-join). Not reentrant.
+  /// Splits [begin, end) into contiguous chunks whose boundaries are
+  /// multiples of `align` and runs `chunk_fn(chunk_begin, chunk_end)` on
+  /// each; participants (workers + the calling thread) take chunks from a
+  /// shared cursor until the range is covered. Returns after the join
+  /// barrier. Rethrows the first chunk exception. Not reentrant.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t align,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Same, but polls `control` between chunks (when non-null): once the
+  /// control reports a stop, no further chunk starts and the call returns
+  /// that StopReason. Chunks already executed keep their (disjoint)
+  /// writes, so the output range is partially filled but never torn.
+  /// Chunk exceptions still rethrow after the barrier.
+  runtime::StopReason parallel_for(
+      std::size_t begin, std::size_t end, std::size_t align,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      runtime::RunControl* control);
+
  private:
-  struct Task {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-  void worker_loop(unsigned index);
+  /// How many chunks each participant gets on average; > 1 so cancellation
+  /// and budget checks fire between chunks, not once per whole range.
+  static constexpr std::size_t kChunksPerThread = 4;
+
+  void worker_loop();
+  void drain();
 
   std::vector<std::thread> workers_;
-  std::vector<Task> tasks_;  // one slot per worker
 
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
+
+  // Per-run state, written under mutex_ before workers are released.
   const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  runtime::RunControl* control_ = nullptr;
+  std::size_t run_begin_ = 0;
+  std::size_t run_end_ = 0;
+  std::size_t run_chunk_ = 1;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<bool> abandon_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stopping_ = false;

@@ -3,15 +3,19 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/error.hpp"
+
 namespace tca::core {
 
 void step_synchronous_threaded(const Automaton& a, const Configuration& in,
                                Configuration& out, ThreadPool& pool) {
   if (in.size() != a.size() || out.size() != a.size()) {
-    throw std::invalid_argument("step_synchronous_threaded: size mismatch");
+    throw tca::InvalidArgumentError(
+        "step_synchronous_threaded: size mismatch",
+        tca::ErrorCode::kSizeMismatch);
   }
   if (&in == &out) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "step_synchronous_threaded: in and out must differ");
   }
   Configuration* out_ptr = &out;

@@ -6,11 +6,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "runtime/error.hpp"
+
 namespace tca::graph {
 namespace {
 
 void require(bool cond, const std::string& msg) {
-  if (!cond) throw std::invalid_argument(msg);
+  if (!cond) throw tca::InvalidArgumentError(msg);
 }
 
 }  // namespace
@@ -181,7 +183,7 @@ Graph random_regular(NodeId n, NodeId d, std::uint64_t seed) {
       return Graph(n, list);
     }
   }
-  throw std::runtime_error("random_regular: pairing model did not converge");
+  throw tca::RuntimeError("random_regular: pairing model did not converge");
 }
 
 }  // namespace tca::graph

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::graph {
 
 Graph::Graph(NodeId num_nodes, std::span<const Edge> edges)
@@ -11,18 +13,19 @@ Graph::Graph(NodeId num_nodes, std::span<const Edge> edges)
   normalized.reserve(edges.size());
   for (const Edge& e : edges) {
     if (e.u == e.v) {
-      throw std::invalid_argument("Graph: self-loop on node " +
+      throw tca::InvalidArgumentError("Graph: self-loop on node " +
                                   std::to_string(e.u));
     }
     if (e.u >= num_nodes || e.v >= num_nodes) {
-      throw std::invalid_argument("Graph: edge endpoint out of range");
+      throw tca::InvalidArgumentError(
+          "Graph: edge endpoint out of range", tca::ErrorCode::kOutOfRange);
     }
     normalized.push_back(e.u < e.v ? e : Edge{e.v, e.u});
   }
   std::sort(normalized.begin(), normalized.end());
   if (std::adjacent_find(normalized.begin(), normalized.end()) !=
       normalized.end()) {
-    throw std::invalid_argument("Graph: duplicate edge");
+    throw tca::InvalidArgumentError("Graph: duplicate edge");
   }
 
   std::vector<NodeId> degree(num_nodes, 0);

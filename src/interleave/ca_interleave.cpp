@@ -8,6 +8,7 @@
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
 #include "core/trajectory.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::interleave {
 
@@ -54,7 +55,7 @@ std::optional<std::vector<NodeId>> permutation_sweep_reproduces(
     const Automaton& a, const Configuration& x) {
   const std::size_t n = a.size();
   if (n > 9) {
-    throw std::invalid_argument("permutation_sweep_reproduces: n > 9");
+    throw tca::DomainTooLargeError("permutation_sweep_reproduces: n > 9");
   }
   const Configuration target = core::step_synchronous(a, x);
   std::vector<NodeId> perm(n);

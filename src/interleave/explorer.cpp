@@ -5,29 +5,52 @@
 #include <map>
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::interleave {
 
 std::set<std::vector<std::int64_t>> interleaving_outcomes(
     const Machine& m, const MachineState& initial) {
-  std::set<std::vector<std::int64_t>> outcomes;
+  runtime::RunControl unlimited;
+  return interleaving_outcomes(m, initial, unlimited).outcomes;
+}
+
+InterleaveExploration interleaving_outcomes(const Machine& m,
+                                            const MachineState& initial,
+                                            runtime::RunControl& control) {
+  InterleaveExploration out;
   std::set<MachineState> seen;
   std::vector<MachineState> stack{initial};
+  // Approximate bytes per memoized machine state: registers + pcs + shared
+  // vector payloads plus tree-node overhead.
+  const std::uint64_t bytes_per_state =
+      64 + 8 * (initial.shared.size() + 2 * m.num_processes());
   while (!stack.empty()) {
+    if (control.should_stop()) break;
     MachineState s = std::move(stack.back());
     stack.pop_back();
     if (!seen.insert(s).second) continue;
+    if (control.note_states() != runtime::StopReason::kNone ||
+        control.note_bytes(bytes_per_state) != runtime::StopReason::kNone) {
+      break;
+    }
     if (m.all_finished(s)) {
-      outcomes.insert(s.shared);
+      out.outcomes.insert(s.shared);
       continue;
     }
     for (std::size_t p = 0; p < m.num_processes(); ++p) {
       if (m.finished(s, p)) continue;
+      control.note_steps();
       MachineState next = s;
       m.step(next, p);
       stack.push_back(std::move(next));
     }
   }
-  return outcomes;
+  out.machine_states = seen.size();
+  const auto status = control.status();
+  out.stop_reason = status.stop_reason;
+  out.truncated = status.truncated();
+  return out;
 }
 
 std::uint64_t count_interleavings(const Machine& m) {
@@ -38,7 +61,7 @@ std::uint64_t count_interleavings(const Machine& m) {
   for (std::size_t p = 0; p < m.num_processes(); ++p) {
     for (const Instr& instr : m.program(p)) {
       if (std::holds_alternative<BranchIfZero>(instr)) {
-        throw std::invalid_argument(
+        throw tca::InvalidArgumentError(
             "count_interleavings: straight-line programs only");
       }
     }
@@ -79,7 +102,7 @@ std::set<std::vector<std::int64_t>> parallel_outcomes(
   for (std::size_t p = 0; p < m.num_processes(); ++p) {
     const Program& prog = m.program(p);
     if (prog.size() != 1 || !std::holds_alternative<AtomicAddVar>(prog[0])) {
-      throw std::invalid_argument(
+      throw tca::InvalidArgumentError(
           "parallel_outcomes: processes must each be one AtomicAddVar");
     }
     const auto& op = std::get<AtomicAddVar>(prog[0]);

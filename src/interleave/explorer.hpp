@@ -13,12 +13,29 @@
 #include <vector>
 
 #include "interleave/vm.hpp"
+#include "runtime/budget.hpp"
 
 namespace tca::interleave {
 
 /// All final shared-variable vectors over every interleaving.
 [[nodiscard]] std::set<std::vector<std::int64_t>> interleaving_outcomes(
     const Machine& m, const MachineState& initial);
+
+/// Result of a budgeted interleaving exploration: the outcome set collected
+/// so far plus why (and whether) the DFS stopped early. Always well-formed;
+/// `outcomes` is a SUBSET of the true outcome set when truncated.
+struct InterleaveExploration {
+  std::set<std::vector<std::int64_t>> outcomes;
+  std::uint64_t machine_states = 0;  ///< distinct machine states visited
+  bool truncated = false;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
+};
+
+/// Budgeted exploration of every interleaving: stops cleanly when
+/// `control` trips (states / steps / bytes / deadline / cancellation).
+[[nodiscard]] InterleaveExploration interleaving_outcomes(
+    const Machine& m, const MachineState& initial,
+    runtime::RunControl& control);
 
 /// Number of distinct complete interleavings (schedules), counted over the
 /// execution DAG (multinomial for independent programs; exact count by DFS

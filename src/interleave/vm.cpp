@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::interleave {
 
 Machine::Machine(std::vector<Program> processes, std::size_t num_shared,
@@ -16,29 +18,39 @@ Machine::Machine(std::vector<Program> processes, std::size_t num_shared,
             using T = std::decay_t<decltype(op)>;
             if constexpr (std::is_same_v<T, Load> || std::is_same_v<T, Store>) {
               if (op.var >= num_shared_ || op.reg >= num_regs_) {
-                throw std::invalid_argument("Machine: operand out of range");
+                throw tca::InvalidArgumentError(
+                    "Machine: operand out of range",
+                    tca::ErrorCode::kOutOfRange);
               }
             } else if constexpr (std::is_same_v<T, AddImm>) {
               if (op.reg >= num_regs_) {
-                throw std::invalid_argument("Machine: register out of range");
+                throw tca::InvalidArgumentError(
+                    "Machine: register out of range",
+                    tca::ErrorCode::kOutOfRange);
               }
             } else if constexpr (std::is_same_v<T, AtomicAddVar>) {
               if (op.var >= num_shared_) {
-                throw std::invalid_argument("Machine: variable out of range");
+                throw tca::InvalidArgumentError(
+                    "Machine: variable out of range",
+                    tca::ErrorCode::kOutOfRange);
               }
             } else if constexpr (std::is_same_v<T, Mov>) {
               if (op.dst >= num_regs_ || op.src >= num_regs_) {
-                throw std::invalid_argument("Machine: register out of range");
+                throw tca::InvalidArgumentError(
+                    "Machine: register out of range",
+                    tca::ErrorCode::kOutOfRange);
               }
             } else if constexpr (std::is_same_v<T, Cas>) {
               if (op.var >= num_shared_ || op.expected >= num_regs_ ||
                   op.desired >= num_regs_ || op.result >= num_regs_) {
-                throw std::invalid_argument("Machine: CAS operand out of "
+                throw tca::InvalidArgumentError("Machine: CAS operand out of "
                                             "range");
               }
             } else if constexpr (std::is_same_v<T, BranchIfZero>) {
               if (op.reg >= num_regs_ || op.target >= prog.size()) {
-                throw std::invalid_argument("Machine: branch out of range");
+                throw tca::InvalidArgumentError(
+                    "Machine: branch out of range",
+                    tca::ErrorCode::kOutOfRange);
               }
             }
           },
@@ -49,7 +61,7 @@ Machine::Machine(std::vector<Program> processes, std::size_t num_shared,
 
 MachineState Machine::initial(std::vector<std::int64_t> shared) const {
   if (shared.size() != num_shared_) {
-    throw std::invalid_argument("Machine::initial: wrong shared count");
+    throw tca::InvalidArgumentError("Machine::initial: wrong shared count");
   }
   MachineState s;
   s.shared = std::move(shared);
@@ -68,7 +80,7 @@ bool Machine::all_finished(const MachineState& s) const {
 
 void Machine::step(MachineState& s, std::size_t p) const {
   if (finished(s, p)) {
-    throw std::logic_error("Machine::step: process already finished");
+    throw tca::StateError("Machine::step: process already finished");
   }
   const Instr& instr = processes_[p][s.pc[p]];
   bool jumped = false;

@@ -4,16 +4,14 @@
 #include <stdexcept>
 
 #include "phasespace/scc.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::phasespace {
 
 ChoiceDigraph::ChoiceDigraph(const core::Automaton& a)
     : bits_(static_cast<std::uint32_t>(a.size())),
       choices_(static_cast<std::uint32_t>(a.size())) {
-  if (bits_ > 22) {
-    throw std::invalid_argument(
-        "ChoiceDigraph: too many cells for explicit enumeration (max 22)");
-  }
+  tca::require_explicit_bits(bits_, 22, "ChoiceDigraph");
   const StateCode count = StateCode{1} << bits_;
   succ_.resize(count * choices_);
   const std::size_t n = a.size();

@@ -2,12 +2,15 @@
 
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::phasespace {
 namespace {
 
 void require_size(const ChoiceDigraph& g, const StateSet& s) {
   if (s.size() != g.num_states()) {
-    throw std::invalid_argument("ctl: state set size mismatch");
+    throw tca::InvalidArgumentError(
+        "ctl: state set size mismatch", tca::ErrorCode::kSizeMismatch);
   }
 }
 

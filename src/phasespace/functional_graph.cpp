@@ -1,22 +1,69 @@
 #include "phasespace/functional_graph.hpp"
 
-#include <stdexcept>
 #include <utility>
 
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
+#include "runtime/error.hpp"
+#include "runtime/fault.hpp"
 
 namespace tca::phasespace {
+namespace {
+
+/// Serial budgeted build over an arbitrary code-step function. Charges one
+/// state + 8 bytes per entry; on a stop, the computed prefix is returned.
+FunctionalGraphBuild build_serial(std::uint32_t bits, const CodeStepFn& step,
+                                  runtime::RunControl& control,
+                                  const char* context) {
+  tca::require_explicit_bits(bits, kMaxExplicitBits, context);
+  const StateCode count = StateCode{1} << bits;
+  FunctionalGraphBuild out;
+  runtime::fault::check_alloc(count * sizeof(StateCode));
+  if (control.bytes_would_fit(count * sizeof(StateCode))) {
+    out.partial_succ.reserve(count);
+  }
+  for (StateCode s = 0; s < count; ++s) {
+    if (control.note_states() != runtime::StopReason::kNone ||
+        control.note_bytes(sizeof(StateCode)) != runtime::StopReason::kNone) {
+      out.states_built = s;
+      out.status = control.status();
+      return out;
+    }
+    out.partial_succ.push_back(step(s));
+  }
+  out.states_built = count;
+  out.status = control.status();
+  out.graph = FunctionalGraph::from_table(bits, std::move(out.partial_succ));
+  out.partial_succ.clear();
+  return out;
+}
+
+}  // namespace
 
 FunctionalGraph::FunctionalGraph(std::uint32_t bits, const CodeStepFn& step)
     : bits_(bits) {
-  if (bits > kMaxExplicitBits) {
-    throw std::invalid_argument("FunctionalGraph: too many cells for explicit "
-                                "enumeration (max 26)");
-  }
+  tca::require_explicit_bits(bits, kMaxExplicitBits, "FunctionalGraph");
   const StateCode count = StateCode{1} << bits;
+  runtime::fault::check_alloc(count * sizeof(StateCode));
   succ_.resize(count);
   for (StateCode s = 0; s < count; ++s) succ_[s] = step(s);
+}
+
+FunctionalGraph FunctionalGraph::from_table(std::uint32_t bits,
+                                            std::vector<StateCode> succ) {
+  tca::require_explicit_bits(bits, kMaxExplicitBits,
+                             "FunctionalGraph::from_table");
+  if (succ.size() != (StateCode{1} << bits)) {
+    throw tca::InvalidArgumentError(
+        "FunctionalGraph::from_table: table has " +
+            std::to_string(succ.size()) + " entries, expected 2^" +
+            std::to_string(bits),
+        tca::ErrorCode::kSizeMismatch);
+  }
+  FunctionalGraph fg;
+  fg.bits_ = bits;
+  fg.succ_ = std::move(succ);
+  return fg;
 }
 
 FunctionalGraph FunctionalGraph::synchronous(const core::Automaton& a) {
@@ -26,35 +73,86 @@ FunctionalGraph FunctionalGraph::synchronous(const core::Automaton& a) {
 
 FunctionalGraph FunctionalGraph::synchronous_parallel(const core::Automaton& a,
                                                       core::ThreadPool& pool) {
-  const auto bits = static_cast<std::uint32_t>(a.size());
-  if (bits > kMaxExplicitBits) {
-    throw std::invalid_argument("FunctionalGraph: too many cells for explicit "
-                                "enumeration (max 26)");
-  }
-  FunctionalGraph fg;
-  fg.bits_ = bits;
-  fg.succ_.resize(StateCode{1} << bits);
-  const std::size_t n = a.size();
-  StateCode* out = fg.succ_.data();
-  // Each worker evaluates a contiguous state range with its own buffers:
-  // writes are disjoint, reads are to the shared immutable automaton.
-  pool.parallel_for(0, fg.succ_.size(), /*align=*/1024,
-                    [&a, n, out](std::size_t begin, std::size_t end) {
-                      core::Configuration front(n);
-                      core::Configuration back(n);
-                      for (std::size_t s = begin; s < end; ++s) {
-                        front = core::Configuration::from_bits(s, n);
-                        core::step_synchronous(a, front, back);
-                        out[s] = back.to_bits();
-                      }
-                    });
-  return fg;
+  runtime::RunControl unlimited;
+  auto build = build_synchronous_parallel(a, pool, unlimited);
+  // Unlimited control: the build either completes or throws.
+  return std::move(*build.graph);
 }
 
 FunctionalGraph FunctionalGraph::sweep(const core::Automaton& a,
                                        std::vector<core::NodeId> order) {
   return FunctionalGraph(static_cast<std::uint32_t>(a.size()),
                          sweep_code_step(a, std::move(order)));
+}
+
+FunctionalGraphBuild FunctionalGraph::build_synchronous(
+    const core::Automaton& a, runtime::RunControl& control) {
+  return build_serial(static_cast<std::uint32_t>(a.size()),
+                      synchronous_code_step(a), control,
+                      "FunctionalGraph::build_synchronous");
+}
+
+FunctionalGraphBuild FunctionalGraph::build_sweep(
+    const core::Automaton& a, std::vector<core::NodeId> order,
+    runtime::RunControl& control) {
+  return build_serial(static_cast<std::uint32_t>(a.size()),
+                      sweep_code_step(a, std::move(order)), control,
+                      "FunctionalGraph::build_sweep");
+}
+
+FunctionalGraphBuild FunctionalGraph::build_synchronous_parallel(
+    const core::Automaton& a, core::ThreadPool& pool,
+    runtime::RunControl& control) {
+  const auto bits = static_cast<std::uint32_t>(a.size());
+  tca::require_explicit_bits(bits, kMaxExplicitBits,
+                             "FunctionalGraph::build_synchronous_parallel");
+  const StateCode count = StateCode{1} << bits;
+  FunctionalGraphBuild out;
+
+  // The parallel builder needs the whole table up front (chunks write into
+  // disjoint slices); charge it before allocating.
+  if (control.note_bytes(count * sizeof(StateCode)) !=
+      runtime::StopReason::kNone) {
+    out.status = control.status();
+    return out;
+  }
+  runtime::fault::check_alloc(count * sizeof(StateCode));
+
+  std::vector<StateCode> table(count);
+  const std::size_t n = a.size();
+  StateCode* data = table.data();
+  runtime::RunControl* ctl = &control;
+  // Each participant evaluates contiguous state ranges with its own
+  // buffers: writes are disjoint, reads are to the shared immutable
+  // automaton. The control is polled between chunks by the pool and every
+  // 1024 states inside a chunk.
+  const auto reason = pool.parallel_for(
+      0, table.size(), /*align=*/1024,
+      [&a, n, data, ctl](std::size_t begin, std::size_t end) {
+        core::Configuration front(n);
+        core::Configuration back(n);
+        for (std::size_t s = begin; s < end; ++s) {
+          if ((s - begin) % 1024 == 0 &&
+              ctl->note_states(std::min<std::uint64_t>(1024, end - s)) !=
+                  runtime::StopReason::kNone) {
+            return;  // abandon the rest of this chunk
+          }
+          front = core::Configuration::from_bits(s, n);
+          core::step_synchronous(a, front, back);
+          data[s] = back.to_bits();
+        }
+      },
+      &control);
+  out.status = control.status();
+  if (reason != runtime::StopReason::kNone || out.status.truncated()) {
+    // Truncated parallel builds have holes (chunks are interleaved), so no
+    // partial table is exposed — only the visit count.
+    out.states_built = out.status.states;
+    return out;
+  }
+  out.states_built = count;
+  out.graph = from_table(bits, std::move(table));
+  return out;
 }
 
 CodeStepFn synchronous_code_step(const core::Automaton& a) {

@@ -10,14 +10,25 @@
 //
 // Global configurations are encoded as uint64 state codes with bit i =
 // cell i; explicit construction is limited to n <= 26 cells.
+//
+// Two construction surfaces:
+//  * the classic builders (synchronous / synchronous_parallel / sweep)
+//    either finish or throw — unchanged behaviour;
+//  * the budgeted builders (build_synchronous / build_sweep /
+//    build_synchronous_parallel) run under a runtime::RunControl and stop
+//    cleanly on budget exhaustion or cancellation, returning a
+//    FunctionalGraphBuild whose status says why and (for the serial
+//    builders) the successor-table prefix computed so far.
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/automaton.hpp"
 #include "core/configuration.hpp"
 #include "core/thread_pool.hpp"
+#include "runtime/budget.hpp"
 
 namespace tca::phasespace {
 
@@ -30,11 +41,17 @@ using CodeStepFn = std::function<StateCode(StateCode)>;
 /// Hard cap on explicit enumeration (2^26 states x 4 bytes = 256 MiB).
 inline constexpr std::uint32_t kMaxExplicitBits = 26;
 
+struct FunctionalGraphBuild;
+
 /// The full successor table of a deterministic map on n-bit states.
 class FunctionalGraph {
  public:
   /// Builds succ[s] = step(s) for all s in [0, 2^bits).
   FunctionalGraph(std::uint32_t bits, const CodeStepFn& step);
+
+  /// Wraps an externally computed successor table (size must be 2^bits).
+  static FunctionalGraph from_table(std::uint32_t bits,
+                                    std::vector<StateCode> succ);
 
   /// Phase space of the classical parallel CA (synchronous global map F).
   static FunctionalGraph synchronous(const core::Automaton& a);
@@ -47,6 +64,17 @@ class FunctionalGraph {
   /// Phase space of the SCA whose step is one full sweep of `order`.
   static FunctionalGraph sweep(const core::Automaton& a,
                                std::vector<core::NodeId> order);
+
+  /// Budgeted builders: stop cleanly when `control` trips, never abort.
+  /// Identical tables to their unbudgeted counterparts on completion.
+  static FunctionalGraphBuild build_synchronous(const core::Automaton& a,
+                                                runtime::RunControl& control);
+  static FunctionalGraphBuild build_sweep(const core::Automaton& a,
+                                          std::vector<core::NodeId> order,
+                                          runtime::RunControl& control);
+  static FunctionalGraphBuild build_synchronous_parallel(
+      const core::Automaton& a, core::ThreadPool& pool,
+      runtime::RunControl& control);
 
   [[nodiscard]] std::uint32_t bits() const noexcept { return bits_; }
   [[nodiscard]] StateCode num_states() const noexcept {
@@ -62,6 +90,21 @@ class FunctionalGraph {
 
   std::uint32_t bits_ = 0;
   std::vector<StateCode> succ_;
+};
+
+/// Outcome of a budgeted phase-space build. `graph` is engaged iff the
+/// build ran to completion; a truncated SERIAL build carries the computed
+/// prefix succ[0 .. states_built) in partial_succ (a truncated parallel
+/// build computes states in non-contiguous chunks, so it reports counts
+/// only). Always well-formed — budget exhaustion never throws.
+struct FunctionalGraphBuild {
+  std::optional<FunctionalGraph> graph;
+  std::vector<StateCode> partial_succ;
+  StateCode states_built = 0;
+  runtime::RunStatus status;
+
+  [[nodiscard]] bool complete() const noexcept { return graph.has_value(); }
+  [[nodiscard]] bool truncated() const noexcept { return !complete(); }
 };
 
 /// Adapters from automata to encoded-state step functions.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::phasespace {
 namespace {
 
@@ -63,7 +65,8 @@ RingPreimageSolver::RingPreimageSolver(const rules::Rule& rule,
       window_bits_(2 * radius),
       window_count_(1u << (2 * radius)) {
   if (radius == 0 || radius > 3) {
-    throw std::invalid_argument("RingPreimageSolver: radius must be in [1,3]");
+    throw tca::InvalidArgumentError(
+        "RingPreimageSolver: radius must be in [1,3]");
   }
   const std::uint32_t full_bits = 2 * radius + 1;
   const std::size_t full_count = std::size_t{1} << full_bits;
@@ -86,7 +89,7 @@ std::uint64_t RingPreimageSolver::count(
     const core::Configuration& target) const {
   const std::size_t n = target.size();
   if (n < 2 * std::size_t{radius_} + 1) {
-    throw std::invalid_argument("RingPreimageSolver: ring too small");
+    throw tca::InvalidArgumentError("RingPreimageSolver: ring too small");
   }
   const std::uint32_t w = window_count_;
   // Per-output transfer matrices: M_b[win][win'] = 1 iff win' extends win
@@ -116,7 +119,7 @@ std::vector<core::Configuration> RingPreimageSolver::enumerate(
     const core::Configuration& target, std::size_t limit) const {
   const std::size_t n = target.size();
   if (n < 2 * std::size_t{radius_} + 1) {
-    throw std::invalid_argument("RingPreimageSolver: ring too small");
+    throw tca::InvalidArgumentError("RingPreimageSolver: ring too small");
   }
   const std::uint32_t w = window_count_;
 
@@ -190,7 +193,7 @@ std::vector<core::Configuration> RingPreimageSolver::enumerate(
 std::uint64_t RingPreimageSolver::count_fixed_points_impl(
     std::size_t n) const {
   if (n < 2 * std::size_t{radius_} + 1) {
-    throw std::invalid_argument("count_fixed_points_ring: ring too small");
+    throw tca::InvalidArgumentError("count_fixed_points_ring: ring too small");
   }
   const std::uint32_t w = window_count_;
   // A configuration is fixed iff at every position the rule output equals
@@ -222,11 +225,11 @@ std::uint64_t count_fixed_points_ring(const RingPreimageSolver& solver,
 
 std::uint64_t RingPreimageSolver::count_period_two_impl(std::size_t n) const {
   if (radius_ > 2) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "count_period_two_states_ring: radius <= 2 only");
   }
   if (n < 2 * std::size_t{radius_} + 1) {
-    throw std::invalid_argument("count_period_two_states_ring: ring too "
+    throw tca::InvalidArgumentError("count_period_two_states_ring: ring too "
                                 "small");
   }
   const std::uint32_t w = window_count_;
@@ -265,15 +268,25 @@ std::uint64_t count_period_two_states_ring(const RingPreimageSolver& solver,
 
 std::uint64_t count_gardens_of_eden_ring(const RingPreimageSolver& solver,
                                          std::size_t n) {
-  if (n > 24) {
-    throw std::invalid_argument("count_gardens_of_eden_ring: n > 24");
-  }
-  std::uint64_t goe = 0;
+  runtime::RunControl unlimited;
+  return count_gardens_of_eden_ring(solver, n, unlimited).gardens;
+}
+
+GoeCensus count_gardens_of_eden_ring(const RingPreimageSolver& solver,
+                                     std::size_t n,
+                                     runtime::RunControl& control) {
+  tca::require_explicit_bits(n, 24, "count_gardens_of_eden_ring");
+  GoeCensus out;
   for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    if (control.note_states() != runtime::StopReason::kNone) break;
     const auto target = core::Configuration::from_bits(bits, n);
-    if (solver.count(target) == 0) ++goe;
+    if (solver.count(target) == 0) ++out.gardens;
+    ++out.scanned;
   }
-  return goe;
+  const auto status = control.status();
+  out.stop_reason = status.stop_reason;
+  out.truncated = status.truncated();
+  return out;
 }
 
 }  // namespace tca::phasespace

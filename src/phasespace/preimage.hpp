@@ -23,6 +23,7 @@
 #include "core/automaton.hpp"
 #include "core/configuration.hpp"
 #include "rules/rule.hpp"
+#include "runtime/budget.hpp"
 
 namespace tca::phasespace {
 
@@ -83,6 +84,23 @@ class RingPreimageSolver {
 /// all-ones seed replaces full matrix chains).
 [[nodiscard]] std::uint64_t count_gardens_of_eden_ring(
     const RingPreimageSolver& solver, std::size_t n);
+
+/// Partial Garden-of-Eden census under a budget: `gardens` counts GoE
+/// states among the first `scanned` of the 2^n targets (scan order is
+/// ascending state code), with truncation reported instead of running the
+/// full exponential scan.
+struct GoeCensus {
+  std::uint64_t gardens = 0;
+  std::uint64_t scanned = 0;
+  bool truncated = false;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
+};
+
+/// Budgeted census: charges one state per target scanned and stops cleanly
+/// when `control` trips (deadline, state budget, cancellation).
+[[nodiscard]] GoeCensus count_gardens_of_eden_ring(
+    const RingPreimageSolver& solver, std::size_t n,
+    runtime::RunControl& control);
 
 /// Number of FIXED POINTS of the parallel map on an n-cell ring, by the
 /// same transfer-matrix trick with the constraint "rule output == the

@@ -3,12 +3,14 @@
 #include <bit>
 #include <stdexcept>
 
+#include "runtime/error.hpp"
+
 namespace tca::rules {
 namespace {
 
 std::uint32_t table_arity(const std::vector<State>& table) {
   if (table.empty() || (table.size() & (table.size() - 1)) != 0) {
-    throw std::invalid_argument("table size must be a power of two");
+    throw tca::InvalidArgumentError("table size must be a power of two");
   }
   return static_cast<std::uint32_t>(std::countr_zero(table.size()));
 }
@@ -16,10 +18,11 @@ std::uint32_t table_arity(const std::vector<State>& table) {
 }  // namespace
 
 std::vector<State> truth_table(const Rule& rule, std::uint32_t arity) {
-  if (arity > 20) throw std::invalid_argument("truth_table: arity > 20");
+  tca::require_explicit_bits(arity, 20, "truth_table");
   const std::uint32_t fixed = required_arity(rule);
   if (fixed != 0 && fixed != arity) {
-    throw std::invalid_argument("truth_table: rule arity mismatch");
+    throw tca::InvalidArgumentError(
+        "truth_table: rule arity mismatch", tca::ErrorCode::kSizeMismatch);
   }
   const std::size_t size = std::size_t{1} << arity;
   std::vector<State> table(size);

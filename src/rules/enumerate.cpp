@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "rules/analyze.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::rules {
 
@@ -21,7 +22,7 @@ std::vector<SymmetricRule> all_monotone_symmetric(std::uint32_t arity) {
 }
 
 std::vector<SymmetricRule> all_symmetric(std::uint32_t arity) {
-  if (arity > 20) throw std::invalid_argument("all_symmetric: arity > 20");
+  tca::require_explicit_bits(arity, 20, "all_symmetric");
   const std::size_t count = std::size_t{1} << (arity + 1);
   std::vector<SymmetricRule> out;
   out.reserve(count);
@@ -38,7 +39,7 @@ std::vector<SymmetricRule> all_symmetric(std::uint32_t arity) {
 
 std::vector<std::vector<State>> all_monotone_tables(std::uint32_t arity) {
   if (arity > 4) {
-    throw std::invalid_argument("all_monotone_tables: arity > 4");
+    throw tca::DomainTooLargeError("all_monotone_tables: arity > 4");
   }
   const std::size_t rows = std::size_t{1} << arity;
   const std::size_t tables = std::size_t{1} << rows;

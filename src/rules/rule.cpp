@@ -1,11 +1,13 @@
 #include "rules/rule.hpp"
 
+#include "runtime/error.hpp"
+
 namespace tca::rules {
 
 State eval(const SymmetricRule& r, std::span<const State> inputs) {
   const std::uint32_t ones = count_ones(inputs);
   if (r.accept.size() != inputs.size() + 1) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "SymmetricRule: accept vector sized " + std::to_string(r.accept.size()) +
         " but arity is " + std::to_string(inputs.size()));
   }
@@ -14,7 +16,7 @@ State eval(const SymmetricRule& r, std::span<const State> inputs) {
 
 State eval(const TableRule& r, std::span<const State> inputs) {
   if (r.table.size() != (std::size_t{1} << inputs.size())) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "TableRule: table sized " + std::to_string(r.table.size()) +
         " but arity is " + std::to_string(inputs.size()));
   }
@@ -25,7 +27,7 @@ State eval(const TableRule& r, std::span<const State> inputs) {
 
 State eval(const WeightedThresholdRule& r, std::span<const State> inputs) {
   if (r.weights.size() != inputs.size()) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "WeightedThresholdRule: " + std::to_string(r.weights.size()) +
         " weights but arity is " + std::to_string(inputs.size()));
   }
@@ -38,13 +40,15 @@ State eval(const WeightedThresholdRule& r, std::span<const State> inputs) {
 
 State eval(const OuterTotalisticRule& r, std::span<const State> inputs) {
   if (r.born.size() != inputs.size() || r.survive.size() != inputs.size()) {
-    throw std::invalid_argument(
+    throw tca::InvalidArgumentError(
         "OuterTotalisticRule: born/survive sized for arity " +
         std::to_string(r.born.size()) + " but got " +
         std::to_string(inputs.size()) + " inputs");
   }
   if (r.self_index >= inputs.size()) {
-    throw std::invalid_argument("OuterTotalisticRule: self_index out of range");
+    throw tca::InvalidArgumentError(
+        "OuterTotalisticRule: self_index out of range",
+        tca::ErrorCode::kOutOfRange);
   }
   const State self = inputs[r.self_index];
   const std::uint32_t others = count_ones(inputs) - self;
@@ -115,7 +119,7 @@ std::string describe(const Rule& rule) {
 
 Rule majority_k_of(std::uint32_t arity) {
   if (arity % 2 == 0) {
-    throw std::invalid_argument("majority_k_of: arity must be odd");
+    throw tca::InvalidArgumentError("majority_k_of: arity must be odd");
   }
   return KOfNRule{(arity + 1) / 2};
 }
@@ -130,13 +134,13 @@ OuterTotalisticRule life_like(std::span<const std::uint32_t> born,
   r.self_index = self_index;
   for (std::uint32_t b : born) {
     if (b > neighbors) {
-      throw std::invalid_argument("life_like: born count > neighbors");
+      throw tca::InvalidArgumentError("life_like: born count > neighbors");
     }
     r.born[b] = 1;
   }
   for (std::uint32_t s : survive) {
     if (s > neighbors) {
-      throw std::invalid_argument("life_like: survive count > neighbors");
+      throw tca::InvalidArgumentError("life_like: survive count > neighbors");
     }
     r.survive[s] = 1;
   }
@@ -151,7 +155,7 @@ OuterTotalisticRule game_of_life() {
 
 TableRule wolfram(std::uint32_t code) {
   if (code > 255) {
-    throw std::invalid_argument("wolfram: code must be in [0, 255]");
+    throw tca::InvalidArgumentError("wolfram: code must be in [0, 255]");
   }
   TableRule r;
   r.table.resize(8);

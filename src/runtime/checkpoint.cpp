@@ -1,0 +1,141 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/error.hpp"
+#include "runtime/fault.hpp"
+
+namespace tca::runtime {
+namespace {
+
+constexpr std::string_view kMagic = "TCA-CKPT";
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw CheckpointError("checkpoint '" + path + "': " + why,
+                        ErrorCode::kCheckpointCorrupt);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  fault::check_alloc(checkpoint.payload.size());
+  std::ostringstream framed;
+  framed << kMagic << " v" << checkpoint.version << "\n"
+         << "checksum=" << std::hex << fnv1a64(checkpoint.payload) << std::dec
+         << "\n"
+         << "bytes=" << checkpoint.payload.size() << "\n\n"
+         << checkpoint.payload;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError("checkpoint '" + path + "': cannot open tmp file",
+                            ErrorCode::kIo);
+    }
+    const std::string blob = framed.str();
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      throw CheckpointError("checkpoint '" + path + "': write failed",
+                            ErrorCode::kIo);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint '" + path + "': rename failed",
+                          ErrorCode::kIo);
+  }
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint '" + path + "': cannot open",
+                          ErrorCode::kIo);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string blob = buffer.str();
+
+  std::istringstream parse(blob);
+  std::string magic_line;
+  if (!std::getline(parse, magic_line)) corrupt(path, "empty file");
+  if (magic_line.size() < kMagic.size() + 2 ||
+      magic_line.compare(0, kMagic.size(), kMagic) != 0 ||
+      magic_line.compare(kMagic.size(), 2, " v") != 0) {
+    corrupt(path, "bad magic line '" + magic_line + "'");
+  }
+  std::uint32_t version = 0;
+  try {
+    version = static_cast<std::uint32_t>(
+        std::stoul(magic_line.substr(kMagic.size() + 2)));
+  } catch (const std::exception&) {
+    corrupt(path, "unparseable version in '" + magic_line + "'");
+  }
+  if (version != kCheckpointVersion) {
+    throw CheckpointError("checkpoint '" + path + "': version " +
+                              std::to_string(version) +
+                              " is not the supported version " +
+                              std::to_string(kCheckpointVersion),
+                          ErrorCode::kCheckpointVersion);
+  }
+
+  std::string checksum_line, bytes_line, blank;
+  if (!std::getline(parse, checksum_line) ||
+      checksum_line.rfind("checksum=", 0) != 0) {
+    corrupt(path, "missing checksum line");
+  }
+  if (!std::getline(parse, bytes_line) || bytes_line.rfind("bytes=", 0) != 0) {
+    corrupt(path, "missing bytes line");
+  }
+  if (!std::getline(parse, blank) || !blank.empty()) {
+    corrupt(path, "missing separator line");
+  }
+
+  std::uint64_t expected_checksum = 0;
+  std::size_t expected_bytes = 0;
+  try {
+    expected_checksum = std::stoull(checksum_line.substr(9), nullptr, 16);
+    expected_bytes = std::stoull(bytes_line.substr(6));
+  } catch (const std::exception&) {
+    corrupt(path, "unparseable checksum/bytes header");
+  }
+
+  const auto header_size = static_cast<std::size_t>(parse.tellg());
+  if (blob.size() < header_size ||
+      blob.size() - header_size != expected_bytes) {
+    corrupt(path, "payload is " + std::to_string(blob.size() - header_size) +
+                      " bytes, header promised " +
+                      std::to_string(expected_bytes) +
+                      " (truncated or padded file)");
+  }
+  Checkpoint out;
+  out.version = version;
+  out.payload = blob.substr(header_size);
+  if (fnv1a64(out.payload) != expected_checksum) {
+    corrupt(path, "checksum mismatch (payload corrupted)");
+  }
+  return out;
+}
+
+std::optional<Checkpoint> try_load_checkpoint(
+    const std::string& path) noexcept {
+  try {
+    return load_checkpoint(path);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace tca::runtime

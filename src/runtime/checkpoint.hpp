@@ -1,0 +1,54 @@
+#pragma once
+// Versioned, checksummed checkpoints (docs/robustness.md).
+//
+// Long experiment sweeps snapshot their progress so a crashed or killed
+// run resumes instead of restarting from zero. The framing here is
+// deliberately dumb and auditable: a fixed magic line, an explicit format
+// version, an FNV-1a 64 checksum and byte count over an opaque payload,
+// then the payload itself. What goes IN the payload is the caller's
+// business (bench::ExperimentDriver stores sweep progress + RNG state +
+// recorded verdicts as text lines).
+//
+// Durability contract: save_checkpoint writes to `<path>.tmp` and renames
+// over `path`, so a SIGKILL mid-write leaves either the old complete
+// checkpoint or the new complete checkpoint — never a torn file. Loading
+// validates magic, version, byte count, and checksum, and throws
+// tca::CheckpointError (code kCheckpointCorrupt / kCheckpointVersion /
+// kIo) on any mismatch; try_load_checkpoint turns all of those into
+// nullopt for "resume if you can" callers.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tca::runtime {
+
+/// Current checkpoint framing version (bump on incompatible change).
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// A loaded or to-be-saved checkpoint: framing version + opaque payload.
+struct Checkpoint {
+  std::uint32_t version = kCheckpointVersion;
+  std::string payload;
+};
+
+/// FNV-1a 64-bit over arbitrary bytes (the checkpoint checksum; exposed
+/// for tests and for callers who want to checksum payload sections).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Atomically writes `checkpoint` to `path` (tmp file + rename). Throws
+/// CheckpointError(kIo) if the filesystem refuses.
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Loads and validates a checkpoint. Throws CheckpointError with code
+/// kIo (unreadable), kCheckpointCorrupt (bad magic / framing / length /
+/// checksum) or kCheckpointVersion (incompatible version).
+[[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+/// load_checkpoint, with every failure (including "file absent") mapped
+/// to nullopt — the resume-if-possible entry point.
+[[nodiscard]] std::optional<Checkpoint> try_load_checkpoint(
+    const std::string& path) noexcept;
+
+}  // namespace tca::runtime

@@ -1,0 +1,140 @@
+#pragma once
+// Unified error hierarchy (DESIGN.md S11 / docs/robustness.md).
+//
+// Every library in src/ used to throw ad-hoc std::invalid_argument /
+// std::runtime_error / std::logic_error. Long sweeps need to tell apart
+// "caller passed garbage" from "domain too large for this algorithm" from
+// "run was cancelled / budget exhausted / checkpoint corrupt" — so all
+// throws now carry a tca::ErrorCode. The concrete classes still derive
+// from the standard types they replaced, so existing catch sites (and
+// EXPECT_THROW assertions) keep working unchanged.
+//
+// Header-only on purpose: tca_graph and tca_rules sit below every other
+// library and must be able to throw these without a link dependency.
+
+#include <stdexcept>
+#include <string>
+
+namespace tca {
+
+/// Machine-readable failure category carried by every tca exception.
+enum class ErrorCode : std::uint8_t {
+  kUnknown = 0,
+  kInvalidArgument,    ///< malformed input (bad id, bad string, bad shape)
+  kSizeMismatch,       ///< container sizes disagree (config vs automaton...)
+  kOutOfRange,         ///< an index or id outside its valid range
+  kDomainTooLarge,     ///< explicit enumeration past its hard cap
+  kNotConverged,       ///< an iterative construction gave up
+  kInvalidState,       ///< API misuse (internal invariant violated)
+  kCancelled,          ///< cooperative cancellation observed
+  kBudgetExhausted,    ///< a RunBudget limit was hit where partial results
+                       ///< are impossible
+  kCheckpointCorrupt,  ///< checkpoint failed checksum / framing validation
+  kCheckpointVersion,  ///< checkpoint written by an incompatible version
+  kFaultInjected,      ///< deliberate failure from tca::runtime::FaultPlan
+  kIo,                 ///< filesystem read/write failure
+};
+
+/// Short stable name for an ErrorCode ("invalid-argument", ...).
+[[nodiscard]] inline const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kSizeMismatch: return "size-mismatch";
+    case ErrorCode::kOutOfRange: return "out-of-range";
+    case ErrorCode::kDomainTooLarge: return "domain-too-large";
+    case ErrorCode::kNotConverged: return "not-converged";
+    case ErrorCode::kInvalidState: return "invalid-state";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kBudgetExhausted: return "budget-exhausted";
+    case ErrorCode::kCheckpointCorrupt: return "checkpoint-corrupt";
+    case ErrorCode::kCheckpointVersion: return "checkpoint-version";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kIo: return "io";
+  }
+  return "unknown";
+}
+
+/// Mixin interface: `catch (const tca::Error& e)` sees every tca exception
+/// regardless of which standard base it rides on.
+class Error {
+ public:
+  virtual ~Error() = default;
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ protected:
+  explicit Error(ErrorCode code) noexcept : code_(code) {}
+
+ private:
+  ErrorCode code_;
+};
+
+/// Replaces std::invalid_argument throws (and is one, for compatibility).
+class InvalidArgumentError : public std::invalid_argument, public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what,
+                                ErrorCode code = ErrorCode::kInvalidArgument)
+      : std::invalid_argument(what), Error(code) {}
+};
+
+/// An explicit-enumeration entry point was asked to enumerate a state
+/// space past its hard cap (see phasespace::kMaxExplicitBits).
+class DomainTooLargeError : public InvalidArgumentError {
+ public:
+  explicit DomainTooLargeError(const std::string& what)
+      : InvalidArgumentError(what, ErrorCode::kDomainTooLarge) {}
+};
+
+/// Replaces std::logic_error throws: API misuse / broken invariants.
+class StateError : public std::logic_error, public Error {
+ public:
+  explicit StateError(const std::string& what,
+                      ErrorCode code = ErrorCode::kInvalidState)
+      : std::logic_error(what), Error(code) {}
+};
+
+/// Replaces std::runtime_error throws: environmental / runtime failures.
+class RuntimeError : public std::runtime_error, public Error {
+ public:
+  explicit RuntimeError(const std::string& what,
+                        ErrorCode code = ErrorCode::kUnknown)
+      : std::runtime_error(what), Error(code) {}
+};
+
+/// Thrown where cancellation cannot be reported as a partial result.
+class CancelledError : public RuntimeError {
+ public:
+  explicit CancelledError(const std::string& what)
+      : RuntimeError(what, ErrorCode::kCancelled) {}
+};
+
+/// Checkpoint load/save failures (framing, checksum, version, io).
+class CheckpointError : public RuntimeError {
+ public:
+  CheckpointError(const std::string& what, ErrorCode code)
+      : RuntimeError(what, code) {}
+};
+
+/// The deliberate failure a runtime::FaultPlan injects (distinguishable
+/// from every organic exception, so tests can assert provenance).
+class InjectedFaultError : public RuntimeError {
+ public:
+  explicit InjectedFaultError(const std::string& what)
+      : RuntimeError(what, ErrorCode::kFaultInjected) {}
+};
+
+/// Validates an explicit-enumeration request against its cap; throws
+/// DomainTooLargeError with a uniform message otherwise. Every entry point
+/// that materializes 2^bits states calls this (FunctionalGraph builders,
+/// ChoiceDigraph, GoE census, sweep-map census, ...).
+inline void require_explicit_bits(std::uint64_t bits, std::uint64_t limit,
+                                  const char* context) {
+  if (bits > limit) {
+    throw DomainTooLargeError(
+        std::string(context) + ": " + std::to_string(bits) +
+        " bits exceeds the explicit-enumeration limit of " +
+        std::to_string(limit) + " (2^" + std::to_string(limit) + " states)");
+  }
+}
+
+}  // namespace tca

@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic fault injection (docs/robustness.md).
+//
+// Graceful-degradation paths are code too, and untested ones rot. A
+// FaultPlan describes exactly one deliberate failure — "the k-th guarded
+// allocation throws bad_alloc", "the k-th thread-pool chunk throws", "the
+// k-th budgeted state visit cancels the run", "thread spawning fails" —
+// and ScopedFaultPlan installs it process-wide for the current scope. The
+// hooks below are compiled into the production code paths permanently:
+// with no plan installed they are a single relaxed atomic load.
+//
+// Counters are process-global and monotonically consumed, so a plan fires
+// exactly once no matter how many threads race through the hook; tests
+// install a fresh plan per scenario. Plans are for tests and the
+// fault-injection CI job only — nothing in production installs one.
+
+#include <cstdint>
+
+namespace tca::runtime {
+
+/// One deliberate failure. Counters are 1-based: `alloc_failure_at = 1`
+/// fails the first guarded allocation after installation. 0 == disabled.
+struct FaultPlan {
+  std::uint64_t alloc_failure_at = 0;    ///< check_alloc() throws bad_alloc
+  std::uint64_t chunk_exception_at = 0;  ///< k-th ThreadPool chunk throws
+                                         ///< InjectedFaultError
+  std::uint64_t cancel_at_visit = 0;     ///< k-th RunControl::note_states
+                                         ///< cancels that run's token
+  bool fail_thread_spawn = false;        ///< ThreadPool worker spawn throws
+};
+
+/// Installs `plan` for the lifetime of the scope; restores the previous
+/// plan (usually none) on destruction. Not reentrancy-safe across threads:
+/// intended for tests, which install one plan at a time.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+namespace fault {
+
+/// True iff any plan is installed (fast path for the hooks).
+[[nodiscard]] bool active() noexcept;
+
+/// Allocation guard: call before a large allocation; throws
+/// std::bad_alloc when the installed plan says this one fails.
+/// `bytes` is advisory (reported nowhere, reserved for future shaping).
+void check_alloc(std::uint64_t bytes = 0);
+
+/// ThreadPool chunk guard: throws tca::InjectedFaultError when the
+/// installed plan's chunk counter fires.
+void check_chunk();
+
+/// RunControl visit hook: returns true exactly once, when the installed
+/// plan's cancel_at_visit counter is consumed by this call's `n` visits.
+[[nodiscard]] bool tick_visit(std::uint64_t n) noexcept;
+
+/// ThreadPool spawn guard: returns true if worker-thread creation should
+/// be simulated as failing (the pool then degrades to serial execution).
+[[nodiscard]] bool should_fail_thread_spawn() noexcept;
+
+}  // namespace fault
+
+}  // namespace tca::runtime

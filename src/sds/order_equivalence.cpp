@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "runtime/error.hpp"
 #include "sds/sds.hpp"
 
 namespace tca::sds {
@@ -48,7 +49,7 @@ bool commutation_equivalent(const graph::Graph& g,
 std::uint64_t count_commutation_classes(const graph::Graph& g) {
   const std::size_t n = g.num_nodes();
   if (n > 9) {
-    throw std::invalid_argument("count_commutation_classes: n > 9");
+    throw tca::DomainTooLargeError("count_commutation_classes: n > 9");
   }
   std::vector<NodeId> perm(n);
   for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
@@ -63,7 +64,7 @@ std::uint64_t count_acyclic_orientations(const graph::Graph& g) {
   const auto edges = g.edges();
   const std::size_t m = edges.size();
   if (m > 24) {
-    throw std::invalid_argument("count_acyclic_orientations: m > 24");
+    throw tca::DomainTooLargeError("count_acyclic_orientations: m > 24");
   }
   const std::size_t n = g.num_nodes();
   std::uint64_t count = 0;
@@ -100,7 +101,7 @@ std::uint64_t count_acyclic_orientations(const graph::Graph& g) {
 std::uint64_t count_distinct_sweep_maps(const core::Automaton& a) {
   const std::size_t n = a.size();
   if (n > 9) {
-    throw std::invalid_argument("count_distinct_sweep_maps: n > 9");
+    throw tca::DomainTooLargeError("count_distinct_sweep_maps: n > 9");
   }
   std::vector<NodeId> perm(n);
   for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);

@@ -5,18 +5,19 @@
 
 #include "core/sequential.hpp"
 #include "phasespace/classify.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::sds {
 
 Sds::Sds(Automaton a, std::vector<NodeId> order)
     : a_(std::move(a)), order_(std::move(order)) {
   if (order_.size() != a_.size()) {
-    throw std::invalid_argument("Sds: order size != node count");
+    throw tca::InvalidArgumentError("Sds: order size != node count");
   }
   std::vector<bool> seen(a_.size(), false);
   for (NodeId v : order_) {
     if (v >= a_.size() || seen[v]) {
-      throw std::invalid_argument("Sds: order is not a permutation");
+      throw tca::InvalidArgumentError("Sds: order is not a permutation");
     }
     seen[v] = true;
   }

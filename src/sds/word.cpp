@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/sequential.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::sds {
 
@@ -10,7 +11,8 @@ WordSystem::WordSystem(Automaton a, std::vector<NodeId> word)
     : a_(std::move(a)), word_(std::move(word)) {
   for (NodeId v : word_) {
     if (v >= a_.size()) {
-      throw std::invalid_argument("WordSystem: node id out of range");
+      throw tca::InvalidArgumentError(
+          "WordSystem: node id out of range", tca::ErrorCode::kOutOfRange);
     }
   }
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/builders.hpp"
+#include "runtime/error.hpp"
 
 namespace tca::testing {
 namespace {
@@ -21,7 +22,7 @@ std::uint64_t parse_u64(std::string_view s) {
   const auto [ptr, ec] =
       std::from_chars(s.data(), s.data() + s.size(), value, base);
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
-    throw std::invalid_argument("TestCase: bad number '" + std::string(s) +
+    throw tca::InvalidArgumentError("TestCase: bad number '" + std::string(s) +
                                 "'");
   }
   return value;
@@ -64,7 +65,7 @@ rules::Rule RuleSpec::materialize(std::uint32_t arity) const {
       return rules::SymmetricRule{std::move(accept)};
     }
   }
-  throw std::logic_error("RuleSpec: unknown kind");
+  throw tca::StateError("RuleSpec: unknown kind");
 }
 
 std::string RuleSpec::describe() const {
@@ -133,7 +134,7 @@ TestCase TestCase::deserialize(std::string_view text) {
     }
     const auto eq = field.find('=');
     if (eq == std::string_view::npos) {
-      throw std::invalid_argument("TestCase: bad field '" +
+      throw tca::InvalidArgumentError("TestCase: bad field '" +
                                   std::string(field) + "'");
     }
     const auto key = field.substr(0, eq);
@@ -158,7 +159,7 @@ TestCase TestCase::deserialize(std::string_view text) {
         c.rule = RuleSpec{RuleSpec::Kind::kSymmetric, 1,
                           parse_u64(value.substr(4))};
       } else {
-        throw std::invalid_argument("TestCase: bad rule '" +
+        throw tca::InvalidArgumentError("TestCase: bad rule '" +
                                     std::string(value) + "'");
       }
     } else if (key == "cfg") {
@@ -172,7 +173,7 @@ TestCase TestCase::deserialize(std::string_view text) {
         for (const auto e : split(value, ',')) {
           const auto dash = e.find('-');
           if (dash == std::string_view::npos) {
-            throw std::invalid_argument("TestCase: bad edge '" +
+            throw tca::InvalidArgumentError("TestCase: bad edge '" +
                                         std::string(e) + "'");
           }
           graph::Edge edge{
@@ -183,12 +184,12 @@ TestCase TestCase::deserialize(std::string_view text) {
         }
       }
     } else {
-      throw std::invalid_argument("TestCase: unknown key '" +
+      throw tca::InvalidArgumentError("TestCase: unknown key '" +
                                   std::string(key) + "'");
     }
   }
   if (!saw_version) {
-    throw std::invalid_argument("TestCase: missing 'v1' version tag");
+    throw tca::InvalidArgumentError("TestCase: missing 'v1' version tag");
   }
   return c;
 }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "aca/aca.hpp"
+#include "aca/explorer.hpp"
 #include "analysis/energy.hpp"
 #include "core/block_sequential.hpp"
 #include "core/schedule.hpp"
@@ -16,6 +17,7 @@
 #include "graph/properties.hpp"
 #include "phasespace/classify.hpp"
 #include "phasespace/functional_graph.hpp"
+#include "runtime/budget.hpp"
 
 namespace tca::testing {
 namespace {
@@ -243,6 +245,83 @@ PropertyResult check_aca_subsumption(const TestCase& tc) {
   return PropertyResult::pass();
 }
 
+PropertyResult check_reach_subsumption(const TestCase& tc) {
+  // Full reach-set exploration is exponential in global-state bits, so
+  // only tiny systems qualify; everything else passes vacuously.
+  const std::size_t state_bits = tc.n + 2 * tc.edges.size();
+  if (tc.n == 0 || tc.n > 8 || state_bits > 63) return PropertyResult::pass();
+  const auto a = tc.automaton();
+
+  // Bounded exploration: on truncation the verdict's containment flags are
+  // meaningless, so the oracle SKIPS (vacuous pass) rather than fails —
+  // budget exhaustion is not a counterexample.
+  runtime::RunBudget budget;
+  budget.max_states = std::uint64_t{1} << 16;
+  runtime::RunControl control(budget);
+  const auto verdict =
+      aca::compare_reach_sets(a, tc.configuration().to_bits(), control);
+  if (verdict.truncated) return PropertyResult::pass();
+
+  if (!verdict.contains_synchronous) {
+    return PropertyResult::fail(
+        "reach(CA) not contained in reach(ACA): |CA|=" +
+        std::to_string(verdict.sync_total) + ", |ACA|=" +
+        std::to_string(verdict.aca_total));
+  }
+  if (!verdict.contains_sequential) {
+    return PropertyResult::fail(
+        "reach(SCA) not contained in reach(ACA): |SCA|=" +
+        std::to_string(verdict.seq_total) + ", |ACA|=" +
+        std::to_string(verdict.aca_total));
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_budget_truncation(const TestCase& tc) {
+  if (tc.n == 0 || tc.n > kExplicitBits) return PropertyResult::pass();
+  const auto a = tc.automaton();
+  const auto full = phasespace::FunctionalGraph::synchronous(a);
+  const std::uint64_t count = full.num_states();
+
+  // A state budget of half the space must stop the build exactly there,
+  // with the computed prefix bit-identical to the full table's.
+  const std::uint64_t cap = std::max<std::uint64_t>(1, count / 2);
+  runtime::RunBudget budget;
+  budget.max_states = cap;
+  runtime::RunControl control(budget);
+  const auto build = phasespace::FunctionalGraph::build_synchronous(a,
+                                                                    control);
+  if (cap >= count) {
+    if (!build.complete() ||
+        build.graph->successors() != full.successors()) {
+      return PropertyResult::fail("unlimited-enough budget still truncated");
+    }
+    return PropertyResult::pass();
+  }
+  if (!build.truncated() ||
+      build.status.stop_reason != runtime::StopReason::kMaxStates) {
+    return PropertyResult::fail(
+        "budget of " + std::to_string(cap) + "/" + std::to_string(count) +
+        " states did not stop the build with max-states (got " +
+        runtime::stop_reason_name(build.status.stop_reason) + ")");
+  }
+  if (build.states_built != cap ||
+      build.partial_succ.size() != build.states_built) {
+    return PropertyResult::fail(
+        "truncated build reports " + std::to_string(build.states_built) +
+        " states with a " + std::to_string(build.partial_succ.size()) +
+        "-entry prefix; budget was " + std::to_string(cap));
+  }
+  for (std::uint64_t s = 0; s < build.states_built; ++s) {
+    if (build.partial_succ[s] != full.succ(s)) {
+      return PropertyResult::fail(
+          "truncated prefix diverges from the full table at state " +
+          std::to_string(s));
+    }
+  }
+  return PropertyResult::pass();
+}
+
 std::vector<Oracle> build_registry() {
   std::vector<Oracle> r;
   CaseOptions any;
@@ -271,6 +350,10 @@ std::vector<Oracle> build_registry() {
   tiny.substrate = CaseOptions::SubstrateClass::kTiny;
   r.push_back({"aca-subsumption", "AcaSubsumption", tiny,
                check_aca_subsumption});
+  r.push_back({"reach-subsumption", "ReachSubsumption", tiny,
+               check_reach_subsumption});
+  r.push_back({"budget-truncation", "BudgetTruncation", any,
+               check_budget_truncation});
   return r;
 }
 

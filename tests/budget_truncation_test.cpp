@@ -1,0 +1,232 @@
+// Budget-truncation semantics across every budgeted engine
+// (docs/robustness.md): when a RunControl trips, each engine must return a
+// well-formed PARTIAL result — an exact prefix (serial builds), an exact
+// subset (BFS/DFS reach sets), or counts-only (parallel builds) — with
+// `truncated` and a correct stop_reason, and a generous budget must
+// reproduce the unbudgeted result bit-for-bit. Fixed tiny instances keep
+// every expectation deterministic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aca/explorer.hpp"
+#include "core/automaton.hpp"
+#include "core/thread_pool.hpp"
+#include "interleave/explorer.hpp"
+#include "interleave/vm.hpp"
+#include "phasespace/functional_graph.hpp"
+#include "phasespace/preimage.hpp"
+#include "rules/rule.hpp"
+#include "runtime/budget.hpp"
+
+namespace tca {
+namespace {
+
+using phasespace::FunctionalGraph;
+using runtime::RunBudget;
+using runtime::RunControl;
+using runtime::StopReason;
+
+core::Automaton majority_ring(std::uint32_t n) {
+  return core::Automaton::line(n, 1, core::Boundary::kRing, rules::majority(),
+                               core::Memory::kWith);
+}
+
+core::Automaton parity_ring(std::uint32_t n) {
+  return core::Automaton::line(n, 1, core::Boundary::kRing, rules::parity(),
+                               core::Memory::kWith);
+}
+
+TEST(BudgetTruncation, SerialBuildStopsWithExactPrefix) {
+  const auto a = parity_ring(8);  // 256 states
+  const auto full = FunctionalGraph::synchronous(a);
+
+  RunControl control(RunBudget{.max_states = 40});
+  const auto build = FunctionalGraph::build_synchronous(a, control);
+  ASSERT_TRUE(build.truncated());
+  EXPECT_FALSE(build.graph.has_value());
+  EXPECT_EQ(build.status.stop_reason, StopReason::kMaxStates);
+  // The budget admits 40 notes and trips on the 41st.
+  EXPECT_EQ(build.states_built, 40u);
+  ASSERT_EQ(build.partial_succ.size(), build.states_built);
+  for (std::uint64_t s = 0; s < build.states_built; ++s) {
+    EXPECT_EQ(build.partial_succ[s], full.succ(s)) << "state " << s;
+  }
+}
+
+TEST(BudgetTruncation, SweepBuildStopsWithExactPrefix) {
+  const auto a = majority_ring(7);
+  std::vector<core::NodeId> order{3, 1, 4, 0, 5, 2, 6};
+  const auto full = FunctionalGraph::sweep(a, order);
+
+  RunControl control(RunBudget{.max_states = 25});
+  const auto build = FunctionalGraph::build_sweep(a, order, control);
+  ASSERT_TRUE(build.truncated());
+  EXPECT_EQ(build.status.stop_reason, StopReason::kMaxStates);
+  EXPECT_EQ(build.states_built, 25u);
+  for (std::uint64_t s = 0; s < build.states_built; ++s) {
+    EXPECT_EQ(build.partial_succ[s], full.succ(s)) << "state " << s;
+  }
+}
+
+TEST(BudgetTruncation, GenerousBudgetReproducesTheUnbudgetedTable) {
+  const auto a = majority_ring(8);
+  const auto full = FunctionalGraph::synchronous(a);
+
+  RunControl control;  // unlimited
+  const auto build = FunctionalGraph::build_synchronous(a, control);
+  ASSERT_TRUE(build.complete());
+  EXPECT_EQ(build.status.stop_reason, StopReason::kNone);
+  EXPECT_EQ(build.graph->successors(), full.successors());
+  EXPECT_TRUE(build.partial_succ.empty());  // table lives in `graph`
+}
+
+TEST(BudgetTruncation, ParallelBuildReportsCountsOnlyWhenTruncated) {
+  const auto a = parity_ring(12);  // 4096 states, several 1024-wide chunks
+  core::ThreadPool pool(2);
+
+  RunControl control(RunBudget{.max_states = 64});
+  const auto build =
+      FunctionalGraph::build_synchronous_parallel(a, pool, control);
+  ASSERT_TRUE(build.truncated());
+  EXPECT_EQ(build.status.stop_reason, StopReason::kMaxStates);
+  // Chunks complete in nondeterministic order, so no prefix is promised —
+  // only counts (states_built counts CHARGED visits, bulk-noted 1024 at a
+  // time, so it can overshoot the 64-state budget but not reach the total:
+  // each participant observes the trip at its first bulk note).
+  EXPECT_TRUE(build.partial_succ.empty());
+  EXPECT_GT(build.states_built, 0u);
+  EXPECT_LT(build.states_built, std::uint64_t{1} << 12);
+
+  // And with no budget the parallel build completes, matching serial.
+  RunControl unlimited;
+  const auto ok =
+      FunctionalGraph::build_synchronous_parallel(a, pool, unlimited);
+  ASSERT_TRUE(ok.complete());
+  EXPECT_EQ(ok.graph->successors(),
+            FunctionalGraph::synchronous(a).successors());
+}
+
+TEST(BudgetTruncation, ByteBudgetRejectsTheTableUpFront) {
+  const auto a = parity_ring(12);  // 4096 states x 8 bytes
+  RunControl control(RunBudget{.max_bytes = 1024});
+  const auto build = FunctionalGraph::build_synchronous(a, control);
+  ASSERT_TRUE(build.truncated());
+  EXPECT_EQ(build.status.stop_reason, StopReason::kMaxBytes);
+}
+
+TEST(BudgetTruncation, AcaExploreReturnsSubsetOfFullReachSet) {
+  const auto a = majority_ring(5);
+  const aca::AcaSystem sys(a);
+  const auto full = aca::explore(sys, 0b00101);
+  ASSERT_FALSE(full.truncated);
+
+  RunControl control(RunBudget{.max_states = 40});
+  const auto partial = aca::explore(sys, 0b00101, control);
+  ASSERT_TRUE(partial.truncated);
+  EXPECT_EQ(partial.stop_reason, StopReason::kMaxStates);
+  EXPECT_LT(partial.global_states, full.global_states);
+  EXPECT_TRUE(std::includes(full.configs.begin(), full.configs.end(),
+                            partial.configs.begin(), partial.configs.end()));
+
+  // A budget larger than the space reproduces the full exploration.
+  RunControl roomy(RunBudget{.max_states = 1u << 20});
+  const auto again = aca::explore(sys, 0b00101, roomy);
+  EXPECT_FALSE(again.truncated);
+  EXPECT_EQ(again.configs, full.configs);
+  EXPECT_EQ(again.global_states, full.global_states);
+}
+
+TEST(BudgetTruncation, TruncatedSubsumptionVerdictIsFlaggedMeaningless) {
+  const auto a = majority_ring(5);
+  RunControl control(RunBudget{.max_states = 8});
+  const auto verdict = aca::compare_reach_sets(a, 0b00101, control);
+  ASSERT_TRUE(verdict.truncated);
+  EXPECT_NE(verdict.stop_reason, StopReason::kNone);
+  // Containment flags stay false on truncation: callers must skip.
+  EXPECT_FALSE(verdict.contains_synchronous);
+  EXPECT_FALSE(verdict.contains_sequential);
+}
+
+TEST(BudgetTruncation, InterleaveExplorerReturnsOutcomeSubset) {
+  const auto m = interleave::machine_level_example(7, 9);
+  const auto initial = m.initial({0});
+  const auto full = interleaving_outcomes(m, initial);
+
+  RunControl control(RunBudget{.max_states = 10});
+  const auto partial = interleaving_outcomes(m, initial, control);
+  ASSERT_TRUE(partial.truncated);
+  EXPECT_EQ(partial.stop_reason, StopReason::kMaxStates);
+  EXPECT_TRUE(std::includes(full.begin(), full.end(),
+                            partial.outcomes.begin(), partial.outcomes.end()));
+
+  RunControl unlimited;
+  const auto complete = interleaving_outcomes(m, initial, unlimited);
+  EXPECT_FALSE(complete.truncated);
+  EXPECT_EQ(complete.outcomes, full);
+}
+
+TEST(BudgetTruncation, GoeCensusScansAnExactPrefix) {
+  phasespace::RingPreimageSolver solver(rules::majority(), 1,
+                                        core::Memory::kWith);
+  const std::size_t n = 10;
+  const auto full = phasespace::count_gardens_of_eden_ring(solver, n);
+
+  RunControl control(RunBudget{.max_states = 100});
+  const auto census =
+      phasespace::count_gardens_of_eden_ring(solver, n, control);
+  ASSERT_TRUE(census.truncated);
+  EXPECT_EQ(census.stop_reason, StopReason::kMaxStates);
+  EXPECT_EQ(census.scanned, 100u);
+  // Recount the same prefix directly: scan order is ascending state code.
+  std::uint64_t expect = 0;
+  for (std::uint64_t code = 0; code < census.scanned; ++code) {
+    core::Configuration target(n);
+    for (std::size_t i = 0; i < n; ++i) target.set(i, (code >> i) & 1u);
+    if (solver.is_garden_of_eden(target)) ++expect;
+  }
+  EXPECT_EQ(census.gardens, expect);
+
+  RunControl unlimited;
+  const auto complete =
+      phasespace::count_gardens_of_eden_ring(solver, n, unlimited);
+  EXPECT_FALSE(complete.truncated);
+  EXPECT_EQ(complete.gardens, full);
+  EXPECT_EQ(complete.scanned, std::uint64_t{1} << n);
+}
+
+TEST(BudgetTruncation, PreCancelledControlStopsEveryEngineImmediately) {
+  RunBudget unlimited;
+  runtime::CancelToken token;
+  token.cancel();
+
+  const auto a = majority_ring(6);
+  {
+    RunControl control(unlimited, token);
+    const auto build = FunctionalGraph::build_synchronous(a, control);
+    EXPECT_TRUE(build.truncated());
+    EXPECT_EQ(build.status.stop_reason, StopReason::kCancelled);
+    EXPECT_EQ(build.states_built, 0u);
+  }
+  {
+    RunControl control(unlimited, token);
+    const aca::AcaSystem sys(a);
+    const auto reach = aca::explore(sys, 0, control);
+    EXPECT_TRUE(reach.truncated);
+    EXPECT_EQ(reach.stop_reason, StopReason::kCancelled);
+  }
+  {
+    RunControl control(unlimited, token);
+    phasespace::RingPreimageSolver solver(rules::majority(), 1,
+                                          core::Memory::kWith);
+    const auto census =
+        phasespace::count_gardens_of_eden_ring(solver, 8, control);
+    EXPECT_TRUE(census.truncated);
+    EXPECT_EQ(census.stop_reason, StopReason::kCancelled);
+    EXPECT_EQ(census.scanned, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tca

@@ -47,6 +47,11 @@ TEST(DifferentialFuzz, BipartiteTwoCycle) {
   run_oracle("bipartite-two-cycle");
 }
 TEST(DifferentialFuzz, AcaSubsumption) { run_oracle("aca-subsumption"); }
+TEST(DifferentialFuzz, ReachSubsumption) { run_oracle("reach-subsumption"); }
+
+// Robustness oracle: budgets truncate explicit builds into exact,
+// well-reported prefixes (docs/robustness.md).
+TEST(DifferentialFuzz, BudgetTruncation) { run_oracle("budget-truncation"); }
 
 // The registry and this file must not drift apart: every registered oracle
 // has a TEST above (checked by name).
@@ -54,7 +59,8 @@ TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
   const std::set<std::string> driven = {
       "engines-agree",     "sweep-consistency",   "sca-no-cycle",
       "parallel-period-two", "energy-descent",
-      "bipartite-two-cycle", "aca-subsumption"};
+      "bipartite-two-cycle", "aca-subsumption",
+      "reach-subsumption", "budget-truncation"};
   for (const auto& o : oracles()) {
     EXPECT_TRUE(driven.contains(o.name))
         << "oracle '" << o.name << "' is registered but has no fuzz TEST";

@@ -1,0 +1,315 @@
+// Unit tests for the fault-tolerant runtime primitives
+// (docs/robustness.md): RunBudget/RunControl accounting and latching,
+// CancelToken propagation, the tca::Error hierarchy, and the versioned
+// checksummed checkpoint format including its corruption/version failure
+// modes.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "runtime/budget.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/error.hpp"
+
+namespace tca::runtime {
+namespace {
+
+using tca::ErrorCode;
+
+// ---------------------------------------------------------------- budgets
+
+TEST(RunControl, UnlimitedNeverStops) {
+  RunControl control;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(control.note_states(), StopReason::kNone);
+    EXPECT_EQ(control.note_steps(), StopReason::kNone);
+    EXPECT_EQ(control.note_bytes(1 << 20), StopReason::kNone);
+  }
+  EXPECT_FALSE(control.should_stop());
+  EXPECT_FALSE(control.status().truncated());
+}
+
+TEST(RunControl, MaxStatesTripsAtExactCount) {
+  RunBudget budget;
+  budget.max_states = 10;
+  RunControl control(budget);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(control.note_states(), StopReason::kNone) << "visit " << i;
+  }
+  EXPECT_EQ(control.note_states(), StopReason::kMaxStates);
+  EXPECT_TRUE(control.should_stop());
+  EXPECT_EQ(control.status().stop_reason, StopReason::kMaxStates);
+  EXPECT_EQ(control.status().states, 11u);  // the tripping visit counts
+}
+
+TEST(RunControl, FirstTrippedReasonIsLatched) {
+  RunBudget budget;
+  budget.max_steps = 1;
+  budget.max_states = 1;
+  RunControl control(budget);
+  EXPECT_EQ(control.note_steps(2), StopReason::kMaxSteps);
+  // A later states trip reports the latched first reason.
+  EXPECT_EQ(control.note_states(5), StopReason::kMaxSteps);
+  EXPECT_EQ(control.status().stop_reason, StopReason::kMaxSteps);
+}
+
+TEST(RunControl, BulkNotesChargeTheWholeIncrement) {
+  RunBudget budget;
+  budget.max_bytes = 100;
+  RunControl control(budget);
+  EXPECT_EQ(control.note_bytes(60), StopReason::kNone);
+  EXPECT_EQ(control.note_bytes(60), StopReason::kMaxBytes);
+  EXPECT_EQ(control.status().bytes, 120u);
+}
+
+TEST(RunControl, BytesWouldFitPredictsWithoutCharging) {
+  RunBudget budget;
+  budget.max_bytes = 100;
+  RunControl control(budget);
+  EXPECT_TRUE(control.bytes_would_fit(100));
+  EXPECT_FALSE(control.bytes_would_fit(101));
+  EXPECT_EQ(control.status().bytes, 0u);
+  EXPECT_FALSE(control.should_stop());
+}
+
+TEST(RunControl, DeadlineTripsViaCheck) {
+  RunBudget budget;
+  budget.wall_limit = std::chrono::milliseconds(1);
+  RunControl control(budget);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(control.check(), StopReason::kDeadline);
+  EXPECT_TRUE(control.status().truncated());
+}
+
+TEST(RunControl, CancelTokenObservedFromAnotherThread) {
+  CancelToken token;
+  RunControl control(RunBudget::unlimited(), token);
+  EXPECT_FALSE(control.should_stop());
+  std::thread canceller([token] { token.cancel(); });
+  canceller.join();
+  EXPECT_EQ(control.check(), StopReason::kCancelled);
+  EXPECT_TRUE(control.should_stop());
+}
+
+TEST(RunControl, TokenCopiesShareTheFlag) {
+  CancelToken a;
+  const CancelToken b = a;
+  a.cancel();
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(StopReasonNames, AreStable) {
+  EXPECT_STREQ(stop_reason_name(StopReason::kNone), "none");
+  EXPECT_STREQ(stop_reason_name(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(stop_reason_name(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(stop_reason_name(StopReason::kMaxSteps), "max-steps");
+  EXPECT_STREQ(stop_reason_name(StopReason::kMaxStates), "max-states");
+  EXPECT_STREQ(stop_reason_name(StopReason::kMaxBytes), "max-bytes");
+}
+
+// ----------------------------------------------------------------- errors
+
+TEST(ErrorHierarchy, DerivesFromTheStandardTypesItReplaced) {
+  // Pre-existing EXPECT_THROW(..., std::invalid_argument) sites must keep
+  // passing after the sweep to the tca hierarchy.
+  EXPECT_THROW(throw tca::InvalidArgumentError("x"), std::invalid_argument);
+  EXPECT_THROW(throw tca::DomainTooLargeError("x"), std::invalid_argument);
+  EXPECT_THROW(throw tca::StateError("x"), std::logic_error);
+  EXPECT_THROW(throw tca::RuntimeError("x"), std::runtime_error);
+  EXPECT_THROW(throw tca::CancelledError("x"), std::runtime_error);
+  EXPECT_THROW(throw tca::InjectedFaultError("x"), std::runtime_error);
+}
+
+TEST(ErrorHierarchy, MixinCarriesTheCode) {
+  try {
+    throw tca::DomainTooLargeError("too big");
+  } catch (const tca::Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDomainTooLarge);
+  }
+  try {
+    throw tca::InvalidArgumentError("mismatch", ErrorCode::kSizeMismatch);
+  } catch (const tca::Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSizeMismatch);
+  }
+  try {
+    throw tca::CheckpointError("bad", ErrorCode::kCheckpointCorrupt);
+  } catch (const tca::Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt);
+  }
+}
+
+TEST(ErrorHierarchy, CodeNamesAreStable) {
+  EXPECT_STREQ(tca::error_code_name(ErrorCode::kInvalidArgument),
+               "invalid-argument");
+  EXPECT_STREQ(tca::error_code_name(ErrorCode::kDomainTooLarge),
+               "domain-too-large");
+  EXPECT_STREQ(tca::error_code_name(ErrorCode::kCheckpointCorrupt),
+               "checkpoint-corrupt");
+  EXPECT_STREQ(tca::error_code_name(ErrorCode::kFaultInjected),
+               "fault-injected");
+}
+
+TEST(RequireExplicitBits, PassesAtTheLimitThrowsPastIt) {
+  EXPECT_NO_THROW(tca::require_explicit_bits(26, 26, "t"));
+  EXPECT_THROW(tca::require_explicit_bits(27, 26, "t"),
+               tca::DomainTooLargeError);
+  try {
+    tca::require_explicit_bits(30, 26, "my_context");
+  } catch (const tca::DomainTooLargeError& e) {
+    EXPECT_NE(std::string(e.what()).find("my_context"), std::string::npos);
+    EXPECT_EQ(e.code(), ErrorCode::kDomainTooLarge);
+  }
+}
+
+// ------------------------------------------------------------ checkpoints
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tca_ckpt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, RoundTripsArbitraryPayloads) {
+  Checkpoint ck;
+  ck.payload = "sweep=demo\ndone=a|PASS|detail with | pipe\n\x01\xff binary";
+  save_checkpoint(path("rt.ckpt"), ck);
+  const Checkpoint back = load_checkpoint(path("rt.ckpt"));
+  EXPECT_EQ(back.version, kCheckpointVersion);
+  EXPECT_EQ(back.payload, ck.payload);
+  // The atomic tmp+rename write leaves no temp file behind.
+  EXPECT_FALSE(std::filesystem::exists(path("rt.ckpt") + ".tmp"));
+}
+
+TEST_F(CheckpointTest, EmptyPayloadRoundTrips) {
+  save_checkpoint(path("empty.ckpt"), Checkpoint{});
+  EXPECT_EQ(load_checkpoint(path("empty.ckpt")).payload, "");
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteFailsTheChecksum) {
+  Checkpoint ck;
+  ck.payload = "sweep=demo\ndone=a|PASS|x\n";
+  save_checkpoint(path("c.ckpt"), ck);
+  std::string raw;
+  {
+    std::ifstream in(path("c.ckpt"), std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  raw[raw.size() - 3] ^= 0x20;
+  {
+    std::ofstream out(path("c.ckpt"), std::ios::binary | std::ios::trunc);
+    out << raw;
+  }
+  try {
+    (void)load_checkpoint(path("c.ckpt"));
+    FAIL() << "corrupt checkpoint loaded";
+  } catch (const tca::CheckpointError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt);
+  }
+}
+
+TEST_F(CheckpointTest, TruncatedFileIsCorrupt) {
+  Checkpoint ck;
+  ck.payload = std::string(1000, 'x');
+  save_checkpoint(path("t.ckpt"), ck);
+  std::string raw;
+  {
+    std::ifstream in(path("t.ckpt"), std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(path("t.ckpt"), std::ios::binary | std::ios::trunc);
+    out << raw.substr(0, raw.size() / 2);
+  }
+  try {
+    (void)load_checkpoint(path("t.ckpt"));
+    FAIL() << "truncated checkpoint loaded";
+  } catch (const tca::CheckpointError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt);
+  }
+}
+
+TEST_F(CheckpointTest, WrongMagicIsCorrupt) {
+  {
+    std::ofstream out(path("m.ckpt"), std::ios::binary);
+    out << "NOT-A-CHECKPOINT\n";
+  }
+  try {
+    (void)load_checkpoint(path("m.ckpt"));
+    FAIL() << "bogus file loaded";
+  } catch (const tca::CheckpointError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt);
+  }
+}
+
+TEST_F(CheckpointTest, FutureVersionIsRejectedAsVersionError) {
+  save_checkpoint(path("v.ckpt"), Checkpoint{});
+  std::string raw;
+  {
+    std::ifstream in(path("v.ckpt"), std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::string magic = "TCA-CKPT v1";
+  raw.replace(raw.find(magic), magic.size(), "TCA-CKPT v9");
+  {
+    std::ofstream out(path("v.ckpt"), std::ios::binary | std::ios::trunc);
+    out << raw;
+  }
+  try {
+    (void)load_checkpoint(path("v.ckpt"));
+    FAIL() << "future-version checkpoint loaded";
+  } catch (const tca::CheckpointError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointVersion);
+  }
+}
+
+TEST_F(CheckpointTest, TryLoadReturnsNulloptInsteadOfThrowing) {
+  EXPECT_FALSE(try_load_checkpoint(path("missing.ckpt")).has_value());
+  {
+    std::ofstream out(path("junk.ckpt"), std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(try_load_checkpoint(path("junk.ckpt")).has_value());
+  Checkpoint ck;
+  ck.payload = "ok";
+  save_checkpoint(path("good.ckpt"), ck);
+  const auto loaded = try_load_checkpoint(path("good.ckpt"));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->payload, "ok");
+}
+
+TEST_F(CheckpointTest, SaveIntoMissingDirectoryThrowsIoError) {
+  try {
+    save_checkpoint(path("no/such/dir/x.ckpt"), Checkpoint{});
+    FAIL() << "save into a missing directory succeeded";
+  } catch (const tca::CheckpointError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace tca::runtime

@@ -1,14 +1,19 @@
-// Edge-case and stress coverage for core::ThreadPool (src/core/
-// thread_pool.hpp): empty ranges, ranges smaller than the alignment unit,
-// alignment larger than the range, pool size 1 vs hardware_concurrency,
-// and a repeated fork-join stress loop. The stress tests are what the TSan
-// CI job exercises (ctest -L sanitizer under -DTCA_SANITIZE=thread).
+// Edge-case, stress, and FAILURE-PATH coverage for core::ThreadPool
+// (src/core/thread_pool.hpp): empty ranges, ranges smaller than the
+// alignment unit, alignment larger than the range, pool size 1 vs
+// hardware_concurrency, a repeated fork-join stress loop — plus the
+// robustness paths (docs/robustness.md): chunk exceptions rethrown at the
+// join barrier without deadlock, cooperative cancellation between chunks,
+// and spawn-failure degradation to serial execution. The stress tests are
+// what the TSan CI job exercises (ctest -L sanitizer under
+// -DTCA_SANITIZE=thread).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/automaton.hpp"
@@ -16,6 +21,9 @@
 #include "core/thread_pool.hpp"
 #include "core/threaded.hpp"
 #include "graph/builders.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/error.hpp"
+#include "runtime/fault.hpp"
 
 namespace tca::core {
 namespace {
@@ -146,6 +154,129 @@ TEST(ThreadPoolStress, ManyPoolsConstructedAndDestroyed) {
       ASSERT_EQ(hits.load(), 64);
     }
   }
+}
+
+TEST(ThreadPoolFailure, ChunkExceptionRethrownAtJoinWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  const auto boom = [&](std::size_t b, std::size_t) {
+    ++ran;
+    if (b == 0) throw std::runtime_error("chunk 0 failed");
+  };
+  EXPECT_THROW(pool.parallel_for(0, 4096, 1, boom), std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+
+  // The pool stays fully usable: the next run executes exactly once over
+  // the whole range.
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 4096, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 4095L * 4096 / 2);
+}
+
+TEST(ThreadPoolFailure, EveryChunkThrowingStillRethrowsExactlyOnce) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(0, 1000, 1,
+                          [](std::size_t, std::size_t) {
+                            throw std::logic_error("all chunks fail");
+                          }),
+        std::logic_error)
+        << "round " << round;
+  }
+}
+
+TEST(ThreadPoolFailure, ExceptionStopsRemainingChunks) {
+  // After a chunk throws, other participants must stop picking up new
+  // chunks (abandon flag), so on a big range most chunks never run.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(0, 1 << 20, 1,
+                                 [&](std::size_t, std::size_t) {
+                                   ++ran;
+                                   throw std::runtime_error("first");
+                                 }),
+               std::runtime_error);
+  // At most one in-flight chunk per participant before the flag is seen.
+  EXPECT_LE(ran.load(), static_cast<int>(pool.size()));
+}
+
+TEST(ThreadPoolFailure, CancellationBetweenChunksLeavesBufferConsistent) {
+  ThreadPool pool(4);
+  runtime::RunBudget budget;
+  budget.max_steps = 1;  // trips after the first charged chunk
+  runtime::RunControl control(budget);
+
+  std::vector<int> data(1 << 16, 0);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> completed;
+  const auto reason = pool.parallel_for(
+      0, data.size(), 64,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) data[i] = static_cast<int>(i) + 1;
+        control.note_steps();
+        const std::lock_guard lock(m);
+        completed.emplace_back(b, e);
+      },
+      &control);
+  EXPECT_EQ(reason, runtime::StopReason::kMaxSteps);
+
+  // Buffer consistency: every element is either untouched or fully
+  // written, matching exactly the chunks that completed — a chunk is never
+  // half-applied by cancellation (it is only checked between chunks).
+  std::vector<bool> expected(data.size(), false);
+  for (const auto& [b, e] : completed) {
+    for (std::size_t i = b; i < e; ++i) expected[i] = true;
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i] != 0, expected[i]) << "element " << i;
+    if (data[i] != 0) ASSERT_EQ(data[i], static_cast<int>(i) + 1);
+  }
+  // Cancellation really pruned work: nowhere near the full range ran.
+  EXPECT_LT(completed.size() * 64, data.size());
+}
+
+TEST(ThreadPoolFailure, PreCancelledControlRunsNoChunks) {
+  ThreadPool pool(4);
+  runtime::CancelToken token;
+  token.cancel();
+  runtime::RunControl control(runtime::RunBudget::unlimited(), token);
+  std::atomic<int> ran{0};
+  const auto reason = pool.parallel_for(
+      0, 4096, 1, [&](std::size_t, std::size_t) { ++ran; }, &control);
+  EXPECT_EQ(reason, runtime::StopReason::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolFailure, InjectedChunkFaultSurfacesAsInjectedFaultError) {
+  ThreadPool pool(2);
+  runtime::ScopedFaultPlan plan({.chunk_exception_at = 1});
+  EXPECT_THROW(
+      pool.parallel_for(0, 1024, 1, [](std::size_t, std::size_t) {}),
+      tca::InjectedFaultError);
+  // Plan consumed: the next run is clean.
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 1024, 1, [&](std::size_t b, std::size_t e) {
+    hits += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(hits.load(), 1024);
+}
+
+TEST(ThreadPoolFailure, SpawnFailureDegradesToCallerOnlyExecution) {
+  runtime::ScopedFaultPlan plan({.fail_thread_spawn = true});
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 1u) << "all spawns failed: caller-only pool";
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> foreign{false};
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 1000, 1, [&](std::size_t b, std::size_t e) {
+    if (std::this_thread::get_id() != caller) foreign = true;
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<long>(i);
+  });
+  EXPECT_FALSE(foreign.load());
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
 }
 
 }  // namespace
