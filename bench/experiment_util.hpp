@@ -6,6 +6,11 @@
 // exception isolation + versioned checkpoint/resume, so a sweep killed
 // halfway through restarts from the last completed experiment and still
 // produces bit-identical final verdicts.
+//
+// Both Verdict and ExperimentDriver end a run by writing a RunManifest
+// (obs/manifest.hpp) into results/ — the machine-readable artifact that
+// scripts/check_bench.py diffs; the human-readable stdout summary is
+// unchanged.
 
 #include <chrono>
 #include <condition_variable>
@@ -17,11 +22,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/error.hpp"
@@ -36,16 +44,44 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::printf("=============================================================\n");
 }
 
-/// Accumulates named checks and prints the final verdict.
+/// Accumulates named checks and prints the final verdict. finish() also
+/// writes `<results_dir>/<id>.manifest.json` recording every check, so the
+/// run leaves a machine-readable artifact alongside the stdout summary.
 class Verdict {
  public:
   void check(const std::string& name, bool ok) {
+    check(name, ok, "");
+  }
+
+  void check(const std::string& name, bool ok, const std::string& detail) {
     std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", name.c_str());
+    checks_.push_back({name, ok ? "PASS" : "FAIL", detail});
     if (!ok) failed_ = true;
   }
 
-  /// Prints the summary line and returns the process exit code.
+  /// Records the invocation line and/or seed for the manifest (optional).
+  void set_argv(int argc, char** argv) {
+    argv_.assign(argv, argv + argc);
+  }
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  /// Prints the summary line, writes the manifest, and returns the
+  /// process exit code.
   int finish(const std::string& id) const {
+    obs::RunManifest manifest;
+    manifest.tool = id;
+    manifest.status = failed_ ? "FAIL" : "PASS";
+    manifest.seed = seed_;
+    manifest.argv = argv_;
+    manifest.checks = checks_;
+    manifest.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::string path = obs::manifest_path(id);
+    if (manifest.try_write(path)) {
+      std::printf("manifest: %s\n", path.c_str());
+    }
     std::printf("-------------------------------------------------------------\n");
     std::printf("%s: %s\n", id.c_str(), failed_ ? "FAIL" : "PASS");
     return failed_ ? 1 : 0;
@@ -53,6 +89,11 @@ class Verdict {
 
  private:
   bool failed_ = false;
+  std::vector<obs::ManifestCheck> checks_;
+  std::vector<std::string> argv_;
+  std::optional<std::uint64_t> seed_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 };
 
 /// What one sub-experiment reports back to the driver.
@@ -136,15 +177,36 @@ class ExperimentDriver {
   }
 
   /// Prints the machine-diffable summary section and the final verdict
-  /// line; returns the process exit code.
+  /// line, writes the sweep's RunManifest, and returns the process exit
+  /// code.
   int finish() const {
     std::printf("\n== summary ==\n");
     bool failed = false;
+    obs::RunManifest manifest;
+    manifest.tool = name_;
+    manifest.seed = runtime::fnv1a64(name_);
+    if (opts_.watchdog.count() > 0) {
+      manifest.budgets["watchdog_s"] = std::to_string(opts_.watchdog.count());
+    }
+    if (!opts_.checkpoint_path.empty()) {
+      manifest.extra["checkpoint"] = opts_.checkpoint_path;
+      manifest.extra["resumed"] = opts_.resume ? "true" : "false";
+    }
     for (const std::string& id : order_) {
       const Entry& e = completed_.at(id);
       std::printf("  [%s] %s%s%s\n", e.status.c_str(), id.c_str(),
                   e.detail.empty() ? "" : " — ", e.detail.c_str());
+      manifest.checks.push_back({id, e.status, e.detail});
       if (e.status != "PASS") failed = true;
+    }
+    manifest.status = failed ? "FAIL" : "PASS";
+    manifest.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::string path = obs::manifest_path(name_);
+    if (manifest.try_write(path)) {
+      std::printf("manifest: %s\n", path.c_str());
     }
     std::printf("%s: %s\n", name_.c_str(), failed ? "FAIL" : "PASS");
     return failed ? 1 : 0;
@@ -244,7 +306,8 @@ class ExperimentDriver {
     try {
       runtime::save_checkpoint(opts_.checkpoint_path, ck);
     } catch (const tca::CheckpointError& e) {
-      std::fprintf(stderr, "warning: checkpoint write failed: %s\n", e.what());
+      obs::log_event(obs::LogLevel::kWarn, "driver.checkpoint_write_failed",
+                     {{"path", opts_.checkpoint_path}, {"error", e.what()}});
     }
   }
 
@@ -261,9 +324,10 @@ class ExperimentDriver {
       if (line.rfind("sweep=", 0) == 0) {
         sweep_ok = line.substr(6) == name_;
         if (!sweep_ok) {
-          std::fprintf(stderr,
-                       "warning: checkpoint belongs to sweep '%s'; ignoring\n",
-                       line.substr(6).c_str());
+          obs::log_event(obs::LogLevel::kWarn, "driver.checkpoint_mismatch",
+                         {{"expected_sweep", name_},
+                          {"found_sweep", line.substr(6)},
+                          {"path", opts_.checkpoint_path}});
           return;
         }
       } else if (sweep_ok && line.rfind("done=", 0) == 0) {
@@ -285,6 +349,8 @@ class ExperimentDriver {
   DriverOptions opts_;
   std::map<std::string, Entry> completed_;
   std::vector<std::string> order_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace tca::bench

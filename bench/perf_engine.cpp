@@ -16,6 +16,7 @@
 #include "core/synchronous.hpp"
 #include "core/thread_pool.hpp"
 #include "core/threaded.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -126,6 +127,34 @@ void BM_SequentialSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SequentialSweep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+// Metrics-on vs metrics-off ablation for the observability acceptance
+// criterion: the generic synchronous engine with metering enabled must be
+// within 5% of the same engine with metering disabled (two relaxed
+// fetch_adds per step is the entire delta). Compare
+// BM_SynchronousMetrics/<n>/1 against .../0 with scripts/check_bench.py.
+void BM_SynchronousMetrics(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool enabled = state.range(1) != 0;
+  const bool was_enabled = tca::obs::metrics_enabled();
+  tca::obs::set_metrics_enabled(enabled);
+  const auto a = core::Automaton::line(n, 1, core::Boundary::kRing,
+                                       rules::majority(), core::Memory::kWith);
+  auto front = random_config(n, 8);
+  core::Configuration back(n);
+  for (auto _ : state) {
+    core::step_synchronous(a, front, back);
+    std::swap(front, back);
+  }
+  tca::obs::set_metrics_enabled(was_enabled);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SynchronousMetrics)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1});
 
 void BM_RadiusScaling(benchmark::State& state) {
   const std::size_t n = 1 << 14;

@@ -1,0 +1,83 @@
+// Custom google-benchmark entry point for the perf_* / ablation_*
+// binaries: identical console output to benchmark_main, plus a
+// RunManifest (obs/manifest.hpp) written into results/ capturing every
+// per-iteration timing — the artifact scripts/check_bench.py diffs for
+// regressions, so CI never scrapes benchmark stdout.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/manifest.hpp"
+
+namespace {
+
+/// ConsoleReporter that additionally collects per-run timings for the
+/// manifest. Aggregate rows (mean/median/stddev of repetitions) are
+/// skipped: check_bench.py compares raw iteration rows.
+class ManifestReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Aggregate) continue;
+      if (run.error_occurred) {
+        errors_ = true;
+        continue;
+      }
+      tca::obs::BenchmarkTiming t;
+      t.name = run.benchmark_name();
+      t.real_time = run.GetAdjustedRealTime();
+      t.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) t.items_per_second = it->second.value;
+      t.iterations = static_cast<std::uint64_t>(run.iterations);
+      timings_.push_back(std::move(t));
+    }
+  }
+
+  [[nodiscard]] const std::vector<tca::obs::BenchmarkTiming>& timings() const {
+    return timings_;
+  }
+  [[nodiscard]] bool errors() const { return errors_; }
+
+ private:
+  std::vector<tca::obs::BenchmarkTiming> timings_;
+  bool errors_ = false;
+};
+
+std::string tool_name(const char* argv0) {
+  const std::string path = argv0;
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
+  tca::obs::RunManifest manifest;
+  manifest.tool = tool_name(argv[0]);
+  manifest.argv.assign(argv, argv + argc);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ManifestReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  manifest.status = reporter.errors() ? "ERROR" : "PASS";
+  manifest.benchmarks = reporter.timings();
+  manifest.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  const std::string path = tca::obs::manifest_path(manifest.tool);
+  if (manifest.try_write(path)) {
+    std::printf("manifest: %s\n", path.c_str());
+  }
+  return reporter.errors() ? 1 : 0;
+}

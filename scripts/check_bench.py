@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Compare two RunManifest JSON files for performance/metric regressions.
+
+Reads the schema described in docs/observability.md (written by every
+perf_* / ablation_* binary via bench/perf_main.cpp, and by the experiment
+harnesses via bench/experiment_util.hpp) and diffs:
+
+  * benchmarks — matched by name; `real_time` is lower-is-better,
+    `items_per_second` is higher-is-better. A change worse than
+    --threshold percent is a regression.
+  * selected metrics (--metric counters.NAME) — deterministic counters
+    (states visited, steps executed) must not drift in EITHER direction
+    beyond --metric-threshold percent (default 0: exact match), which
+    catches silent algorithmic changes that timing noise would hide.
+
+Exit codes: 0 = no regression, 1 = regression(s) found, 2 = bad
+invocation or unreadable/invalid input. Unknown JSON fields are ignored
+(the manifest versioning policy); a schema_version ahead of this script
+is an error.
+
+Self-test (runs without any files, used by CI):
+    check_bench.py --self-test
+injects a 50% slowdown into a synthetic manifest pair and asserts it is
+detected, and asserts a clean pair passes.
+"""
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def fail_usage(msg):
+    print(f"check_bench: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_manifest(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail_usage(f"cannot read manifest '{path}': {e}")
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version > SUPPORTED_SCHEMA:
+        fail_usage(
+            f"'{path}' has schema_version {version!r}; this script "
+            f"understands <= {SUPPORTED_SCHEMA}")
+    return doc
+
+
+def pct_change(baseline, current):
+    """Signed percent change from baseline; None when undefined."""
+    if baseline == 0:
+        return None if current == 0 else float("inf")
+    return (current - baseline) / baseline * 100.0
+
+
+def lookup_metric(doc, dotted):
+    """Resolve 'counters.NAME' / 'gauges.NAME' inside manifest['metrics']."""
+    kind, _, name = dotted.partition(".")
+    if kind not in ("counters", "gauges") or not name:
+        fail_usage(f"--metric must look like counters.NAME, got '{dotted}'")
+    return doc.get("metrics", {}).get(kind, {}).get(name)
+
+
+def compare_benchmarks(baseline, current, threshold, report):
+    base_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    cur_by_name = {b["name"]: b for b in current.get("benchmarks", [])}
+    regressions = 0
+    for name, base in sorted(base_by_name.items()):
+        cur = cur_by_name.get(name)
+        if cur is None:
+            report(f"MISSING  {name}: present in baseline, absent in current")
+            regressions += 1
+            continue
+        # real_time: lower is better → positive change is a slowdown.
+        change = pct_change(base.get("real_time", 0), cur.get("real_time", 0))
+        if change is not None and change > threshold:
+            report(f"REGRESS  {name}: real_time {base['real_time']:.6g} -> "
+                   f"{cur['real_time']:.6g} {cur.get('time_unit', '')} "
+                   f"(+{change:.1f}% > {threshold:.1f}%)")
+            regressions += 1
+        else:
+            detail = "n/a" if change is None else f"{change:+.1f}%"
+            report(f"ok       {name}: real_time {detail}")
+        # items_per_second: higher is better → negative change beyond the
+        # threshold is a regression. Only compared when both sides report it.
+        base_ips = base.get("items_per_second", 0)
+        cur_ips = cur.get("items_per_second", 0)
+        if base_ips > 0 and cur_ips > 0:
+            change = pct_change(base_ips, cur_ips)
+            if change is not None and change < -threshold:
+                report(f"REGRESS  {name}: items_per_second {base_ips:.4g} -> "
+                       f"{cur_ips:.4g} ({change:.1f}% < -{threshold:.1f}%)")
+                regressions += 1
+    return regressions
+
+
+def compare_metrics(baseline, current, metric_names, threshold, report):
+    regressions = 0
+    for dotted in metric_names:
+        base_v = lookup_metric(baseline, dotted)
+        cur_v = lookup_metric(current, dotted)
+        if base_v is None or cur_v is None:
+            side = "baseline" if base_v is None else "current"
+            report(f"MISSING  metric {dotted}: absent in {side} manifest")
+            regressions += 1
+            continue
+        change = pct_change(base_v, cur_v)
+        drift = abs(change) if change is not None else 0.0
+        if drift > threshold:
+            report(f"DRIFT    metric {dotted}: {base_v} -> {cur_v} "
+                   f"({change:+.2f}%, allowed ±{threshold:.2f}%)")
+            regressions += 1
+        else:
+            report(f"ok       metric {dotted}: {base_v} -> {cur_v}")
+    return regressions
+
+
+def run_compare(baseline_doc, current_doc, args, report=print):
+    regressions = compare_benchmarks(
+        baseline_doc, current_doc, args.threshold, report)
+    if args.metric:
+        regressions += compare_metrics(
+            baseline_doc, current_doc, args.metric, args.metric_threshold,
+            report)
+    return regressions
+
+
+def synthetic_manifest(scale=1.0, counter_value=645120):
+    return {
+        "schema_version": 1,
+        "tool": "selftest",
+        "status": "PASS",
+        "benchmarks": [
+            {"name": "BM_Fast/1024", "real_time": 100.0 * scale,
+             "time_unit": "ns", "items_per_second": 1.0e7 / scale,
+             "iterations": 1000},
+            {"name": "BM_Slow/4096", "real_time": 900.0 * scale,
+             "time_unit": "ns", "items_per_second": 4.5e6 / scale,
+             "iterations": 200},
+        ],
+        "metrics": {"counters": {"phasespace.build.states": counter_value},
+                    "gauges": {}, "histograms": {}},
+    }
+
+
+def self_test():
+    class Args:
+        threshold = 10.0
+        metric = ["counters.phasespace.build.states"]
+        metric_threshold = 0.0
+
+    quiet = lambda *_: None  # noqa: E731
+
+    clean = run_compare(synthetic_manifest(), synthetic_manifest(),
+                        Args(), quiet)
+    assert clean == 0, f"clean pair flagged {clean} regressions"
+
+    # Injected 50% slowdown: both timing directions must fire on both
+    # benchmarks (real_time up 50%, items_per_second down 33%).
+    slow = run_compare(synthetic_manifest(), synthetic_manifest(scale=1.5),
+                       Args(), quiet)
+    assert slow == 4, f"50% slowdown produced {slow} findings, expected 4"
+
+    drift = run_compare(synthetic_manifest(),
+                        synthetic_manifest(counter_value=645121),
+                        Args(), quiet)
+    assert drift == 1, f"counter drift produced {drift} findings, expected 1"
+
+    fast = run_compare(synthetic_manifest(), synthetic_manifest(scale=0.5),
+                       Args(), quiet)
+    assert fast == 0, f"speedup flagged {fast} regressions"
+
+    print("check_bench self-test: PASS")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two RunManifest files for regressions.")
+    parser.add_argument("baseline", nargs="?", help="baseline manifest JSON")
+    parser.add_argument("current", nargs="?", help="current manifest JSON")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="allowed benchmark slowdown in percent "
+                             "(default: 10)")
+    parser.add_argument("--metric", action="append", default=[],
+                        metavar="counters.NAME",
+                        help="deterministic metric to compare exactly "
+                             "(repeatable)")
+    parser.add_argument("--metric-threshold", type=float, default=0.0,
+                        help="allowed metric drift in percent (default: 0)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify this script detects an injected "
+                             "50%% regression, then exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.current:
+        fail_usage("need BASELINE and CURRENT manifest paths "
+                   "(or --self-test)")
+
+    baseline_doc = load_manifest(args.baseline)
+    current_doc = load_manifest(args.current)
+    print(f"baseline: {args.baseline} ({baseline_doc.get('tool', '?')}, "
+          f"git {baseline_doc.get('build', {}).get('git_sha', '?')[:12]})")
+    print(f"current:  {args.current} ({current_doc.get('tool', '?')}, "
+          f"git {current_doc.get('build', {}).get('git_sha', '?')[:12]})")
+    regressions = run_compare(baseline_doc, current_doc, args)
+    if regressions:
+        print(f"check_bench: {regressions} regression(s) found")
+        sys.exit(1)
+    print("check_bench: no regressions")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

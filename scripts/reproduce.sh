@@ -13,6 +13,11 @@ cd "$(dirname "$0")/.."
 # Per-binary wall-clock limit (seconds); override: BENCH_TIMEOUT=60 ...
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 
+# Every binary writes its RunManifest here (docs/observability.md), and
+# this script writes its own stage summary as results/reproduce.manifest.json.
+export TCA_RESULTS_DIR="${TCA_RESULTS_DIR:-$PWD/results}"
+mkdir -p "$TCA_RESULTS_DIR"
+
 failures=0
 
 cmake -B build -G Ninja || exit 1
@@ -58,6 +63,45 @@ grep -E "^[A-Z0-9-]+: (PASS|FAIL)$" bench_output.txt || true
 echo
 echo "== binary summary =="
 printf '%s\n' "${summary[@]}"
+
+# Machine-readable stage summary, same RunManifest schema the binaries
+# write (scripts/check_bench.py reads it; see docs/observability.md).
+CTEST_STATUS="$ctest_status" FAILURES="$failures" \
+  MANIFEST="$TCA_RESULTS_DIR/reproduce.manifest.json" \
+  python3 - "${summary[@]}" <<'PYEOF'
+import json, os, subprocess, sys, time
+
+def git(*args):
+    try:
+        return subprocess.run(("git",) + args, capture_output=True,
+                              text=True, check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+checks = [{"id": "ctest",
+           "status": "PASS" if os.environ["CTEST_STATUS"] == "0" else "FAIL",
+           "detail": "exit " + os.environ["CTEST_STATUS"]}]
+for line in sys.argv[1:]:
+    status, _, rest = line.partition(" ")
+    name, _, detail = rest.strip().partition(" ")
+    checks.append({"id": name, "status": status, "detail": detail.strip("()")})
+
+manifest = {
+    "schema_version": 1,
+    "tool": "reproduce",
+    "status": "PASS" if os.environ["FAILURES"] == "0" else "FAIL",
+    "created_unix_ms": int(time.time() * 1000),
+    "build": {"git_sha": git("rev-parse", "HEAD"),
+              "git_dirty": bool(git("status", "--porcelain"))},
+    "checks": checks,
+}
+path = os.environ["MANIFEST"]
+with open(path + ".tmp", "w", encoding="utf-8") as f:
+    json.dump(manifest, f)
+    f.write("\n")
+os.replace(path + ".tmp", path)
+print(f"manifest: {path}")
+PYEOF
 
 if [ "$failures" -ne 0 ]; then
   echo

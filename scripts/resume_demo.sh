@@ -3,6 +3,9 @@
 # (docs/robustness.md): run the robustness sweep to completion, then run it
 # again, SIGKILL it mid-sweep, resume from its checkpoint, and assert the
 # resumed run's final summary is bit-identical to the uninterrupted one.
+# A final stage truncates a checkpoint and asserts resume rejects it
+# (ErrorCode kCheckpointTruncated -> start from scratch) and still
+# converges to the same summary.
 #
 # Usage: resume_demo.sh <path-to-robustness_sweep-binary>
 set -u
@@ -10,6 +13,8 @@ set -u
 BIN="${1:?usage: resume_demo.sh <robustness_sweep binary>}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
+# Keep the sweep's RunManifests inside the scratch dir, not the test cwd.
+export TCA_RESULTS_DIR="$WORK/results"
 
 summary() {  # extract the machine-diffable summary section
   sed -n '/^== summary ==$/,$p' "$1"
@@ -65,3 +70,27 @@ if [ "$REF_STATUS" -ne 0 ]; then
   exit 1
 fi
 echo "PASS: resumed summary is bit-identical to the uninterrupted run"
+
+echo
+echo "== resume from a truncated checkpoint =="
+# Chop the tail off a complete checkpoint: the loader must reject it
+# (payload shorter than the framed byte count -> kCheckpointTruncated),
+# fall back to a from-scratch run, and still produce the reference summary.
+SIZE=$(wc -c <"$WORK/ref.ckpt")
+head -c "$((SIZE - 7))" "$WORK/ref.ckpt" >"$WORK/trunc.ckpt"
+"$BIN" --checkpoint "$WORK/trunc.ckpt" --resume >"$WORK/trunc.out" 2>&1
+TRUNC_STATUS=$?
+if grep -q "resuming from" "$WORK/trunc.out"; then
+  echo "FAIL: truncated checkpoint was accepted for resume" >&2
+  exit 1
+fi
+summary "$WORK/trunc.out" >"$WORK/trunc.summary"
+if ! diff -u "$WORK/ref.summary" "$WORK/trunc.summary"; then
+  echo "FAIL: from-scratch run after truncation differs from reference" >&2
+  exit 1
+fi
+if [ "$TRUNC_STATUS" -ne "$REF_STATUS" ]; then
+  echo "FAIL: exit codes differ (ref=$REF_STATUS trunc=$TRUNC_STATUS)" >&2
+  exit 1
+fi
+echo "PASS: truncated checkpoint rejected; from-scratch run matches reference"

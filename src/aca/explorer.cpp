@@ -5,9 +5,25 @@
 
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tca::aca {
 namespace {
+
+/// Publishes one exploration's tallies in a single batch (the BFS loop
+/// itself keeps plain locals, so metering adds nothing per state).
+void publish_explore_tallies(std::uint64_t actions, std::uint64_t dedup_hits,
+                             std::uint64_t global_states) {
+  static obs::Counter& runs = obs::counter("aca.explore.runs");
+  static obs::Counter& actions_total = obs::counter("aca.explore.actions");
+  static obs::Counter& dedup = obs::counter("aca.explore.dedup_hits");
+  static obs::Counter& states = obs::counter("aca.explore.global_states");
+  runs.add();
+  actions_total.add(actions);
+  dedup.add(dedup_hits);
+  states.add(global_states);
+}
 
 /// Approximate bytes charged per stored global state: one hash-set slot
 /// plus transient queue residency.
@@ -47,19 +63,26 @@ Subsumption compare_with(const core::Automaton& a, StateCode start,
 
 ReachSet explore(const AcaSystem& sys, StateCode start,
                  std::uint64_t max_global_states) {
+  TCA_SPAN("aca_explore");
   ReachSet out;
   std::unordered_set<AcaState> seen;
   std::deque<AcaState> queue;
   const AcaState s0 = sys.initial(start);
   seen.insert(s0);
   queue.push_back(s0);
+  std::uint64_t actions = 0;
+  std::uint64_t dedup_hits = 0;
   while (!queue.empty()) {
     const AcaState s = queue.front();
     queue.pop_front();
     out.configs.insert(sys.config_of(s));
     for (std::uint32_t i = 0; i < sys.num_actions(); ++i) {
+      ++actions;
       const AcaState t = sys.apply(s, sys.action(i));
-      if (seen.contains(t)) continue;
+      if (seen.contains(t)) {
+        ++dedup_hits;
+        continue;
+      }
       if (seen.size() >= max_global_states) {
         out.truncated = true;
         out.stop_reason = runtime::StopReason::kMaxStates;
@@ -70,11 +93,13 @@ ReachSet explore(const AcaSystem& sys, StateCode start,
     }
   }
   out.global_states = seen.size();
+  publish_explore_tallies(actions, dedup_hits, out.global_states);
   return out;
 }
 
 ReachSet explore(const AcaSystem& sys, StateCode start,
                  runtime::RunControl& control) {
+  TCA_SPAN("aca_explore");
   ReachSet out;
   std::unordered_set<AcaState> seen;
   std::deque<AcaState> queue;
@@ -83,6 +108,8 @@ ReachSet explore(const AcaSystem& sys, StateCode start,
   queue.push_back(s0);
   control.note_states();
   control.note_bytes(kBytesPerGlobalState);
+  std::uint64_t actions = 0;
+  std::uint64_t dedup_hits = 0;
   while (!queue.empty()) {
     if (control.should_stop()) break;
     const AcaState s = queue.front();
@@ -90,8 +117,12 @@ ReachSet explore(const AcaSystem& sys, StateCode start,
     out.configs.insert(sys.config_of(s));
     for (std::uint32_t i = 0; i < sys.num_actions(); ++i) {
       control.note_steps();
+      ++actions;
       const AcaState t = sys.apply(s, sys.action(i));
-      if (seen.contains(t)) continue;
+      if (seen.contains(t)) {
+        ++dedup_hits;
+        continue;
+      }
       if (control.note_states() != runtime::StopReason::kNone ||
           control.note_bytes(kBytesPerGlobalState) !=
               runtime::StopReason::kNone) {
@@ -102,6 +133,7 @@ ReachSet explore(const AcaSystem& sys, StateCode start,
     }
   }
   out.global_states = seen.size();
+  publish_explore_tallies(actions, dedup_hits, out.global_states);
   const auto status = control.status();
   out.stop_reason = status.stop_reason;
   out.truncated = status.truncated();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::core {
@@ -22,6 +23,14 @@ std::size_t apply_sequence(const Automaton& a, Configuration& c,
   for (NodeId v : order) {
     if (update_node(a, c, v)) ++changes;
   }
+  // Sweep-granular metering: three relaxed adds per whole sweep, never
+  // per node update, so the sequential hot loop stays untouched.
+  static obs::Counter& sweeps = obs::counter("engine.sequential.sweeps");
+  static obs::Counter& updates = obs::counter("engine.sequential.node_updates");
+  static obs::Counter& flips = obs::counter("engine.sequential.flips");
+  sweeps.add();
+  updates.add(order.size());
+  flips.add(changes);
   return changes;
 }
 
@@ -40,17 +49,31 @@ std::optional<std::uint64_t> run_schedule_to_fixed_point(
     const Automaton& a, Configuration& c, Schedule& schedule,
     std::uint64_t max_updates) {
   if (is_fixed_point_sequential(a, c)) return 0;
-  std::uint64_t quiet = 0;  // consecutive no-change updates
+  std::uint64_t quiet = 0;     // consecutive no-change updates
+  std::uint64_t executed = 0;  // local tally, published once at exit
+  std::uint64_t flipped = 0;
+  static obs::Counter& updates = obs::counter("engine.sequential.node_updates");
+  static obs::Counter& flips = obs::counter("engine.sequential.flips");
+  const auto publish = [&] {
+    updates.add(executed);
+    flips.add(flipped);
+  };
   for (std::uint64_t t = 0; t < max_updates; ++t) {
+    ++executed;
     if (update_node(a, c, schedule.next())) {
+      ++flipped;
       quiet = 0;
     } else if (++quiet >= a.size()) {
       // n consecutive no-ops is only conclusive if the schedule covered all
       // nodes; verify explicitly (cheap relative to the run).
-      if (is_fixed_point_sequential(a, c)) return t + 1;
+      if (is_fixed_point_sequential(a, c)) {
+        publish();
+        return t + 1;
+      }
       quiet = 0;
     }
   }
+  publish();
   if (is_fixed_point_sequential(a, c)) return max_updates;
   return std::nullopt;
 }

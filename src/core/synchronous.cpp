@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::core {
@@ -16,6 +17,12 @@ void step_synchronous(const Automaton& a, const Configuration& in,
   if (&in == &out) {
     throw tca::InvalidArgumentError("step_synchronous: in and out must differ");
   }
+  // Step-granular metering (two relaxed adds per n-cell step; the
+  // perf_engine metrics-on/off ablation bounds the overhead at < 5%).
+  static obs::Counter& steps = obs::counter("engine.synchronous.steps");
+  static obs::Counter& cells = obs::counter("engine.synchronous.cells");
+  steps.add();
+  cells.add(a.size());
   for (std::size_t v = 0; v < a.size(); ++v) {
     out.set(v, a.eval_node(static_cast<NodeId>(v), in));
   }

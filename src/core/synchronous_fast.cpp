@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/synchronous.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::core {
@@ -49,6 +50,10 @@ void step_synchronous_fast(const Automaton& a, const Configuration& in,
     step_synchronous(a, in, out);
     return;
   }
+  static obs::Counter& steps = obs::counter("engine.synchronous_fast.steps");
+  static obs::Counter& cells = obs::counter("engine.synchronous_fast.cells");
+  steps.add();
+  cells.add(a.size());
   std::visit([&](const auto& rule) { step_loop(a, rule, in, out); },
              a.rule(0));
 }

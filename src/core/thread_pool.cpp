@@ -1,12 +1,26 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <chrono>
 #include <system_error>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/fault.hpp"
 
 namespace tca::core {
+namespace {
+
+/// Microseconds between two steady_clock points, clamped at zero.
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) noexcept {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
@@ -25,15 +39,22 @@ ThreadPool::ThreadPool(unsigned num_threads) {
     } catch (const std::system_error& e) {
       // Degrade to however many workers we managed (possibly none: serial
       // execution on the calling thread). The pool stays fully functional,
-      // just narrower — warn once and move on.
-      std::fprintf(stderr,
-                   "tca::core::ThreadPool: spawned %u of %u worker threads "
-                   "(%s); degrading to %u-wide execution\n",
-                   static_cast<unsigned>(workers_.size()), extra, e.what(),
-                   static_cast<unsigned>(workers_.size()) + 1);
+      // just narrower — count + log the degradation once and move on
+      // (tests assert on the counter; see docs/observability.md).
+      static obs::Counter& degraded =
+          obs::counter("thread_pool.spawn_degraded");
+      degraded.add();
+      obs::log_event(
+          obs::LogLevel::kWarn, "thread_pool.spawn_degraded",
+          {{"requested_workers", extra},
+           {"spawned_workers", static_cast<unsigned>(workers_.size())},
+           {"width", static_cast<unsigned>(workers_.size()) + 1},
+           {"error", e.what()}});
       break;
     }
   }
+  static obs::Gauge& width = obs::gauge("thread_pool.width");
+  width.set(static_cast<std::int64_t>(workers_.size()) + 1);
 }
 
 ThreadPool::~ThreadPool() {
@@ -68,7 +89,19 @@ void ThreadPool::drain() {
     const std::size_t e = std::min(end, b + chunk);
     try {
       runtime::fault::check_chunk();
+      // Per-chunk metering: chunks are coarse (kChunksPerThread per
+      // participant), so two clock reads per chunk stay in the noise.
+      static obs::Counter& chunks = obs::counter("thread_pool.chunks");
+      static obs::Histogram& chunk_us = obs::histogram(
+          "thread_pool.chunk_us", obs::default_latency_bounds_us());
+      const bool metered = obs::metrics_enabled();
+      const auto t0 = metered ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
       (*fn)(b, e);
+      if (metered) {
+        chunks.add();
+        chunk_us.record(elapsed_us(t0, std::chrono::steady_clock::now()));
+      }
     } catch (...) {
       {
         std::lock_guard lock(error_mutex_);
@@ -83,6 +116,8 @@ void ThreadPool::drain() {
 void ThreadPool::worker_loop() {
   std::uint64_t last_seen = 0;
   for (;;) {
+    std::uint64_t wait_us = 0;
+    bool metered = false;
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] {
@@ -90,6 +125,17 @@ void ThreadPool::worker_loop() {
       });
       if (stopping_) return;
       last_seen = generation_;
+      // Queue wait: how long the run sat posted before this worker picked
+      // it up (run_posted_ is written under the same mutex).
+      metered = obs::metrics_enabled();
+      if (metered) {
+        wait_us = elapsed_us(run_posted_, std::chrono::steady_clock::now());
+      }
+    }
+    if (metered) {
+      static obs::Histogram& dispatch_wait_us = obs::histogram(
+          "thread_pool.dispatch_wait_us", obs::default_latency_bounds_us());
+      dispatch_wait_us.record(wait_us);
     }
     drain();
     {
@@ -112,6 +158,8 @@ runtime::StopReason ThreadPool::parallel_for(
     runtime::RunControl* control) {
   if (begin >= end) return runtime::StopReason::kNone;
   if (align == 0) align = 1;
+  static obs::Counter& runs = obs::counter("thread_pool.parallel_for");
+  runs.add();
   const std::size_t total = end - begin;
   const std::size_t parts = size() * kChunksPerThread;
   // Chunk size rounded up to the alignment unit.
@@ -129,6 +177,7 @@ runtime::StopReason ThreadPool::parallel_for(
     abandon_.store(false, std::memory_order_relaxed);
     first_error_ = nullptr;
     pending_ = static_cast<unsigned>(workers_.size());
+    run_posted_ = std::chrono::steady_clock::now();
     ++generation_;
   }
   start_cv_.notify_all();

@@ -22,8 +22,17 @@
 //    (already-executed chunks keep their writes; the input is untouched);
 //  * if worker threads cannot be spawned (resource exhaustion, or the
 //    fault plan's fail_thread_spawn knob), construction degrades to a
-//    serial pool with a one-line stderr warning instead of throwing.
+//    serial pool instead of throwing, bumping the
+//    "thread_pool.spawn_degraded" counter and emitting a structured
+//    warning event (obs/log.hpp) so tests can assert it happened.
+//
+// Observability (docs/observability.md): the pool meters dispatched runs
+// ("thread_pool.parallel_for"), executed chunks and their duration
+// ("thread_pool.chunks", "thread_pool.chunk_us"), queue wait between a
+// run being posted and a worker picking it up
+// ("thread_pool.dispatch_wait_us"), and the current width gauge.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -90,6 +99,8 @@ class ThreadPool {
   std::size_t run_begin_ = 0;
   std::size_t run_end_ = 0;
   std::size_t run_chunk_ = 1;
+  /// When the current run was posted (for the dispatch-wait histogram).
+  std::chrono::steady_clock::time_point run_posted_{};
   std::atomic<std::size_t> next_chunk_{0};
   std::atomic<bool> abandon_{false};
   std::exception_ptr first_error_;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::core {
@@ -14,6 +15,10 @@ void step_synchronous_threaded(const Automaton& a, const Configuration& in,
         "step_synchronous_threaded: size mismatch",
         tca::ErrorCode::kSizeMismatch);
   }
+  static obs::Counter& steps = obs::counter("engine.threaded.steps");
+  static obs::Counter& cells = obs::counter("engine.threaded.cells");
+  steps.add();
+  cells.add(a.size());
   if (&in == &out) {
     throw tca::InvalidArgumentError(
         "step_synchronous_threaded: in and out must differ");

@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::interleave {
@@ -18,6 +20,7 @@ std::set<std::vector<std::int64_t>> interleaving_outcomes(
 InterleaveExploration interleaving_outcomes(const Machine& m,
                                             const MachineState& initial,
                                             runtime::RunControl& control) {
+  TCA_SPAN("interleave_explore");
   InterleaveExploration out;
   std::set<MachineState> seen;
   std::vector<MachineState> stack{initial};
@@ -25,11 +28,15 @@ InterleaveExploration interleaving_outcomes(const Machine& m,
   // vector payloads plus tree-node overhead.
   const std::uint64_t bytes_per_state =
       64 + 8 * (initial.shared.size() + 2 * m.num_processes());
+  std::uint64_t dedup_hits = 0;  // local tally, published once at exit
   while (!stack.empty()) {
     if (control.should_stop()) break;
     MachineState s = std::move(stack.back());
     stack.pop_back();
-    if (!seen.insert(s).second) continue;
+    if (!seen.insert(s).second) {
+      ++dedup_hits;
+      continue;
+    }
     if (control.note_states() != runtime::StopReason::kNone ||
         control.note_bytes(bytes_per_state) != runtime::StopReason::kNone) {
       break;
@@ -47,6 +54,12 @@ InterleaveExploration interleaving_outcomes(const Machine& m,
     }
   }
   out.machine_states = seen.size();
+  static obs::Counter& runs = obs::counter("interleave.explore.runs");
+  static obs::Counter& states = obs::counter("interleave.explore.machine_states");
+  static obs::Counter& dedup = obs::counter("interleave.explore.dedup_hits");
+  runs.add();
+  states.add(out.machine_states);
+  dedup.add(dedup_hits);
   const auto status = control.status();
   out.stop_reason = status.stop_reason;
   out.truncated = status.truncated();

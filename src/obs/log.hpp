@@ -1,0 +1,86 @@
+#pragma once
+// Structured JSONL event log (docs/observability.md).
+//
+// Replaces ad-hoc fprintf(stderr, ...) warnings in src/ with typed
+// records: a level, a dotted event name (same convention as metric
+// names), and key/value fields. The default sink renders one JSON object
+// per line to stderr; tests and embedding binaries swap the sink
+// (ScopedLogSink) to capture records instead.
+//
+// Records below the minimum level (default kInfo) are dropped before any
+// field is formatted.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace tca::obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+/// One typed key/value pair of a log record.
+struct LogField {
+  using Value =
+      std::variant<std::string, std::int64_t, std::uint64_t, double, bool>;
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, std::string_view v)
+      : key(std::move(k)), value(std::string(v)) {}
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+  LogField(std::string k, std::int64_t v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, std::uint64_t v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, int v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  LogField(std::string k, unsigned v)
+      : key(std::move(k)), value(static_cast<std::uint64_t>(v)) {}
+  LogField(std::string k, double v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, bool v) : key(std::move(k)), value(v) {}
+
+  std::string key;
+  Value value;
+};
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string event;             ///< dotted name, e.g. "checkpoint.corrupt"
+  std::vector<LogField> fields;
+  std::uint64_t unix_ms = 0;     ///< wall-clock timestamp
+};
+
+/// Renders a record the way the default sink does: one JSON object
+/// {"ts_ms":..., "level":..., "event":..., "fields":{...}} (no newline).
+[[nodiscard]] std::string render_jsonl(const LogRecord& record);
+
+/// Emits a record to the installed sink (default: JSONL on stderr).
+/// Thread-safe; drops records below the minimum level. Also bumps the
+/// "log.events.<level>" counter so tests can assert an event fired.
+void log_event(LogLevel level, std::string_view event,
+               std::vector<LogField> fields = {});
+
+void set_min_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel min_log_level() noexcept;
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Installs `sink` for the lifetime of the scope, restoring the previous
+/// sink on destruction (tests capture records this way).
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink sink);
+  ~ScopedLogSink();
+
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LogSink previous_;
+};
+
+}  // namespace tca::obs

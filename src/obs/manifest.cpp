@@ -1,0 +1,171 @@
+#include "obs/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/error.hpp"
+
+namespace tca::obs {
+namespace {
+
+void append_metrics(JsonWriter& w) {
+  const MetricsSnapshot snap = snapshot_metrics();
+  w.key("metrics").begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snap.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (const std::uint64_t b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.kv("count", h.count).kv("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string RunManifest::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", kManifestSchemaVersion);
+  w.kv("tool", tool);
+  w.kv("status", status);
+  w.kv("created_unix_ms",
+       static_cast<std::uint64_t>(
+           std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+               .count()));
+
+  w.key("build").begin_object();
+  w.kv("git_sha", build_info::kGitSha);
+  w.kv("git_dirty", build_info::kGitDirty);
+  w.kv("build_type", build_info::kBuildType);
+  w.kv("compiler", build_info::kCompiler);
+  w.kv("cxx_flags", build_info::kCxxFlags);
+  w.kv("sanitize", build_info::kSanitize);
+  w.end_object();
+
+  w.key("run").begin_object();
+  if (seed.has_value()) {
+    w.kv("seed", *seed);
+  } else {
+    w.key("seed").null();
+  }
+  w.key("argv").begin_array();
+  for (const std::string& a : argv) w.value(a);
+  w.end_array();
+  w.kv("stop_reason", stop_reason);
+  w.kv("wall_ms", wall_ms);
+  w.key("budgets").begin_object();
+  for (const auto& [name, v] : budgets) w.kv(name, v);
+  w.end_object();
+  w.end_object();
+
+  w.key("checks").begin_array();
+  for (const ManifestCheck& c : checks) {
+    w.begin_object()
+        .kv("id", c.id)
+        .kv("status", c.status)
+        .kv("detail", c.detail)
+        .end_object();
+  }
+  w.end_array();
+
+  w.key("benchmarks").begin_array();
+  for (const BenchmarkTiming& b : benchmarks) {
+    w.begin_object()
+        .kv("name", b.name)
+        .kv("real_time", b.real_time)
+        .kv("time_unit", b.time_unit)
+        .kv("items_per_second", b.items_per_second)
+        .kv("iterations", b.iterations)
+        .end_object();
+  }
+  w.end_array();
+
+  w.key("extra").begin_object();
+  for (const auto& [name, v] : extra) w.kv(name, v);
+  w.end_object();
+
+  if (include_metrics) append_metrics(w);
+  w.end_object();
+  return std::move(w).str();
+}
+
+void RunManifest::write(const std::string& path) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);  // best effort
+  }
+  const std::string blob = to_json();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw tca::RuntimeError("manifest '" + path + "': cannot open tmp file",
+                              tca::ErrorCode::kIo);
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.put('\n');
+    out.flush();
+    if (!out) {
+      throw tca::RuntimeError("manifest '" + path + "': write failed",
+                              tca::ErrorCode::kIo);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw tca::RuntimeError("manifest '" + path + "': rename failed",
+                            tca::ErrorCode::kIo);
+  }
+  static Counter& writes = counter("manifest.writes");
+  writes.add();
+}
+
+bool RunManifest::try_write(const std::string& path) const noexcept {
+  try {
+    write(path);
+    return true;
+  } catch (const std::exception& e) {
+    try {
+      log_event(LogLevel::kWarn, "manifest.write_failed",
+                {{"path", path}, {"error", e.what()}});
+    } catch (...) {
+    }
+    return false;
+  }
+}
+
+std::string results_dir() {
+  if (const char* dir = std::getenv("TCA_RESULTS_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    return dir;
+  }
+  return "results";
+}
+
+std::string manifest_path(std::string_view tool) {
+  return results_dir() + "/" + std::string(tool) + ".manifest.json";
+}
+
+}  // namespace tca::obs

@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace tca::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) noexcept {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      cells_(detail::kShards * (bounds_.size() + 1)) {}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  if (!metrics_enabled()) return;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t shard = detail::this_thread_shard();
+  cells_[shard * (bounds_.size() + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  sums_[shard].value.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (std::size_t shard = 0; shard < detail::kShards; ++shard) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      out.counts[b] += cells_[shard * (bounds_.size() + 1) + b].load(
+          std::memory_order_relaxed);
+    }
+    out.sum += sums_[shard].value.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+const std::vector<std::uint64_t>& default_latency_bounds_us() {
+  static const std::vector<std::uint64_t> bounds{
+      1,    2,    5,     10,    20,    50,     100,    200,    500,
+      1000, 2000, 5000,  10000, 20000, 50000,  100000, 200000, 500000,
+      1000000};
+  return bounds;
+}
+
+namespace {
+
+/// One mutex-protected map per metric kind. Node-based maps + unique_ptr
+/// keep every handed-out reference stable forever.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  const auto it = r.counters.find(name);
+  if (it != r.counters.end()) return *it->second;
+  return *r.counters.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  const auto it = r.gauges.find(name);
+  if (it != r.gauges.end()) return *it->second;
+  return *r.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& histogram(std::string_view name,
+                     const std::vector<std::uint64_t>& bounds) {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  const auto it = r.histograms.find(name);
+  if (it != r.histograms.end()) return *it->second;
+  return *r.histograms
+              .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : r.counters) out.counters[name] = c->value();
+  for (const auto& [name, g] : r.gauges) out.gauges[name] = g->value();
+  for (const auto& [name, h] : r.histograms) {
+    out.histograms[name] = h->snapshot();
+  }
+  return out;
+}
+
+}  // namespace tca::obs

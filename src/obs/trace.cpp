@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/error.hpp"
+
+namespace tca::obs {
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_us;
+  std::uint64_t dur_us;
+  std::uint32_t tid;
+  std::uint32_t depth;
+};
+
+std::atomic<bool> g_tracing{false};
+
+std::mutex g_trace_mutex;
+std::vector<TraceEvent>& trace_buffer() {
+  static std::vector<TraceEvent>* buf = new std::vector<TraceEvent>();
+  return *buf;
+}
+
+/// Microseconds since the first call (one shared epoch for all threads).
+std::uint64_t now_us() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  const auto d = std::chrono::steady_clock::now() - epoch;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+/// Small dense per-thread id for the trace's "tid" field.
+std::uint32_t this_thread_trace_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void start_tracing() {
+  {
+    const std::lock_guard lock(g_trace_mutex);
+    trace_buffer().clear();
+  }
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() { g_tracing.store(false, std::memory_order_relaxed); }
+
+std::size_t trace_event_count() {
+  const std::lock_guard lock(g_trace_mutex);
+  return trace_buffer().size();
+}
+
+void clear_trace() {
+  const std::lock_guard lock(g_trace_mutex);
+  trace_buffer().clear();
+}
+
+std::string chrome_trace_json() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  {
+    const std::lock_guard lock(g_trace_mutex);
+    for (const TraceEvent& e : trace_buffer()) {
+      w.begin_object()
+          .kv("name", e.name)
+          .kv("ph", "X")
+          .kv("ts", e.start_us)
+          .kv("dur", e.dur_us)
+          .kv("pid", 1)
+          .kv("tid", e.tid);
+      w.key("args").begin_object().kv("depth", e.depth).end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return std::move(w).str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw tca::RuntimeError("write_chrome_trace: cannot open '" + path + "'",
+                            tca::ErrorCode::kIo);
+  }
+  const std::string json = chrome_trace_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) {
+    throw tca::RuntimeError("write_chrome_trace: write to '" + path +
+                                "' failed",
+                            tca::ErrorCode::kIo);
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name) noexcept : name_(name) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  depth_ = t_span_depth++;
+  start_us_ = now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --t_span_depth;
+  const std::uint64_t end_us = now_us();
+  const TraceEvent e{name_, start_us_, end_us - start_us_,
+                     this_thread_trace_id(), depth_};
+  {
+    const std::lock_guard lock(g_trace_mutex);
+    if (trace_buffer().size() < kMaxTraceEvents) {
+      trace_buffer().push_back(e);
+      return;
+    }
+  }
+  static Counter& dropped = counter("trace.dropped_events");
+  dropped.add();
+}
+
+}  // namespace tca::obs

@@ -1,0 +1,78 @@
+#pragma once
+// Scoped trace spans with a Chrome trace_event JSON exporter
+// (docs/observability.md).
+//
+// TCA_SPAN("phase_space_build") opens a span for the rest of the enclosing
+// scope. Spans nest per thread (a thread-local depth counter tracks the
+// parent/child relationship) and are exported as complete ("ph":"X")
+// events on one timeline row per thread, which chrome://tracing and
+// Perfetto render as a nested flame chart — so the wall-clock of an
+// exponential exploration can finally be attributed to its phases.
+//
+// Tracing is OFF by default: a span in a hot path costs one relaxed
+// atomic load until start_tracing() flips the switch. While tracing is on,
+// each completed span takes two clock reads and one mutex-protected
+// append; the buffer is capped (kMaxTraceEvents) and overflow is counted,
+// never unbounded.
+//
+// Span names must be string literals (or otherwise outlive the trace
+// session): the recorder stores the pointer, not a copy.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tca::obs {
+
+/// Hard cap on buffered events; past it, spans are counted as dropped
+/// (counter "trace.dropped_events") instead of recorded.
+inline constexpr std::size_t kMaxTraceEvents = 1 << 20;
+
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Clears the event buffer and starts recording.
+void start_tracing();
+
+/// Stops recording; buffered events are kept for export.
+void stop_tracing();
+
+/// Number of buffered (completed) span events.
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Drops all buffered events.
+void clear_trace();
+
+/// The buffered events as a Chrome trace_event JSON document
+/// ({"traceEvents":[...]}): load it in chrome://tracing or
+/// https://ui.perfetto.dev.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path` (throws tca::RuntimeError with
+/// ErrorCode::kIo on filesystem failure).
+void write_chrome_trace(const std::string& path);
+
+/// RAII span; prefer the TCA_SPAN macro. No-op when tracing is off at
+/// construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace tca::obs
+
+#define TCA_OBS_CONCAT2(a, b) a##b
+#define TCA_OBS_CONCAT(a, b) TCA_OBS_CONCAT2(a, b)
+/// Opens a trace span named `name` (a string literal) for the rest of the
+/// enclosing scope.
+#define TCA_SPAN(name) \
+  ::tca::obs::ScopedSpan TCA_OBS_CONCAT(tca_span_, __LINE__)(name)

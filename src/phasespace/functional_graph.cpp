@@ -4,17 +4,28 @@
 
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/error.hpp"
 #include "runtime/fault.hpp"
 
 namespace tca::phasespace {
 namespace {
 
+/// One batched publish per build (docs/observability.md).
+void publish_build_tallies(std::uint64_t states_built) {
+  static obs::Counter& builds = obs::counter("phasespace.build.runs");
+  static obs::Counter& states = obs::counter("phasespace.build.states");
+  builds.add();
+  states.add(states_built);
+}
+
 /// Serial budgeted build over an arbitrary code-step function. Charges one
 /// state + 8 bytes per entry; on a stop, the computed prefix is returned.
 FunctionalGraphBuild build_serial(std::uint32_t bits, const CodeStepFn& step,
                                   runtime::RunControl& control,
                                   const char* context) {
+  TCA_SPAN("phase_space_build");
   tca::require_explicit_bits(bits, kMaxExplicitBits, context);
   const StateCode count = StateCode{1} << bits;
   FunctionalGraphBuild out;
@@ -27,6 +38,7 @@ FunctionalGraphBuild build_serial(std::uint32_t bits, const CodeStepFn& step,
         control.note_bytes(sizeof(StateCode)) != runtime::StopReason::kNone) {
       out.states_built = s;
       out.status = control.status();
+      publish_build_tallies(out.states_built);
       return out;
     }
     out.partial_succ.push_back(step(s));
@@ -35,6 +47,7 @@ FunctionalGraphBuild build_serial(std::uint32_t bits, const CodeStepFn& step,
   out.status = control.status();
   out.graph = FunctionalGraph::from_table(bits, std::move(out.partial_succ));
   out.partial_succ.clear();
+  publish_build_tallies(out.states_built);
   return out;
 }
 
@@ -42,11 +55,13 @@ FunctionalGraphBuild build_serial(std::uint32_t bits, const CodeStepFn& step,
 
 FunctionalGraph::FunctionalGraph(std::uint32_t bits, const CodeStepFn& step)
     : bits_(bits) {
+  TCA_SPAN("phase_space_build");
   tca::require_explicit_bits(bits, kMaxExplicitBits, "FunctionalGraph");
   const StateCode count = StateCode{1} << bits;
   runtime::fault::check_alloc(count * sizeof(StateCode));
   succ_.resize(count);
   for (StateCode s = 0; s < count; ++s) succ_[s] = step(s);
+  publish_build_tallies(count);
 }
 
 FunctionalGraph FunctionalGraph::from_table(std::uint32_t bits,
@@ -103,6 +118,7 @@ FunctionalGraphBuild FunctionalGraph::build_sweep(
 FunctionalGraphBuild FunctionalGraph::build_synchronous_parallel(
     const core::Automaton& a, core::ThreadPool& pool,
     runtime::RunControl& control) {
+  TCA_SPAN("phase_space_build");
   const auto bits = static_cast<std::uint32_t>(a.size());
   tca::require_explicit_bits(bits, kMaxExplicitBits,
                              "FunctionalGraph::build_synchronous_parallel");
@@ -148,10 +164,12 @@ FunctionalGraphBuild FunctionalGraph::build_synchronous_parallel(
     // Truncated parallel builds have holes (chunks are interleaved), so no
     // partial table is exposed — only the visit count.
     out.states_built = out.status.states;
+    publish_build_tallies(out.states_built);
     return out;
   }
   out.states_built = count;
   out.graph = from_table(bits, std::move(table));
+  publish_build_tallies(out.states_built);
   return out;
 }
 

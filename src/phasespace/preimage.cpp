@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::phasespace {
@@ -275,6 +277,7 @@ std::uint64_t count_gardens_of_eden_ring(const RingPreimageSolver& solver,
 GoeCensus count_gardens_of_eden_ring(const RingPreimageSolver& solver,
                                      std::size_t n,
                                      runtime::RunControl& control) {
+  TCA_SPAN("goe_census");
   tca::require_explicit_bits(n, 24, "count_gardens_of_eden_ring");
   GoeCensus out;
   for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
@@ -286,6 +289,10 @@ GoeCensus count_gardens_of_eden_ring(const RingPreimageSolver& solver,
   const auto status = control.status();
   out.stop_reason = status.stop_reason;
   out.truncated = status.truncated();
+  static obs::Counter& scanned = obs::counter("phasespace.goe.scanned");
+  static obs::Counter& gardens = obs::counter("phasespace.goe.gardens");
+  scanned.add(out.scanned);
+  gardens.add(out.gardens);
   return out;
 }
 

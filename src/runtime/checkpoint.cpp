@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/error.hpp"
 #include "runtime/fault.hpp"
 
@@ -12,9 +15,22 @@ namespace {
 
 constexpr std::string_view kMagic = "TCA-CKPT";
 
+/// Every rejected load bumps the failure counter and emits one structured
+/// event before throwing, so sweeps can tell "resumed from scratch because
+/// the checkpoint was bad" apart from "no checkpoint existed".
+[[noreturn]] void reject(const std::string& path, const std::string& why,
+                         ErrorCode code) {
+  static obs::Counter& failures = obs::counter("checkpoint.load_failures");
+  failures.add();
+  obs::log_event(obs::LogLevel::kWarn, "checkpoint.rejected",
+                 {{"path", path},
+                  {"reason", why},
+                  {"code", error_code_name(code)}});
+  throw CheckpointError("checkpoint '" + path + "': " + why, code);
+}
+
 [[noreturn]] void corrupt(const std::string& path, const std::string& why) {
-  throw CheckpointError("checkpoint '" + path + "': " + why,
-                        ErrorCode::kCheckpointCorrupt);
+  reject(path, why, ErrorCode::kCheckpointCorrupt);
 }
 
 }  // namespace
@@ -29,6 +45,11 @@ std::uint64_t fnv1a64(std::string_view bytes) noexcept {
 }
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  TCA_SPAN("checkpoint_save");
+  static obs::Counter& saves = obs::counter("checkpoint.saves");
+  static obs::Histogram& bytes = obs::histogram(
+      "checkpoint.bytes",
+      {256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304});
   fault::check_alloc(checkpoint.payload.size());
   std::ostringstream framed;
   framed << kMagic << " v" << checkpoint.version << "\n"
@@ -56,9 +77,13 @@ void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
     throw CheckpointError("checkpoint '" + path + "': rename failed",
                           ErrorCode::kIo);
   }
+  saves.add();
+  bytes.record(checkpoint.payload.size());
 }
 
 Checkpoint load_checkpoint(const std::string& path) {
+  TCA_SPAN("checkpoint_load");
+  static obs::Counter& loads = obs::counter("checkpoint.loads");
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw CheckpointError("checkpoint '" + path + "': cannot open",
@@ -84,11 +109,11 @@ Checkpoint load_checkpoint(const std::string& path) {
     corrupt(path, "unparseable version in '" + magic_line + "'");
   }
   if (version != kCheckpointVersion) {
-    throw CheckpointError("checkpoint '" + path + "': version " +
-                              std::to_string(version) +
-                              " is not the supported version " +
-                              std::to_string(kCheckpointVersion),
-                          ErrorCode::kCheckpointVersion);
+    reject(path,
+           "version " + std::to_string(version) +
+               " is not the supported version " +
+               std::to_string(kCheckpointVersion),
+           ErrorCode::kCheckpointVersion);
   }
 
   std::string checksum_line, bytes_line, blank;
@@ -115,10 +140,11 @@ Checkpoint load_checkpoint(const std::string& path) {
   const auto header_size = static_cast<std::size_t>(parse.tellg());
   if (blob.size() < header_size ||
       blob.size() - header_size != expected_bytes) {
-    corrupt(path, "payload is " + std::to_string(blob.size() - header_size) +
-                      " bytes, header promised " +
-                      std::to_string(expected_bytes) +
-                      " (truncated or padded file)");
+    reject(path,
+           "payload is " + std::to_string(blob.size() - header_size) +
+               " bytes, header promised " + std::to_string(expected_bytes) +
+               " (truncated or padded file)",
+           ErrorCode::kCheckpointTruncated);
   }
   Checkpoint out;
   out.version = version;
@@ -126,6 +152,7 @@ Checkpoint load_checkpoint(const std::string& path) {
   if (fnv1a64(out.payload) != expected_checksum) {
     corrupt(path, "checksum mismatch (payload corrupted)");
   }
+  loads.add();
   return out;
 }
 

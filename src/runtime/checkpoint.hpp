@@ -13,9 +13,14 @@
 // over `path`, so a SIGKILL mid-write leaves either the old complete
 // checkpoint or the new complete checkpoint — never a torn file. Loading
 // validates magic, version, byte count, and checksum, and throws
-// tca::CheckpointError (code kCheckpointCorrupt / kCheckpointVersion /
-// kIo) on any mismatch; try_load_checkpoint turns all of those into
-// nullopt for "resume if you can" callers.
+// tca::CheckpointError with a DISTINCT code per failure mode —
+// kCheckpointTruncated (byte count disagrees with the framing),
+// kCheckpointCorrupt (bad magic / framing / checksum), kCheckpointVersion
+// (incompatible version), kIo (unreadable) — so tests and sweeps can tell
+// the modes apart; try_load_checkpoint turns all of those into nullopt
+// for "resume if you can" callers. Every rejection also bumps the
+// "checkpoint.load_failures" counter and emits a "checkpoint.rejected"
+// log event (docs/observability.md).
 
 #include <cstdint>
 #include <optional>
@@ -42,8 +47,9 @@ struct Checkpoint {
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
 
 /// Loads and validates a checkpoint. Throws CheckpointError with code
-/// kIo (unreadable), kCheckpointCorrupt (bad magic / framing / length /
-/// checksum) or kCheckpointVersion (incompatible version).
+/// kIo (unreadable), kCheckpointTruncated (payload length disagrees with
+/// the framing), kCheckpointCorrupt (bad magic / framing / checksum) or
+/// kCheckpointVersion (incompatible version).
 [[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
 
 /// load_checkpoint, with every failure (including "file absent") mapped

@@ -31,6 +31,7 @@ enum class ErrorCode : std::uint8_t {
                        ///< are impossible
   kCheckpointCorrupt,  ///< checkpoint failed checksum / framing validation
   kCheckpointVersion,  ///< checkpoint written by an incompatible version
+  kCheckpointTruncated,  ///< checkpoint payload shorter/longer than framed
   kFaultInjected,      ///< deliberate failure from tca::runtime::FaultPlan
   kIo,                 ///< filesystem read/write failure
 };
@@ -49,6 +50,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kBudgetExhausted: return "budget-exhausted";
     case ErrorCode::kCheckpointCorrupt: return "checkpoint-corrupt";
     case ErrorCode::kCheckpointVersion: return "checkpoint-version";
+    case ErrorCode::kCheckpointTruncated: return "checkpoint-truncated";
     case ErrorCode::kFaultInjected: return "fault-injected";
     case ErrorCode::kIo: return "io";
   }

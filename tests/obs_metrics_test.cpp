@@ -1,0 +1,174 @@
+// Correctness of the metrics registry (src/obs/metrics.hpp): exact
+// concurrent sums, the documented closed-below/open-above histogram bucket
+// semantics, the disabled fast path, and snapshot-while-incrementing.
+// Registered with the `sanitizer` label: CI re-runs this binary under the
+// tsan preset, which is the actual race-freedom proof.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tca::obs {
+namespace {
+
+// Metric handles are process-lifetime (the registry never evicts), so
+// every test uses its own names to stay independent of run order.
+
+TEST(Metrics, ConcurrentIncrementsSumExactly) {
+  Counter& c = counter("test.metrics.concurrent_sum");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, AddWithArgumentAccumulates) {
+  Counter& c = counter("test.metrics.add_n");
+  c.add(5);
+  c.add(7);
+  c.add(0);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  Counter& a = counter("test.metrics.same_ref");
+  Counter& b = counter("test.metrics.same_ref");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = gauge("test.metrics.same_gauge");
+  Gauge& g2 = gauge("test.metrics.same_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = histogram("test.metrics.same_hist", {1, 2, 3});
+  // Later lookups ignore the bounds argument.
+  Histogram& h2 = histogram("test.metrics.same_hist", {9});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Metrics, DisabledMetricsRecordNothing) {
+  Counter& c = counter("test.metrics.disabled");
+  Gauge& g = gauge("test.metrics.disabled_gauge");
+  Histogram& h = histogram("test.metrics.disabled_hist", {10});
+  set_metrics_enabled(false);
+  c.add();
+  g.set(42);
+  h.record(5);
+  set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.add();
+  EXPECT_EQ(c.value(), 1u) << "re-enabling resumes recording";
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge& g = gauge("test.metrics.gauge");
+  g.set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-100);
+  EXPECT_EQ(g.value(), -100);
+}
+
+// The documented bucket contract: value v lands in the FIRST bucket whose
+// upper bound is strictly greater than v — bucket i covers
+// [bounds[i-1], bounds[i]), so a value equal to a bound lands ABOVE it,
+// and v >= bounds.back() lands in the overflow bucket.
+TEST(Metrics, HistogramBucketBoundaries) {
+  Histogram& h = histogram("test.metrics.boundaries", {10, 100});
+  h.record(0);     // [0, 10)
+  h.record(9);     // [0, 10)
+  h.record(10);    // [10, 100) — equal to a bound goes above
+  h.record(99);    // [10, 100)
+  h.record(100);   // overflow — equal to the last bound
+  h.record(5000);  // overflow
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<std::uint64_t>{10, 100}));
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 2u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum, 0u + 9 + 10 + 99 + 100 + 5000);
+}
+
+TEST(Metrics, HistogramConcurrentRecordsSumExactly) {
+  Histogram& h = histogram("test.metrics.concurrent_hist", {8, 64});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i % 100);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Each thread records 0..99 cyclically: per 100 records, 8 land in
+  // [0,8), 56 in [8,64), 36 in the overflow bucket.
+  EXPECT_EQ(snap.counts[0], kThreads * kPerThread / 100 * 8);
+  EXPECT_EQ(snap.counts[1], kThreads * kPerThread / 100 * 56);
+  EXPECT_EQ(snap.counts[2], kThreads * kPerThread / 100 * 36);
+}
+
+// Snapshots taken while another thread increments must be race-free (every
+// cell is atomic) and monotone in the counter's case.
+TEST(Metrics, SnapshotWhileIncrementingIsMonotone) {
+  Counter& c = counter("test.metrics.snapshot_race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.add();
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const MetricsSnapshot snap = snapshot_metrics();
+    const auto it = snap.counters.find("test.metrics.snapshot_race");
+    ASSERT_NE(it, snap.counters.end());
+    EXPECT_GE(it->second, last);
+    last = it->second;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_LE(last, c.value());
+}
+
+TEST(Metrics, SnapshotContainsAllKinds) {
+  counter("test.metrics.snap_counter").add(3);
+  gauge("test.metrics.snap_gauge").set(-7);
+  histogram("test.metrics.snap_hist", {50}).record(10);
+  const MetricsSnapshot snap = snapshot_metrics();
+  EXPECT_EQ(snap.counters.at("test.metrics.snap_counter"), 3u);
+  EXPECT_EQ(snap.gauges.at("test.metrics.snap_gauge"), -7);
+  const HistogramSnapshot& h = snap.histograms.at("test.metrics.snap_hist");
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.sum, 10u);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+}
+
+TEST(Metrics, DefaultLatencyBoundsAreAscending) {
+  const std::vector<std::uint64_t>& bounds = default_latency_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tca::obs

@@ -225,7 +225,7 @@ TEST_F(CheckpointTest, FlippedPayloadByteFailsTheChecksum) {
   }
 }
 
-TEST_F(CheckpointTest, TruncatedFileIsCorrupt) {
+TEST_F(CheckpointTest, TruncatedFileHasDistinctCode) {
   Checkpoint ck;
   ck.payload = std::string(1000, 'x');
   save_checkpoint(path("t.ckpt"), ck);
@@ -242,7 +242,10 @@ TEST_F(CheckpointTest, TruncatedFileIsCorrupt) {
     (void)load_checkpoint(path("t.ckpt"));
     FAIL() << "truncated checkpoint loaded";
   } catch (const tca::CheckpointError& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt);
+    // Truncation is its own failure mode, distinct from payload
+    // corruption (tests/checkpoint_corruption_test.cpp has the full
+    // damage matrix).
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointTruncated);
   }
 }
 
