@@ -1,0 +1,132 @@
+// ABLATION — docs/performance.md: phase-space construction throughput of
+// the three engines on the Lemma-1 workload (majority, radius-1 ring,
+// with memory). The scalar engine decodes/steps/encodes one state code at
+// a time; the packed kernel vectorizes WITHIN one configuration (64 cells
+// per op — pure overhead at phase-space sizes, measured here to prove
+// it); the bit-sliced batch engine steps 64 configurations per circuit
+// pass and is the default fast path of FunctionalGraph::synchronous.
+//
+// BM_BitsliceSpeedupGate publishes the scalar/batch throughput ratio as
+// the deterministic counters `bench.bitslice.speedup_pct` and
+// `bench.bitslice.speedup_ge10`, which CI compares against
+// bench/baselines/ablation_bitslice.manifest.json via
+// scripts/check_bench.py — machine-independent gating of the >= 10x
+// acceptance bar, immune to hosted-runner timing noise.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/packed_kernels.hpp"
+#include "core/synchronous.hpp"
+#include "obs/metrics.hpp"
+#include "phasespace/functional_graph.hpp"
+
+namespace {
+
+using namespace tca;
+using phasespace::StateCode;
+
+core::Automaton majority_ring(std::size_t n) {
+  return core::Automaton::line(n, 1, core::Boundary::kRing, rules::majority(),
+                               core::Memory::kWith);
+}
+
+// Scalar reference: decode, generic gather/eval step, encode — what every
+// full-table enumeration paid before the batch engine.
+void scalar_table(const core::Automaton& a, std::vector<StateCode>& table) {
+  const std::size_t n = a.size();
+  core::Configuration front(n);
+  core::Configuration back(n);
+  for (StateCode s = 0; s < table.size(); ++s) {
+    front = core::Configuration::from_bits(s, n);
+    core::step_synchronous(a, front, back);
+    table[s] = back.to_bits();
+  }
+}
+
+void BM_PhaseSpaceScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = majority_ring(n);
+  std::vector<StateCode> table(StateCode{1} << n);
+  for (auto _ : state) {
+    scalar_table(a, table);
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_PhaseSpaceScalar)->Arg(12)->Arg(16)->Arg(20);
+
+// Packed kernel per code: within-configuration word parallelism only —
+// the transpose-free strawman (64 cells per op, but n <= 24 cells means
+// one word, so it degenerates to fixed overhead per state).
+void BM_PhaseSpacePacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<StateCode> table(StateCode{1} << n);
+  core::Configuration front(n);
+  core::Configuration back(n);
+  core::PackedScratch scratch(n);
+  for (auto _ : state) {
+    for (StateCode s = 0; s < table.size(); ++s) {
+      front = core::Configuration::from_bits(s, n);
+      core::step_ring_majority3_packed(front, back, scratch);
+      table[s] = back.to_bits();
+    }
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_PhaseSpacePacked)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_PhaseSpaceBitsliced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = majority_ring(n);
+  std::vector<StateCode> table(StateCode{1} << n);
+  phasespace::BatchCodeStepper stepper(a);
+  for (auto _ : state) {
+    stepper.step_range(0, table.size(), table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_PhaseSpaceBitsliced)->Arg(12)->Arg(16)->Arg(20)->Arg(24);
+
+// One-shot acceptance gate: times both engines on the n=20 Lemma-1 ring
+// and publishes the ratio as deterministic counters for check_bench.
+void BM_BitsliceSpeedupGate(benchmark::State& state) {
+  static std::once_flag once;
+  for (auto _ : state) {
+    std::call_once(once, [] {
+      using Clock = std::chrono::steady_clock;
+      const std::size_t n = 20;
+      const auto a = majority_ring(n);
+      std::vector<StateCode> table(StateCode{1} << n);
+
+      const auto t0 = Clock::now();
+      scalar_table(a, table);
+      const auto scalar_ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+
+      phasespace::BatchCodeStepper stepper(a);
+      const auto t1 = Clock::now();
+      stepper.step_range(0, table.size(), table.data());
+      const auto batch_ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t1).count();
+
+      const double ratio = batch_ns > 0 ? scalar_ns / batch_ns : 0.0;
+      obs::counter("bench.bitslice.speedup_pct")
+          .add(static_cast<std::uint64_t>(ratio * 100.0));
+      if (ratio >= 10.0) obs::counter("bench.bitslice.speedup_ge10").add();
+    });
+  }
+}
+BENCHMARK(BM_BitsliceSpeedupGate)->Iterations(1);
+
+}  // namespace

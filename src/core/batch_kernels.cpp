@@ -1,0 +1,308 @@
+#include "core/batch_kernels.hpp"
+
+#include <bit>
+
+#include "obs/metrics.hpp"
+#include "runtime/error.hpp"
+
+namespace tca::core {
+namespace {
+
+/// Arity ceiling of the adder tree (8 count planes).
+constexpr std::uint32_t kMaxBatchArity = 255;
+
+/// kLanePattern[i] has bit j set iff bit i of the lane index j is set —
+/// the planes of 64 consecutive codes starting at a 64-aligned base.
+constexpr std::uint64_t kLanePattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+void require_lanes(std::size_t count) {
+  if (count > kBatchLanes) {
+    throw tca::InvalidArgumentError("BatchSlice: more than 64 lanes");
+  }
+}
+
+void require_code_width(std::size_t num_cells) {
+  if (num_cells > 64) {
+    throw tca::InvalidArgumentError(
+        "BatchSlice: state codes need <= 64 cells");
+  }
+}
+
+}  // namespace
+
+void transpose64(std::uint64_t m[64]) {
+  // Recursive block swap (after Hacker's Delight 7-3, adjusted for
+  // LSB-first columns): at each level j, entry (k, c+j) exchanges with
+  // (k+j, c) for every row k and column c with bit j clear, so entry
+  // (r, c) ends at (c, r).
+  std::uint64_t mask = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+void BatchSlice::set_count(unsigned count) {
+  require_lanes(count);
+  count_ = count;
+}
+
+void BatchSlice::load_code_range(std::uint64_t first, unsigned count) {
+  require_code_width(num_cells_);
+  require_lanes(count);
+  count_ = count;
+  if ((first & 63) == 0) {
+    // Aligned range: the low six planes are fixed lane patterns, every
+    // higher plane is a broadcast of the corresponding bit of `first`.
+    const std::size_t low = num_cells_ < 6 ? num_cells_ : 6;
+    for (std::size_t i = 0; i < low; ++i) planes_[i] = kLanePattern[i];
+    for (std::size_t i = low; i < num_cells_; ++i) {
+      planes_[i] = ((first >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0;
+    }
+    return;
+  }
+  std::uint64_t codes[64] = {};
+  for (unsigned j = 0; j < count; ++j) codes[j] = first + j;
+  load_codes(std::span<const std::uint64_t>(codes, count));
+}
+
+void BatchSlice::load_codes(std::span<const std::uint64_t> codes) {
+  require_code_width(num_cells_);
+  require_lanes(codes.size());
+  count_ = static_cast<unsigned>(codes.size());
+  std::uint64_t m[64] = {};
+  for (std::size_t j = 0; j < codes.size(); ++j) m[j] = codes[j];
+  transpose64(m);
+  for (std::size_t i = 0; i < num_cells_; ++i) planes_[i] = m[i];
+}
+
+void BatchSlice::store_codes(std::span<std::uint64_t> out) const {
+  require_code_width(num_cells_);
+  if (out.size() < count_) {
+    throw tca::InvalidArgumentError("BatchSlice::store_codes: output short",
+                                    tca::ErrorCode::kSizeMismatch);
+  }
+  std::uint64_t m[64] = {};
+  for (std::size_t i = 0; i < num_cells_; ++i) m[i] = planes_[i];
+  transpose64(m);
+  for (unsigned j = 0; j < count_; ++j) out[j] = m[j];
+}
+
+void BatchSlice::load_configurations(std::span<const Configuration> configs) {
+  require_lanes(configs.size());
+  count_ = static_cast<unsigned>(configs.size());
+  for (const Configuration& c : configs) {
+    if (c.size() != num_cells_) {
+      throw tca::InvalidArgumentError(
+          "BatchSlice::load_configurations: size mismatch",
+          tca::ErrorCode::kSizeMismatch);
+    }
+  }
+  const std::size_t num_words = (num_cells_ + 63) >> 6;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    std::uint64_t m[64] = {};
+    for (std::size_t j = 0; j < configs.size(); ++j) {
+      m[j] = configs[j].words()[w];
+    }
+    transpose64(m);
+    const std::size_t cells = std::min<std::size_t>(64, num_cells_ - w * 64);
+    for (std::size_t i = 0; i < cells; ++i) planes_[w * 64 + i] = m[i];
+  }
+}
+
+void BatchSlice::store_configurations(std::span<Configuration> out) const {
+  if (out.size() < count_) {
+    throw tca::InvalidArgumentError(
+        "BatchSlice::store_configurations: output short",
+        tca::ErrorCode::kSizeMismatch);
+  }
+  for (unsigned j = 0; j < count_; ++j) {
+    if (out[j].size() != num_cells_) {
+      throw tca::InvalidArgumentError(
+          "BatchSlice::store_configurations: size mismatch",
+          tca::ErrorCode::kSizeMismatch);
+    }
+  }
+  const std::size_t num_words = (num_cells_ + 63) >> 6;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    std::uint64_t m[64] = {};
+    const std::size_t cells = std::min<std::size_t>(64, num_cells_ - w * 64);
+    for (std::size_t i = 0; i < cells; ++i) m[i] = planes_[w * 64 + i];
+    transpose64(m);
+    for (unsigned j = 0; j < count_; ++j) out[j].words()[w] = m[j];
+  }
+  for (unsigned j = 0; j < count_; ++j) out[j].mask_padding();
+}
+
+BatchSupport batch_support(const Automaton& a) {
+  if (a.size() == 0) return {false, "empty automaton"};
+  if (!a.homogeneous()) return {false, "non-homogeneous automaton"};
+  std::vector<char> seen(a.max_arity() + 1, 0);
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto arity =
+        static_cast<std::uint32_t>(a.inputs(static_cast<NodeId>(v)).size());
+    if (seen[arity] != 0) continue;
+    seen[arity] = 1;
+    if (arity > kMaxBatchArity) return {false, "arity too large"};
+    const auto plan = rules::circuit_plan(a.rule(0), arity);
+    if (!plan.supported()) return {false, plan.why_unsupported};
+  }
+  return {true, nullptr};
+}
+
+BatchStepper::BatchStepper(const Automaton& a) : a_(&a) {
+  const auto support = batch_support(a);
+  if (!support.ok) {
+    throw tca::InvalidArgumentError(std::string("BatchStepper: ") +
+                                    support.reason);
+  }
+  plans_.resize(a.max_arity() + 1);
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto arity =
+        static_cast<std::uint32_t>(a.inputs(static_cast<NodeId>(v)).size());
+    if (plans_[arity].supported()) continue;
+    plans_[arity] = rules::circuit_plan(a.rule(0), arity);
+  }
+  fanin_.resize(a.max_arity());
+}
+
+unsigned BatchStepper::count_planes(std::uint32_t m, std::uint32_t skip) {
+  // Lane-wise ripple addition of one-bit inputs: plane b of cnt_ is bit b
+  // of the per-lane running count. A plane is valid only below `used`, so
+  // no zeroing between calls is needed.
+  unsigned used = 0;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (i == skip) continue;
+    std::uint64_t carry = fanin_[i];
+    for (unsigned b = 0; carry != 0; ++b) {
+      if (b == used) {
+        cnt_[used++] = carry;
+        break;
+      }
+      const std::uint64_t t = cnt_[b] & carry;
+      cnt_[b] ^= carry;
+      carry = t;
+    }
+  }
+  return used;
+}
+
+std::uint64_t BatchStepper::compare_ge(std::uint32_t k, unsigned used) const {
+  // Lane-wise (count >= k) as the carry-out of count + (2^used - k).
+  if (k >= std::uint64_t{1} << used) return 0;  // count < 2^used <= k
+  const std::uint64_t add = (std::uint64_t{1} << used) - k;
+  std::uint64_t carry = 0;
+  for (unsigned b = 0; b < used; ++b) {
+    carry = ((add >> b) & 1u) != 0 ? cnt_[b] | carry : cnt_[b] & carry;
+  }
+  return carry;
+}
+
+std::uint64_t BatchStepper::select_counts(std::uint64_t mask,
+                                          unsigned used) const {
+  // OR of lane-wise (count == s) over the accepted counts s.
+  std::uint64_t acc = 0;
+  for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+    const auto s = static_cast<unsigned>(std::countr_zero(bits));
+    if ((s >> used) != 0) continue;  // counts never reach 2^used
+    std::uint64_t eq = ~std::uint64_t{0};
+    for (unsigned b = 0; b < used; ++b) {
+      eq &= ((s >> b) & 1u) != 0 ? cnt_[b] : ~cnt_[b];
+    }
+    acc |= eq;
+  }
+  return acc;
+}
+
+std::uint64_t BatchStepper::eval_cell(NodeId v,
+                                      std::span<const std::uint64_t> planes) {
+  const auto slots = a_->inputs(v);
+  const auto m = static_cast<std::uint32_t>(slots.size());
+  const rules::CircuitPlan& plan = plans_[m];
+  std::uint64_t* fin = fanin_.data();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    fin[i] = slots[i] == kConstZero ? 0 : planes[slots[i]];
+  }
+  using Kind = rules::CircuitPlan::Kind;
+  switch (plan.kind) {
+    case Kind::kConstant:
+      return plan.constant_value != 0 ? ~std::uint64_t{0} : 0;
+    case Kind::kParity: {
+      std::uint64_t x = 0;
+      for (std::uint32_t i = 0; i < m; ++i) x ^= fin[i];
+      return x;
+    }
+    case Kind::kThreshold:
+      return compare_ge(plan.k, count_planes(m, m));
+    case Kind::kCountMask:
+      return select_counts(plan.accept_mask, count_planes(m, m));
+    case Kind::kOuterTotalistic: {
+      const std::uint64_t self = fin[plan.self_index];
+      const unsigned used = count_planes(m, plan.self_index);
+      const std::uint64_t born = select_counts(plan.born_mask, used);
+      const std::uint64_t survive = select_counts(plan.survive_mask, used);
+      return (~self & born) | (self & survive);
+    }
+    case Kind::kMinterms: {
+      std::uint64_t acc = 0;
+      for (std::size_t p = 0; p < plan.table.size(); ++p) {
+        if (plan.table[p] == 0) continue;
+        std::uint64_t term = ~std::uint64_t{0};
+        for (std::uint32_t i = 0; i < m; ++i) {
+          term &= ((p >> (m - 1 - i)) & 1u) != 0 ? fin[i] : ~fin[i];
+        }
+        acc |= term;
+      }
+      return acc;
+    }
+    case Kind::kUnsupported:
+      break;  // unreachable: the constructor rejects unsupported plans
+  }
+  return 0;
+}
+
+void BatchStepper::step(const BatchSlice& in, BatchSlice& out) {
+  if (in.num_cells() != a_->size() || out.num_cells() != a_->size()) {
+    throw tca::InvalidArgumentError("BatchStepper::step: size mismatch",
+                                    tca::ErrorCode::kSizeMismatch);
+  }
+  if (&in == &out) {
+    throw tca::InvalidArgumentError(
+        "BatchStepper::step: in and out must differ");
+  }
+  out.set_count(in.count());
+  const auto src = in.planes();
+  auto dst = out.planes();
+  for (std::size_t v = 0; v < a_->size(); ++v) {
+    dst[v] = eval_cell(static_cast<NodeId>(v), src);
+  }
+  static obs::Counter& steps = obs::counter("engine.batch.steps");
+  static obs::Counter& lanes = obs::counter("engine.batch.lanes");
+  steps.add();
+  lanes.add(in.count());
+}
+
+void BatchStepper::sweep(BatchSlice& slice, std::span<const NodeId> order) {
+  if (slice.num_cells() != a_->size()) {
+    throw tca::InvalidArgumentError("BatchStepper::sweep: size mismatch",
+                                    tca::ErrorCode::kSizeMismatch);
+  }
+  auto planes = slice.planes();
+  for (NodeId v : order) {
+    if (v >= a_->size()) {
+      throw tca::InvalidArgumentError("BatchStepper::sweep: node out of range");
+    }
+    planes[v] = eval_cell(v, planes);
+  }
+  // One count per lane-sweep, mirroring engine.sequential.sweeps.
+  static obs::Counter& sweeps = obs::counter("engine.batch.sweeps");
+  sweeps.add(slice.count());
+}
+
+}  // namespace tca::core

@@ -1,0 +1,136 @@
+#pragma once
+// Bit-sliced batch stepping: 64 configurations per machine word
+// (DESIGN.md S3; docs/performance.md).
+//
+// The packed kernels (packed_kernels.hpp) vectorize WITHIN one
+// configuration — 64 cells per ALU op. This engine slices ACROSS
+// configurations instead: a BatchSlice stores one uint64 PLANE per cell,
+// with bit j of plane i holding cell i's value in configuration j. One
+// pass of a word-parallel rule circuit per cell (rules/circuit.hpp) then
+// advances all 64 configurations at once — the dominant cost of exhaustive
+// phase-space construction (2^n scalar steps) collapses by up to 64x, and
+// the win compounds with the thread pool because each 1024-state chunk is
+// just 16 batch steps.
+//
+// Layout and transposes:
+//  * state codes (phase-space enumeration, n <= 64 cells) are loaded with
+//    a 64x64 bit-matrix transpose — or, for 64-aligned consecutive code
+//    ranges, with six constant lane patterns and broadcast planes, no
+//    transpose at all;
+//  * Configurations of ANY size load/store via per-64-cell-word block
+//    transposes, so the engine also serves rings wider than 64 cells.
+//
+// Lanes past count() hold garbage; stores mask them, circuits may compute
+// them freely.
+//
+// The engine supports HOMOGENEOUS automata whose rule compiles to a
+// CircuitPlan at every arity present (rules/circuit.hpp). Everything else
+// — non-homogeneous automata, asymmetric tables of large arity — is
+// declined via batch_support(), and callers fall back to the scalar
+// engine (counted by "engine.batch.fallback"; see phasespace's
+// BatchCodeStepper). Results are bit-for-bit identical to
+// step_synchronous / apply_sequence (tests/batch_engine_test.cpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/configuration.hpp"
+#include "rules/circuit.hpp"
+
+namespace tca::core {
+
+/// Configurations per batch (one per bit of a plane word).
+inline constexpr unsigned kBatchLanes = 64;
+
+/// Transposes the 64x64 bit matrix in place: bit j of row i swaps with
+/// bit i of row j. Exposed for tests.
+void transpose64(std::uint64_t m[64]);
+
+/// A batch of up to 64 same-sized configurations in cell-plane layout.
+class BatchSlice {
+ public:
+  explicit BatchSlice(std::size_t num_cells)
+      : num_cells_(num_cells), planes_(num_cells, 0) {}
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return num_cells_; }
+  /// Active lanes (configurations); lanes >= count() are garbage.
+  [[nodiscard]] unsigned count() const noexcept { return count_; }
+
+  /// Lane j := the n-bit state code `first + j` (bit i = cell i). Requires
+  /// num_cells() <= 64, count <= 64. 64-aligned `first` takes the
+  /// pattern fast path (no transpose).
+  void load_code_range(std::uint64_t first, unsigned count);
+
+  /// Lane j := codes[j]; arbitrary codes, codes.size() <= 64.
+  void load_codes(std::span<const std::uint64_t> codes);
+
+  /// Lane j := configs[j] (each must have num_cells() cells).
+  void load_configurations(std::span<const Configuration> configs);
+
+  /// out[j] := lane j as a state code, j < count(). Requires
+  /// num_cells() <= 64 and out.size() >= count().
+  void store_codes(std::span<std::uint64_t> out) const;
+
+  /// out[j] := lane j, j < count(). Each out[j] must have num_cells()
+  /// cells (padding invariant restored).
+  void store_configurations(std::span<Configuration> out) const;
+
+  [[nodiscard]] std::span<std::uint64_t> planes() noexcept { return planes_; }
+  [[nodiscard]] std::span<const std::uint64_t> planes() const noexcept {
+    return planes_;
+  }
+  /// For raw plane writers (the stepper); count is the lanes-valid bound.
+  void set_count(unsigned count);
+
+ private:
+  std::size_t num_cells_;
+  unsigned count_ = 0;
+  std::vector<std::uint64_t> planes_;
+};
+
+/// Whether the batch engine can step an automaton, and if not, why.
+struct BatchSupport {
+  bool ok = false;
+  const char* reason = nullptr;  ///< set iff !ok; stable string
+};
+
+/// Probes `a` without throwing: homogeneous, and the rule compiles to a
+/// circuit at every arity present.
+[[nodiscard]] BatchSupport batch_support(const Automaton& a);
+
+/// Compiled batch stepper: circuit plans are resolved once per automaton
+/// (per arity present), then each step is one plane-circuit pass per cell.
+/// Holds scratch buffers, so give each thread its own instance.
+class BatchStepper {
+ public:
+  /// Throws InvalidArgumentError when batch_support(a) declines.
+  explicit BatchStepper(const Automaton& a);
+
+  /// out := F(in) lane-wise (one synchronous step of all lanes).
+  void step(const BatchSlice& in, BatchSlice& out);
+
+  /// One full sequential sweep of `order`, in place: every lane applies
+  /// the same order, each update immediately visible to later ones —
+  /// lane-exact with core::apply_sequence.
+  void sweep(BatchSlice& slice, std::span<const NodeId> order);
+
+ private:
+  [[nodiscard]] std::uint64_t eval_cell(
+      NodeId v, std::span<const std::uint64_t> planes);
+  /// Lane-wise popcount of fanin_[0..m) (skipping `skip` if < m) into
+  /// cnt_[0..used); returns `used`.
+  unsigned count_planes(std::uint32_t m, std::uint32_t skip);
+  [[nodiscard]] std::uint64_t compare_ge(std::uint32_t k,
+                                         unsigned used) const;
+  [[nodiscard]] std::uint64_t select_counts(std::uint64_t mask,
+                                            unsigned used) const;
+
+  const Automaton* a_;
+  std::vector<rules::CircuitPlan> plans_;  ///< indexed by arity
+  std::vector<std::uint64_t> fanin_;       ///< gathered input planes
+  std::uint64_t cnt_[8] = {};              ///< adder-tree count planes
+};
+
+}  // namespace tca::core

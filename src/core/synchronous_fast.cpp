@@ -18,14 +18,12 @@ template <typename ConcreteRule>
 void step_loop(const Automaton& a, const ConcreteRule& rule,
                const Configuration& in, Configuration& out) {
   State stack_buf[64];
+  // High-arity gather buffer sized once for the whole step, not per cell.
   std::vector<State> heap_buf;
+  if (a.max_arity() > 64) heap_buf.resize(a.max_arity());
   for (std::size_t v = 0; v < a.size(); ++v) {
     const auto slots = a.inputs(static_cast<NodeId>(v));
-    State* buf = stack_buf;
-    if (slots.size() > 64) {
-      heap_buf.resize(slots.size());
-      buf = heap_buf.data();
-    }
+    State* buf = slots.size() > 64 ? heap_buf.data() : stack_buf;
     for (std::size_t i = 0; i < slots.size(); ++i) {
       buf[i] = slots[i] == kConstZero ? State{0} : in.get(slots[i]);
     }

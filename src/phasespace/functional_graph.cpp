@@ -1,9 +1,11 @@
 #include "phasespace/functional_graph.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/error.hpp"
@@ -20,6 +22,43 @@ void publish_build_tallies(std::uint64_t states_built) {
   states.add(states_built);
 }
 
+/// Counter + structured event for every batch-engine decline
+/// (docs/performance.md): silent de-optimization must show up in run
+/// manifests.
+void publish_batch_fallback(const core::Automaton& a, const char* reason,
+                            const char* context) {
+  static obs::Counter& fallbacks = obs::counter("engine.batch.fallback");
+  fallbacks.add();
+  obs::log_event(
+      obs::LogLevel::kWarn, "engine.batch.fallback",
+      {{"context", context},
+       {"reason", reason != nullptr ? reason : "unknown"},
+       {"rule", a.homogeneous() ? rules::describe(a.rule(0)) : "per-node"},
+       {"cells", static_cast<std::uint64_t>(a.size())}});
+}
+
+/// The number of additional successor-table entries the control's budget
+/// still admits (for reserving exactly the prefix a truncated build can
+/// produce).
+StateCode budget_capped_entries(const runtime::RunControl& control,
+                                StateCode count) {
+  const auto& budget = control.budget();
+  const auto status = control.status();
+  StateCode cap = count;
+  if (budget.max_states != runtime::RunBudget::kUnlimited) {
+    const std::uint64_t left =
+        budget.max_states > status.states ? budget.max_states - status.states
+                                          : 0;
+    cap = std::min<StateCode>(cap, left);
+  }
+  if (budget.max_bytes != runtime::RunBudget::kUnlimited) {
+    const std::uint64_t left =
+        budget.max_bytes > status.bytes ? budget.max_bytes - status.bytes : 0;
+    cap = std::min<StateCode>(cap, left / sizeof(StateCode));
+  }
+  return cap;
+}
+
 /// Serial budgeted build over an arbitrary code-step function. Charges one
 /// state + 8 bytes per entry; on a stop, the computed prefix is returned.
 FunctionalGraphBuild build_serial(std::uint32_t bits, const CodeStepFn& step,
@@ -29,10 +68,12 @@ FunctionalGraphBuild build_serial(std::uint32_t bits, const CodeStepFn& step,
   tca::require_explicit_bits(bits, kMaxExplicitBits, context);
   const StateCode count = StateCode{1} << bits;
   FunctionalGraphBuild out;
-  runtime::fault::check_alloc(count * sizeof(StateCode));
-  if (control.bytes_would_fit(count * sizeof(StateCode))) {
-    out.partial_succ.reserve(count);
-  }
+  // Reserve only what the budget admits: a truncated build then fills its
+  // prefix without doubling reallocations, and never pre-commits memory
+  // the byte budget would refuse.
+  const StateCode reserve = budget_capped_entries(control, count);
+  runtime::fault::check_alloc(reserve * sizeof(StateCode));
+  out.partial_succ.reserve(reserve);
   for (StateCode s = 0; s < count; ++s) {
     if (control.note_states() != runtime::StopReason::kNone ||
         control.note_bytes(sizeof(StateCode)) != runtime::StopReason::kNone) {
@@ -82,8 +123,18 @@ FunctionalGraph FunctionalGraph::from_table(std::uint32_t bits,
 }
 
 FunctionalGraph FunctionalGraph::synchronous(const core::Automaton& a) {
-  return FunctionalGraph(static_cast<std::uint32_t>(a.size()),
-                         synchronous_code_step(a));
+  TCA_SPAN("phase_space_build");
+  const auto bits = static_cast<std::uint32_t>(a.size());
+  tca::require_explicit_bits(bits, kMaxExplicitBits,
+                             "FunctionalGraph::synchronous");
+  const StateCode count = StateCode{1} << bits;
+  runtime::fault::check_alloc(count * sizeof(StateCode));
+  BatchCodeStepper stepper(a);
+  note_batch_fallback(stepper, a, "FunctionalGraph::synchronous");
+  std::vector<StateCode> table(count);
+  stepper.step_range(0, count, table.data());
+  publish_build_tallies(count);
+  return from_table(bits, std::move(table));
 }
 
 FunctionalGraph FunctionalGraph::synchronous_parallel(const core::Automaton& a,
@@ -96,8 +147,18 @@ FunctionalGraph FunctionalGraph::synchronous_parallel(const core::Automaton& a,
 
 FunctionalGraph FunctionalGraph::sweep(const core::Automaton& a,
                                        std::vector<core::NodeId> order) {
-  return FunctionalGraph(static_cast<std::uint32_t>(a.size()),
-                         sweep_code_step(a, std::move(order)));
+  TCA_SPAN("phase_space_build");
+  const auto bits = static_cast<std::uint32_t>(a.size());
+  tca::require_explicit_bits(bits, kMaxExplicitBits,
+                             "FunctionalGraph::sweep");
+  const StateCode count = StateCode{1} << bits;
+  runtime::fault::check_alloc(count * sizeof(StateCode));
+  BatchCodeStepper stepper(a, std::move(order));
+  note_batch_fallback(stepper, a, "FunctionalGraph::sweep");
+  std::vector<StateCode> table(count);
+  stepper.step_range(0, count, table.data());
+  publish_build_tallies(count);
+  return from_table(bits, std::move(table));
 }
 
 FunctionalGraphBuild FunctionalGraph::build_synchronous(
@@ -135,27 +196,30 @@ FunctionalGraphBuild FunctionalGraph::build_synchronous_parallel(
   runtime::fault::check_alloc(count * sizeof(StateCode));
 
   std::vector<StateCode> table(count);
-  const std::size_t n = a.size();
   StateCode* data = table.data();
   runtime::RunControl* ctl = &control;
+  // The batch decision is made once per build; workers then carry their
+  // own stepper (plans + slices + fallback buffers are per-thread state).
+  const auto support = core::batch_support(a);
+  if (!support.ok) {
+    publish_batch_fallback(a, support.reason,
+                           "FunctionalGraph::build_synchronous_parallel");
+  }
   // Each participant evaluates contiguous state ranges with its own
   // buffers: writes are disjoint, reads are to the shared immutable
   // automaton. The control is polled between chunks by the pool and every
-  // 1024 states inside a chunk.
+  // 1024 states inside a chunk; each 1024-state block is 16 batch steps.
   const auto reason = pool.parallel_for(
       0, table.size(), /*align=*/1024,
-      [&a, n, data, ctl](std::size_t begin, std::size_t end) {
-        core::Configuration front(n);
-        core::Configuration back(n);
-        for (std::size_t s = begin; s < end; ++s) {
-          if ((s - begin) % 1024 == 0 &&
-              ctl->note_states(std::min<std::uint64_t>(1024, end - s)) !=
-                  runtime::StopReason::kNone) {
+      [&a, data, ctl](std::size_t begin, std::size_t end) {
+        BatchCodeStepper stepper(a);
+        for (std::size_t s = begin; s < end;) {
+          const auto block = std::min<std::size_t>(1024, end - s);
+          if (ctl->note_states(block) != runtime::StopReason::kNone) {
             return;  // abandon the rest of this chunk
           }
-          front = core::Configuration::from_bits(s, n);
-          core::step_synchronous(a, front, back);
-          data[s] = back.to_bits();
+          stepper.step_range(s, block, data + s);
+          s += block;
         }
       },
       &control);
@@ -171,6 +235,83 @@ FunctionalGraphBuild FunctionalGraph::build_synchronous_parallel(
   out.graph = from_table(bits, std::move(table));
   publish_build_tallies(out.states_built);
   return out;
+}
+
+BatchCodeStepper::BatchCodeStepper(const core::Automaton& a)
+    : a_(&a),
+      sweep_mode_(false),
+      in_(a.size()),
+      out_(a.size()),
+      front_(a.size()),
+      back_(a.size()) {
+  const auto support = core::batch_support(a);
+  if (support.ok) {
+    stepper_.emplace(a);
+  } else {
+    reason_ = support.reason;
+  }
+}
+
+BatchCodeStepper::BatchCodeStepper(const core::Automaton& a,
+                                   std::vector<core::NodeId> order)
+    : a_(&a),
+      order_(std::move(order)),
+      sweep_mode_(true),
+      in_(a.size()),
+      out_(a.size()),
+      front_(a.size()),
+      back_(a.size()) {
+  const auto support = core::batch_support(a);
+  if (support.ok) {
+    stepper_.emplace(a);
+  } else {
+    reason_ = support.reason;
+  }
+}
+
+void BatchCodeStepper::step_range(StateCode first, std::size_t count,
+                                  StateCode* succ) {
+  const std::size_t n = a_->size();
+  if (stepper_.has_value()) {
+    for (std::size_t done = 0; done < count;) {
+      const auto lanes = static_cast<unsigned>(
+          std::min<std::size_t>(core::kBatchLanes, count - done));
+      in_.load_code_range(first + done, lanes);
+      if (sweep_mode_) {
+        stepper_->sweep(in_, order_);
+        in_.store_codes(std::span<StateCode>(succ + done, lanes));
+      } else {
+        stepper_->step(in_, out_);
+        out_.store_codes(std::span<StateCode>(succ + done, lanes));
+      }
+      done += lanes;
+    }
+    return;
+  }
+  // Scalar fallback: identical to the per-code adapters below.
+  for (std::size_t j = 0; j < count; ++j) {
+    front_ = core::Configuration::from_bits(first + j, n);
+    if (sweep_mode_) {
+      core::apply_sequence(*a_, front_, order_);
+      succ[j] = front_.to_bits();
+    } else {
+      core::step_synchronous(*a_, front_, back_);
+      succ[j] = back_.to_bits();
+    }
+  }
+}
+
+void note_batch_fallback(const BatchCodeStepper& stepper,
+                         const core::Automaton& a, const char* context) {
+  if (stepper.batched()) return;
+  publish_batch_fallback(a, stepper.fallback_reason(), context);
+}
+
+void batch_code_step(const core::Automaton& a, StateCode first,
+                     std::size_t count, StateCode* succ) {
+  BatchCodeStepper stepper(a);
+  note_batch_fallback(stepper, a, "batch_code_step");
+  stepper.step_range(first, count, succ);
 }
 
 CodeStepFn synchronous_code_step(const core::Automaton& a) {

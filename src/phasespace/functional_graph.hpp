@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/automaton.hpp"
+#include "core/batch_kernels.hpp"
 #include "core/configuration.hpp"
 #include "core/thread_pool.hpp"
 #include "runtime/budget.hpp"
@@ -111,5 +112,60 @@ struct FunctionalGraphBuild {
 [[nodiscard]] CodeStepFn synchronous_code_step(const core::Automaton& a);
 [[nodiscard]] CodeStepFn sweep_code_step(const core::Automaton& a,
                                          std::vector<core::NodeId> order);
+
+/// Amortized batch code stepping (docs/performance.md): fills successor
+/// codes 64 lanes at a time through the bit-sliced engine
+/// (core/batch_kernels.hpp) when the automaton is supported, and through
+/// the scalar from_bits / step / to_bits path otherwise. The dispatch
+/// decision is made once at construction; callers that enumerate full
+/// tables (phase-space builds, the explicit Garden-of-Eden census,
+/// benches) construct one stepper per thread and stream ranges through
+/// it. Results are bit-for-bit identical either way.
+class BatchCodeStepper {
+ public:
+  /// Synchronous mode: one parallel step per code.
+  explicit BatchCodeStepper(const core::Automaton& a);
+
+  /// Sweep mode: one full sequential sweep of `order` per code (the SCA
+  /// phase-space map of FunctionalGraph::sweep).
+  BatchCodeStepper(const core::Automaton& a, std::vector<core::NodeId> order);
+
+  /// succ[j] := F(first + j) for j in [0, count). `count` need not be a
+  /// multiple of 64 (ragged final batches are masked on store).
+  void step_range(StateCode first, std::size_t count, StateCode* succ);
+
+  /// False when the batch engine declined the automaton and every
+  /// step_range runs scalar.
+  [[nodiscard]] bool batched() const noexcept { return stepper_.has_value(); }
+  /// Stable reason string when !batched(), nullptr otherwise.
+  [[nodiscard]] const char* fallback_reason() const noexcept {
+    return reason_;
+  }
+
+ private:
+  const core::Automaton* a_;
+  std::vector<core::NodeId> order_;
+  bool sweep_mode_;
+  std::optional<core::BatchStepper> stepper_;
+  const char* reason_ = nullptr;
+  core::BatchSlice in_;
+  core::BatchSlice out_;
+  core::Configuration front_;  // scalar fallback buffers
+  core::Configuration back_;
+};
+
+/// Records a scalar fallback: bumps "engine.batch.fallback" and emits a
+/// structured "engine.batch.fallback" warn event naming the context, the
+/// reason, and the automaton — silent de-optimization shows up in run
+/// manifests. Call once per build/census decision, not per step. No-op
+/// when the stepper is batched.
+void note_batch_fallback(const BatchCodeStepper& stepper,
+                         const core::Automaton& a, const char* context);
+
+/// One-shot convenience over BatchCodeStepper (synchronous mode):
+/// succ[j] := F(first + j) for j in [0, count), batch engine when
+/// supported (a fallback is counted and logged otherwise).
+void batch_code_step(const core::Automaton& a, StateCode first,
+                     std::size_t count, StateCode* succ);
 
 }  // namespace tca::phasespace

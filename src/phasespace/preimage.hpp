@@ -102,6 +102,25 @@ struct GoeCensus {
     const RingPreimageSolver& solver, std::size_t n,
     runtime::RunControl& control);
 
+/// Explicit Garden-of-Eden census over ALL 2^n configurations of an
+/// arbitrary automaton (any topology, n <= 26): streams the full image of
+/// the synchronous map through the bit-sliced batch engine
+/// (phasespace::BatchCodeStepper) into a reached-states bitmap; gardens
+/// are the unreached codes. Complements the transfer-matrix census above:
+/// that one is per-target and ring-only, this one is whole-space and
+/// topology-agnostic — the two must agree on rings (tested).
+///
+/// Budgeted variant: charges the bitmap bytes up front and one state per
+/// source code in 1024-blocks. A truncated scan has seen only part of the
+/// image, so no garden count can be claimed: `gardens` stays 0 and
+/// `truncated` is set (scanned still reports progress).
+[[nodiscard]] GoeCensus count_gardens_of_eden_explicit(
+    const core::Automaton& a, runtime::RunControl& control);
+
+/// Unbudgeted convenience: either completes or throws.
+[[nodiscard]] std::uint64_t count_gardens_of_eden_explicit(
+    const core::Automaton& a);
+
 /// Number of FIXED POINTS of the parallel map on an n-cell ring, by the
 /// same transfer-matrix trick with the constraint "rule output == the
 /// window's middle cell" — O(n) matrix products, so exact counts for

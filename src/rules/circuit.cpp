@@ -1,0 +1,179 @@
+#include "rules/circuit.hpp"
+
+#include <bit>
+
+#include "rules/analyze.hpp"
+
+namespace tca::rules {
+namespace {
+
+CircuitPlan unsupported(const char* why) {
+  CircuitPlan p;
+  p.kind = CircuitPlan::Kind::kUnsupported;
+  p.why_unsupported = why;
+  return p;
+}
+
+CircuitPlan constant_plan(State value) {
+  CircuitPlan p;
+  p.kind = CircuitPlan::Kind::kConstant;
+  p.constant_value = value;
+  return p;
+}
+
+CircuitPlan threshold_plan(std::uint32_t k, std::uint32_t arity) {
+  if (k == 0) return constant_plan(1);
+  if (k > arity) return constant_plan(0);
+  CircuitPlan p;
+  p.kind = CircuitPlan::Kind::kThreshold;
+  p.k = k;
+  return p;
+}
+
+/// Mask with bits 0..arity set (the domain of a count mask).
+std::uint64_t full_count_mask(std::uint32_t arity) {
+  return arity >= 63 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << (arity + 1)) - 1;
+}
+
+/// Classifies a count-indexed accept mask (bit s = output when exactly s
+/// inputs are 1) into the cheapest circuit: constant, threshold (mask is a
+/// suffix run), parity (mask is the odd counts), or a general count mask.
+CircuitPlan from_accept_mask(std::uint64_t mask, std::uint32_t arity) {
+  const std::uint64_t full = full_count_mask(arity);
+  mask &= full;
+  if (mask == 0) return constant_plan(0);
+  if (mask == full) return constant_plan(1);
+  const auto k = static_cast<std::uint32_t>(std::countr_zero(mask));
+  if (mask == (full >> k << k)) return threshold_plan(k, arity);
+  if (mask == (0xAAAAAAAAAAAAAAAAULL & full)) {
+    CircuitPlan p;
+    p.kind = CircuitPlan::Kind::kParity;
+    return p;
+  }
+  CircuitPlan p;
+  p.kind = CircuitPlan::Kind::kCountMask;
+  p.accept_mask = mask;
+  return p;
+}
+
+/// Count mask of a SYMMETRIC truth table (table[idx] depends only on
+/// popcount(idx)); caller guarantees is_symmetric(table).
+std::uint64_t mask_from_symmetric_table(const std::vector<State>& table,
+                                        std::uint32_t arity) {
+  std::uint64_t mask = 0;
+  for (std::uint32_t s = 0; s <= arity; ++s) {
+    // Representative input with s ones: the s low bits set.
+    const std::size_t idx = (std::size_t{1} << s) - 1;
+    if (table[idx] != 0) mask |= std::uint64_t{1} << s;
+  }
+  return mask;
+}
+
+CircuitPlan plan_from_table(std::vector<State> table, std::uint32_t arity) {
+  if (arity <= kMaxCountMaskArity && is_symmetric(table)) {
+    return from_accept_mask(mask_from_symmetric_table(table, arity), arity);
+  }
+  if (arity > kMaxMintermArity) {
+    return unsupported("asymmetric table arity too large for minterms");
+  }
+  CircuitPlan p;
+  p.kind = CircuitPlan::Kind::kMinterms;
+  p.table = std::move(table);
+  return p;
+}
+
+CircuitPlan plan(const MajorityRule& r, std::uint32_t arity) {
+  // ones*2 > m  <=>  ones >= floor(m/2)+1;  ones*2 >= m  <=>  ones >=
+  // ceil(m/2).
+  const std::uint32_t k =
+      r.tie == MajorityTie::kZero ? arity / 2 + 1 : (arity + 1) / 2;
+  return threshold_plan(k, arity);
+}
+
+CircuitPlan plan(const KOfNRule& r, std::uint32_t arity) {
+  return threshold_plan(r.k, arity);
+}
+
+CircuitPlan plan(const SymmetricRule& r, std::uint32_t arity) {
+  if (r.accept.size() != std::size_t{arity} + 1) {
+    return unsupported("symmetric rule accept size != arity+1");
+  }
+  if (arity > kMaxCountMaskArity) {
+    return unsupported("symmetric rule arity too large for count mask");
+  }
+  std::uint64_t mask = 0;
+  for (std::uint32_t s = 0; s <= arity; ++s) {
+    if (r.accept[s] != 0) mask |= std::uint64_t{1} << s;
+  }
+  return from_accept_mask(mask, arity);
+}
+
+CircuitPlan plan(const ParityRule&, std::uint32_t) {
+  CircuitPlan p;
+  p.kind = CircuitPlan::Kind::kParity;
+  return p;
+}
+
+CircuitPlan plan(const TableRule& r, std::uint32_t arity) {
+  if (r.table.size() != std::size_t{1} << arity) {
+    return unsupported("table size != 2^arity");
+  }
+  return plan_from_table(r.table, arity);
+}
+
+CircuitPlan plan(const WeightedThresholdRule& r, std::uint32_t arity) {
+  if (r.weights.size() != arity) {
+    return unsupported("weighted threshold weight count != arity");
+  }
+  bool uniform = true;
+  for (std::int32_t w : r.weights) uniform = uniform && w == r.weights[0];
+  if (uniform && arity > 0) {
+    const std::int64_t w = r.weights[0];
+    const std::int64_t theta = r.theta;
+    if (w > 0) {
+      // ones*w >= theta  <=>  ones >= ceil(theta/w).
+      const std::int64_t k = theta <= 0 ? 0 : (theta + w - 1) / w;
+      return threshold_plan(static_cast<std::uint32_t>(k), arity);
+    }
+    if (w == 0) return constant_plan(theta <= 0 ? 1 : 0);
+    // Negative uniform weight: antitone in the count; fall through to the
+    // truth-table route (becomes a count mask).
+  }
+  if (arity > kMaxMintermArity) {
+    return unsupported("weighted threshold arity too large");
+  }
+  return plan_from_table(truth_table(Rule{r}, arity), arity);
+}
+
+CircuitPlan plan(const OuterTotalisticRule& r, std::uint32_t arity) {
+  if (arity == 0 || r.self_index >= arity) {
+    return unsupported("outer-totalistic self index out of range");
+  }
+  if (r.born.size() != arity || r.survive.size() != arity) {
+    return unsupported("outer-totalistic born/survive size != arity");
+  }
+  if (arity - 1 > kMaxCountMaskArity) {
+    return unsupported("outer-totalistic arity too large for count mask");
+  }
+  CircuitPlan p;
+  p.kind = CircuitPlan::Kind::kOuterTotalistic;
+  p.self_index = r.self_index;
+  for (std::uint32_t s = 0; s < arity; ++s) {
+    if (r.born[s] != 0) p.born_mask |= std::uint64_t{1} << s;
+    if (r.survive[s] != 0) p.survive_mask |= std::uint64_t{1} << s;
+  }
+  return p;
+}
+
+}  // namespace
+
+CircuitPlan circuit_plan(const Rule& rule, std::uint32_t arity) {
+  const std::uint32_t fixed = required_arity(rule);
+  if (fixed != 0 && fixed != arity) {
+    return unsupported("rule arity does not match neighborhood size");
+  }
+  return std::visit([arity](const auto& r) { return plan(r, arity); }, rule);
+}
+
+}  // namespace tca::rules

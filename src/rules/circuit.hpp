@@ -1,0 +1,75 @@
+#pragma once
+// Word-parallel circuit forms of local rules (DESIGN.md S2/S3 extension).
+//
+// The bit-sliced batch engine (core/batch_kernels.hpp) evaluates one rule
+// on 64 CONFIGURATIONS at a time: each input is a 64-bit plane whose bit j
+// is that input's value in configuration j, and the rule must be expressed
+// as a boolean circuit over whole planes. This header compiles a Rule into
+// such a circuit ONCE per automaton — a CircuitPlan — using the property
+// analyzers (analyze.hpp) to pick the cheapest form:
+//
+//  * kParity      — XOR chain (parity, and tables that ARE parity);
+//  * kThreshold   — popcount adder tree + carry compare (majority, k-of-n,
+//                   monotone symmetric tables, uniform positive weights);
+//  * kCountMask   — popcount adder tree + per-count equality (arbitrary
+//                   symmetric / totalistic functions);
+//  * kOuterTotalistic — self plane + count mask over the other inputs
+//                   (the Game-of-Life family);
+//  * kMinterms    — sum-of-products over accepting truth-table rows
+//                   (asymmetric tables of small arity);
+//  * kConstant    — degenerate cases (k = 0, k > arity, constant tables).
+//
+// kUnsupported plans make the batch engine decline the automaton and fall
+// back to the scalar engine (the "engine.batch.fallback" counter + log
+// event record every such decision; docs/performance.md).
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace tca::rules {
+
+/// Largest arity for which the minterm (sum-of-products) form is built;
+/// beyond this a non-symmetric table is kUnsupported (2^arity AND-chains
+/// per cell would no longer beat the scalar lookup).
+inline constexpr std::uint32_t kMaxMintermArity = 8;
+
+/// Largest arity representable by a count mask (mask bit s = output when
+/// exactly s inputs are 1 needs arity+1 bits of one uint64).
+inline constexpr std::uint32_t kMaxCountMaskArity = 63;
+
+/// How one rule at one fixed arity is evaluated over 64-lane bit planes.
+struct CircuitPlan {
+  enum class Kind : std::uint8_t {
+    kConstant,
+    kParity,
+    kThreshold,
+    kCountMask,
+    kOuterTotalistic,
+    kMinterms,
+    kUnsupported,
+  };
+
+  Kind kind = Kind::kUnsupported;
+  State constant_value = 0;       ///< kConstant
+  std::uint32_t k = 0;            ///< kThreshold: output = (ones >= k), k >= 1
+  std::uint64_t accept_mask = 0;  ///< kCountMask: bit s = output at s ones
+  std::uint32_t self_index = 0;   ///< kOuterTotalistic: the self input slot
+  std::uint64_t born_mask = 0;    ///< kOuterTotalistic: self == 0 outputs
+  std::uint64_t survive_mask = 0; ///< kOuterTotalistic: self == 1 outputs
+  std::vector<State> table;       ///< kMinterms: 2^arity rows, MSB-first
+  const char* why_unsupported = nullptr;  ///< kUnsupported only
+
+  [[nodiscard]] bool supported() const noexcept {
+    return kind != Kind::kUnsupported;
+  }
+};
+
+/// Compiles `rule` at the given arity. Never throws for well-formed rules;
+/// shapes the batch engine cannot express (or that the rule itself would
+/// reject at eval time, e.g. a size-mismatched SymmetricRule) come back as
+/// kUnsupported with a stable reason string.
+[[nodiscard]] CircuitPlan circuit_plan(const Rule& rule, std::uint32_t arity);
+
+}  // namespace tca::rules
