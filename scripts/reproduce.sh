@@ -10,6 +10,19 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
+# --lint: run only the static-analysis stage (docs/static-analysis.md)
+# and exit. tca-lint needs no build; clang-tidy skips gracefully when it
+# is not installed (CI passes --require instead, so a missing tool can
+# never silently pass there).
+if [ "${1:-}" = "--lint" ]; then
+  python3 scripts/tca_lint.py --self-test || exit 1
+  python3 scripts/tca_lint.py || exit 1
+  python3 scripts/run_clang_tidy.py --self-test || exit 1
+  python3 scripts/run_clang_tidy.py --diff-baseline || exit 1
+  echo "reproduce.sh --lint: all static-analysis stages passed"
+  exit 0
+fi
+
 # Per-binary wall-clock limit (seconds); override: BENCH_TIMEOUT=60 ...
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 

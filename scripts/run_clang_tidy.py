@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Baseline-diffing clang-tidy driver (docs/static-analysis.md).
+
+Runs the curated `.clang-tidy` profile over every src/ translation unit in
+compile_commands.json and compares the findings against the committed
+baseline (bench/baselines/clang_tidy_baseline.json):
+
+  * a NEW finding key — a (file, check) pair absent from the baseline, or
+    one whose count grew — fails the run (exit 1): new code must not add
+    findings even while old ones are being burned down;
+  * findings that disappeared are reported as burn-down progress with a
+    reminder to shrink the baseline via --update-baseline (still exit 0:
+    shrinking is a deliberate commit, not a side effect of CI).
+
+Counts are keyed by (repo-relative file, check) and deliberately NOT by
+line number, so unrelated edits that shift lines do not churn the
+baseline.
+
+Tool discovery: $CLANG_TIDY, then `clang-tidy`, then versioned names
+(clang-tidy-21 .. clang-tidy-14). Without the tool the run SKIPs with
+exit 0 (so `reproduce.sh --lint` works on gcc-only boxes) unless
+--require is given (the CI static-analysis job passes --require so a
+missing tool can never silently pass).
+
+`--self-test` exercises the parse + diff logic on canned output without
+needing clang-tidy installed; tests/CMakeLists.txt registers it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+BASELINE_DEFAULT = "bench/baselines/clang_tidy_baseline.json"
+BASELINE_SCHEMA = 1
+
+# clang-tidy diagnostic line: /abs/path/file.cpp:12:3: warning: msg [check]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$"
+)
+
+
+def find_clang_tidy() -> str | None:
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) else None
+    candidates = ["clang-tidy"] + [
+        f"clang-tidy-{v}" for v in range(21, 13, -1)
+    ]
+    for name in candidates:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def parse_diagnostics(output: str, repo_root: pathlib.Path) -> dict[str, int]:
+    """Aggregates diagnostics to {"relfile\t check": count}. Diagnostics in
+    files outside the repo (system/gtest headers) are dropped — the
+    HeaderFilterRegex should already exclude them, this is belt and
+    braces."""
+    counts: dict[str, int] = {}
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        path = pathlib.Path(m.group("file"))
+        try:
+            rel = path.resolve().relative_to(repo_root.resolve()).as_posix()
+        except ValueError:
+            continue  # outside the repo
+        for check in m.group("check").split(","):
+            key = f"{rel}\t{check.strip()}"
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def diff_counts(
+    baseline: dict[str, int], current: dict[str, int]
+) -> tuple[list[str], list[str]]:
+    """Returns (regressions, burned_down) as printable lines."""
+    regressions = []
+    for key, count in sorted(current.items()):
+        base = baseline.get(key, 0)
+        if count > base:
+            file, check = key.split("\t")
+            regressions.append(
+                f"NEW  {file} [{check}]: {count} finding(s), baseline {base}"
+            )
+    burned = []
+    for key, base in sorted(baseline.items()):
+        cur = current.get(key, 0)
+        if cur < base:
+            file, check = key.split("\t")
+            burned.append(
+                f"GONE {file} [{check}]: {base} -> {cur} (shrink the "
+                f"baseline with --update-baseline)"
+            )
+    return regressions, burned
+
+
+def load_baseline(path: pathlib.Path) -> dict[str, int]:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise SystemExit(
+            f"{path}: baseline schema {doc.get('schema')!r} != "
+            f"{BASELINE_SCHEMA}")
+    return {
+        f"{f['file']}\t{f['check']}": int(f["count"])
+        for f in doc.get("findings", [])
+    }
+
+
+def write_baseline(path: pathlib.Path, counts: dict[str, int]) -> None:
+    findings = [
+        {"file": key.split("\t")[0], "check": key.split("\t")[1],
+         "count": count}
+        for key, count in sorted(counts.items())
+    ]
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "profile": ".clang-tidy",
+        "note": ("Committed clang-tidy burn-down baseline: CI fails on any "
+                 "finding not recorded here. Shrink via "
+                 "scripts/run_clang_tidy.py --update-baseline after fixing; "
+                 "never grow it without a review discussion."),
+        "findings": findings,
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def src_translation_units(build_dir: pathlib.Path,
+                          repo_root: pathlib.Path) -> list[str]:
+    ccj = build_dir / "compile_commands.json"
+    if not ccj.is_file():
+        raise SystemExit(
+            f"{ccj} not found — configure with "
+            f"cmake -B {build_dir} (CMAKE_EXPORT_COMPILE_COMMANDS is ON "
+            f"in CMakeLists.txt)")
+    src_prefix = (repo_root / "src").resolve().as_posix() + "/"
+    files = []
+    for entry in json.loads(ccj.read_text(encoding="utf-8")):
+        f = pathlib.Path(entry["file"])
+        if not f.is_absolute():
+            f = pathlib.Path(entry["directory"]) / f
+        if f.resolve().as_posix().startswith(src_prefix):
+            files.append(str(f))
+    return sorted(set(files))
+
+
+def run_tool(tool: str, files: list[str], build_dir: pathlib.Path,
+             jobs: int) -> str:
+    def one(path: str) -> str:
+        proc = subprocess.run(
+            [tool, "-p", str(build_dir), "--quiet", path],
+            capture_output=True, text=True)
+        return proc.stdout
+    chunks = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for out in pool.map(one, files):
+            chunks.append(out)
+    return "\n".join(chunks)
+
+
+# --- self-test ----------------------------------------------------------
+
+_CANNED_OUTPUT = """\
+{root}/src/core/thread_pool.cpp:42:3: warning: use of a blocking call [concurrency-mt-unsafe]
+{root}/src/core/thread_pool.cpp:77:5: warning: use of a blocking call [concurrency-mt-unsafe]
+{root}/src/obs/metrics.cpp:10:1: warning: something bugprone [bugprone-branch-clone]
+/usr/include/gtest/gtest.h:999:1: warning: outside the repo [bugprone-macro-parentheses]
+garbage line that is not a diagnostic
+"""
+
+
+def self_test() -> int:
+    root = pathlib.Path("/repo")
+    counts = parse_diagnostics(_CANNED_OUTPUT.format(root=root), root)
+    expect = {
+        "src/core/thread_pool.cpp\tconcurrency-mt-unsafe": 2,
+        "src/obs/metrics.cpp\tbugprone-branch-clone": 1,
+    }
+    failures = []
+    if counts != expect:
+        failures.append(f"parse: got {counts!r}, want {expect!r}")
+
+    # Same findings -> no regressions, no burn-down.
+    reg, burn = diff_counts(expect, dict(expect))
+    if reg or burn:
+        failures.append(f"identity diff not empty: {reg} {burn}")
+    # A brand-new (file, check) and a grown count both regress.
+    grown = dict(expect)
+    grown["src/core/thread_pool.cpp\tconcurrency-mt-unsafe"] = 3
+    grown["src/aca/aca.cpp\tbugprone-use-after-move"] = 1
+    reg, _ = diff_counts(expect, grown)
+    if len(reg) != 2:
+        failures.append(f"regression diff: want 2 NEW lines, got {reg}")
+    # A burned-down finding is progress, not failure.
+    shrunk = {"src/core/thread_pool.cpp\tconcurrency-mt-unsafe": 1}
+    reg, burn = diff_counts(expect, shrunk)
+    if reg or len(burn) != 2:
+        failures.append(f"burn-down diff: want 0 NEW / 2 GONE, got "
+                        f"{reg} / {burn}")
+    # Baseline round-trip through JSON.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "baseline.json"
+        write_baseline(path, expect)
+        if load_baseline(path) != expect:
+            failures.append("baseline round-trip mismatch")
+
+    if failures:
+        print("run_clang_tidy self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 2
+    print("run_clang_tidy self-test OK: parse, diff, and baseline "
+          "round-trip verified")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=pathlib.Path,
+                        default=pathlib.Path("build"))
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path(BASELINE_DEFAULT))
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's findings")
+    parser.add_argument("--diff-baseline", action="store_true",
+                        help="diff findings against the baseline (default "
+                             "behavior; flag kept for explicit CI wiring)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) if clang-tidy is not installed "
+                             "instead of skipping")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    tool = find_clang_tidy()
+    if tool is None:
+        msg = ("clang-tidy not found (tried $CLANG_TIDY, clang-tidy, "
+               "clang-tidy-21..14)")
+        if args.require:
+            print(f"run_clang_tidy: {msg}", file=sys.stderr)
+            return 2
+        print(f"run_clang_tidy: SKIP — {msg}")
+        return 0
+
+    files = src_translation_units(args.build_dir, repo_root)
+    if not files:
+        print("run_clang_tidy: no src/ translation units in "
+              "compile_commands.json", file=sys.stderr)
+        return 2
+    print(f"run_clang_tidy: {tool} over {len(files)} TU(s), "
+          f"profile .clang-tidy")
+    output = run_tool(tool, files, args.build_dir, args.jobs)
+    counts = parse_diagnostics(output, repo_root)
+    total = sum(counts.values())
+
+    if args.update_baseline:
+        write_baseline(args.baseline, counts)
+        print(f"run_clang_tidy: baseline rewritten with {total} finding(s) "
+              f"across {len(counts)} key(s) -> {args.baseline}")
+        return 0
+
+    baseline = (load_baseline(args.baseline) if args.baseline.is_file()
+                else {})
+    regressions, burned = diff_counts(baseline, counts)
+    for line in burned:
+        print(line)
+    for line in regressions:
+        print(line)
+    if regressions:
+        print(f"run_clang_tidy: {len(regressions)} NEW finding key(s) vs "
+              f"baseline {args.baseline}", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: no new findings ({total} total, "
+          f"{len(baseline)} baseline key(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,540 @@
+#!/usr/bin/env python3
+"""tca-lint: project-invariant linter for the TCA codebase.
+
+Checks the invariants that Clang's thread-safety analysis and clang-tidy
+cannot express because they are *project* conventions, not language rules
+(docs/static-analysis.md):
+
+  raw-throw      no `throw std::...` in src/ — errors go through the
+                 tca::Error hierarchy (src/runtime/error.hpp) so every
+                 failure carries an ErrorCode the sweeps can dispatch on.
+  raw-stdio      no printf/fprintf/puts/fputs in src/ outside src/obs/ —
+                 diagnostics go through the structured log sink
+                 (obs/log.hpp) so they land in JSONL, not interleaved
+                 stderr garbage under a thread pool.
+  relaxed-order  `memory_order_relaxed` is allowed only in src/obs/ (the
+                 metrics shards are relaxed by design) or in files that
+                 carry a `tca-lint: relaxed-ok(<why>)` justification tag.
+  explicit-bits  every explicit-enumeration entry point guards 2^n blowup
+                 with tca::require_explicit_bits before allocating.
+  span-required  every public engine entry emits a TCA_SPAN so exponential
+                 wall-clock is attributable in Chrome traces.
+  checkpoint-det no wall-clock / randomness in src/runtime/ (the
+                 checkpointed paths): resume must be bit-identical, so
+                 only steady_clock (monotonic, never serialized) is
+                 allowed there.
+
+Suppression policy (docs/static-analysis.md): a finding is suppressed by
+`// tca-lint: allow(<rule>) <reason>` on the same line or the line(s)
+immediately above; the reason is mandatory by convention and enforced in
+review. The relaxed-order rule is file-granular: one
+`// tca-lint: relaxed-ok(<why>)` tag covers the file, because a memory
+-order argument is about the file's whole protocol, not one line.
+
+Exit codes: 0 clean, 1 findings, 2 internal/self-test failure.
+
+`--self-test` runs every rule against embedded good/bad fixtures and
+fails if any rule misses its bad fixture (rule rot) or fires on its good
+fixture (false positives). tests/CMakeLists.txt registers this as the
+`lint_selftest` test; `lint_tree` runs the real tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+import tempfile
+from typing import Callable, Iterable
+
+SRC_EXTENSIONS = {".hpp", ".cpp", ".h", ".cc", ".hpp.in"}
+
+ALLOW_TAG = re.compile(r"tca-lint:\s*allow\(([\w,-]+)\)")
+RELAXED_FILE_TAG = re.compile(r"tca-lint:\s*relaxed-ok\(")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based; 0 == whole file
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceFile:
+    relpath: str  # repo-relative, forward slashes
+    text: str
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+
+def _suppressed(lines: list[str], line_no: int, rule: str) -> bool:
+    """True if `rule` is allowed on 1-based `line_no` (same line or the
+    run of comment lines immediately above)."""
+    candidates = [line_no]
+    probe = line_no - 1
+    while probe >= 1 and lines[probe - 1].lstrip().startswith("//"):
+        candidates.append(probe)
+        probe -= 1
+    for cand in candidates:
+        for match in ALLOW_TAG.finditer(lines[cand - 1]):
+            if rule in match.group(1).split(","):
+                return True
+    return False
+
+
+def _grep_rule(
+    rule: str,
+    pattern: re.Pattern[str],
+    message: str,
+    *,
+    exempt_dirs: tuple[str, ...] = (),
+) -> Callable[[SourceFile], list[Finding]]:
+    def check(src: SourceFile) -> list[Finding]:
+        if any(src.relpath.startswith(d) for d in exempt_dirs):
+            return []
+        out = []
+        lines = src.lines
+        for i, line in enumerate(lines, start=1):
+            if pattern.search(line) and not _suppressed(lines, i, rule):
+                out.append(Finding(src.relpath, i, rule, message))
+        return out
+
+    return check
+
+
+# --- required-call rules (explicit-bits, span-required) -----------------
+
+
+def _function_bodies(text: str, name_pattern: str) -> list[tuple[int, str]]:
+    """Yields (1-based line, body) for each definition of a function whose
+    signature matches `name_pattern` immediately before its '('. A match
+    is a definition if a '{' appears after the closing paren of the
+    argument list before any ';'. Brace-counted, comment-naive — fine for
+    this codebase's formatting."""
+    bodies = []
+    for match in re.finditer(name_pattern + r"\s*\(", text):
+        # Walk to the ')' closing the argument list.
+        depth, i = 0, match.end() - 1
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        else:
+            continue
+        # Definition? Find '{' before ';' (allowing initializer lists,
+        # noexcept, attributes, TCA_* annotation macros in between).
+        j = i + 1
+        while j < len(text) and text[j] != "{" and text[j] != ";":
+            j += 1
+        if j >= len(text) or text[j] == ";":
+            continue
+        depth, k = 0, j
+        while k < len(text):
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        line = text.count("\n", 0, match.start()) + 1
+        bodies.append((line, text[j : k + 1]))
+    return bodies
+
+
+@dataclasses.dataclass(frozen=True)
+class EntryPoint:
+    file: str  # repo-relative
+    name: str  # regex matched immediately before '('
+    short: str  # plain function name, for delegation detection
+
+
+def _required_call_rule(
+    rule: str,
+    entries: tuple[EntryPoint, ...],
+    required: str,
+    message: str,
+) -> Callable[[SourceFile], list[Finding]]:
+    def check(src: SourceFile) -> list[Finding]:
+        out = []
+        lines = src.lines
+        for entry in entries:
+            if src.relpath != entry.file:
+                continue
+            bodies = _function_bodies(src.text, entry.name)
+            if not bodies:
+                out.append(
+                    Finding(
+                        src.relpath,
+                        0,
+                        rule,
+                        f"entry point '{entry.name}' not found — the "
+                        f"tca_lint.py config is stale; update ENTRY_POINTS",
+                    )
+                )
+                continue
+            for line, body in bodies:
+                delegates = re.search(
+                    re.escape(entry.short) + r"\s*\(", body
+                )
+                if required in body or delegates:
+                    continue
+                if not _suppressed(lines, line, rule):
+                    out.append(
+                        Finding(src.relpath, line, rule,
+                                f"'{entry.short}': {message}")
+                    )
+        return out
+
+    return check
+
+
+# Every explicit-enumeration entry point: allocates or iterates 2^n and
+# must refuse un-askable n with a budget-aware error instead of OOM.
+EXPLICIT_BITS_ENTRIES = (
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraphBuild\s+build_serial", "build_serial"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::FunctionalGraph", "FunctionalGraph"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::from_table", "from_table"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::synchronous\b", "synchronous"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::sweep\b", "sweep"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::build_synchronous_parallel",
+               "build_synchronous_parallel"),
+    EntryPoint("src/phasespace/preimage.cpp",
+               r"count_gardens_of_eden_ring", "count_gardens_of_eden_ring"),
+    EntryPoint("src/phasespace/preimage.cpp",
+               r"count_gardens_of_eden_explicit",
+               "count_gardens_of_eden_explicit"),
+    EntryPoint("src/phasespace/choice_digraph.cpp",
+               r"ChoiceDigraph::ChoiceDigraph", "ChoiceDigraph"),
+    EntryPoint("src/rules/analyze.cpp",
+               r"truth_table", "truth_table"),
+    EntryPoint("src/rules/enumerate.cpp",
+               r"all_symmetric", "all_symmetric"),
+)
+
+# Every public engine entry: exponential wall-clock must show up as a
+# named span in chrome://tracing (docs/observability.md).
+SPAN_ENTRIES = (
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraphBuild\s+build_serial", "build_serial"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::FunctionalGraph", "FunctionalGraph"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::synchronous\b", "synchronous"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::sweep\b", "sweep"),
+    EntryPoint("src/phasespace/functional_graph.cpp",
+               r"FunctionalGraph::build_synchronous_parallel",
+               "build_synchronous_parallel"),
+    EntryPoint("src/phasespace/preimage.cpp",
+               r"count_gardens_of_eden_ring", "count_gardens_of_eden_ring"),
+    EntryPoint("src/phasespace/preimage.cpp",
+               r"count_gardens_of_eden_explicit",
+               "count_gardens_of_eden_explicit"),
+    EntryPoint("src/aca/explorer.cpp", r"ReachSet\s+explore", "explore"),
+    EntryPoint("src/interleave/explorer.cpp",
+               r"interleaving_outcomes", "interleaving_outcomes"),
+    EntryPoint("src/runtime/checkpoint.cpp",
+               r"void\s+save_checkpoint", "save_checkpoint"),
+    EntryPoint("src/runtime/checkpoint.cpp",
+               r"Checkpoint\s+load_checkpoint", "load_checkpoint"),
+)
+
+
+def _relaxed_order_check(src: SourceFile) -> list[Finding]:
+    if src.relpath.startswith("src/obs/"):
+        return []  # sharded metrics cells are relaxed by design
+    if not re.search(r"memory_order_relaxed", src.text):
+        return []
+    if RELAXED_FILE_TAG.search(src.text):
+        return []
+    out = []
+    lines = src.lines
+    for i, line in enumerate(lines, start=1):
+        if "memory_order_relaxed" in line and not _suppressed(
+            lines, i, "relaxed-order"
+        ):
+            out.append(
+                Finding(
+                    src.relpath, i, "relaxed-order",
+                    "memory_order_relaxed outside src/obs/ needs a "
+                    "file-level `tca-lint: relaxed-ok(<why>)` justification "
+                    "tag (docs/static-analysis.md)",
+                )
+            )
+    return out
+
+
+RULES: dict[str, Callable[[SourceFile], list[Finding]]] = {
+    "raw-throw": _grep_rule(
+        "raw-throw",
+        re.compile(r"\bthrow\s+std\s*::"),
+        "raw std:: exception — throw a tca::Error subclass "
+        "(src/runtime/error.hpp) so the failure carries an ErrorCode",
+    ),
+    "raw-stdio": _grep_rule(
+        "raw-stdio",
+        re.compile(r"(?<![\w.])(?:std\s*::\s*)?(?:fprintf|printf|puts|fputs)"
+                   r"\s*\("),
+        "raw stdio output — emit a structured event via obs::log_event "
+        "(obs/log.hpp) instead",
+        exempt_dirs=("src/obs/",),
+    ),
+    "relaxed-order": _relaxed_order_check,
+    "explicit-bits": _required_call_rule(
+        "explicit-bits",
+        EXPLICIT_BITS_ENTRIES,
+        "require_explicit_bits",
+        "explicit-enumeration entry point must call "
+        "tca::require_explicit_bits before allocating 2^n state",
+    ),
+    "span-required": _required_call_rule(
+        "span-required",
+        SPAN_ENTRIES,
+        "TCA_SPAN",
+        "public engine entry must open a TCA_SPAN "
+        "(obs/trace.hpp) so its wall-clock is attributable",
+    ),
+    "checkpoint-det": _grep_rule(
+        "checkpoint-det",
+        re.compile(r"system_clock|random_device|\bstd::rand\b|\bsrand\b|"
+                   r"\blocaltime\b|\bgmtime\b|\btime\s*\(\s*(?:NULL|nullptr|0)?"
+                   r"\s*\)"),
+        "wall-clock / randomness in a checkpointed path — resume must be "
+        "deterministic; use steady_clock or plumb entropy in explicitly",
+        exempt_dirs=(),
+    ),
+}
+
+# checkpoint-det applies only to src/runtime/ (the checkpointed machinery).
+CHECKPOINT_DET_SCOPE = "src/runtime/"
+
+
+def lint_file(src: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule, check in RULES.items():
+        if rule == "checkpoint-det" and not src.relpath.startswith(
+            CHECKPOINT_DET_SCOPE
+        ):
+            continue
+        findings.extend(check(src))
+    return findings
+
+
+def iter_sources(root: pathlib.Path) -> Iterable[SourceFile]:
+    src_root = root / "src"
+    for path in sorted(src_root.rglob("*")):
+        if not path.is_file():
+            continue
+        name = path.name
+        if not any(name.endswith(ext) for ext in SRC_EXTENSIONS):
+            continue
+        rel = path.relative_to(root).as_posix()
+        yield SourceFile(rel, path.read_text(encoding="utf-8",
+                                            errors="replace"))
+
+
+def lint_tree(root: pathlib.Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for src in iter_sources(root):
+        findings.extend(lint_file(src))
+    return findings
+
+
+# --- self-test ----------------------------------------------------------
+
+# Each rule: fixtures that MUST fire and fixtures that MUST stay quiet.
+# A rule whose bad fixture stops firing has rotted; a rule that fires on
+# its good fixture is a false-positive generator. Both fail the build.
+_SELFTEST = {
+    "raw-throw": {
+        "bad": [("src/core/x.cpp",
+                 'void f() { throw std::runtime_error("boom"); }\n')],
+        "good": [
+            ("src/core/x.cpp",
+             'void f() { throw tca::RuntimeError("boom", code); }\n'),
+            ("src/core/x.cpp",
+             "// tca-lint: allow(raw-throw) must look like the real thing\n"
+             "void f() { throw std::bad_alloc(); }\n"),
+        ],
+    },
+    "raw-stdio": {
+        "bad": [
+            ("src/core/x.cpp", 'void f() { std::fprintf(stderr, "x"); }\n'),
+            ("src/aca/y.cpp", 'void f() { printf("x"); }\n'),
+        ],
+        "good": [
+            ("src/obs/sink.cpp", 'void f() { std::fprintf(stderr, "x"); }\n'),
+            ("src/core/x.cpp",
+             'void f() { std::snprintf(buf, sizeof buf, "%d", v); }\n'),
+            ("src/core/x.cpp",
+             '// tca-lint: allow(raw-stdio) pre-main, sink unavailable\n'
+             'void f() { std::fprintf(stderr, "x"); }\n'),
+        ],
+    },
+    "relaxed-order": {
+        "bad": [("src/core/x.cpp",
+                 "auto v = flag.load(std::memory_order_relaxed);\n")],
+        "good": [
+            ("src/obs/m.cpp",
+             "auto v = flag.load(std::memory_order_relaxed);\n"),
+            ("src/core/x.cpp",
+             "// tca-lint: relaxed-ok(monotonic one-shot flag)\n"
+             "auto v = flag.load(std::memory_order_relaxed);\n"),
+        ],
+    },
+    "explicit-bits": {
+        "bad": [("src/rules/analyze.cpp",
+                 "std::vector<State> truth_table(const Rule& r, "
+                 "std::uint32_t arity) {\n"
+                 "  return make_table(r, arity);\n"
+                 "}\n")],
+        "good": [
+            ("src/rules/analyze.cpp",
+             "std::vector<State> truth_table(const Rule& r, "
+             "std::uint32_t arity) {\n"
+             "  tca::require_explicit_bits(arity, 20, \"truth_table\");\n"
+             "  return make_table(r, arity);\n"
+             "}\n"),
+            # Delegating overloads funnel into the checked definition.
+            ("src/rules/analyze.cpp",
+             "std::vector<State> truth_table(const Rule& r) {\n"
+             "  return truth_table(r, default_arity(r));\n"
+             "}\n"
+             "std::vector<State> truth_table(const Rule& r, "
+             "std::uint32_t arity) {\n"
+             "  tca::require_explicit_bits(arity, 20, \"truth_table\");\n"
+             "  return make_table(r, arity);\n"
+             "}\n"),
+        ],
+    },
+    "span-required": {
+        "bad": [("src/runtime/checkpoint.cpp",
+                 "void save_checkpoint(const std::string& p, "
+                 "const Checkpoint& c) {\n"
+                 "  write(p, c);\n"
+                 "}\n"
+                 "Checkpoint load_checkpoint(const std::string& p) {\n"
+                 "  TCA_SPAN(\"checkpoint_load\");\n"
+                 "  return read(p);\n"
+                 "}\n")],
+        "good": [("src/runtime/checkpoint.cpp",
+                  "void save_checkpoint(const std::string& p, "
+                  "const Checkpoint& c) {\n"
+                  "  TCA_SPAN(\"checkpoint_save\");\n"
+                  "  write(p, c);\n"
+                  "}\n"
+                  "Checkpoint load_checkpoint(const std::string& p) {\n"
+                  "  TCA_SPAN(\"checkpoint_load\");\n"
+                  "  return read(p);\n"
+                  "}\n")],
+    },
+    "checkpoint-det": {
+        "bad": [
+            ("src/runtime/x.cpp",
+             "auto t = std::chrono::system_clock::now();\n"),
+            ("src/runtime/x.cpp", "std::random_device rd;\n"),
+        ],
+        "good": [
+            ("src/runtime/x.cpp",
+             "auto t = std::chrono::steady_clock::now();\n"),
+            # Outside src/runtime/ the rule does not apply (log timestamps
+            # are wall-clock on purpose).
+            ("src/obs/log.cpp",
+             "auto t = std::chrono::system_clock::now();\n"),
+            ("src/runtime/x.cpp",
+             "// tca-lint: allow(checkpoint-det) manifest stamp only\n"
+             "auto t = std::chrono::system_clock::now();\n"),
+        ],
+    },
+}
+
+
+def self_test() -> int:
+    failures = []
+    for rule, cases in sorted(_SELFTEST.items()):
+        for kind in ("bad", "good"):
+            for relpath, text in cases[kind]:
+                src = SourceFile(relpath, text)
+                hits = [f for f in lint_file(src) if f.rule == rule]
+                if kind == "bad" and not hits:
+                    failures.append(
+                        f"{rule}: MUST fire on bad fixture {relpath!r} "
+                        f"but stayed quiet (rule rot)")
+                if kind == "good" and hits:
+                    failures.append(
+                        f"{rule}: fired on good fixture {relpath!r}: "
+                        f"{hits[0].render()} (false positive)")
+    # The entry-point configs must also self-check staleness: a missing
+    # function is a finding, not a silent pass.
+    stale = SourceFile("src/rules/analyze.cpp", "int unrelated;\n")
+    if not any(f.rule == "explicit-bits" and f.line == 0
+               for f in lint_file(stale)):
+        failures.append("explicit-bits: stale entry-point config must be "
+                        "reported as a finding")
+    if failures:
+        print("tca-lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 2
+    n_fixtures = sum(
+        len(c["bad"]) + len(c["good"]) for c in _SELFTEST.values())
+    print(f"tca-lint self-test OK: {len(RULES)} rules, "
+          f"{n_fixtures} fixtures (every rule fires and stays quiet)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every rule against embedded good/bad "
+                             "fixtures and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    if not (args.root / "src").is_dir():
+        print(f"tca-lint: no src/ under {args.root}", file=sys.stderr)
+        return 2
+    findings = lint_tree(args.root)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"tca-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("tca-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,11 @@
 #include "obs/metrics.hpp"
 #include "runtime/fault.hpp"
 
+// tca-lint: relaxed-ok(next_chunk_ is a pure work-stealing cursor — any
+// interleaving of fetch_add yields disjoint chunks; abandon_ uses
+// acquire/release so chunk writes are visible before the flag; the run
+// descriptor itself is published via mutex_, see thread_pool.hpp)
+
 namespace tca::core {
 namespace {
 
@@ -31,6 +36,8 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   for (unsigned i = 0; i < extra; ++i) {
     try {
       if (runtime::fault::should_fail_thread_spawn()) {
+        // tca-lint: allow(raw-throw) simulated std::thread spawn failure —
+        // must be the same std::system_error a real spawn failure raises.
         throw std::system_error(
             std::make_error_code(std::errc::resource_unavailable_try_again),
             "fault plan: injected thread-spawn failure");
@@ -59,34 +66,43 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   start_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
+void ThreadPool::latch_error(std::exception_ptr error) {
+  LockGuard lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+std::exception_ptr ThreadPool::take_error() {
+  LockGuard lock(error_mutex_);
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  return error;
+}
+
 /// Takes chunks off the shared cursor until the range is exhausted, a
-/// chunk throws, or the run's control reports a stop. Exceptions are
-/// latched into first_error_ and flip abandon_ so other participants stop
-/// picking up new chunks; they never escape a worker thread.
-void ThreadPool::drain() {
-  const auto* fn = fn_;
-  runtime::RunControl* control = control_;
-  const std::size_t begin = run_begin_;
-  const std::size_t end = run_end_;
-  const std::size_t chunk = run_chunk_;
+/// chunk throws, or the run's control reports a stop. `run` is the
+/// caller's private snapshot of the descriptor (copied under mutex_), so
+/// this function touches no guarded state. Exceptions are latched into
+/// first_error_ and flip abandon_ so other participants stop picking up
+/// new chunks; they never escape a worker thread.
+void ThreadPool::drain(const Run& run) {
   for (;;) {
     if (abandon_.load(std::memory_order_acquire)) return;
-    if (control != nullptr && control->should_stop()) {
+    if (run.control != nullptr && run.control->should_stop()) {
       abandon_.store(true, std::memory_order_release);
       return;
     }
     const std::size_t index =
         next_chunk_.fetch_add(1, std::memory_order_relaxed);
-    const std::size_t b = begin + index * chunk;
-    if (b >= end || b < begin /* overflow */) return;
-    const std::size_t e = std::min(end, b + chunk);
+    const std::size_t b = run.begin + index * run.chunk;
+    if (b >= run.end || b < run.begin /* overflow */) return;
+    const std::size_t e = std::min(run.end, b + run.chunk);
     try {
       runtime::fault::check_chunk();
       // Per-chunk metering: chunks are coarse (kChunksPerThread per
@@ -97,16 +113,13 @@ void ThreadPool::drain() {
       const bool metered = obs::metrics_enabled();
       const auto t0 = metered ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
-      (*fn)(b, e);
+      (*run.fn)(b, e);
       if (metered) {
         chunks.add();
         chunk_us.record(elapsed_us(t0, std::chrono::steady_clock::now()));
       }
     } catch (...) {
-      {
-        std::lock_guard lock(error_mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
-      }
+      latch_error(std::current_exception());
       abandon_.store(true, std::memory_order_release);
       return;
     }
@@ -116,15 +129,17 @@ void ThreadPool::drain() {
 void ThreadPool::worker_loop() {
   std::uint64_t last_seen = 0;
   for (;;) {
+    Run run;
     std::uint64_t wait_us = 0;
     bool metered = false;
     {
-      std::unique_lock lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return stopping_ || (generation_ != last_seen && fn_ != nullptr);
-      });
+      LockGuard lock(mutex_);
+      while (!stopping_ && (generation_ == last_seen || run_.fn == nullptr)) {
+        start_cv_.wait(lock);
+      }
       if (stopping_) return;
       last_seen = generation_;
+      run = run_;  // private snapshot; run_ stays valid until pending_ == 0
       // Queue wait: how long the run sat posted before this worker picked
       // it up (run_posted_ is written under the same mutex).
       metered = obs::metrics_enabled();
@@ -137,9 +152,9 @@ void ThreadPool::worker_loop() {
           "thread_pool.dispatch_wait_us", obs::default_latency_bounds_us());
       dispatch_wait_us.record(wait_us);
     }
-    drain();
+    drain(run);
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       --pending_;
     }
     done_cv_.notify_one();
@@ -167,30 +182,36 @@ runtime::StopReason ThreadPool::parallel_for(
       ((total + parts - 1) / parts + align - 1) / align * align;
 
   {
-    std::lock_guard lock(mutex_);
-    fn_ = &fn;
-    control_ = control;
-    run_begin_ = begin;
-    run_end_ = end;
-    run_chunk_ = chunk;
+    // A previous run's exception is consumed by the take_error() below
+    // before parallel_for returns, so the latch is clear here; clearing
+    // again keeps the invariant local instead of depending on it.
+    LockGuard lock(error_mutex_);
+    first_error_ = nullptr;
+  }
+  Run run;
+  {
+    LockGuard lock(mutex_);
+    run_.fn = &fn;
+    run_.control = control;
+    run_.begin = begin;
+    run_.end = end;
+    run_.chunk = chunk;
     next_chunk_.store(0, std::memory_order_relaxed);
     abandon_.store(false, std::memory_order_relaxed);
-    first_error_ = nullptr;
     pending_ = static_cast<unsigned>(workers_.size());
     run_posted_ = std::chrono::steady_clock::now();
     ++generation_;
+    run = run_;  // the posting thread participates off the same snapshot
   }
   start_cv_.notify_all();
-  drain();
+  drain(run);
   {
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
-    fn_ = nullptr;
-    control_ = nullptr;
+    LockGuard lock(mutex_);
+    while (pending_ != 0) done_cv_.wait(lock);
+    run_.fn = nullptr;
+    run_.control = nullptr;
   }
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
+  if (std::exception_ptr error = take_error()) {
     std::rethrow_exception(error);
   }
   if (control != nullptr) return control->check();

@@ -12,6 +12,15 @@
 // guarantees this by aligning chunk boundaries to 64-cell words of the
 // bit-packed configuration.
 //
+// Lock discipline (docs/static-analysis.md): the per-run descriptor is
+// TCA_GUARDED_BY(mutex_) and every participant — workers waking from the
+// condition variable AND the posting thread — copies it into a local Run
+// snapshot under the lock before touching the range. The first chunk
+// exception is latched under its own error_mutex_ (never mutex_, so a
+// throwing chunk cannot deadlock against the dispatch path) and is both
+// written and consumed under that lock. Clang's `-Wthread-safety` checks
+// all of this at compile time; the `tsan` preset re-checks it at runtime.
+//
 // Fault tolerance (docs/robustness.md):
 //  * an exception thrown inside any chunk is captured, the remaining
 //    chunks are abandoned, every participant drains to the join barrier,
@@ -33,14 +42,13 @@
 // ("thread_pool.dispatch_wait_us"), and the current width gauge.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "runtime/budget.hpp"
 
 namespace tca::core {
@@ -84,31 +92,43 @@ class ThreadPool {
   /// and budget checks fire between chunks, not once per whole range.
   static constexpr std::size_t kChunksPerThread = 4;
 
-  void worker_loop();
-  void drain();
+  /// Immutable per-run descriptor. The authoritative copy (run_) lives
+  /// under mutex_; every participant snapshots it while holding the lock
+  /// and then works off its private copy, so no per-run field is ever
+  /// read outside the mutex.
+  struct Run {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    runtime::RunControl* control = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+  };
+
+  void worker_loop() TCA_EXCLUDES(mutex_);
+  void drain(const Run& run) TCA_EXCLUDES(mutex_, error_mutex_);
+  void latch_error(std::exception_ptr error) TCA_EXCLUDES(error_mutex_);
+  [[nodiscard]] std::exception_ptr take_error() TCA_EXCLUDES(error_mutex_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
 
   // Per-run state, written under mutex_ before workers are released.
-  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
-  runtime::RunControl* control_ = nullptr;
-  std::size_t run_begin_ = 0;
-  std::size_t run_end_ = 0;
-  std::size_t run_chunk_ = 1;
+  Run run_ TCA_GUARDED_BY(mutex_);
   /// When the current run was posted (for the dispatch-wait histogram).
-  std::chrono::steady_clock::time_point run_posted_{};
+  std::chrono::steady_clock::time_point run_posted_ TCA_GUARDED_BY(mutex_);
+  std::uint64_t generation_ TCA_GUARDED_BY(mutex_) = 0;
+  unsigned pending_ TCA_GUARDED_BY(mutex_) = 0;
+  bool stopping_ TCA_GUARDED_BY(mutex_) = false;
+
+  // Cross-run cursors: atomics shared by all participants of one run.
   std::atomic<std::size_t> next_chunk_{0};
   std::atomic<bool> abandon_{false};
-  std::exception_ptr first_error_;
-  std::mutex error_mutex_;
 
-  std::uint64_t generation_ = 0;
-  unsigned pending_ = 0;
-  bool stopping_ = false;
+  Mutex error_mutex_;
+  std::exception_ptr first_error_ TCA_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace tca::core

@@ -3,8 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
+#include "core/annotations.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -14,14 +14,16 @@ namespace {
 std::atomic<std::uint8_t> g_min_level{
     static_cast<std::uint8_t>(LogLevel::kInfo)};
 
-std::mutex g_sink_mutex;
-LogSink& sink_slot() {
+tca::Mutex g_sink_mutex;
+LogSink& sink_slot() TCA_REQUIRES(g_sink_mutex) {
   static LogSink* sink = new LogSink();  // empty == default stderr sink
   return *sink;
 }
 
 void default_sink(const LogRecord& record) {
   const std::string line = render_jsonl(record);
+  // tca-lint: allow(raw-stdio) this IS the terminal sink every structured
+  // event in src/ funnels into; everything else must call log_event().
   std::fprintf(stderr, "%s\n", line.c_str());
 }
 
@@ -90,7 +92,7 @@ void log_event(LogLevel level, std::string_view event,
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
-  const std::lock_guard lock(g_sink_mutex);
+  const tca::LockGuard lock(g_sink_mutex);
   if (sink_slot()) {
     sink_slot()(record);
   } else {
@@ -108,13 +110,13 @@ LogLevel min_log_level() noexcept {
 }
 
 ScopedLogSink::ScopedLogSink(LogSink sink) {
-  const std::lock_guard lock(g_sink_mutex);
+  const tca::LockGuard lock(g_sink_mutex);
   previous_ = std::move(sink_slot());
   sink_slot() = std::move(sink);
 }
 
 ScopedLogSink::~ScopedLogSink() {
-  const std::lock_guard lock(g_sink_mutex);
+  const tca::LockGuard lock(g_sink_mutex);
   sink_slot() = std::move(previous_);
 }
 

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
+
+#include "core/annotations.hpp"
 
 namespace tca::obs {
 
@@ -63,12 +64,17 @@ const std::vector<std::uint64_t>& default_latency_bounds_us() {
 namespace {
 
 /// One mutex-protected map per metric kind. Node-based maps + unique_ptr
-/// keep every handed-out reference stable forever.
+/// keep every handed-out reference stable forever. Lookups mutate the
+/// maps, so even read-shaped calls take the mutex; the handed-out
+/// Counter/Gauge/Histogram cells are themselves atomic and lock-free.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  tca::Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      TCA_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      TCA_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      TCA_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -80,7 +86,7 @@ Registry& registry() {
 
 Counter& counter(std::string_view name) {
   Registry& r = registry();
-  const std::lock_guard lock(r.mutex);
+  const tca::LockGuard lock(r.mutex);
   const auto it = r.counters.find(name);
   if (it != r.counters.end()) return *it->second;
   return *r.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -89,7 +95,7 @@ Counter& counter(std::string_view name) {
 
 Gauge& gauge(std::string_view name) {
   Registry& r = registry();
-  const std::lock_guard lock(r.mutex);
+  const tca::LockGuard lock(r.mutex);
   const auto it = r.gauges.find(name);
   if (it != r.gauges.end()) return *it->second;
   return *r.gauges.emplace(std::string(name), std::make_unique<Gauge>())
@@ -99,7 +105,7 @@ Gauge& gauge(std::string_view name) {
 Histogram& histogram(std::string_view name,
                      const std::vector<std::uint64_t>& bounds) {
   Registry& r = registry();
-  const std::lock_guard lock(r.mutex);
+  const tca::LockGuard lock(r.mutex);
   const auto it = r.histograms.find(name);
   if (it != r.histograms.end()) return *it->second;
   return *r.histograms
@@ -109,7 +115,7 @@ Histogram& histogram(std::string_view name,
 
 MetricsSnapshot snapshot_metrics() {
   Registry& r = registry();
-  const std::lock_guard lock(r.mutex);
+  const tca::LockGuard lock(r.mutex);
   MetricsSnapshot out;
   for (const auto& [name, c] : r.counters) out.counters[name] = c->value();
   for (const auto& [name, g] : r.gauges) out.gauges[name] = g->value();

@@ -3,9 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
-#include <mutex>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/error.hpp"
@@ -23,8 +23,8 @@ struct TraceEvent {
 
 std::atomic<bool> g_tracing{false};
 
-std::mutex g_trace_mutex;
-std::vector<TraceEvent>& trace_buffer() {
+tca::Mutex g_trace_mutex;
+std::vector<TraceEvent>& trace_buffer() TCA_REQUIRES(g_trace_mutex) {
   static std::vector<TraceEvent>* buf = new std::vector<TraceEvent>();
   return *buf;
 }
@@ -56,7 +56,7 @@ bool tracing_enabled() noexcept {
 
 void start_tracing() {
   {
-    const std::lock_guard lock(g_trace_mutex);
+    const tca::LockGuard lock(g_trace_mutex);
     trace_buffer().clear();
   }
   g_tracing.store(true, std::memory_order_relaxed);
@@ -65,12 +65,12 @@ void start_tracing() {
 void stop_tracing() { g_tracing.store(false, std::memory_order_relaxed); }
 
 std::size_t trace_event_count() {
-  const std::lock_guard lock(g_trace_mutex);
+  const tca::LockGuard lock(g_trace_mutex);
   return trace_buffer().size();
 }
 
 void clear_trace() {
-  const std::lock_guard lock(g_trace_mutex);
+  const tca::LockGuard lock(g_trace_mutex);
   trace_buffer().clear();
 }
 
@@ -79,7 +79,7 @@ std::string chrome_trace_json() {
   w.begin_object();
   w.key("traceEvents").begin_array();
   {
-    const std::lock_guard lock(g_trace_mutex);
+    const tca::LockGuard lock(g_trace_mutex);
     for (const TraceEvent& e : trace_buffer()) {
       w.begin_object()
           .kv("name", e.name)
@@ -128,7 +128,7 @@ ScopedSpan::~ScopedSpan() {
   const TraceEvent e{name_, start_us_, end_us - start_us_,
                      this_thread_trace_id(), depth_};
   {
-    const std::lock_guard lock(g_trace_mutex);
+    const tca::LockGuard lock(g_trace_mutex);
     if (trace_buffer().size() < kMaxTraceEvents) {
       trace_buffer().push_back(e);
       return;

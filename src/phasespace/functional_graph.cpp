@@ -209,6 +209,15 @@ FunctionalGraphBuild FunctionalGraph::build_synchronous_parallel(
   // buffers: writes are disjoint, reads are to the shared immutable
   // automaton. The control is polled between chunks by the pool and every
   // 1024 states inside a chunk; each 1024-state block is 16 batch steps.
+  //
+  // Thread-safety discipline (docs/static-analysis.md): this builder owns
+  // no lockable state, so there is nothing here for TCA_GUARDED_BY. The
+  // invariants it relies on live elsewhere and ARE annotation-checked:
+  // chunk handout and the join barrier in core::ThreadPool (its dispatch
+  // state is TCA_GUARDED_BY its mutex), and cooperative stop via
+  // RunControl's atomics. `data` stays race-free because parallel_for
+  // hands out non-overlapping [begin, end) ranges — the chunk cursor
+  // enforcing that is the pool's, not ours.
   const auto reason = pool.parallel_for(
       0, table.size(), /*align=*/1024,
       [&a, data, ctl](std::size_t begin, std::size_t end) {

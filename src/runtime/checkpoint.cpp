@@ -67,7 +67,13 @@ void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
     const std::string blob = framed.str();
     out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     out.flush();
-    if (!out) {
+    if (!out || fault::tick_checkpoint_write()) {
+      // Error discipline: a failed write must not strand the tmp file —
+      // the durability contract is "old complete checkpoint or new
+      // complete checkpoint, and nothing else on disk". The fault plan's
+      // checkpoint_write_at knob forces this branch in tests.
+      out.close();
+      std::remove(tmp.c_str());
       throw CheckpointError("checkpoint '" + path + "': write failed",
                             ErrorCode::kIo);
     }

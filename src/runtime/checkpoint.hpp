@@ -43,7 +43,11 @@ struct Checkpoint {
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
 
 /// Atomically writes `checkpoint` to `path` (tmp file + rename). Throws
-/// CheckpointError(kIo) if the filesystem refuses.
+/// CheckpointError(kIo) if the filesystem refuses; a failed write removes
+/// its own `<path>.tmp` before throwing, so the durability contract holds
+/// in both directions: old complete checkpoint or new complete
+/// checkpoint, and no stray tmp files (the `checkpoint_write_at` fault
+/// knob drives this path deterministically in tests).
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
 
 /// Loads and validates a checkpoint. Throws CheckpointError with code

@@ -5,6 +5,10 @@
 
 #include "runtime/error.hpp"
 
+// tca-lint: relaxed-ok(countdown counters use CAS loops whose
+// exactly-once firing is order-independent; g_active is the only
+// publication edge and carries acquire/release)
+
 namespace tca::runtime {
 namespace {
 
@@ -15,6 +19,7 @@ std::atomic<bool> g_active{false};
 std::atomic<std::uint64_t> g_alloc_left{0};
 std::atomic<std::uint64_t> g_chunk_left{0};
 std::atomic<std::uint64_t> g_visit_left{0};
+std::atomic<std::uint64_t> g_ckpt_write_left{0};
 std::atomic<bool> g_fail_spawn{false};
 
 /// Consumes `n` from a countdown; returns true iff this call crossed zero.
@@ -36,6 +41,7 @@ ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan) {
   g_alloc_left.store(plan.alloc_failure_at, std::memory_order_relaxed);
   g_chunk_left.store(plan.chunk_exception_at, std::memory_order_relaxed);
   g_visit_left.store(plan.cancel_at_visit, std::memory_order_relaxed);
+  g_ckpt_write_left.store(plan.checkpoint_write_at, std::memory_order_relaxed);
   g_fail_spawn.store(plan.fail_thread_spawn, std::memory_order_relaxed);
   g_active.store(true, std::memory_order_release);
 }
@@ -45,6 +51,7 @@ ScopedFaultPlan::~ScopedFaultPlan() {
   g_alloc_left.store(0, std::memory_order_relaxed);
   g_chunk_left.store(0, std::memory_order_relaxed);
   g_visit_left.store(0, std::memory_order_relaxed);
+  g_ckpt_write_left.store(0, std::memory_order_relaxed);
   g_fail_spawn.store(false, std::memory_order_relaxed);
 }
 
@@ -54,6 +61,8 @@ bool active() noexcept { return g_active.load(std::memory_order_acquire); }
 
 void check_alloc(std::uint64_t /*bytes*/) {
   if (!active()) return;
+  // tca-lint: allow(raw-throw) the injected failure must be the exact
+  // std::bad_alloc a real exhausted allocation raises.
   if (consume(g_alloc_left, 1)) throw std::bad_alloc();
 }
 
@@ -71,6 +80,11 @@ bool tick_visit(std::uint64_t n) noexcept {
 
 bool should_fail_thread_spawn() noexcept {
   return active() && g_fail_spawn.load(std::memory_order_relaxed);
+}
+
+bool tick_checkpoint_write() noexcept {
+  if (!active()) return false;
+  return consume(g_ckpt_write_left, 1);
 }
 
 }  // namespace fault

@@ -26,6 +26,9 @@ struct FaultPlan {
                                          ///< InjectedFaultError
   std::uint64_t cancel_at_visit = 0;     ///< k-th RunControl::note_states
                                          ///< cancels that run's token
+  std::uint64_t checkpoint_write_at = 0;  ///< k-th save_checkpoint's write
+                                          ///< fails after the tmp file
+                                          ///< exists (simulated full disk)
   bool fail_thread_spawn = false;        ///< ThreadPool worker spawn throws
 };
 
@@ -62,6 +65,12 @@ void check_chunk();
 /// ThreadPool spawn guard: returns true if worker-thread creation should
 /// be simulated as failing (the pool then degrades to serial execution).
 [[nodiscard]] bool should_fail_thread_spawn() noexcept;
+
+/// Checkpoint write guard: returns true exactly once, when the installed
+/// plan's checkpoint_write_at counter fires — save_checkpoint then treats
+/// the stream write as failed (as if the disk filled) AFTER the tmp file
+/// was created, exercising the cleanup path.
+[[nodiscard]] bool tick_checkpoint_write() noexcept;
 
 }  // namespace fault
 

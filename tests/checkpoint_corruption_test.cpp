@@ -18,6 +18,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/error.hpp"
+#include "runtime/fault.hpp"
 
 namespace tca::runtime {
 namespace {
@@ -130,6 +131,46 @@ TEST_F(CheckpointCorruptionTest, MissingFileIsIoNotCorruption) {
     EXPECT_EQ(e.code(), ErrorCode::kIo);
   }
   EXPECT_EQ(try_load_checkpoint(path_), std::nullopt);
+}
+
+// Regression for the save-side error path (found by the static-analysis
+// burn-down, PR 5): a failed WRITE used to strand `<path>.tmp` on disk,
+// violating the durability contract "old complete checkpoint or new
+// complete checkpoint, and nothing else". The fault plan's
+// checkpoint_write_at knob makes the k-th save's write fail after the tmp
+// file exists — exactly the shape of a disk filling up mid-write.
+TEST_F(CheckpointCorruptionTest, FailedWriteRemovesTmpAndKeepsOldCheckpoint) {
+  const std::string before = read_file();
+  const std::string tmp = path_ + ".tmp";
+  {
+    ScopedFaultPlan plan({.checkpoint_write_at = 1});
+    Checkpoint ck;
+    ck.payload = "sweep=demo\ndone=exp2|PASS|newer\n";
+    try {
+      save_checkpoint(path_, ck);
+      FAIL() << "expected CheckpointError(kIo)";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIo);
+    }
+  }
+  EXPECT_FALSE(fs::exists(tmp)) << "failed write must clean up its tmp file";
+  EXPECT_EQ(read_file(), before) << "old checkpoint must survive untouched";
+  const auto resumed = try_load_checkpoint(path_);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(resumed->payload, "sweep=demo\ndone=exp1|PASS|all good\n");
+}
+
+// The fault knob fires exactly once: the save after the failed one
+// succeeds and replaces the checkpoint atomically.
+TEST_F(CheckpointCorruptionTest, SaveAfterFailedWriteSucceeds) {
+  ScopedFaultPlan plan({.checkpoint_write_at = 1});
+  Checkpoint ck;
+  ck.payload = "second attempt\n";
+  EXPECT_THROW(save_checkpoint(path_, ck), CheckpointError);
+  save_checkpoint(path_, ck);
+  const auto loaded = load_checkpoint(path_);
+  EXPECT_EQ(loaded.payload, "second attempt\n");
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
 }
 
 // The three corruption codes really are three different values (the whole

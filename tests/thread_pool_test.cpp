@@ -279,5 +279,56 @@ TEST(ThreadPoolFailure, SpawnFailureDegradesToCallerOnlyExecution) {
   EXPECT_EQ(sum.load(), 999L * 1000 / 2);
 }
 
+// Regression tests for the lock-discipline rework (docs/static-analysis.md):
+// the per-run descriptor is snapshotted under the pool mutex by every
+// participant, and the first-error latch lives entirely under its own
+// error mutex. These pin the observable contracts that rework protects.
+
+// Back-to-back runs with different ranges and chunk functions: a stale
+// run descriptor (the bug class the GUARDED_BY annotations exclude) would
+// re-run an old range or an old function and break the exactly-once count.
+TEST(ThreadPoolDiscipline, BackToBackRunsNeverLeakTheirPredecessors) {
+  ThreadPool pool(4);
+  for (int round = 1; round <= 64; ++round) {
+    const auto n = static_cast<std::size_t>(round * 7 + 1);
+    std::vector<std::atomic<int>> hits(n);
+    const int stamp = round;
+    pool.parallel_for(0, n, 1, [&, stamp](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(stamp);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), stamp) << "round " << round << " index " << i;
+    }
+  }
+}
+
+// After a throwing run, the error latch must be consumed: the next clean
+// run must not rethrow, and a later throwing run must surface its OWN
+// exception, not a stale one.
+TEST(ThreadPoolDiscipline, ErrorLatchIsConsumedAcrossRuns) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1024, 1,
+                        [](std::size_t b, std::size_t) {
+                          if (b == 0) throw std::runtime_error("first");
+                        }),
+      std::runtime_error);
+
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 128, 1, [&](std::size_t b, std::size_t e) {
+    hits += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(hits.load(), 128) << "clean run after a throwing run";
+
+  try {
+    pool.parallel_for(0, 1024, 1, [](std::size_t b, std::size_t) {
+      if (b == 0) throw std::runtime_error("second");
+    });
+    FAIL() << "expected the second run's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "second") << "stale latched exception leaked";
+  }
+}
+
 }  // namespace
 }  // namespace tca::core
