@@ -18,9 +18,11 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/automaton.hpp"
+#include "core/batch_isa.hpp"
 #include "core/packed_kernels.hpp"
 #include "core/synchronous.hpp"
 #include "obs/metrics.hpp"
@@ -128,5 +130,82 @@ void BM_BitsliceSpeedupGate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitsliceSpeedupGate)->Iterations(1);
+
+// Per-ISA sweep: the same full-table build, once per SIMD tier this host
+// can run (forced via the BatchCodeStepper tier override, never the env
+// knob). Tiers the host lacks are simply not registered — a missing row
+// is "not measurable here", not a failure, so the manifest stays PASS on
+// plain scalar machines.
+void BM_PhaseSpaceWide(benchmark::State& state, core::BatchIsa isa) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = majority_ring(n);
+  std::vector<StateCode> table(StateCode{1} << n);
+  phasespace::BatchCodeStepper stepper(a, isa);
+  for (auto _ : state) {
+    stepper.step_range(0, table.size(), table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.size()));
+}
+
+const int kRegisterWideTiers = [] {
+  for (unsigned i = 0; i < core::kNumBatchIsa; ++i) {
+    const auto isa = static_cast<core::BatchIsa>(i);
+    if (!core::isa_available(isa)) continue;
+    const std::string name =
+        std::string("BM_PhaseSpaceWide/") + core::isa_name(isa);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [isa](benchmark::State& s) { BM_PhaseSpaceWide(s, isa); })
+        ->Arg(16)
+        ->Arg(20);
+  }
+  return 0;
+}();
+
+// Widening acceptance gate: the widest tier this host supports must build
+// the n=20 table >= 2.5x faster than the 64-lane scalar bit-slice engine.
+// Published as deterministic-shaped counters:
+//   bench.bitslice.widen.speedup_pct — ratio x100 (informational);
+//   bench.bitslice.widen.ge250       — 1 iff ratio >= 2.5;
+//   bench.bitslice.widen.skip        — 1 iff the host has no SIMD tier,
+//                                      in which case the gate is vacuous
+//                                      (SKIP, never FAIL, on scalar-only
+//                                      hosts; docs/performance.md).
+void BM_WideningSpeedupGate(benchmark::State& state) {
+  static std::once_flag once;
+  for (auto _ : state) {
+    std::call_once(once, [] {
+      const auto best = core::best_supported_isa();
+      if (best == core::BatchIsa::kScalar) {
+        obs::counter("bench.bitslice.widen.skip").add();
+        return;
+      }
+      using Clock = std::chrono::steady_clock;
+      const std::size_t n = 20;
+      const auto a = majority_ring(n);
+      std::vector<StateCode> table(StateCode{1} << n);
+
+      phasespace::BatchCodeStepper narrow(a, core::BatchIsa::kScalar);
+      const auto t0 = Clock::now();
+      narrow.step_range(0, table.size(), table.data());
+      const auto narrow_ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+
+      phasespace::BatchCodeStepper wide(a, best);
+      const auto t1 = Clock::now();
+      wide.step_range(0, table.size(), table.data());
+      const auto wide_ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - t1).count();
+
+      const double ratio = wide_ns > 0 ? narrow_ns / wide_ns : 0.0;
+      obs::counter("bench.bitslice.widen.speedup_pct")
+          .add(static_cast<std::uint64_t>(ratio * 100.0));
+      if (ratio >= 2.5) obs::counter("bench.bitslice.widen.ge250").add();
+    });
+  }
+}
+BENCHMARK(BM_WideningSpeedupGate)->Iterations(1);
 
 }  // namespace

@@ -1,0 +1,186 @@
+#include "core/batch_isa.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/annotations.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace tca::core {
+namespace {
+
+/// Whether the binary carries the tier's translation unit at all
+/// (TCA_HAVE_TIER_* come from the flag probes in src/core/CMakeLists.txt).
+constexpr bool tier_compiled(BatchIsa isa) noexcept {
+  switch (isa) {
+    case BatchIsa::kScalar:
+      return true;
+    case BatchIsa::kNeon:
+#if defined(TCA_HAVE_TIER_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case BatchIsa::kAvx2:
+#if defined(TCA_HAVE_TIER_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case BatchIsa::kAvx512:
+#if defined(TCA_HAVE_TIER_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Whether THIS cpu can execute the tier's instructions. The generic
+/// kernels use only bitwise/shift/broadcast vector ops, so AVX-512F alone
+/// suffices for the 512-lane tier and NEON is the aarch64 baseline.
+bool cpu_supports(BatchIsa isa) noexcept {
+  switch (isa) {
+    case BatchIsa::kScalar:
+      return true;
+    case BatchIsa::kNeon:
+#if defined(__aarch64__)
+      return true;  // AdvSIMD is architecturally baseline on aarch64
+#else
+      return false;
+#endif
+    case BatchIsa::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case BatchIsa::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+BatchIsa probe_best() noexcept {
+  // Widest first; kScalar is always available.
+  for (const BatchIsa isa :
+       {BatchIsa::kAvx512, BatchIsa::kAvx2, BatchIsa::kNeon}) {
+    if (isa_available(isa)) return isa;
+  }
+  return BatchIsa::kScalar;
+}
+
+/// One warn per DISTINCT override value, not per stepper: parallel
+/// phase-space builds construct a stepper per worker chunk, and a single
+/// misconfigured env var should not flood run manifests.
+struct DowngradeLatch {
+  Mutex mu;
+  std::string last_key TCA_GUARDED_BY(mu);
+};
+
+DowngradeLatch& latch() {
+  static DowngradeLatch l;
+  return l;
+}
+
+/// Records the resolution; when it is a downgrade not yet reported for
+/// this override value, bumps engine.batch.fallback and emits the warn
+/// event (same event name as engine declines, distinguished by context).
+void note_resolution(const char* requested, const IsaResolution& r) {
+  std::string key = requested != nullptr ? requested : "(default)";
+  key += "->";
+  key += isa_name(r.effective);
+  bool emit = false;
+  {
+    LockGuard lock(latch().mu);
+    if (latch().last_key != key) {
+      latch().last_key = std::move(key);
+      emit = r.downgraded;
+    }
+  }
+  if (!emit) return;
+  static obs::Counter& fallbacks = obs::counter("engine.batch.fallback");
+  fallbacks.add();
+  obs::log_event(
+      obs::LogLevel::kWarn, "engine.batch.fallback",
+      {{"context", "isa-dispatch"},
+       {"reason", r.note != nullptr ? r.note : "unknown"},
+       {"requested", requested != nullptr ? requested : ""},
+       {"effective", isa_name(r.effective)}});
+}
+
+}  // namespace
+
+const char* isa_name(BatchIsa isa) noexcept {
+  switch (isa) {
+    case BatchIsa::kScalar:
+      return "scalar";
+    case BatchIsa::kNeon:
+      return "neon";
+    case BatchIsa::kAvx2:
+      return "avx2";
+    case BatchIsa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+unsigned isa_lane_words(BatchIsa isa) noexcept {
+  switch (isa) {
+    case BatchIsa::kScalar:
+      return 1;
+    case BatchIsa::kNeon:
+    case BatchIsa::kAvx2:
+      return 4;
+    case BatchIsa::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+bool isa_available(BatchIsa isa) noexcept {
+  return tier_compiled(isa) && cpu_supports(isa);
+}
+
+BatchIsa best_supported_isa() noexcept {
+  static const BatchIsa best = probe_best();
+  return best;
+}
+
+IsaResolution resolve_batch_isa() {
+  IsaResolution r;
+  r.effective = best_supported_isa();
+  const char* env = std::getenv("TCA_BATCH_ISA");
+  if (env == nullptr || *env == '\0') {
+    note_resolution(nullptr, r);
+    return r;
+  }
+  bool known = false;
+  for (unsigned i = 0; i < kNumBatchIsa; ++i) {
+    const auto isa = static_cast<BatchIsa>(i);
+    if (std::strcmp(env, isa_name(isa)) != 0) continue;
+    known = true;
+    if (isa_available(isa)) {
+      r.effective = isa;
+    } else {
+      r.downgraded = true;
+      r.note = "requested ISA unavailable on this host";
+    }
+    break;
+  }
+  if (!known) {
+    r.downgraded = true;
+    r.note = "unrecognized TCA_BATCH_ISA value";
+  }
+  note_resolution(env, r);
+  return r;
+}
+
+}  // namespace tca::core

@@ -1,0 +1,63 @@
+#pragma once
+// Runtime ISA dispatch for the SIMD-widened batch kernels
+// (docs/performance.md).
+//
+// The batch engine ships one generic kernel compiled at several widths:
+// scalar (64 lanes, one uint64 plane word), AVX2/NEON (256 lanes, 4
+// words), AVX-512 (512 lanes, 8 words). Which tiers exist in a binary is
+// decided at build time (compiler flag probes in src/core/CMakeLists.txt);
+// which tier RUNS is decided here at runtime from cpuid/HWCAP, once per
+// process, so a binary built on an AVX-512 box still runs correctly on a
+// plain x86-64 host.
+//
+// The TCA_BATCH_ISA environment variable (scalar|avx2|avx512|neon)
+// overrides the probe — CI pins `scalar` for machine-independent counter
+// baselines, and the differential tests force every tier in turn.
+// Requesting a tier the host (or build) lacks degrades to the best
+// available one, bumps "engine.batch.fallback", and emits the structured
+// warn event once per distinct override (not once per stepper, so
+// parallel phase-space builds do not spam the log).
+
+#include <cstdint>
+
+namespace tca::core {
+
+/// Kernel tiers, widest last. kNeon and kAvx2 share a width (4 words =
+/// 256 lanes); a build contains either the x86 tiers or the ARM tier,
+/// never both.
+enum class BatchIsa : std::uint8_t {
+  kScalar = 0,  ///< portable 64-lane bit-slice (always available)
+  kNeon,        ///< aarch64, 256 lanes
+  kAvx2,        ///< x86-64 + AVX2, 256 lanes
+  kAvx512,      ///< x86-64 + AVX-512F, 512 lanes
+};
+
+inline constexpr unsigned kNumBatchIsa = 4;
+
+/// Stable lowercase name: "scalar", "neon", "avx2", "avx512" — the same
+/// tokens TCA_BATCH_ISA accepts.
+[[nodiscard]] const char* isa_name(BatchIsa isa) noexcept;
+
+/// Plane words per cell for a tier (lanes = 64 * words).
+[[nodiscard]] unsigned isa_lane_words(BatchIsa isa) noexcept;
+
+/// Whether this binary compiled the tier AND this host can execute it.
+[[nodiscard]] bool isa_available(BatchIsa isa) noexcept;
+
+/// The widest available tier (cpuid/HWCAP probe, cached per process).
+[[nodiscard]] BatchIsa best_supported_isa() noexcept;
+
+/// Outcome of one dispatch decision.
+struct IsaResolution {
+  BatchIsa effective = BatchIsa::kScalar;  ///< the tier steppers will use
+  bool downgraded = false;  ///< an override asked for more than available
+  const char* note = nullptr;  ///< stable reason string iff downgraded
+};
+
+/// Resolves the tier to run: TCA_BATCH_ISA when set and available, the
+/// probe's best otherwise. Reads the environment on every call (tests
+/// flip the override mid-process); emits the downgrade warn event at most
+/// once per distinct override value.
+[[nodiscard]] IsaResolution resolve_batch_isa();
+
+}  // namespace tca::core

@@ -1,15 +1,31 @@
 #include "core/batch_kernels.hpp"
 
-#include <bit>
+#include <algorithm>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::core {
+namespace detail {
+
+// Per-tier factories, each defined in its own translation unit compiled
+// under the matching target flags (core/batch_kernels_impl.hpp). Only the
+// tiers guarded by TCA_HAVE_TIER_* below are ever referenced.
+std::unique_ptr<WideStepper> make_wide_stepper_scalar(const Automaton& a);
+std::unique_ptr<WideStepper> make_wide_stepper_avx2(const Automaton& a);
+std::unique_ptr<WideStepper> make_wide_stepper_avx512(const Automaton& a);
+std::unique_ptr<WideStepper> make_wide_stepper_neon(const Automaton& a);
+
+}  // namespace detail
+
 namespace {
 
 /// Arity ceiling of the adder tree (8 count planes).
 constexpr std::uint32_t kMaxBatchArity = 255;
+
+/// Widest supported plane (AVX-512: 8 words = 512 lanes).
+constexpr unsigned kMaxLaneWords = 8;
 
 /// kLanePattern[i] has bit j set iff bit i of the lane index j is set —
 /// the planes of 64 consecutive codes starting at a 64-aligned base.
@@ -18,9 +34,9 @@ constexpr std::uint64_t kLanePattern[6] = {
     0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
 };
 
-void require_lanes(std::size_t count) {
-  if (count > kBatchLanes) {
-    throw tca::InvalidArgumentError("BatchSlice: more than 64 lanes");
+void require_lanes(std::size_t count, unsigned capacity) {
+  if (count > capacity) {
+    throw tca::InvalidArgumentError("BatchSlice: more lanes than capacity");
   }
 }
 
@@ -29,6 +45,29 @@ void require_code_width(std::size_t num_cells) {
     throw tca::InvalidArgumentError(
         "BatchSlice: state codes need <= 64 cells");
   }
+}
+
+/// Construction-time counter per effective dispatch tier (literal names;
+/// tier TUs must not build std::strings — see batch_kernels_impl.hpp).
+obs::Counter& isa_dispatch_counter(BatchIsa isa) {
+  switch (isa) {
+    case BatchIsa::kNeon: {
+      static obs::Counter& c = obs::counter("engine.batch.isa.neon");
+      return c;
+    }
+    case BatchIsa::kAvx2: {
+      static obs::Counter& c = obs::counter("engine.batch.isa.avx2");
+      return c;
+    }
+    case BatchIsa::kAvx512: {
+      static obs::Counter& c = obs::counter("engine.batch.isa.avx512");
+      return c;
+    }
+    case BatchIsa::kScalar:
+      break;
+  }
+  static obs::Counter& c = obs::counter("engine.batch.isa.scalar");
+  return c;
 }
 
 }  // namespace
@@ -48,38 +87,100 @@ void transpose64(std::uint64_t m[64]) {
   }
 }
 
+void transpose_wide(std::uint64_t* m, unsigned lane_words) {
+  if (lane_words == 0 || lane_words > kMaxLaneWords) {
+    throw tca::InvalidArgumentError("transpose_wide: lane_words must be 1..8");
+  }
+  // W x W grid of 64x64 tiles: the transposed matrix has, at tile
+  // position (R, C), the 64x64 transpose of the original tile (C, R) —
+  // so transpose the diagonal in place and swap-transpose the pairs.
+  const unsigned w = lane_words;
+  for (unsigned r = 0; r < w; ++r) {
+    std::uint64_t diag[64];
+    for (unsigned i = 0; i < 64; ++i) diag[i] = m[(64 * r + i) * w + r];
+    transpose64(diag);
+    for (unsigned i = 0; i < 64; ++i) m[(64 * r + i) * w + r] = diag[i];
+    for (unsigned c = r + 1; c < w; ++c) {
+      std::uint64_t upper[64];
+      std::uint64_t lower[64];
+      for (unsigned i = 0; i < 64; ++i) {
+        upper[i] = m[(64 * r + i) * w + c];
+        lower[i] = m[(64 * c + i) * w + r];
+      }
+      transpose64(upper);
+      transpose64(lower);
+      for (unsigned i = 0; i < 64; ++i) {
+        m[(64 * r + i) * w + c] = lower[i];
+        m[(64 * c + i) * w + r] = upper[i];
+      }
+    }
+  }
+}
+
+BatchSlice::BatchSlice(std::size_t num_cells, unsigned lane_words)
+    : num_cells_(num_cells), lane_words_(lane_words) {
+  if (lane_words == 0 || lane_words > kMaxLaneWords) {
+    throw tca::InvalidArgumentError("BatchSlice: lane_words must be 1..8");
+  }
+  planes_.assign(num_cells * lane_words, 0);
+}
+
 void BatchSlice::set_count(unsigned count) {
-  require_lanes(count);
+  require_lanes(count, capacity());
   count_ = count;
 }
 
 void BatchSlice::load_code_range(std::uint64_t first, unsigned count) {
   require_code_width(num_cells_);
-  require_lanes(count);
-  count_ = count;
-  if ((first & 63) == 0) {
-    // Aligned range: the low six planes are fixed lane patterns, every
-    // higher plane is a broadcast of the corresponding bit of `first`.
-    const std::size_t low = num_cells_ < 6 ? num_cells_ : 6;
-    for (std::size_t i = 0; i < low; ++i) planes_[i] = kLanePattern[i];
-    for (std::size_t i = low; i < num_cells_; ++i) {
-      planes_[i] = ((first >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0;
-    }
+  require_lanes(count, capacity());
+  if ((first & 63) != 0) {
+    // Unaligned base: gather explicit codes (capacity() <= 512 lanes).
+    std::uint64_t codes[kBatchLanes * kMaxLaneWords];
+    for (unsigned j = 0; j < count; ++j) codes[j] = first + j;
+    load_codes(std::span<const std::uint64_t>(codes, count));
     return;
   }
-  std::uint64_t codes[64] = {};
-  for (unsigned j = 0; j < count; ++j) codes[j] = first + j;
-  load_codes(std::span<const std::uint64_t>(codes, count));
+  count_ = count;
+  // Aligned range: per 64-lane block, the low six planes are fixed lane
+  // patterns and every higher plane is a broadcast of the corresponding
+  // bit of the block's base code (first stays 64-aligned per block).
+  const unsigned blocks = (count + kBatchLanes - 1) / kBatchLanes;
+  const std::size_t low = num_cells_ < 6 ? num_cells_ : 6;
+  for (unsigned b = 0; b < lane_words_; ++b) {
+    if (b >= blocks) {
+      for (std::size_t i = 0; i < num_cells_; ++i) {
+        planes_[i * lane_words_ + b] = 0;
+      }
+      continue;
+    }
+    const std::uint64_t base = first + std::uint64_t{kBatchLanes} * b;
+    for (std::size_t i = 0; i < low; ++i) {
+      planes_[i * lane_words_ + b] = kLanePattern[i];
+    }
+    for (std::size_t i = low; i < num_cells_; ++i) {
+      planes_[i * lane_words_ + b] = ((base >> i) & 1u) != 0 ? ~std::uint64_t{0}
+                                                            : 0;
+    }
+  }
 }
 
 void BatchSlice::load_codes(std::span<const std::uint64_t> codes) {
   require_code_width(num_cells_);
-  require_lanes(codes.size());
+  require_lanes(codes.size(), capacity());
   count_ = static_cast<unsigned>(codes.size());
-  std::uint64_t m[64] = {};
-  for (std::size_t j = 0; j < codes.size(); ++j) m[j] = codes[j];
-  transpose64(m);
-  for (std::size_t i = 0; i < num_cells_; ++i) planes_[i] = m[i];
+  for (unsigned b = 0; b < lane_words_; ++b) {
+    std::uint64_t m[64] = {};
+    const std::size_t base = std::size_t{b} * kBatchLanes;
+    const std::size_t take =
+        codes.size() > base
+            ? std::min<std::size_t>(kBatchLanes, codes.size() - base)
+            : 0;
+    for (std::size_t j = 0; j < take; ++j) m[j] = codes[base + j];
+    transpose64(m);
+    for (std::size_t i = 0; i < num_cells_; ++i) {
+      planes_[i * lane_words_ + b] = m[i];
+    }
+  }
 }
 
 void BatchSlice::store_codes(std::span<std::uint64_t> out) const {
@@ -88,14 +189,21 @@ void BatchSlice::store_codes(std::span<std::uint64_t> out) const {
     throw tca::InvalidArgumentError("BatchSlice::store_codes: output short",
                                     tca::ErrorCode::kSizeMismatch);
   }
-  std::uint64_t m[64] = {};
-  for (std::size_t i = 0; i < num_cells_; ++i) m[i] = planes_[i];
-  transpose64(m);
-  for (unsigned j = 0; j < count_; ++j) out[j] = m[j];
+  const unsigned blocks = (count_ + kBatchLanes - 1) / kBatchLanes;
+  for (unsigned b = 0; b < blocks; ++b) {
+    std::uint64_t m[64] = {};
+    for (std::size_t i = 0; i < num_cells_; ++i) {
+      m[i] = planes_[i * lane_words_ + b];
+    }
+    transpose64(m);
+    const unsigned base = b * kBatchLanes;
+    const unsigned take = std::min(kBatchLanes, count_ - base);
+    for (unsigned j = 0; j < take; ++j) out[base + j] = m[j];
+  }
 }
 
 void BatchSlice::load_configurations(std::span<const Configuration> configs) {
-  require_lanes(configs.size());
+  require_lanes(configs.size(), capacity());
   count_ = static_cast<unsigned>(configs.size());
   for (const Configuration& c : configs) {
     if (c.size() != num_cells_) {
@@ -106,13 +214,20 @@ void BatchSlice::load_configurations(std::span<const Configuration> configs) {
   }
   const std::size_t num_words = (num_cells_ + 63) >> 6;
   for (std::size_t w = 0; w < num_words; ++w) {
-    std::uint64_t m[64] = {};
-    for (std::size_t j = 0; j < configs.size(); ++j) {
-      m[j] = configs[j].words()[w];
-    }
-    transpose64(m);
     const std::size_t cells = std::min<std::size_t>(64, num_cells_ - w * 64);
-    for (std::size_t i = 0; i < cells; ++i) planes_[w * 64 + i] = m[i];
+    for (unsigned b = 0; b < lane_words_; ++b) {
+      std::uint64_t m[64] = {};
+      const std::size_t base = std::size_t{b} * kBatchLanes;
+      const std::size_t take =
+          configs.size() > base
+              ? std::min<std::size_t>(kBatchLanes, configs.size() - base)
+              : 0;
+      for (std::size_t j = 0; j < take; ++j) m[j] = configs[base + j].words()[w];
+      transpose64(m);
+      for (std::size_t i = 0; i < cells; ++i) {
+        planes_[(w * 64 + i) * lane_words_ + b] = m[i];
+      }
+    }
   }
 }
 
@@ -130,12 +245,19 @@ void BatchSlice::store_configurations(std::span<Configuration> out) const {
     }
   }
   const std::size_t num_words = (num_cells_ + 63) >> 6;
+  const unsigned blocks = (count_ + kBatchLanes - 1) / kBatchLanes;
   for (std::size_t w = 0; w < num_words; ++w) {
-    std::uint64_t m[64] = {};
     const std::size_t cells = std::min<std::size_t>(64, num_cells_ - w * 64);
-    for (std::size_t i = 0; i < cells; ++i) m[i] = planes_[w * 64 + i];
-    transpose64(m);
-    for (unsigned j = 0; j < count_; ++j) out[j].words()[w] = m[j];
+    for (unsigned b = 0; b < blocks; ++b) {
+      std::uint64_t m[64] = {};
+      for (std::size_t i = 0; i < cells; ++i) {
+        m[i] = planes_[(w * 64 + i) * lane_words_ + b];
+      }
+      transpose64(m);
+      const unsigned base = b * kBatchLanes;
+      const unsigned take = std::min(kBatchLanes, count_ - base);
+      for (unsigned j = 0; j < take; ++j) out[base + j].words()[w] = m[j];
+    }
   }
   for (unsigned j = 0; j < count_; ++j) out[j].mask_padding();
 }
@@ -172,105 +294,25 @@ BatchStepper::BatchStepper(const Automaton& a) : a_(&a) {
   fanin_.resize(a.max_arity());
 }
 
-unsigned BatchStepper::count_planes(std::uint32_t m, std::uint32_t skip) {
-  // Lane-wise ripple addition of one-bit inputs: plane b of cnt_ is bit b
-  // of the per-lane running count. A plane is valid only below `used`, so
-  // no zeroing between calls is needed.
-  unsigned used = 0;
-  for (std::uint32_t i = 0; i < m; ++i) {
-    if (i == skip) continue;
-    std::uint64_t carry = fanin_[i];
-    for (unsigned b = 0; carry != 0; ++b) {
-      if (b == used) {
-        cnt_[used++] = carry;
-        break;
-      }
-      const std::uint64_t t = cnt_[b] & carry;
-      cnt_[b] ^= carry;
-      carry = t;
-    }
-  }
-  return used;
-}
-
-std::uint64_t BatchStepper::compare_ge(std::uint32_t k, unsigned used) const {
-  // Lane-wise (count >= k) as the carry-out of count + (2^used - k).
-  if (k >= std::uint64_t{1} << used) return 0;  // count < 2^used <= k
-  const std::uint64_t add = (std::uint64_t{1} << used) - k;
-  std::uint64_t carry = 0;
-  for (unsigned b = 0; b < used; ++b) {
-    carry = ((add >> b) & 1u) != 0 ? cnt_[b] | carry : cnt_[b] & carry;
-  }
-  return carry;
-}
-
-std::uint64_t BatchStepper::select_counts(std::uint64_t mask,
-                                          unsigned used) const {
-  // OR of lane-wise (count == s) over the accepted counts s.
-  std::uint64_t acc = 0;
-  for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
-    const auto s = static_cast<unsigned>(std::countr_zero(bits));
-    if ((s >> used) != 0) continue;  // counts never reach 2^used
-    std::uint64_t eq = ~std::uint64_t{0};
-    for (unsigned b = 0; b < used; ++b) {
-      eq &= ((s >> b) & 1u) != 0 ? cnt_[b] : ~cnt_[b];
-    }
-    acc |= eq;
-  }
-  return acc;
-}
-
 std::uint64_t BatchStepper::eval_cell(NodeId v,
                                       std::span<const std::uint64_t> planes) {
   const auto slots = a_->inputs(v);
   const auto m = static_cast<std::uint32_t>(slots.size());
-  const rules::CircuitPlan& plan = plans_[m];
   std::uint64_t* fin = fanin_.data();
   for (std::uint32_t i = 0; i < m; ++i) {
     fin[i] = slots[i] == kConstZero ? 0 : planes[slots[i]];
   }
-  using Kind = rules::CircuitPlan::Kind;
-  switch (plan.kind) {
-    case Kind::kConstant:
-      return plan.constant_value != 0 ? ~std::uint64_t{0} : 0;
-    case Kind::kParity: {
-      std::uint64_t x = 0;
-      for (std::uint32_t i = 0; i < m; ++i) x ^= fin[i];
-      return x;
-    }
-    case Kind::kThreshold:
-      return compare_ge(plan.k, count_planes(m, m));
-    case Kind::kCountMask:
-      return select_counts(plan.accept_mask, count_planes(m, m));
-    case Kind::kOuterTotalistic: {
-      const std::uint64_t self = fin[plan.self_index];
-      const unsigned used = count_planes(m, plan.self_index);
-      const std::uint64_t born = select_counts(plan.born_mask, used);
-      const std::uint64_t survive = select_counts(plan.survive_mask, used);
-      return (~self & born) | (self & survive);
-    }
-    case Kind::kMinterms: {
-      std::uint64_t acc = 0;
-      for (std::size_t p = 0; p < plan.table.size(); ++p) {
-        if (plan.table[p] == 0) continue;
-        std::uint64_t term = ~std::uint64_t{0};
-        for (std::uint32_t i = 0; i < m; ++i) {
-          term &= ((p >> (m - 1 - i)) & 1u) != 0 ? fin[i] : ~fin[i];
-        }
-        acc |= term;
-      }
-      return acc;
-    }
-    case Kind::kUnsupported:
-      break;  // unreachable: the constructor rejects unsupported plans
-  }
-  return 0;
+  return eval_.eval(plans_[m], std::span<const std::uint64_t>(fin, m));
 }
 
 void BatchStepper::step(const BatchSlice& in, BatchSlice& out) {
   if (in.num_cells() != a_->size() || out.num_cells() != a_->size()) {
     throw tca::InvalidArgumentError("BatchStepper::step: size mismatch",
                                     tca::ErrorCode::kSizeMismatch);
+  }
+  if (in.lane_words() != 1 || out.lane_words() != 1) {
+    throw tca::InvalidArgumentError(
+        "BatchStepper::step: wide slices need make_wide_stepper");
   }
   if (&in == &out) {
     throw tca::InvalidArgumentError(
@@ -293,6 +335,10 @@ void BatchStepper::sweep(BatchSlice& slice, std::span<const NodeId> order) {
     throw tca::InvalidArgumentError("BatchStepper::sweep: size mismatch",
                                     tca::ErrorCode::kSizeMismatch);
   }
+  if (slice.lane_words() != 1) {
+    throw tca::InvalidArgumentError(
+        "BatchStepper::sweep: wide slices need make_wide_stepper");
+  }
   auto planes = slice.planes();
   for (NodeId v : order) {
     if (v >= a_->size()) {
@@ -303,6 +349,51 @@ void BatchStepper::sweep(BatchSlice& slice, std::span<const NodeId> order) {
   // One count per lane-sweep, mirroring engine.sequential.sweeps.
   static obs::Counter& sweeps = obs::counter("engine.batch.sweeps");
   sweeps.add(slice.count());
+}
+
+std::unique_ptr<WideStepper> make_wide_stepper(const Automaton& a) {
+  return make_wide_stepper(a, resolve_batch_isa().effective);
+}
+
+std::unique_ptr<WideStepper> make_wide_stepper(const Automaton& a,
+                                               BatchIsa isa) {
+  // Validate here, under baseline flags, so the tier factories construct
+  // unconditionally (they avoid string formatting; see the ODR note in
+  // batch_kernels_impl.hpp).
+  const auto support = batch_support(a);
+  if (!support.ok) {
+    throw tca::InvalidArgumentError(std::string("make_wide_stepper: ") +
+                                    support.reason);
+  }
+  if (!isa_available(isa)) {
+    throw tca::InvalidArgumentError(
+        std::string("make_wide_stepper: ISA tier unavailable: ") +
+        isa_name(isa));
+  }
+  isa_dispatch_counter(isa).add();
+  switch (isa) {
+    case BatchIsa::kNeon:
+#if defined(TCA_HAVE_TIER_NEON)
+      return detail::make_wide_stepper_neon(a);
+#else
+      break;
+#endif
+    case BatchIsa::kAvx2:
+#if defined(TCA_HAVE_TIER_AVX2)
+      return detail::make_wide_stepper_avx2(a);
+#else
+      break;
+#endif
+    case BatchIsa::kAvx512:
+#if defined(TCA_HAVE_TIER_AVX512)
+      return detail::make_wide_stepper_avx512(a);
+#else
+      break;
+#endif
+    case BatchIsa::kScalar:
+      break;
+  }
+  return detail::make_wide_stepper_scalar(a);
 }
 
 }  // namespace tca::core

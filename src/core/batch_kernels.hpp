@@ -1,24 +1,34 @@
 #pragma once
-// Bit-sliced batch stepping: 64 configurations per machine word
+// Bit-sliced batch stepping: 64..512 configurations per step
 // (DESIGN.md S3; docs/performance.md).
 //
 // The packed kernels (packed_kernels.hpp) vectorize WITHIN one
 // configuration — 64 cells per ALU op. This engine slices ACROSS
-// configurations instead: a BatchSlice stores one uint64 PLANE per cell,
-// with bit j of plane i holding cell i's value in configuration j. One
-// pass of a word-parallel rule circuit per cell (rules/circuit.hpp) then
-// advances all 64 configurations at once — the dominant cost of exhaustive
-// phase-space construction (2^n scalar steps) collapses by up to 64x, and
-// the win compounds with the thread pool because each 1024-state chunk is
-// just 16 batch steps.
+// configurations instead: a BatchSlice stores one W-word PLANE per cell
+// (W = lane_words()), with bit j of word t of plane i holding cell i's
+// value in configuration 64t + j. One pass of a word-parallel rule
+// circuit per cell (rules/circuit.hpp, evaluated word-generically by
+// rules/circuit_eval.hpp) then advances all 64*W configurations at once —
+// the dominant cost of exhaustive phase-space construction (2^n scalar
+// steps) collapses by up to 64*W, and the win compounds with the thread
+// pool because each 1024-state chunk is a handful of batch steps.
+//
+// Widths are ISA tiers behind runtime dispatch (core/batch_isa.hpp):
+// W = 1 is the portable scalar bit-slice, W = 4 is AVX2/NEON (256 lanes),
+// W = 8 is AVX-512 (512 lanes). make_wide_stepper() returns the widest
+// tier the host supports (overridable via TCA_BATCH_ISA); every tier is
+// bit-identical to the scalar engine (tests/simd_kernels_test.cpp).
 //
 // Layout and transposes:
 //  * state codes (phase-space enumeration, n <= 64 cells) are loaded with
-//    a 64x64 bit-matrix transpose — or, for 64-aligned consecutive code
-//    ranges, with six constant lane patterns and broadcast planes, no
-//    transpose at all;
-//  * Configurations of ANY size load/store via per-64-cell-word block
-//    transposes, so the engine also serves rings wider than 64 cells.
+//    per-64-lane-block 64x64 bit-matrix transposes — or, for 64-aligned
+//    consecutive code ranges, with six constant lane patterns and
+//    broadcast planes, no transpose at all;
+//  * Configurations of ANY size load/store via per-64-cell-word,
+//    per-64-lane-block transposes, so the engine also serves rings wider
+//    than 64 cells;
+//  * transpose_wide() is the full 64W x 64W generalization of
+//    transpose64, exposed for the wide round-trip tests.
 //
 // Lanes past count() hold garbage; stores mask them, circuits may compute
 // them freely.
@@ -32,38 +42,57 @@
 // step_synchronous / apply_sequence (tests/batch_engine_test.cpp).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/automaton.hpp"
+#include "core/batch_isa.hpp"
 #include "core/configuration.hpp"
 #include "rules/circuit.hpp"
+#include "rules/circuit_eval.hpp"
 
 namespace tca::core {
 
-/// Configurations per batch (one per bit of a plane word).
+/// Configurations per plane word (one per bit).
 inline constexpr unsigned kBatchLanes = 64;
 
 /// Transposes the 64x64 bit matrix in place: bit j of row i swaps with
 /// bit i of row j. Exposed for tests.
 void transpose64(std::uint64_t m[64]);
 
-/// A batch of up to 64 same-sized configurations in cell-plane layout.
+/// Transposes a (64*W)x(64*W) bit matrix in place, stored row-major with
+/// W = lane_words uint64 words per row (bit c of row r lives in word
+/// c/64, bit c%64 of row r — the same LSB-first convention as
+/// transpose64, which is the W = 1 case). Used by the wide engines'
+/// round-trip tests; the hot paths use per-block transposes instead.
+void transpose_wide(std::uint64_t* m, unsigned lane_words);
+
+/// A batch of up to 64 * lane_words same-sized configurations in
+/// cell-plane layout: plane i occupies words [i*W, (i+1)*W) of planes().
 class BatchSlice {
  public:
-  explicit BatchSlice(std::size_t num_cells)
-      : num_cells_(num_cells), planes_(num_cells, 0) {}
+  /// `lane_words` is the plane width W (1 for the scalar engine, 4/8 for
+  /// the SIMD tiers — see core/batch_isa.hpp).
+  explicit BatchSlice(std::size_t num_cells, unsigned lane_words = 1);
 
   [[nodiscard]] std::size_t num_cells() const noexcept { return num_cells_; }
+  /// Plane width W in uint64 words.
+  [[nodiscard]] unsigned lane_words() const noexcept { return lane_words_; }
+  /// Maximum lanes (configurations): 64 * lane_words().
+  [[nodiscard]] unsigned capacity() const noexcept {
+    return kBatchLanes * lane_words_;
+  }
   /// Active lanes (configurations); lanes >= count() are garbage.
   [[nodiscard]] unsigned count() const noexcept { return count_; }
 
   /// Lane j := the n-bit state code `first + j` (bit i = cell i). Requires
-  /// num_cells() <= 64, count <= 64. 64-aligned `first` takes the
-  /// pattern fast path (no transpose).
+  /// num_cells() <= 64, count <= capacity(). 64-aligned block bases take
+  /// the pattern fast path (no transpose).
   void load_code_range(std::uint64_t first, unsigned count);
 
-  /// Lane j := codes[j]; arbitrary codes, codes.size() <= 64.
+  /// Lane j := codes[j]; arbitrary codes, codes.size() <= capacity().
+  /// Unused lanes of the ragged top block are zero-padded.
   void load_codes(std::span<const std::uint64_t> codes);
 
   /// Lane j := configs[j] (each must have num_cells() cells).
@@ -81,11 +110,12 @@ class BatchSlice {
   [[nodiscard]] std::span<const std::uint64_t> planes() const noexcept {
     return planes_;
   }
-  /// For raw plane writers (the stepper); count is the lanes-valid bound.
+  /// For raw plane writers (the steppers); count is the lanes-valid bound.
   void set_count(unsigned count);
 
  private:
   std::size_t num_cells_;
+  unsigned lane_words_;
   unsigned count_ = 0;
   std::vector<std::uint64_t> planes_;
 };
@@ -97,18 +127,22 @@ struct BatchSupport {
 };
 
 /// Probes `a` without throwing: homogeneous, and the rule compiles to a
-/// circuit at every arity present.
+/// circuit at every arity present. One answer for every tier — the wide
+/// kernels evaluate the same circuit plans.
 [[nodiscard]] BatchSupport batch_support(const Automaton& a);
 
-/// Compiled batch stepper: circuit plans are resolved once per automaton
-/// (per arity present), then each step is one plane-circuit pass per cell.
-/// Holds scratch buffers, so give each thread its own instance.
+/// Compiled 64-lane scalar batch stepper: circuit plans are resolved once
+/// per automaton (per arity present), then each step is one plane-circuit
+/// pass per cell. Holds scratch buffers, so give each thread its own
+/// instance. This is the W = 1 reference the SIMD tiers are differentially
+/// tested against; new callers should prefer make_wide_stepper().
 class BatchStepper {
  public:
   /// Throws InvalidArgumentError when batch_support(a) declines.
   explicit BatchStepper(const Automaton& a);
 
-  /// out := F(in) lane-wise (one synchronous step of all lanes).
+  /// out := F(in) lane-wise (one synchronous step of all lanes). Both
+  /// slices must have lane_words() == 1.
   void step(const BatchSlice& in, BatchSlice& out);
 
   /// One full sequential sweep of `order`, in place: every lane applies
@@ -119,18 +153,55 @@ class BatchStepper {
  private:
   [[nodiscard]] std::uint64_t eval_cell(
       NodeId v, std::span<const std::uint64_t> planes);
-  /// Lane-wise popcount of fanin_[0..m) (skipping `skip` if < m) into
-  /// cnt_[0..used); returns `used`.
-  unsigned count_planes(std::uint32_t m, std::uint32_t skip);
-  [[nodiscard]] std::uint64_t compare_ge(std::uint32_t k,
-                                         unsigned used) const;
-  [[nodiscard]] std::uint64_t select_counts(std::uint64_t mask,
-                                            unsigned used) const;
 
   const Automaton* a_;
   std::vector<rules::CircuitPlan> plans_;  ///< indexed by arity
   std::vector<std::uint64_t> fanin_;       ///< gathered input planes
-  std::uint64_t cnt_[8] = {};              ///< adder-tree count planes
+  rules::PlanEvaluator<std::uint64_t> eval_;
 };
+
+/// An ISA-tier batch stepper: the same circuits as BatchStepper evaluated
+/// over W-word planes (64*W lanes per step). Instances are created by
+/// make_wide_stepper() from per-ISA translation units; hold scratch, so
+/// one instance per thread. Slices passed in must match lane_words().
+class WideStepper {
+ public:
+  virtual ~WideStepper() = default;
+
+  [[nodiscard]] virtual BatchIsa isa() const noexcept = 0;
+  [[nodiscard]] virtual unsigned lane_words() const noexcept = 0;
+
+  /// out := F(in) lane-wise (one synchronous step of all lanes).
+  virtual void step(const BatchSlice& in, BatchSlice& out) = 0;
+
+  /// One full sequential sweep of `order`, in place, lane-exact with
+  /// core::apply_sequence.
+  virtual void sweep(BatchSlice& slice, std::span<const NodeId> order) = 0;
+
+  /// succ[j] := F(first + j) for j in [0, count) — the full
+  /// load/step/store pipeline over state codes (requires <= 64 cells),
+  /// with the transposes vectorized inside the tier. Ragged final batches
+  /// are masked on store.
+  virtual void step_code_range(std::uint64_t first, std::size_t count,
+                               std::uint64_t* succ) = 0;
+
+  /// succ[j] := the one-full-sweep image of code first + j under `order`
+  /// (sweep-mode analogue of step_code_range).
+  virtual void sweep_code_range(std::uint64_t first, std::size_t count,
+                                std::span<const NodeId> order,
+                                std::uint64_t* succ) = 0;
+};
+
+/// Stepper for the widest tier the host supports, honoring the
+/// TCA_BATCH_ISA override (core/batch_isa.hpp). Throws
+/// InvalidArgumentError when batch_support(a) declines.
+[[nodiscard]] std::unique_ptr<WideStepper> make_wide_stepper(
+    const Automaton& a);
+
+/// Stepper for one specific tier (differential tests, the ablation
+/// bench). Throws InvalidArgumentError when the tier is unavailable on
+/// this host/build or batch_support(a) declines.
+[[nodiscard]] std::unique_ptr<WideStepper> make_wide_stepper(
+    const Automaton& a, BatchIsa isa);
 
 }  // namespace tca::core

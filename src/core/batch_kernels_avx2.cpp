@@ -1,0 +1,14 @@
+// AVX2 tier: WideWord<4> (256 lanes), compiled with -mavx2 via
+// set_source_files_properties in src/core/CMakeLists.txt. Only reached
+// after batch_isa.cpp confirms the host executes AVX2 — see the ODR note
+// in batch_kernels_impl.hpp for why everything else here is anonymous.
+
+#include "core/batch_kernels_impl.hpp"
+
+namespace tca::core::detail {
+
+std::unique_ptr<WideStepper> make_wide_stepper_avx2(const Automaton& a) {
+  return make_wide_impl<4>(a, BatchIsa::kAvx2);
+}
+
+}  // namespace tca::core::detail

@@ -1,0 +1,14 @@
+// AVX-512 tier: WideWord<8> (512 lanes), compiled with -mavx512f via
+// set_source_files_properties in src/core/CMakeLists.txt. Only reached
+// after batch_isa.cpp confirms the host executes AVX-512F — see the ODR
+// note in batch_kernels_impl.hpp.
+
+#include "core/batch_kernels_impl.hpp"
+
+namespace tca::core::detail {
+
+std::unique_ptr<WideStepper> make_wide_stepper_avx512(const Automaton& a) {
+  return make_wide_impl<8>(a, BatchIsa::kAvx512);
+}
+
+}  // namespace tca::core::detail

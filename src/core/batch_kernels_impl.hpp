@@ -1,0 +1,289 @@
+#pragma once
+// Generic W-word batch stepper, instantiated once per ISA tier.
+//
+// This header is included ONLY by the per-tier translation units
+// (core/batch_kernels_{scalar,avx2,avx512,neon}.cpp), each compiled under
+// its own target flags (-mavx2, -mavx512f, ...; see
+// src/core/CMakeLists.txt). Everything here lives in an ANONYMOUS
+// namespace on purpose: a symbol compiled with AVX-512 flags must never
+// be comdat-merged with the same symbol from a baseline translation unit,
+// or the linker could hand a baseline caller a vector-encoded body it
+// cannot execute. Internal linkage makes each tier's copy private by
+// construction. Two further rules keep the shared comdats (std::vector,
+// std::string, ...) safe:
+//  * each WideWord width is instantiated by exactly ONE translation unit
+//    per build (scalar=1, avx2|neon=4, avx512=8), and
+//  * the tier units avoid std::string formatting (error messages are
+//    plain literals; counter names are literal lookups), so they emit as
+//    little shareable template code as possible — and the baseline units
+//    are listed first in the target sources, so the linker prefers
+//    baseline comdats for what remains.
+//
+// The kernels themselves are plain loops over WideWord<W>
+// (core/simd_word.hpp); the per-TU target flags let the auto-vectorizer
+// widen them. The circuit evaluation is the shared word-generic
+// rules::PlanEvaluator, so every tier computes bit-identical results
+// (tests/simd_kernels_test.cpp).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/batch_isa.hpp"
+#include "core/batch_kernels.hpp"
+#include "core/simd_word.hpp"
+#include "obs/metrics.hpp"
+#include "rules/circuit.hpp"
+#include "rules/circuit_eval.hpp"
+#include "runtime/error.hpp"
+
+namespace tca::core {
+namespace {
+
+/// kWideLanePattern[i] has bit j set iff bit i of the lane index j is set
+/// (duplicate of batch_kernels.cpp's kLanePattern; this copy has internal
+/// linkage in the tier unit).
+constexpr std::uint64_t kWideLanePattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+/// Lane-wise 64x64 bit transpose: the transpose64 block swap lifted to
+/// WideWord, so lane t of every row transposes the t-th 64-lane block
+/// independently. This is the store-side hot path — without it the
+/// scalar per-block transposes would cap the widening speedup well below
+/// the gate (docs/performance.md).
+template <unsigned W>
+void transpose64w(WideWord<W> m[64]) {
+  using Word = WideWord<W>;
+  Word mask = Word::broadcast(0x00000000FFFFFFFFULL);
+  for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const Word t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+/// Literal per-tier step-counter name (no string building in tier units).
+constexpr const char* tier_steps_name(BatchIsa isa) noexcept {
+  switch (isa) {
+    case BatchIsa::kScalar:
+      return "engine.batch.steps.scalar";
+    case BatchIsa::kNeon:
+      return "engine.batch.steps.neon";
+    case BatchIsa::kAvx2:
+      return "engine.batch.steps.avx2";
+    case BatchIsa::kAvx512:
+      return "engine.batch.steps.avx512";
+  }
+  return "engine.batch.steps.scalar";
+}
+
+/// The W-word stepper. make_wide_stepper() has already validated
+/// batch_support(a) before the factory runs, so construction only
+/// compiles plans and sizes scratch.
+template <unsigned W>
+class WideStepperImpl final : public WideStepper {
+ public:
+  using Word = WideWord<W>;
+
+  WideStepperImpl(const Automaton& a, BatchIsa isa) : a_(&a), isa_(isa) {
+    plans_.resize(a.max_arity() + 1);
+    for (std::size_t v = 0; v < a.size(); ++v) {
+      const auto arity =
+          static_cast<std::uint32_t>(a.inputs(static_cast<NodeId>(v)).size());
+      if (plans_[arity].supported()) continue;
+      plans_[arity] = rules::circuit_plan(a.rule(0), arity);
+    }
+    fanin_.resize(a.max_arity());
+    code_planes_.resize(a.size() * W);
+    code_next_.resize(a.size() * W);
+  }
+
+  [[nodiscard]] BatchIsa isa() const noexcept override { return isa_; }
+  [[nodiscard]] unsigned lane_words() const noexcept override { return W; }
+
+  void step(const BatchSlice& in, BatchSlice& out) override {
+    if (in.num_cells() != a_->size() || out.num_cells() != a_->size()) {
+      throw tca::InvalidArgumentError("WideStepper::step: size mismatch",
+                                      tca::ErrorCode::kSizeMismatch);
+    }
+    if (in.lane_words() != W || out.lane_words() != W) {
+      throw tca::InvalidArgumentError(
+          "WideStepper::step: slice lane_words does not match tier",
+          tca::ErrorCode::kSizeMismatch);
+    }
+    if (&in == &out) {
+      throw tca::InvalidArgumentError(
+          "WideStepper::step: in and out must differ");
+    }
+    out.set_count(in.count());
+    const std::uint64_t* src = in.planes().data();
+    std::uint64_t* dst = out.planes().data();
+    for (std::size_t v = 0; v < a_->size(); ++v) {
+      eval_cell(static_cast<NodeId>(v), src).store(dst + v * W);
+    }
+    charge_step(in.count());
+  }
+
+  void sweep(BatchSlice& slice, std::span<const NodeId> order) override {
+    if (slice.num_cells() != a_->size()) {
+      throw tca::InvalidArgumentError("WideStepper::sweep: size mismatch",
+                                      tca::ErrorCode::kSizeMismatch);
+    }
+    if (slice.lane_words() != W) {
+      throw tca::InvalidArgumentError(
+          "WideStepper::sweep: slice lane_words does not match tier",
+          tca::ErrorCode::kSizeMismatch);
+    }
+    std::uint64_t* planes = slice.planes().data();
+    sweep_planes(planes, order);
+    static obs::Counter& sweeps = obs::counter("engine.batch.sweeps");
+    sweeps.add(slice.count());
+  }
+
+  void step_code_range(std::uint64_t first, std::size_t count,
+                       std::uint64_t* succ) override {
+    require_code_width();
+    constexpr std::size_t kCap = std::size_t{64} * W;
+    for (std::size_t off = 0; off < count; off += kCap) {
+      const std::size_t batch = std::min(kCap, count - off);
+      load_code_block(first + off);
+      for (std::size_t v = 0; v < a_->size(); ++v) {
+        eval_cell(static_cast<NodeId>(v), code_planes_.data())
+            .store(&code_next_[v * W]);
+      }
+      store_code_block(code_next_.data(), batch, succ + off);
+      charge_step(batch);
+    }
+  }
+
+  void sweep_code_range(std::uint64_t first, std::size_t count,
+                        std::span<const NodeId> order,
+                        std::uint64_t* succ) override {
+    require_code_width();
+    static obs::Counter& sweeps = obs::counter("engine.batch.sweeps");
+    constexpr std::size_t kCap = std::size_t{64} * W;
+    for (std::size_t off = 0; off < count; off += kCap) {
+      const std::size_t batch = std::min(kCap, count - off);
+      load_code_block(first + off);
+      sweep_planes(code_planes_.data(), order);
+      store_code_block(code_planes_.data(), batch, succ + off);
+      sweeps.add(batch);
+    }
+  }
+
+ private:
+  /// One output plane for cell v over `planes` (layout: plane i at words
+  /// [i*W, (i+1)*W), as in BatchSlice).
+  [[nodiscard]] Word eval_cell(NodeId v, const std::uint64_t* planes) {
+    const auto slots = a_->inputs(v);
+    const auto m = static_cast<std::uint32_t>(slots.size());
+    for (std::uint32_t i = 0; i < m; ++i) {
+      fanin_[i] = slots[i] == kConstZero
+                      ? Word::zero()
+                      : Word::load(planes + std::size_t{slots[i]} * W);
+    }
+    return eval_.eval(plans_[m], std::span<const Word>(fanin_.data(), m));
+  }
+
+  /// In-place sequential sweep over `planes` — each update is immediately
+  /// visible to later ones (eval_cell gathers before the store).
+  void sweep_planes(std::uint64_t* planes, std::span<const NodeId> order) {
+    for (NodeId v : order) {
+      if (v >= a_->size()) {
+        throw tca::InvalidArgumentError(
+            "WideStepper::sweep: node out of range");
+      }
+      eval_cell(v, planes).store(planes + std::size_t{v} * W);
+    }
+  }
+
+  void require_code_width() const {
+    if (a_->size() > 64) {
+      throw tca::InvalidArgumentError(
+          "WideStepper: state codes need <= 64 cells");
+    }
+  }
+
+  /// code_planes_ := planes of codes [first, first + 64*W). Lanes past the
+  /// caller's count compute garbage and are masked on store. Aligned bases
+  /// use the lane-pattern fast path (no transpose; lane t of plane i >= 6
+  /// broadcasts bit i of first + 64t).
+  void load_code_block(std::uint64_t first) {
+    const std::size_t n = a_->size();
+    if ((first & 63) == 0) {
+      const std::size_t low = n < 6 ? n : 6;
+      for (std::size_t i = 0; i < low; ++i) {
+        Word::broadcast(kWideLanePattern[i]).store(&code_planes_[i * W]);
+      }
+      for (std::size_t i = low; i < n; ++i) {
+        Word w = Word::zero();
+        for (unsigned t = 0; t < W; ++t) {
+          const std::uint64_t base = first + std::uint64_t{64} * t;
+          w.v[t] = ((base >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0;
+        }
+        w.store(&code_planes_[i * W]);
+      }
+      return;
+    }
+    // Unaligned base: lane-wise gather of the codes, one lane-wise
+    // transpose for all W blocks at once.
+    Word m[64];
+    for (unsigned j = 0; j < 64; ++j) {
+      Word w;
+      for (unsigned t = 0; t < W; ++t) {
+        w.v[t] = first + std::uint64_t{64} * t + j;
+      }
+      m[j] = w;
+    }
+    transpose64w<W>(m);
+    for (std::size_t i = 0; i < n; ++i) m[i].store(&code_planes_[i * W]);
+  }
+
+  /// out[j] := lane j of `planes` as a state code, j < count (<= 64*W).
+  void store_code_block(const std::uint64_t* planes, std::size_t count,
+                        std::uint64_t* out) {
+    const std::size_t n = a_->size();
+    Word m[64];
+    for (std::size_t i = 0; i < n; ++i) m[i] = Word::load(planes + i * W);
+    for (std::size_t i = n; i < 64; ++i) m[i] = Word::zero();
+    transpose64w<W>(m);
+    std::size_t written = 0;
+    for (unsigned t = 0; t < W && written < count; ++t) {
+      const std::size_t take = std::min<std::size_t>(64, count - written);
+      for (std::size_t j = 0; j < take; ++j) out[written + j] = m[j].v[t];
+      written += take;
+    }
+  }
+
+  void charge_step(std::size_t lane_count) {
+    static obs::Counter& steps = obs::counter("engine.batch.steps");
+    static obs::Counter& lanes = obs::counter("engine.batch.lanes");
+    static obs::Counter& tier_steps = obs::counter(tier_steps_name(isa_));
+    steps.add();
+    lanes.add(lane_count);
+    tier_steps.add();
+  }
+
+  const Automaton* a_;
+  BatchIsa isa_;
+  std::vector<rules::CircuitPlan> plans_;  ///< indexed by arity
+  std::vector<Word> fanin_;                ///< gathered input planes
+  rules::PlanEvaluator<Word> eval_;
+  std::vector<std::uint64_t> code_planes_;  ///< code-range pipeline scratch
+  std::vector<std::uint64_t> code_next_;
+};
+
+template <unsigned W>
+std::unique_ptr<WideStepper> make_wide_impl(const Automaton& a, BatchIsa isa) {
+  return std::make_unique<WideStepperImpl<W>>(a, isa);
+}
+
+}  // namespace
+}  // namespace tca::core

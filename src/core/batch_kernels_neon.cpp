@@ -1,0 +1,15 @@
+// NEON tier: WideWord<4> (256 lanes) on aarch64, where AdvSIMD is
+// architecturally baseline — no extra target flags, no runtime cpu probe
+// beyond the architecture itself. This unit is only added to the build on
+// aarch64 (src/core/CMakeLists.txt), where the x86 tier units are absent,
+// so the one-TU-per-width rule of batch_kernels_impl.hpp still holds.
+
+#include "core/batch_kernels_impl.hpp"
+
+namespace tca::core::detail {
+
+std::unique_ptr<WideStepper> make_wide_stepper_neon(const Automaton& a) {
+  return make_wide_impl<4>(a, BatchIsa::kNeon);
+}
+
+}  // namespace tca::core::detail

@@ -1,0 +1,14 @@
+// Baseline 64-lane tier: WideWord<1> under the project's default flags.
+// Always compiled into every build; TCA_BATCH_ISA=scalar routes here and
+// must reproduce the classic BatchStepper results (and counters)
+// bit-identically.
+
+#include "core/batch_kernels_impl.hpp"
+
+namespace tca::core::detail {
+
+std::unique_ptr<WideStepper> make_wide_stepper_scalar(const Automaton& a) {
+  return make_wide_impl<1>(a, BatchIsa::kScalar);
+}
+
+}  // namespace tca::core::detail

@@ -247,15 +247,10 @@ FunctionalGraphBuild FunctionalGraph::build_synchronous_parallel(
 }
 
 BatchCodeStepper::BatchCodeStepper(const core::Automaton& a)
-    : a_(&a),
-      sweep_mode_(false),
-      in_(a.size()),
-      out_(a.size()),
-      front_(a.size()),
-      back_(a.size()) {
+    : a_(&a), sweep_mode_(false), front_(a.size()), back_(a.size()) {
   const auto support = core::batch_support(a);
   if (support.ok) {
-    stepper_.emplace(a);
+    stepper_ = core::make_wide_stepper(a);
   } else {
     reason_ = support.reason;
   }
@@ -266,13 +261,38 @@ BatchCodeStepper::BatchCodeStepper(const core::Automaton& a,
     : a_(&a),
       order_(std::move(order)),
       sweep_mode_(true),
-      in_(a.size()),
-      out_(a.size()),
       front_(a.size()),
       back_(a.size()) {
   const auto support = core::batch_support(a);
   if (support.ok) {
-    stepper_.emplace(a);
+    stepper_ = core::make_wide_stepper(a);
+  } else {
+    reason_ = support.reason;
+  }
+}
+
+BatchCodeStepper::BatchCodeStepper(const core::Automaton& a,
+                                   core::BatchIsa isa)
+    : a_(&a), sweep_mode_(false), front_(a.size()), back_(a.size()) {
+  const auto support = core::batch_support(a);
+  if (support.ok) {
+    stepper_ = core::make_wide_stepper(a, isa);
+  } else {
+    reason_ = support.reason;
+  }
+}
+
+BatchCodeStepper::BatchCodeStepper(const core::Automaton& a,
+                                   std::vector<core::NodeId> order,
+                                   core::BatchIsa isa)
+    : a_(&a),
+      order_(std::move(order)),
+      sweep_mode_(true),
+      front_(a.size()),
+      back_(a.size()) {
+  const auto support = core::batch_support(a);
+  if (support.ok) {
+    stepper_ = core::make_wide_stepper(a, isa);
   } else {
     reason_ = support.reason;
   }
@@ -281,19 +301,13 @@ BatchCodeStepper::BatchCodeStepper(const core::Automaton& a,
 void BatchCodeStepper::step_range(StateCode first, std::size_t count,
                                   StateCode* succ) {
   const std::size_t n = a_->size();
-  if (stepper_.has_value()) {
-    for (std::size_t done = 0; done < count;) {
-      const auto lanes = static_cast<unsigned>(
-          std::min<std::size_t>(core::kBatchLanes, count - done));
-      in_.load_code_range(first + done, lanes);
-      if (sweep_mode_) {
-        stepper_->sweep(in_, order_);
-        in_.store_codes(std::span<StateCode>(succ + done, lanes));
-      } else {
-        stepper_->step(in_, out_);
-        out_.store_codes(std::span<StateCode>(succ + done, lanes));
-      }
-      done += lanes;
+  if (stepper_ != nullptr) {
+    // The whole load/step/store pipeline runs inside the tier's
+    // translation unit, so the transposes vectorize with the kernels.
+    if (sweep_mode_) {
+      stepper_->sweep_code_range(first, count, order_, succ);
+    } else {
+      stepper_->step_code_range(first, count, succ);
     }
     return;
   }

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -114,13 +115,14 @@ struct FunctionalGraphBuild {
                                          std::vector<core::NodeId> order);
 
 /// Amortized batch code stepping (docs/performance.md): fills successor
-/// codes 64 lanes at a time through the bit-sliced engine
-/// (core/batch_kernels.hpp) when the automaton is supported, and through
-/// the scalar from_bits / step / to_bits path otherwise. The dispatch
-/// decision is made once at construction; callers that enumerate full
-/// tables (phase-space builds, the explicit Garden-of-Eden census,
-/// benches) construct one stepper per thread and stream ranges through
-/// it. Results are bit-for-bit identical either way.
+/// codes 64..512 lanes at a time through the bit-sliced engine at the
+/// dispatched ISA tier (core/batch_kernels.hpp, core/batch_isa.hpp) when
+/// the automaton is supported, and through the scalar from_bits / step /
+/// to_bits path otherwise. The dispatch decision is made once at
+/// construction; callers that enumerate full tables (phase-space builds,
+/// the explicit Garden-of-Eden census, benches) construct one stepper per
+/// thread and stream ranges through it. Results are bit-for-bit identical
+/// across tiers and the scalar path.
 class BatchCodeStepper {
  public:
   /// Synchronous mode: one parallel step per code.
@@ -130,26 +132,37 @@ class BatchCodeStepper {
   /// phase-space map of FunctionalGraph::sweep).
   BatchCodeStepper(const core::Automaton& a, std::vector<core::NodeId> order);
 
+  /// Forced-tier overloads (differential tests, the ablation bench):
+  /// bypass the TCA_BATCH_ISA dispatch and use exactly `isa`. Throw when
+  /// the tier is unavailable on this host/build.
+  BatchCodeStepper(const core::Automaton& a, core::BatchIsa isa);
+  BatchCodeStepper(const core::Automaton& a, std::vector<core::NodeId> order,
+                   core::BatchIsa isa);
+
   /// succ[j] := F(first + j) for j in [0, count). `count` need not be a
-  /// multiple of 64 (ragged final batches are masked on store).
+  /// multiple of the tier width (ragged final batches are masked on
+  /// store).
   void step_range(StateCode first, std::size_t count, StateCode* succ);
 
   /// False when the batch engine declined the automaton and every
   /// step_range runs scalar.
-  [[nodiscard]] bool batched() const noexcept { return stepper_.has_value(); }
+  [[nodiscard]] bool batched() const noexcept { return stepper_ != nullptr; }
   /// Stable reason string when !batched(), nullptr otherwise.
   [[nodiscard]] const char* fallback_reason() const noexcept {
     return reason_;
+  }
+  /// The ISA tier stepping runs at (kScalar covers both the 64-lane
+  /// bit-slice tier and the non-batched scalar fallback).
+  [[nodiscard]] core::BatchIsa isa() const noexcept {
+    return stepper_ != nullptr ? stepper_->isa() : core::BatchIsa::kScalar;
   }
 
  private:
   const core::Automaton* a_;
   std::vector<core::NodeId> order_;
   bool sweep_mode_;
-  std::optional<core::BatchStepper> stepper_;
+  std::unique_ptr<core::WideStepper> stepper_;
   const char* reason_ = nullptr;
-  core::BatchSlice in_;
-  core::BatchSlice out_;
   core::Configuration front_;  // scalar fallback buffers
   core::Configuration back_;
 };

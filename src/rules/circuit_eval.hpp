@@ -1,0 +1,155 @@
+#pragma once
+// Word-generic CircuitPlan evaluation (docs/performance.md).
+//
+// circuit.hpp compiles a rule into a CircuitPlan once per automaton; this
+// header evaluates that plan over ANY machine-word type, so the same
+// adder-tree/count-mask/minterm circuits serve the 64-lane scalar
+// bit-slice engine (Word = uint64_t) and every SIMD-widened tier
+// (Word = core::WideWord<W>, compiled per ISA in
+// core/batch_kernels_{scalar,avx2,avx512,neon}.cpp) without per-ISA
+// rewrites. A Word must provide &, |, ^, ~ and default construction;
+// WordTraits supplies the all-zeros/all-ones constants and the
+// any-bit-set test the adder tree's early-out uses.
+//
+// The algorithms here are a line-for-line generalization of the original
+// uint64 implementation, so every tier is bit-identical to the scalar
+// engine by construction (and proven so by tests/simd_kernels_test.cpp).
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "rules/circuit.hpp"
+
+namespace tca::rules {
+
+/// Constants and tests a plan evaluator needs from its word type. The
+/// primary template forwards to static members (core::WideWord); the
+/// uint64_t specialization serves the scalar engine.
+template <class Word>
+struct WordTraits {
+  [[nodiscard]] static constexpr Word zero() noexcept { return Word::zero(); }
+  [[nodiscard]] static constexpr Word ones() noexcept { return Word::ones(); }
+  [[nodiscard]] static constexpr bool any(const Word& w) noexcept {
+    return w.any();
+  }
+};
+
+template <>
+struct WordTraits<std::uint64_t> {
+  [[nodiscard]] static constexpr std::uint64_t zero() noexcept { return 0; }
+  [[nodiscard]] static constexpr std::uint64_t ones() noexcept {
+    return ~std::uint64_t{0};
+  }
+  [[nodiscard]] static constexpr bool any(std::uint64_t w) noexcept {
+    return w != 0;
+  }
+};
+
+/// Evaluates compiled plans over gathered input planes. Holds the
+/// adder-tree scratch (8 count planes = arity <= 255), so give each
+/// thread its own instance.
+template <class Word>
+class PlanEvaluator {
+ public:
+  /// One output plane for `plan` over `fanin` (one plane per input slot,
+  /// already gathered). `plan` must be supported and compiled at arity
+  /// fanin.size().
+  [[nodiscard]] Word eval(const CircuitPlan& plan,
+                          std::span<const Word> fanin) {
+    using Kind = CircuitPlan::Kind;
+    const auto m = static_cast<std::uint32_t>(fanin.size());
+    switch (plan.kind) {
+      case Kind::kConstant:
+        return plan.constant_value != 0 ? WordTraits<Word>::ones()
+                                        : WordTraits<Word>::zero();
+      case Kind::kParity: {
+        Word x = WordTraits<Word>::zero();
+        for (std::uint32_t i = 0; i < m; ++i) x ^= fanin[i];
+        return x;
+      }
+      case Kind::kThreshold:
+        return compare_ge(plan.k, count_planes(fanin, m));
+      case Kind::kCountMask:
+        return select_counts(plan.accept_mask, count_planes(fanin, m));
+      case Kind::kOuterTotalistic: {
+        const Word self = fanin[plan.self_index];
+        const unsigned used = count_planes(fanin, plan.self_index);
+        const Word born = select_counts(plan.born_mask, used);
+        const Word survive = select_counts(plan.survive_mask, used);
+        return (~self & born) | (self & survive);
+      }
+      case Kind::kMinterms: {
+        Word acc = WordTraits<Word>::zero();
+        for (std::size_t p = 0; p < plan.table.size(); ++p) {
+          if (plan.table[p] == 0) continue;
+          Word term = WordTraits<Word>::ones();
+          for (std::uint32_t i = 0; i < m; ++i) {
+            term &= ((p >> (m - 1 - i)) & 1u) != 0 ? fanin[i] : ~fanin[i];
+          }
+          acc |= term;
+        }
+        return acc;
+      }
+      case Kind::kUnsupported:
+        break;  // unreachable: callers reject unsupported plans up front
+    }
+    return WordTraits<Word>::zero();
+  }
+
+ private:
+  /// Lane-wise ripple addition of one-bit inputs: plane b of cnt_ is bit b
+  /// of the per-lane running count. A plane is valid only below `used`, so
+  /// no zeroing between calls is needed. Skips fanin[skip] when < size
+  /// (the outer-totalistic self slot).
+  unsigned count_planes(std::span<const Word> fanin, std::uint32_t skip) {
+    unsigned used = 0;
+    const auto m = static_cast<std::uint32_t>(fanin.size());
+    for (std::uint32_t i = 0; i < m; ++i) {
+      if (i == skip) continue;
+      Word carry = fanin[i];
+      for (unsigned b = 0; WordTraits<Word>::any(carry); ++b) {
+        if (b == used) {
+          cnt_[used++] = carry;
+          break;
+        }
+        const Word t = cnt_[b] & carry;
+        cnt_[b] ^= carry;
+        carry = t;
+      }
+    }
+    return used;
+  }
+
+  /// Lane-wise (count >= k) as the carry-out of count + (2^used - k).
+  [[nodiscard]] Word compare_ge(std::uint32_t k, unsigned used) const {
+    if (k >= std::uint64_t{1} << used) {
+      return WordTraits<Word>::zero();  // count < 2^used <= k
+    }
+    const std::uint64_t add = (std::uint64_t{1} << used) - k;
+    Word carry = WordTraits<Word>::zero();
+    for (unsigned b = 0; b < used; ++b) {
+      carry = ((add >> b) & 1u) != 0 ? cnt_[b] | carry : cnt_[b] & carry;
+    }
+    return carry;
+  }
+
+  /// OR of lane-wise (count == s) over the accepted counts s.
+  [[nodiscard]] Word select_counts(std::uint64_t mask, unsigned used) const {
+    Word acc = WordTraits<Word>::zero();
+    for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+      const auto s = static_cast<unsigned>(std::countr_zero(bits));
+      if ((s >> used) != 0) continue;  // counts never reach 2^used
+      Word eq = WordTraits<Word>::ones();
+      for (unsigned b = 0; b < used; ++b) {
+        eq &= ((s >> b) & 1u) != 0 ? cnt_[b] : ~cnt_[b];
+      }
+      acc |= eq;
+    }
+    return acc;
+  }
+
+  Word cnt_[8] = {};  ///< adder-tree count planes
+};
+
+}  // namespace tca::rules

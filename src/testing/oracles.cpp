@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <random>
+#include <span>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "aca/aca.hpp"
 #include "aca/explorer.hpp"
 #include "analysis/energy.hpp"
+#include "core/batch_isa.hpp"
+#include "core/batch_kernels.hpp"
 #include "core/block_sequential.hpp"
 #include "core/schedule.hpp"
 #include "core/sequential.hpp"
@@ -322,6 +327,71 @@ PropertyResult check_budget_truncation(const TestCase& tc) {
   return PropertyResult::pass();
 }
 
+PropertyResult check_batch_isa_agree(const TestCase& tc) {
+  const auto a = tc.automaton();
+  // Automata the batch engine declines are covered by the scalar-fallback
+  // tests; the cross-ISA property is vacuous for them.
+  if (!core::batch_support(a).ok || tc.n == 0) return PropertyResult::pass();
+
+  // Lanes: the case's start configuration plus random perturbations —
+  // enough to fill the widest tier's ragged top block.
+  std::mt19937_64 rng(tc.seed ^ 0x51caull);
+  std::vector<Configuration> in;
+  in.push_back(tc.configuration());
+  while (in.size() < 8 * 64 - 5) {
+    Configuration c(tc.n);
+    for (std::size_t i = 0; i < tc.n; ++i) {
+      c.set(i, static_cast<core::State>(rng() & 1u));
+    }
+    in.push_back(c);
+  }
+
+  // Reference: the 64-lane scalar bit-slice engine.
+  std::vector<Configuration> want(in.size(), Configuration(tc.n));
+  {
+    core::BatchStepper ref(a);
+    core::BatchSlice src(tc.n);
+    core::BatchSlice dst(tc.n);
+    for (std::size_t done = 0; done < in.size(); done += 64) {
+      const std::size_t take = std::min<std::size_t>(64, in.size() - done);
+      src.load_configurations(
+          std::span<const Configuration>(in.data() + done, take));
+      ref.step(src, dst);
+      dst.store_configurations(
+          std::span<Configuration>(want.data() + done, take));
+    }
+  }
+
+  for (unsigned i = 0; i < core::kNumBatchIsa; ++i) {
+    const auto isa = static_cast<core::BatchIsa>(i);
+    if (!core::isa_available(isa)) continue;
+    const auto stepper = core::make_wide_stepper(a, isa);
+    const unsigned w = stepper->lane_words();
+    core::BatchSlice src(tc.n, w);
+    core::BatchSlice dst(tc.n, w);
+    std::vector<Configuration> got(in.size(), Configuration(tc.n));
+    for (std::size_t done = 0; done < in.size(); done += 64 * w) {
+      const std::size_t take =
+          std::min<std::size_t>(64 * w, in.size() - done);
+      src.load_configurations(
+          std::span<const Configuration>(in.data() + done, take));
+      stepper->step(src, dst);
+      dst.store_configurations(
+          std::span<Configuration>(got.data() + done, take));
+    }
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      if (got[j] != want[j]) {
+        return PropertyResult::fail(
+            "ISA tier " + std::string(core::isa_name(isa)) +
+            " diverges from the 64-lane bit-slice engine at lane " +
+            std::to_string(j) + ": " + got[j].to_string() + " vs " +
+            want[j].to_string());
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
 std::vector<Oracle> build_registry() {
   std::vector<Oracle> r;
   CaseOptions any;
@@ -354,6 +424,8 @@ std::vector<Oracle> build_registry() {
                check_reach_subsumption});
   r.push_back({"budget-truncation", "BudgetTruncation", any,
                check_budget_truncation});
+  r.push_back({"batch-isa-agree", "BatchIsaAgree", any,
+               check_batch_isa_agree});
   return r;
 }
 

@@ -7,8 +7,10 @@
 //
 //  * cross-engine equalities — every synchronous engine path
 //    (generic / monomorphized / threaded / trivial-block block-sequential)
-//    computes bit-for-bit the same global map, and every sequential path
-//    (apply_sequence / singleton blocks / update_node chain) agrees;
+//    computes bit-for-bit the same global map, every sequential path
+//    (apply_sequence / singleton blocks / update_node chain) agrees, and
+//    every available SIMD tier of the wide batch engine matches the
+//    64-lane bit-slice reference lane-exactly (batch-isa-agree);
 //
 //  * theorem-level invariants — the paper's Theorem 1 (no sequential
 //    interleaving of a monotone symmetric threshold CA can cycle),

@@ -7,10 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <random>
+#include <span>
+#include <string>
+#include <variant>
 #include <vector>
 
 #include "core/automaton.hpp"
+#include "core/batch_isa.hpp"
 #include "core/batch_kernels.hpp"
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
@@ -343,6 +348,154 @@ TEST(GoeCensusExplicit, BudgetTruncationReportsNoGardenCount) {
   EXPECT_EQ(census.gardens, 0u);
   EXPECT_LT(census.scanned, StateCode{1} << n);
   EXPECT_EQ(census.stop_reason, runtime::StopReason::kMaxStates);
+}
+
+/// RAII environment override for the TCA_BATCH_ISA dispatch tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string old_;
+  bool had_old_;
+};
+
+/// The first field value for `key`, or "" when absent.
+std::string field_value(const obs::LogRecord& r, const char* key) {
+  for (const auto& f : r.fields) {
+    if (f.key != key) continue;
+    if (const auto* s = std::get_if<std::string>(&f.value)) return *s;
+  }
+  return "";
+}
+
+TEST(BatchIsaDispatch, ScalarOverrideReproducesBitsliceExactly) {
+  const std::size_t n = 10;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  // Reference table from the classic 64-lane engine, no dispatch involved.
+  BatchStepper ref(a);
+  std::vector<StateCode> want(StateCode{1} << n);
+  BatchSlice src(n);
+  BatchSlice dst(n);
+  for (StateCode first = 0; first < want.size(); first += 64) {
+    src.load_code_range(first, 64);
+    ref.step(src, dst);
+    dst.store_codes(std::span<StateCode>(want.data() + first, 64));
+  }
+  ScopedEnv pin("TCA_BATCH_ISA", "scalar");
+  phasespace::BatchCodeStepper stepper(a);
+  ASSERT_TRUE(stepper.batched());
+  EXPECT_EQ(stepper.isa(), core::BatchIsa::kScalar);
+  std::vector<StateCode> got(want.size());
+  stepper.step_range(0, got.size(), got.data());
+  EXPECT_EQ(got, want);
+}
+
+TEST(BatchIsaDispatch, ForcedTiersProduceIdenticalFunctionalGraphs) {
+  const std::size_t n = 9;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  std::vector<StateCode> reference;
+  {
+    ScopedEnv pin("TCA_BATCH_ISA", "scalar");
+    reference = phasespace::FunctionalGraph::synchronous(a).successors();
+  }
+  for (unsigned i = 0; i < core::kNumBatchIsa; ++i) {
+    const auto isa = static_cast<core::BatchIsa>(i);
+    if (!core::isa_available(isa)) continue;
+    ScopedEnv pin("TCA_BATCH_ISA", core::isa_name(isa));
+    phasespace::BatchCodeStepper stepper(a);
+    ASSERT_TRUE(stepper.batched()) << core::isa_name(isa);
+    EXPECT_EQ(stepper.isa(), isa);
+    const auto fg = phasespace::FunctionalGraph::synchronous(a);
+    EXPECT_EQ(fg.successors(), reference) << core::isa_name(isa);
+  }
+}
+
+TEST(BatchIsaDispatch, UnavailableTierDegradesToBestWithWarn) {
+  // Some tier is always unavailable: the NEON tier on x86-64 builds, the
+  // AVX tiers on aarch64 builds.
+  const char* unavailable = nullptr;
+  for (unsigned i = 0; i < core::kNumBatchIsa; ++i) {
+    const auto isa = static_cast<core::BatchIsa>(i);
+    if (!core::isa_available(isa)) {
+      unavailable = core::isa_name(isa);
+      break;
+    }
+  }
+  if (unavailable == nullptr) {
+    GTEST_SKIP() << "every tier is available on this host";
+  }
+  const std::size_t n = 8;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::majority(),
+                                 Memory::kWith);
+  std::vector<StateCode> reference(StateCode{1} << n);
+  phasespace::batch_code_step(a, 0, reference.size(), reference.data());
+
+  static obs::Counter& fallbacks = obs::counter("engine.batch.fallback");
+  std::vector<obs::LogRecord> captured;
+  const auto before = fallbacks.value();
+  ScopedEnv pin("TCA_BATCH_ISA", unavailable);
+  {
+    obs::ScopedLogSink sink(
+        [&](const obs::LogRecord& r) { captured.push_back(r); });
+    phasespace::BatchCodeStepper stepper(a);
+    // Degrades, but still batched at the best available tier.
+    ASSERT_TRUE(stepper.batched());
+    EXPECT_EQ(stepper.isa(), core::best_supported_isa());
+    std::vector<StateCode> got(reference.size());
+    stepper.step_range(0, got.size(), got.data());
+    EXPECT_EQ(got, reference);
+    // Same override again: the warn is latched, not repeated.
+    phasespace::BatchCodeStepper again(a);
+    EXPECT_EQ(again.isa(), core::best_supported_isa());
+  }
+  EXPECT_EQ(fallbacks.value(), before + 1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].event, "engine.batch.fallback");
+  EXPECT_EQ(captured[0].level, obs::LogLevel::kWarn);
+  EXPECT_EQ(field_value(captured[0], "context"), "isa-dispatch");
+  EXPECT_EQ(field_value(captured[0], "requested"), unavailable);
+  EXPECT_EQ(field_value(captured[0], "effective"),
+            core::isa_name(core::best_supported_isa()));
+}
+
+TEST(BatchIsaDispatch, UnrecognizedOverrideDegradesToBestWithWarn) {
+  const std::size_t n = 6;
+  const auto a = Automaton::line(n, 1, Boundary::kRing, rules::parity(),
+                                 Memory::kWith);
+  static obs::Counter& fallbacks = obs::counter("engine.batch.fallback");
+  std::vector<obs::LogRecord> captured;
+  const auto before = fallbacks.value();
+  ScopedEnv pin("TCA_BATCH_ISA", "not-an-isa");
+  {
+    obs::ScopedLogSink sink(
+        [&](const obs::LogRecord& r) { captured.push_back(r); });
+    phasespace::BatchCodeStepper stepper(a);
+    ASSERT_TRUE(stepper.batched());
+    EXPECT_EQ(stepper.isa(), core::best_supported_isa());
+  }
+  EXPECT_EQ(fallbacks.value(), before + 1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(field_value(captured[0], "context"), "isa-dispatch");
+  EXPECT_EQ(field_value(captured[0], "reason"),
+            "unrecognized TCA_BATCH_ISA value");
 }
 
 TEST(BatchCodeStep, OneShotEntryPointMatchesScalar) {

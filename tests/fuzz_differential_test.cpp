@@ -53,6 +53,11 @@ TEST(DifferentialFuzz, ReachSubsumption) { run_oracle("reach-subsumption"); }
 // well-reported prefixes (docs/robustness.md).
 TEST(DifferentialFuzz, BudgetTruncation) { run_oracle("budget-truncation"); }
 
+// Cross-ISA oracle: every compiled-and-available SIMD tier of the wide
+// batch engine agrees lane-exactly with the 64-lane scalar bit-slice
+// reference on random automata (docs/performance.md).
+TEST(DifferentialFuzz, BatchIsaAgree) { run_oracle("batch-isa-agree"); }
+
 // The registry and this file must not drift apart: every registered oracle
 // has a TEST above (checked by name).
 TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
@@ -60,7 +65,7 @@ TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
       "engines-agree",     "sweep-consistency",   "sca-no-cycle",
       "parallel-period-two", "energy-descent",
       "bipartite-two-cycle", "aca-subsumption",
-      "reach-subsumption", "budget-truncation"};
+      "reach-subsumption", "budget-truncation", "batch-isa-agree"};
   for (const auto& o : oracles()) {
     EXPECT_TRUE(driven.contains(o.name))
         << "oracle '" << o.name << "' is registered but has no fuzz TEST";
