@@ -1,0 +1,393 @@
+// Experiment CHAOS — randomized multi-fault chaos sweep over the
+// supervised execution layer (docs/robustness.md).
+//
+// Each seeded scenario composes a multi-knob runtime::FaultPlan (injected
+// allocation failures with size floors, mid-build cancellation, checkpoint
+// write failures and read corruption, forced transient attempt failures,
+// thread-pool chunk exceptions and spawn failures) and runs a supervised
+// workload under it:
+//
+//   * mode A — a segmented synchronous phase-space build that checkpoints
+//     each segment into a generational CheckpointStore and resumes from
+//     the newest checksum-valid generation on retry;
+//   * mode B — a parallel phase-space build across a ThreadPool under the
+//     Supervisor's retry/degradation ladder.
+//
+// THE invariant (ISSUE 7): every supervised run must end either
+// bit-identical to the fault-free baseline, as a well-formed truncated
+// partial (exact prefix / counts-only), or resumed-from-last-good and
+// then bit-identical. Anything else — a mismatched table, a non-prefix
+// partial, a terminal failure under a recoverable plan — is an invariant
+// violation, printed with a one-line repro (`chaos_sweep --seed <s>`) and
+// fatal to the sweep. CI runs >= 200 scenarios under ASan
+// (scripts/chaos.py).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/experiment_util.hpp"
+#include "core/automaton.hpp"
+#include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "phasespace/functional_graph.hpp"
+#include "phasespace/supervised.hpp"
+#include "runtime/ckpt_store.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/supervisor.hpp"
+
+using namespace tca;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Tiny deterministic per-scenario RNG (bench code may not use <random>
+/// conventions anyway; the schedule must be reproducible from the seed).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() { return state = splitmix64(state); }
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  bool chance(std::uint64_t percent) { return below(100) < percent; }
+};
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  std::size_t cells = 8;
+  bool majority_rule = true;
+  bool parallel_mode = false;  ///< false = mode A (segmented), true = B
+  runtime::EngineRung start_rung = runtime::EngineRung::kWideSimd;
+  runtime::FaultPlan plan;
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  Rng rng{seed};
+  Scenario s;
+  s.seed = seed;
+  s.cells = 8 + rng.below(4);  // 2^8 .. 2^11 states: fast but non-trivial
+  s.majority_rule = rng.chance(50);
+  s.parallel_mode = rng.chance(35);
+  s.start_rung = static_cast<runtime::EngineRung>(
+      rng.below(runtime::kEngineRungCount));
+  const std::uint64_t count = std::uint64_t{1} << s.cells;
+
+  // Compose 1-4 fault knobs. Every knob fires at most once, so the worst
+  // case is bounded and the supervisor's attempt budget (8) always covers
+  // the recoverable-failure count — a terminal outcome is therefore
+  // always a bug, never bad luck.
+  if (s.parallel_mode) {
+    if (rng.chance(60)) s.plan.chunk_exception_at = 1 + rng.below(3);
+    if (rng.chance(40)) s.plan.fail_thread_spawn = true;
+    if (rng.chance(40)) s.plan.retry_transient_at = 1 + rng.below(2);
+    if (rng.chance(25)) s.plan.cancel_at_visit = 1 + rng.below(count);
+  } else {
+    if (rng.chance(45)) {
+      s.plan.alloc_failure_at = 1 + rng.below(2);
+      // Sometimes target only big allocations: the segment table reserve
+      // qualifies, small bookkeeping allocations do not.
+      if (rng.chance(50)) s.plan.alloc_min_bytes = 1024;
+    }
+    if (rng.chance(45)) s.plan.checkpoint_write_at = 1 + rng.below(3);
+    if (rng.chance(45)) s.plan.checkpoint_read_corrupt_at = 1;
+    if (rng.chance(45)) s.plan.retry_transient_at = 1 + rng.below(2);
+    if (rng.chance(30)) s.plan.cancel_at_visit = 1 + rng.below(2 * count);
+  }
+  return s;
+}
+
+core::Automaton make_ring(const Scenario& s) {
+  return core::Automaton::line(s.cells, 1, core::Boundary::kRing,
+                               s.majority_rule ? rules::majority()
+                                               : rules::parity(),
+                               core::Memory::kWith);
+}
+
+runtime::SupervisorOptions supervisor_options(const Scenario& s) {
+  runtime::SupervisorOptions options;
+  options.retry.max_attempts = 8;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.retry.max_backoff = std::chrono::milliseconds(2);
+  options.retry.seed = s.seed;
+  options.start_rung = s.start_rung;
+  return options;
+}
+
+const char* describe_plan(const Scenario& s, std::string& storage) {
+  storage.clear();
+  const auto knob = [&storage](const char* name, std::uint64_t v) {
+    if (v == 0) return;
+    if (!storage.empty()) storage += ",";
+    storage += name;
+    storage += "=";
+    storage += std::to_string(v);
+  };
+  knob("alloc", s.plan.alloc_failure_at);
+  knob("alloc_min", s.plan.alloc_min_bytes);
+  knob("chunk", s.plan.chunk_exception_at);
+  knob("cancel", s.plan.cancel_at_visit);
+  knob("ckpt_w", s.plan.checkpoint_write_at);
+  knob("ckpt_r", s.plan.checkpoint_read_corrupt_at);
+  knob("retry", s.plan.retry_transient_at);
+  knob("spawn", s.plan.fail_thread_spawn ? 1 : 0);
+  if (storage.empty()) storage = "none";
+  return storage.c_str();
+}
+
+/// How one scenario resolved against the invariant.
+enum class Leg { kIdentical, kTruncated, kResumed, kViolation };
+
+struct ScenarioOutcome {
+  Leg leg = Leg::kViolation;
+  std::string note;
+};
+
+/// Mode A: build the successor table in 4 checkpointed segments under the
+/// Supervisor; a retried attempt resumes from the newest checksum-valid
+/// generation. Segment payload: "states=<k>\n" + raw table-prefix bytes.
+ScenarioOutcome run_segmented(const Scenario& s, const core::Automaton& a,
+                              const std::vector<phasespace::StateCode>& base,
+                              const fs::path& workdir) {
+  const std::uint64_t count = std::uint64_t{1} << s.cells;
+  const std::uint64_t segment = count / 4;
+  runtime::CheckpointStore store((workdir / "seg.ckpt").string(), {3});
+
+  std::vector<phasespace::StateCode> table(count, 0);
+  std::uint64_t built = 0;       // states valid in `table` (final attempt)
+  bool resumed = false;          // any attempt started from a checkpoint
+
+  runtime::Supervisor supervisor(supervisor_options(s));
+  const auto report = supervisor.run(
+      "chaos.segmented", [&](runtime::AttemptContext& ctx) {
+        built = 0;
+        if (const auto recovery = store.load_latest()) {
+          const std::string& payload = recovery->checkpoint.payload;
+          const auto nl = payload.find('\n');
+          if (nl != std::string::npos &&
+              payload.rfind("states=", 0) == 0) {
+            const std::uint64_t done = std::strtoull(
+                payload.substr(7, nl - 7).c_str(), nullptr, 10);
+            const std::size_t bytes = payload.size() - nl - 1;
+            if (done <= count && bytes == done * sizeof(table[0])) {
+              std::memcpy(table.data(), payload.data() + nl + 1, bytes);
+              built = done;
+              if (ctx.attempt > 1) resumed = true;
+            }
+          }
+        }
+        phasespace::BatchCodeStepper stepper(a, ctx.rung);
+        while (built < count) {
+          const std::uint64_t target =
+              std::min(count, (built / segment + 1) * segment);
+          while (built < target) {
+            const auto block = static_cast<std::size_t>(
+                std::min<std::uint64_t>(256, target - built));
+            if (ctx.control.note_states(block) !=
+                runtime::StopReason::kNone) {
+              return runtime::AttemptOutcome::kTruncated;
+            }
+            runtime::fault::check_alloc(block * sizeof(table[0]));
+            stepper.step_range(built, block, table.data() + built);
+            built += block;
+          }
+          runtime::Checkpoint ck;
+          ck.payload = "states=" + std::to_string(built) + "\n";
+          ck.payload.append(
+              reinterpret_cast<const char*>(table.data()),
+              built * sizeof(table[0]));
+          store.save(ck);  // kIo / bad_alloc here is transient: retried
+        }
+        return runtime::AttemptOutcome::kCompleted;
+      });
+
+  ScenarioOutcome out;
+  if (report.state == runtime::SupervisedState::kCompleted) {
+    if (table != base) {
+      out.note = "completed but table differs from fault-free baseline";
+      return out;
+    }
+    out.leg = resumed ? Leg::kResumed : Leg::kIdentical;
+    return out;
+  }
+  if (report.state == runtime::SupervisedState::kTruncated) {
+    if (built > count ||
+        !std::equal(table.begin(),
+                    table.begin() + static_cast<std::ptrdiff_t>(built),
+                    base.begin())) {
+      out.note = "truncated result is not an exact baseline prefix";
+      return out;
+    }
+    out.leg = Leg::kTruncated;
+    return out;
+  }
+  out.note = "terminal failure under a recoverable plan: " +
+             std::string(error_code_name(report.last_error)) + " (" +
+             report.last_error_what + ")";
+  return out;
+}
+
+/// Mode B: parallel build across a ThreadPool under the Supervisor. Chunk
+/// exceptions and spawn failures are the faults; a truncated parallel
+/// build is counts-only by contract.
+ScenarioOutcome run_parallel(const Scenario& s, const core::Automaton& a,
+                             const std::vector<phasespace::StateCode>& base) {
+  const std::uint64_t count = std::uint64_t{1} << s.cells;
+  std::vector<phasespace::StateCode> table;
+  std::uint64_t states_built = 0;
+
+  runtime::Supervisor supervisor(supervisor_options(s));
+  const auto report = supervisor.run(
+      "chaos.parallel", [&](runtime::AttemptContext& ctx) {
+        core::ThreadPool pool(3);
+        auto build = phasespace::FunctionalGraph::build_synchronous_parallel(
+            a, pool, ctx.control);
+        states_built = build.states_built;
+        if (!build.complete()) return runtime::AttemptOutcome::kTruncated;
+        table = build.graph->successors();
+        return runtime::AttemptOutcome::kCompleted;
+      });
+
+  ScenarioOutcome out;
+  if (report.state == runtime::SupervisedState::kCompleted) {
+    if (table != base) {
+      out.note = "completed but table differs from fault-free baseline";
+      return out;
+    }
+    out.leg = report.attempts > 1 ? Leg::kResumed : Leg::kIdentical;
+    return out;
+  }
+  if (report.state == runtime::SupervisedState::kTruncated) {
+    if (states_built > count) {
+      out.note = "truncated parallel build overcounts states";
+      return out;
+    }
+    out.leg = Leg::kTruncated;
+    return out;
+  }
+  out.note = "terminal failure under a recoverable plan: " +
+             std::string(error_code_name(report.last_error)) + " (" +
+             report.last_error_what + ")";
+  return out;
+}
+
+ScenarioOutcome run_scenario(const Scenario& s, bool verbose) {
+  const auto a = make_ring(s);
+  // Fault-free baseline FIRST, before any plan is installed.
+  const auto baseline = phasespace::FunctionalGraph::synchronous(a);
+  const auto& base = baseline.successors();
+
+  const fs::path workdir =
+      fs::temp_directory_path() /
+      ("tca_chaos_" + std::to_string(s.seed & 0xFFFFFFFFull));
+  std::error_code ec;
+  fs::remove_all(workdir, ec);
+  fs::create_directories(workdir, ec);
+
+  ScenarioOutcome out;
+  {
+    runtime::ScopedFaultPlan plan(s.plan);
+    out = s.parallel_mode ? run_parallel(s, a, base)
+                          : run_segmented(s, a, base, workdir);
+  }
+  fs::remove_all(workdir, ec);
+
+  if (verbose) {
+    std::string knobs;
+    static const char* kLegNames[] = {"bit-identical", "truncated",
+                                      "resumed-from-last-good",
+                                      "VIOLATION"};
+    std::printf("seed=%llu n=%zu rule=%s mode=%s rung=%s plan={%s} -> %s%s%s\n",
+                static_cast<unsigned long long>(s.seed), s.cells,
+                s.majority_rule ? "majority" : "parity",
+                s.parallel_mode ? "parallel" : "segmented",
+                runtime::rung_name(s.start_rung), describe_plan(s, knobs),
+                kLegNames[static_cast<int>(out.leg)],
+                out.note.empty() ? "" : ": ", out.note.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 200;
+  std::uint64_t base_seed = 0xC4A05;
+  bool single = false;
+  std::uint64_t single_seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--base-seed" && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      single = true;
+      single_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds <n>] [--base-seed <s>] [--seed <s>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::banner("CHAOS",
+                "Chaos sweep: randomized multi-fault plans over supervised "
+                "runs; every outcome must be bit-identical, well-formed "
+                "truncated, or resumed-from-last-good.");
+
+  static obs::Counter& c_scen = obs::counter("chaos.scenarios");
+  static obs::Counter& c_ident = obs::counter("chaos.identical");
+  static obs::Counter& c_trunc = obs::counter("chaos.truncated");
+  static obs::Counter& c_res = obs::counter("chaos.resumed");
+  static obs::Counter& c_viol = obs::counter("chaos.violations");
+
+  std::vector<std::uint64_t> failing;
+  const auto drive = [&](std::uint64_t seed, bool verbose) {
+    const Scenario s = make_scenario(seed);
+    const ScenarioOutcome out = run_scenario(s, verbose);
+    c_scen.add();
+    switch (out.leg) {
+      case Leg::kIdentical: c_ident.add(); break;
+      case Leg::kTruncated: c_trunc.add(); break;
+      case Leg::kResumed: c_res.add(); break;
+      case Leg::kViolation:
+        c_viol.add();
+        failing.push_back(seed);
+        std::printf("CHAOS-REPRO: %s --seed %llu\n", argv[0],
+                    static_cast<unsigned long long>(seed));
+        std::printf("  violation: %s\n", out.note.c_str());
+        break;
+    }
+  };
+
+  if (single) {
+    drive(single_seed, /*verbose=*/true);
+  } else {
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+      drive(splitmix64(base_seed + i), /*verbose=*/false);
+    }
+  }
+
+  bench::Verdict verdict;
+  verdict.set_argv(argc, argv);
+  verdict.set_seed(base_seed);
+  const std::uint64_t ran = single ? 1 : seeds;
+  verdict.check("every-scenario-classified", true,
+                std::to_string(ran) + " scenarios");
+  verdict.check("zero-invariant-violations", failing.empty(),
+                failing.empty()
+                    ? "bit-identical/truncated/resumed only"
+                    : std::to_string(failing.size()) + " violation(s)");
+  return verdict.finish("CHAOS");
+}

@@ -12,6 +12,7 @@
 // scripts/check_bench.py diffs; the human-readable stdout summary is
 // unchanged.
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -32,6 +33,7 @@
 #include "obs/manifest.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/checkpoint.hpp"
+#include "runtime/ckpt_store.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::bench {
@@ -107,6 +109,7 @@ struct DriverOptions {
   std::string checkpoint_path;        ///< empty = no checkpointing
   bool resume = false;                ///< load checkpoint_path before running
   std::chrono::seconds watchdog{30};  ///< per-experiment limit; 0 = none
+  std::uint32_t generations = 3;      ///< checkpoint generations kept
 
   static DriverOptions parse(int argc, char** argv) {
     DriverOptions opts;
@@ -123,10 +126,13 @@ struct DriverOptions {
         }
       } else if (arg == "--watchdog" && i + 1 < argc) {
         opts.watchdog = std::chrono::seconds(std::atol(argv[++i]));
+      } else if (arg == "--generations" && i + 1 < argc) {
+        opts.generations = static_cast<std::uint32_t>(
+            std::max(1L, std::atol(argv[++i])));
       } else {
         std::fprintf(stderr,
                      "usage: %s [--checkpoint <path>] [--resume [<path>]] "
-                     "[--watchdog <seconds>]\n",
+                     "[--watchdog <seconds>] [--generations <k>]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -304,7 +310,13 @@ class ExperimentDriver {
                     escape(e.detail) + "\n";
     }
     try {
-      runtime::save_checkpoint(opts_.checkpoint_path, ck);
+      // Generational store (runtime/ckpt_store.hpp): the head stays at
+      // checkpoint_path, older generations rotate to <path>.g<seq>, so a
+      // checkpoint corrupted AFTER being written still leaves a last-good
+      // generation to resume from.
+      runtime::CheckpointStore store(opts_.checkpoint_path,
+                                     {opts_.generations});
+      store.save(ck);
     } catch (const tca::CheckpointError& e) {
       obs::log_event(obs::LogLevel::kWarn, "driver.checkpoint_write_failed",
                      {{"path", opts_.checkpoint_path}, {"error", e.what()}});
@@ -312,8 +324,18 @@ class ExperimentDriver {
   }
 
   void load_checkpoint() {
-    const auto ck = runtime::try_load_checkpoint(opts_.checkpoint_path);
-    if (!ck) return;  // missing or corrupt: start from scratch
+    runtime::CheckpointStore store(opts_.checkpoint_path,
+                                   {opts_.generations});
+    auto recovery = store.load_latest();
+    if (!recovery) return;  // nothing valid on disk: start from scratch
+    if (recovery->from_generation || recovery->quarantined > 0) {
+      std::printf(
+          "checkpoint head was missing or corrupt; recovered generation %s "
+          "(%u file(s) quarantined)\n",
+          recovery->path.c_str(), recovery->quarantined);
+    }
+    const std::optional<runtime::Checkpoint> ck =
+        std::move(recovery->checkpoint);
     std::size_t pos = 0;
     bool sweep_ok = false;
     while (pos < ck->payload.size()) {

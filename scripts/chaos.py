@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Chaos-sweep driver (docs/robustness.md).
+
+Runs bench/chaos_sweep over N seeded multi-fault scenarios, parses its
+RunManifest, and fails loudly on any invariant violation:
+
+  * exit 0  — every scenario ended bit-identical to the fault-free
+              baseline, as a well-formed truncated partial, or
+              resumed-from-last-good;
+  * exit 1  — at least one violation. The failing seeds are re-run
+              verbosely, and the first seed is written to
+              <results>/chaos_failing_seed.txt so CI can upload it as an
+              artifact (one-line local repro: chaos_sweep --seed <s>).
+
+Usage: scripts/chaos.py [--binary PATH] [--seeds N] [--base-seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+REPRO_RE = re.compile(r"^CHAOS-REPRO: \S+ --seed (\d+)", re.MULTILINE)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="build/bench/chaos_sweep",
+                        help="chaos_sweep binary (default: %(default)s)")
+    parser.add_argument("--seeds", type=int, default=200,
+                        help="number of seeded scenarios (default: 200)")
+    parser.add_argument("--base-seed", type=int, default=None,
+                        help="override the scenario seed stream")
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.binary)
+    if not binary.exists():
+        print(f"chaos.py: binary not found: {binary}", file=sys.stderr)
+        return 2
+
+    results_dir = pathlib.Path(os.environ.get("TCA_RESULTS_DIR", "results"))
+    results_dir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ, TCA_RESULTS_DIR=str(results_dir))
+
+    cmd = [str(binary), "--seeds", str(args.seeds)]
+    if args.base_seed is not None:
+        cmd += ["--base-seed", str(args.base_seed)]
+    print(f"chaos.py: {' '.join(cmd)}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+    sys.stdout.write(proc.stdout)
+
+    failing = [int(s) for s in REPRO_RE.findall(proc.stdout)]
+
+    manifest_path = results_dir / "CHAOS.manifest.json"
+    counters = {}
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        counters = manifest.get("metrics", {}).get("counters", {})
+        print("chaos.py: leg distribution:",
+              {k: v for k, v in sorted(counters.items())
+               if k.startswith("chaos.")})
+        if manifest.get("status") != "PASS" and not failing:
+            print("chaos.py: manifest status is "
+                  f"{manifest.get('status')} with no repro line; "
+                  "treating as a violation", file=sys.stderr)
+            failing = [-1]
+    elif proc.returncode != 0:
+        print("chaos.py: sweep crashed before writing a manifest "
+              f"(exit {proc.returncode})", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        return 1
+
+    scenarios = int(counters.get("chaos.scenarios", 0))
+    if not failing and scenarios < args.seeds:
+        print(f"chaos.py: only {scenarios}/{args.seeds} scenarios ran",
+              file=sys.stderr)
+        return 1
+
+    if failing:
+        seed_file = results_dir / "chaos_failing_seed.txt"
+        seed_file.write_text("\n".join(str(s) for s in failing) + "\n")
+        print(f"chaos.py: {len(failing)} violating seed(s) -> {seed_file}",
+              file=sys.stderr)
+        for seed in failing[:3]:
+            if seed < 0:
+                continue
+            print(f"chaos.py: verbose repro of seed {seed}:", file=sys.stderr)
+            repro = subprocess.run([str(binary), "--seed", str(seed)],
+                                   capture_output=True, text=True, env=env)
+            sys.stderr.write(repro.stdout)
+        return 1
+
+    print(f"chaos.py: {scenarios} scenarios, zero invariant violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,19 @@ if [ "${1:-}" = "--lint" ]; then
   exit 0
 fi
 
+# --chaos: build the chaos-sweep harness and run the full seeded
+# multi-fault sweep (docs/robustness.md); exits nonzero on any invariant
+# violation. CHAOS_SEEDS overrides the scenario count.
+if [ "${1:-}" = "--chaos" ]; then
+  export TCA_RESULTS_DIR="${TCA_RESULTS_DIR:-$PWD/results}"
+  mkdir -p "$TCA_RESULTS_DIR"
+  cmake -B build -G Ninja || exit 1
+  cmake --build build -j --target chaos_sweep || exit 1
+  python3 scripts/chaos.py --seeds "${CHAOS_SEEDS:-200}" || exit 1
+  echo "reproduce.sh --chaos: zero invariant violations"
+  exit 0
+fi
+
 # Per-binary wall-clock limit (seconds); override: BENCH_TIMEOUT=60 ...
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 

@@ -51,6 +51,12 @@ ThreadPool::ThreadPool(unsigned num_threads) {
       static obs::Counter& degraded =
           obs::counter("thread_pool.spawn_degraded");
       degraded.add();
+      // Pool narrowing is a rung of the same graceful-degradation ladder
+      // the Supervisor walks for the engines; expose it under the shared
+      // engine.degrade.* family so dashboards see one surface.
+      static obs::Counter& ladder =
+          obs::counter("engine.degrade.pool-serial");
+      ladder.add();
       obs::log_event(
           obs::LogLevel::kWarn, "thread_pool.spawn_degraded",
           {{"requested_workers", extra},

@@ -5,6 +5,7 @@
 
 #include "core/sequential.hpp"
 #include "core/synchronous.hpp"
+#include "core/synchronous_fast.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -298,6 +299,42 @@ BatchCodeStepper::BatchCodeStepper(const core::Automaton& a,
   }
 }
 
+BatchCodeStepper::BatchCodeStepper(const core::Automaton& a,
+                                   runtime::EngineRung rung)
+    : a_(&a),
+      sweep_mode_(false),
+      rung_(rung),
+      front_(a.size()),
+      back_(a.size()) {
+  switch (rung) {
+    case runtime::EngineRung::kWideSimd: {
+      const auto support = core::batch_support(a);
+      if (support.ok) {
+        stepper_ = core::make_wide_stepper(a);
+      } else {
+        reason_ = support.reason;
+      }
+      break;
+    }
+    case runtime::EngineRung::kBatch64: {
+      const auto support = core::batch_support(a);
+      if (support.ok) {
+        // The 64-lane bit-slice tier is compiled unconditionally, so
+        // forcing kScalar never throws for a supported automaton.
+        stepper_ = core::make_wide_stepper(a, core::BatchIsa::kScalar);
+      } else {
+        reason_ = support.reason;
+      }
+      break;
+    }
+    case runtime::EngineRung::kPacked:
+      fast_scalar_ = true;
+      break;
+    case runtime::EngineRung::kScalar:
+      break;
+  }
+}
+
 void BatchCodeStepper::step_range(StateCode first, std::size_t count,
                                   StateCode* succ) {
   const std::size_t n = a_->size();
@@ -311,12 +348,17 @@ void BatchCodeStepper::step_range(StateCode first, std::size_t count,
     }
     return;
   }
-  // Scalar fallback: identical to the per-code adapters below.
+  // Scalar fallback: identical to the per-code adapters below. The
+  // kPacked rung takes the monomorphized kernel; results are bit-for-bit
+  // the same either way.
   for (std::size_t j = 0; j < count; ++j) {
     front_ = core::Configuration::from_bits(first + j, n);
     if (sweep_mode_) {
       core::apply_sequence(*a_, front_, order_);
       succ[j] = front_.to_bits();
+    } else if (fast_scalar_) {
+      core::step_synchronous_fast(*a_, front_, back_);
+      succ[j] = back_.to_bits();
     } else {
       core::step_synchronous(*a_, front_, back_);
       succ[j] = back_.to_bits();

@@ -31,6 +31,7 @@
 #include "core/configuration.hpp"
 #include "core/thread_pool.hpp"
 #include "runtime/budget.hpp"
+#include "runtime/supervisor.hpp"
 
 namespace tca::phasespace {
 
@@ -139,6 +140,15 @@ class BatchCodeStepper {
   BatchCodeStepper(const core::Automaton& a, std::vector<core::NodeId> order,
                    core::BatchIsa isa);
 
+  /// Degradation-ladder constructor (synchronous mode only): steps at
+  /// exactly the requested rung. kWideSimd is the dispatched wide tier
+  /// (scalar fallback when the automaton is unsupported — reason
+  /// recorded), kBatch64 forces the always-available 64-lane bit-slice
+  /// tier, kPacked runs the monomorphized scalar kernel per code, and
+  /// kScalar the generic reference stepper. All rungs are bit-for-bit
+  /// identical; the lower ones trade speed for a smaller working set.
+  BatchCodeStepper(const core::Automaton& a, runtime::EngineRung rung);
+
   /// succ[j] := F(first + j) for j in [0, count). `count` need not be a
   /// multiple of the tier width (ragged final batches are masked on
   /// store).
@@ -156,6 +166,9 @@ class BatchCodeStepper {
   [[nodiscard]] core::BatchIsa isa() const noexcept {
     return stepper_ != nullptr ? stepper_->isa() : core::BatchIsa::kScalar;
   }
+  /// The ladder rung this stepper was built for (kWideSimd unless the
+  /// rung constructor was used).
+  [[nodiscard]] runtime::EngineRung rung() const noexcept { return rung_; }
 
  private:
   const core::Automaton* a_;
@@ -163,6 +176,8 @@ class BatchCodeStepper {
   bool sweep_mode_;
   std::unique_ptr<core::WideStepper> stepper_;
   const char* reason_ = nullptr;
+  runtime::EngineRung rung_ = runtime::EngineRung::kWideSimd;
+  bool fast_scalar_ = false;   // kPacked: monomorphized scalar kernel
   core::Configuration front_;  // scalar fallback buffers
   core::Configuration back_;
 };

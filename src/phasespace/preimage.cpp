@@ -306,6 +306,13 @@ std::uint64_t count_gardens_of_eden_explicit(const core::Automaton& a) {
 
 GoeCensus count_gardens_of_eden_explicit(const core::Automaton& a,
                                          runtime::RunControl& control) {
+  return count_gardens_of_eden_explicit(a, control,
+                                        runtime::EngineRung::kWideSimd);
+}
+
+GoeCensus count_gardens_of_eden_explicit(const core::Automaton& a,
+                                         runtime::RunControl& control,
+                                         runtime::EngineRung rung) {
   TCA_SPAN("goe_census_explicit");
   const auto bits = static_cast<std::uint32_t>(a.size());
   tca::require_explicit_bits(bits, kMaxExplicitBits,
@@ -324,8 +331,13 @@ GoeCensus count_gardens_of_eden_explicit(const core::Automaton& a,
   runtime::fault::check_alloc(words * sizeof(std::uint64_t));
   std::vector<std::uint64_t> reached(words, 0);
 
-  BatchCodeStepper stepper(a);
-  note_batch_fallback(stepper, a, "count_gardens_of_eden_explicit");
+  BatchCodeStepper stepper(a, rung);
+  if (rung == runtime::EngineRung::kWideSimd ||
+      rung == runtime::EngineRung::kBatch64) {
+    // Only the batch rungs can DECLINE an automaton; the packed and
+    // scalar rungs are scalar by design, not by de-optimization.
+    note_batch_fallback(stepper, a, "count_gardens_of_eden_explicit");
+  }
   StateCode block[1024];
   for (std::uint64_t s = 0; s < count;) {
     const auto chunk = static_cast<std::size_t>(

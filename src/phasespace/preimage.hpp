@@ -24,6 +24,7 @@
 #include "core/configuration.hpp"
 #include "rules/rule.hpp"
 #include "runtime/budget.hpp"
+#include "runtime/supervisor.hpp"
 
 namespace tca::phasespace {
 
@@ -116,6 +117,14 @@ struct GoeCensus {
 /// `truncated` is set (scanned still reports progress).
 [[nodiscard]] GoeCensus count_gardens_of_eden_explicit(
     const core::Automaton& a, runtime::RunControl& control);
+
+/// Degradation-ladder variant: the image is streamed at exactly `rung`
+/// (runtime::EngineRung; see BatchCodeStepper's rung constructor). All
+/// rungs produce identical censuses; the Supervisor retries a
+/// memory-pressured census one rung down (phasespace/supervised.hpp).
+[[nodiscard]] GoeCensus count_gardens_of_eden_explicit(
+    const core::Automaton& a, runtime::RunControl& control,
+    runtime::EngineRung rung);
 
 /// Unbudgeted convenience: either completes or throws.
 [[nodiscard]] std::uint64_t count_gardens_of_eden_explicit(

@@ -155,6 +155,12 @@ Checkpoint load_checkpoint(const std::string& path) {
   Checkpoint out;
   out.version = version;
   out.payload = blob.substr(header_size);
+  if (fault::tick_checkpoint_read()) {
+    // The checkpoint_read_corrupt_at knob: the file on disk is intact,
+    // but this read observes bit rot — same rejection path, counter, and
+    // event as a genuine checksum mismatch.
+    corrupt(path, "fault plan: injected read corruption");
+  }
   if (fnv1a64(out.payload) != expected_checksum) {
     corrupt(path, "checksum mismatch (payload corrupted)");
   }

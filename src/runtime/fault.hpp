@@ -18,10 +18,16 @@
 
 namespace tca::runtime {
 
-/// One deliberate failure. Counters are 1-based: `alloc_failure_at = 1`
-/// fails the first guarded allocation after installation. 0 == disabled.
+/// A set of deliberate failures. Counters are 1-based: `alloc_failure_at
+/// = 1` fails the first guarded allocation after installation. 0 ==
+/// disabled. Knobs are independent countdowns, so one plan can compose
+/// several faults in a single scenario (the chaos sweep does exactly
+/// that); each knob still fires exactly once.
 struct FaultPlan {
   std::uint64_t alloc_failure_at = 0;    ///< check_alloc() throws bad_alloc
+  std::uint64_t alloc_min_bytes = 0;     ///< alloc_failure_at only counts
+                                         ///< allocations >= this many
+                                         ///< advisory bytes (0 == all)
   std::uint64_t chunk_exception_at = 0;  ///< k-th ThreadPool chunk throws
                                          ///< InjectedFaultError
   std::uint64_t cancel_at_visit = 0;     ///< k-th RunControl::note_states
@@ -29,6 +35,11 @@ struct FaultPlan {
   std::uint64_t checkpoint_write_at = 0;  ///< k-th save_checkpoint's write
                                           ///< fails after the tmp file
                                           ///< exists (simulated full disk)
+  std::uint64_t checkpoint_read_corrupt_at = 0;  ///< k-th load_checkpoint
+                                                 ///< sees its payload as
+                                                 ///< corrupted (bit rot)
+  std::uint64_t retry_transient_at = 0;  ///< k-th supervised attempt throws
+                                         ///< InjectedFaultError at entry
   bool fail_thread_spawn = false;        ///< ThreadPool worker spawn throws
 };
 
@@ -50,8 +61,11 @@ namespace fault {
 [[nodiscard]] bool active() noexcept;
 
 /// Allocation guard: call before a large allocation; throws
-/// std::bad_alloc when the installed plan says this one fails.
-/// `bytes` is advisory (reported nowhere, reserved for future shaping).
+/// std::bad_alloc when the installed plan says this one fails. `bytes`
+/// is the allocation's advisory size: plans with `alloc_min_bytes` set
+/// target only allocations at least that large, so a scenario can fail
+/// the big successor-table reserve while letting small bookkeeping
+/// allocations through.
 void check_alloc(std::uint64_t bytes = 0);
 
 /// ThreadPool chunk guard: throws tca::InjectedFaultError when the
@@ -71,6 +85,17 @@ void check_chunk();
 /// the stream write as failed (as if the disk filled) AFTER the tmp file
 /// was created, exercising the cleanup path.
 [[nodiscard]] bool tick_checkpoint_write() noexcept;
+
+/// Checkpoint read guard: returns true exactly once, when the installed
+/// plan's checkpoint_read_corrupt_at counter fires — load_checkpoint then
+/// rejects the (fully read) blob as checksum-corrupt, exercising the
+/// quarantine/recovery paths without touching the file on disk.
+[[nodiscard]] bool tick_checkpoint_read() noexcept;
+
+/// Supervisor attempt guard: throws tca::InjectedFaultError when the
+/// installed plan's retry_transient_at counter fires, forcing one
+/// transient attempt failure so retry paths run under test.
+void tick_retry_attempt();
 
 }  // namespace fault
 

@@ -1,0 +1,126 @@
+#include "runtime/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tca::runtime {
+namespace {
+
+/// splitmix64 — the same tiny PRNG finalizer the testing generators use.
+/// Pure arithmetic, so retry schedules satisfy the checkpoint-det rule.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from 53 hash bits.
+double unit_double(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
+                                        std::uint32_t attempt) noexcept {
+  if (attempt == 0 || policy.initial_backoff.count() <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  const double cap = static_cast<double>(
+      std::max<std::int64_t>(policy.max_backoff.count(), 0));
+  const double multiplier = policy.multiplier < 1.0 ? 1.0 : policy.multiplier;
+  double base = static_cast<double>(policy.initial_backoff.count());
+  for (std::uint32_t k = 1; k < attempt && base < cap; ++k) {
+    base *= multiplier;
+  }
+  base = std::min(base, cap);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double u = unit_double(splitmix64(policy.seed ^ (0x5ca1ab1eull +
+                                                         attempt)));
+  const double scaled = base * (1.0 - jitter + 2.0 * jitter * u);
+  const auto ms = static_cast<std::int64_t>(std::llround(scaled));
+  return std::chrono::milliseconds{std::clamp<std::int64_t>(
+      ms, 0, policy.max_backoff.count() < 0 ? 0 : policy.max_backoff.count())};
+}
+
+std::vector<std::chrono::milliseconds> backoff_schedule(
+    const RetryPolicy& policy) {
+  std::vector<std::chrono::milliseconds> schedule;
+  if (policy.max_attempts <= 1) return schedule;
+  schedule.reserve(policy.max_attempts - 1);
+  for (std::uint32_t attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    schedule.push_back(backoff_delay(policy, attempt));
+  }
+  return schedule;
+}
+
+const char* failure_class_name(FailureClass cls) noexcept {
+  switch (cls) {
+    case FailureClass::kTransient: return "transient";
+    case FailureClass::kTerminal: return "terminal";
+  }
+  return "terminal";
+}
+
+FailureVerdict classify_error_code(ErrorCode code) noexcept {
+  FailureVerdict verdict;
+  verdict.code = code;
+  switch (code) {
+    // Worth retrying: the environment (or the fault plan) misbehaved, not
+    // the caller. A corrupt/truncated checkpoint is transient because the
+    // generational store can fall back to an older generation.
+    case ErrorCode::kFaultInjected:
+      verdict.cls = FailureClass::kTransient;
+      verdict.degrade = true;  // repeated chunk failure walks the ladder
+      break;
+    case ErrorCode::kIo:
+    case ErrorCode::kCheckpointCorrupt:
+    case ErrorCode::kCheckpointTruncated:
+    case ErrorCode::kNotConverged:
+      verdict.cls = FailureClass::kTransient;
+      break;
+    // Terminal: retrying the same closure cannot change the outcome.
+    case ErrorCode::kUnknown:
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kSizeMismatch:
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kDomainTooLarge:
+    case ErrorCode::kInvalidState:
+    case ErrorCode::kCancelled:
+    case ErrorCode::kBudgetExhausted:
+    case ErrorCode::kCheckpointVersion:
+      verdict.cls = FailureClass::kTerminal;
+      break;
+  }
+  return verdict;
+}
+
+FailureVerdict classify_failure(const std::exception_ptr& error) noexcept {
+  FailureVerdict verdict;
+  if (!error) {
+    verdict.what = "no exception";
+    return verdict;
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    verdict = classify_error_code(e.code());
+    const auto* std_e = dynamic_cast<const std::exception*>(&e);
+    verdict.what = std_e ? std_e->what() : error_code_name(e.code());
+  } catch (const std::bad_alloc& e) {
+    // Real (or injected) memory pressure: retry one rung down the ladder,
+    // where the working set is smaller.
+    verdict.cls = FailureClass::kTransient;
+    verdict.degrade = true;
+    verdict.code = ErrorCode::kUnknown;
+    verdict.what = e.what();
+  } catch (const std::exception& e) {
+    verdict.what = e.what();
+  } catch (...) {
+    verdict.what = "non-standard exception";
+  }
+  return verdict;
+}
+
+}  // namespace tca::runtime

@@ -1,0 +1,78 @@
+#pragma once
+// Deterministic retry policies and failure classification
+// (docs/robustness.md).
+//
+// A RetryPolicy describes seeded-jitter exponential backoff: the delay
+// after failed attempt k is initial_backoff * multiplier^(k-1), capped at
+// max_backoff, then jittered by a factor drawn from [1-jitter, 1+jitter]
+// with a splitmix64 hash of (seed, k). The schedule is a pure function of
+// the policy — same seed, same schedule — which is what makes supervised
+// runs replayable and the chaos sweep's repro commands exact. No wall
+// clock, no <random>: src/runtime is held to the checkpoint-det lint rule.
+//
+// classify_failure maps any in-flight exception onto the retry axis the
+// Supervisor acts on: transient failures (injected faults, I/O, corrupt or
+// truncated checkpoints, non-convergence, memory pressure) are worth
+// retrying; everything else — caller bugs, cancellation, exhausted
+// budgets, version mismatches, foreign exceptions — is terminal and
+// latches immediately. Memory pressure and injected chunk failures
+// additionally request a walk DOWN the engine-degradation ladder
+// (supervisor.hpp).
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace tca::runtime {
+
+/// Seeded-jitter exponential backoff parameters. Defaults suit interactive
+/// tests; long sweeps raise initial/max, chaos scenarios shrink them.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;  ///< total attempts (first try included)
+  std::chrono::milliseconds initial_backoff{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{2000};
+  double jitter = 0.25;      ///< delay scaled by [1-jitter, 1+jitter]
+  std::uint64_t seed = 0;    ///< jitter stream; same seed => same schedule
+};
+
+/// The deterministic delay applied after failed attempt `attempt`
+/// (1-based). Pure arithmetic over (policy, attempt); never negative.
+[[nodiscard]] std::chrono::milliseconds backoff_delay(
+    const RetryPolicy& policy, std::uint32_t attempt) noexcept;
+
+/// The full schedule [delay after attempt 1, ..., after max_attempts - 1].
+[[nodiscard]] std::vector<std::chrono::milliseconds> backoff_schedule(
+    const RetryPolicy& policy);
+
+/// Retry axis of one failure.
+enum class FailureClass : std::uint8_t {
+  kTransient = 0,  ///< retry may succeed (I/O, injected fault, pressure)
+  kTerminal,       ///< retrying cannot help (bad input, cancel, version)
+};
+
+[[nodiscard]] const char* failure_class_name(FailureClass cls) noexcept;
+
+/// What the Supervisor learns from one thrown exception.
+struct FailureVerdict {
+  FailureClass cls = FailureClass::kTerminal;
+  bool degrade = false;  ///< walk one rung down the engine ladder on retry
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string what;
+};
+
+/// Classifies a captured exception (`std::current_exception()` inside a
+/// catch block). std::bad_alloc is transient + degrade even though it
+/// carries no tca::ErrorCode; unknown exception types are terminal.
+[[nodiscard]] FailureVerdict classify_failure(
+    const std::exception_ptr& error) noexcept;
+
+/// The ErrorCode-level classification table behind classify_failure
+/// (exposed so tests can pin the whole matrix).
+[[nodiscard]] FailureVerdict classify_error_code(ErrorCode code) noexcept;
+
+}  // namespace tca::runtime

@@ -22,7 +22,10 @@
 #include "graph/properties.hpp"
 #include "phasespace/classify.hpp"
 #include "phasespace/functional_graph.hpp"
+#include "phasespace/supervised.hpp"
 #include "runtime/budget.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/supervisor.hpp"
 
 namespace tca::testing {
 namespace {
@@ -392,6 +395,46 @@ PropertyResult check_batch_isa_agree(const TestCase& tc) {
   return PropertyResult::pass();
 }
 
+PropertyResult check_supervised_equivalence(const TestCase& tc) {
+  if (tc.n == 0 || tc.n > kExplicitBits) return PropertyResult::pass();
+  const auto a = tc.automaton();
+  const auto reference = phasespace::FunctionalGraph::synchronous(a);
+
+  // Supervised build under one injected transient failure, starting at a
+  // seed-rotated ladder rung: the supervisor must absorb the fault in
+  // exactly one retry and the result must be bit-identical to the
+  // fault-free baseline — a degraded/retried result IS the result.
+  runtime::SupervisorOptions options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = std::chrono::milliseconds{1};
+  options.retry.seed = tc.seed;
+  options.apply_backoff = false;  // record delays, never sleep in PBT
+  options.start_rung =
+      static_cast<runtime::EngineRung>(tc.seed % runtime::kEngineRungCount);
+
+  runtime::ScopedFaultPlan plan({.retry_transient_at = 1});
+  const auto out = phasespace::supervised_synchronous(a, options);
+  if (out.report.state != runtime::SupervisedState::kCompleted) {
+    return PropertyResult::fail(
+        "supervised build under one injected transient ended " +
+        std::string(runtime::supervised_state_name(out.report.state)) +
+        " (last error: " + out.report.last_error_what + ")");
+  }
+  if (out.report.attempts != 2) {
+    return PropertyResult::fail(
+        "expected exactly 2 attempts (1 injected failure + 1 success), got " +
+        std::to_string(out.report.attempts));
+  }
+  if (!out.build.complete() ||
+      out.build.graph->successors() != reference.successors()) {
+    return PropertyResult::fail(
+        "supervised successor table diverges from the fault-free baseline "
+        "(start rung " +
+        std::string(runtime::rung_name(options.start_rung)) + ")");
+  }
+  return PropertyResult::pass();
+}
+
 std::vector<Oracle> build_registry() {
   std::vector<Oracle> r;
   CaseOptions any;
@@ -426,6 +469,8 @@ std::vector<Oracle> build_registry() {
                check_budget_truncation});
   r.push_back({"batch-isa-agree", "BatchIsaAgree", any,
                check_batch_isa_agree});
+  r.push_back({"supervised-equivalence", "SupervisedEquivalence", any,
+               check_supervised_equivalence});
   return r;
 }
 

@@ -173,6 +173,36 @@ TEST_F(CheckpointCorruptionTest, SaveAfterFailedWriteSucceeds) {
   EXPECT_FALSE(fs::exists(path_ + ".tmp"));
 }
 
+// The fault plan's read knob makes load_checkpoint reject an INTACT file
+// as checksum-corrupt — same ErrorCode, same counter, same event as real
+// bit rot — and fires exactly once, so the identical load then succeeds.
+// This is the hook the chaos sweep and the generational store's recovery
+// tests inject read-path corruption through without damaging any bytes.
+TEST_F(CheckpointCorruptionTest, InjectedReadCorruptionFiresOnce) {
+  obs::Counter& failures = obs::counter("checkpoint.load_failures");
+  const std::uint64_t before = failures.value();
+  ScopedFaultPlan plan({.checkpoint_read_corrupt_at = 1});
+  try {
+    (void)load_checkpoint(path_);
+    FAIL() << "expected injected CheckpointError(kCheckpointCorrupt)";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt) << e.what();
+  }
+  EXPECT_EQ(failures.value(), before + 1)
+      << "injected corruption must be as observable as real corruption";
+  // The knob is consumed and the file was never actually damaged: the
+  // identical load now succeeds.
+  const Checkpoint ck = load_checkpoint(path_);
+  EXPECT_EQ(ck.payload, "sweep=demo\ndone=exp1|PASS|all good\n");
+}
+
+TEST_F(CheckpointCorruptionTest, InjectedReadCorruptionTargetsTheKthLoad) {
+  ScopedFaultPlan plan({.checkpoint_read_corrupt_at = 2});
+  EXPECT_NO_THROW((void)load_checkpoint(path_));
+  EXPECT_THROW((void)load_checkpoint(path_), CheckpointError);
+  EXPECT_NO_THROW((void)load_checkpoint(path_));
+}
+
 // The three corruption codes really are three different values (the whole
 // point of the distinct-code contract).
 TEST(CheckpointErrorCodes, AreDistinct) {

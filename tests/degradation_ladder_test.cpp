@@ -1,0 +1,213 @@
+// Engine-degradation ladder differentials (docs/robustness.md): every
+// rung — wide-SIMD, 64-lane batch, packed, scalar — must produce
+// bit-identical successor tables and Garden-of-Eden censuses over the
+// property-based generators, because a degraded result IS the result. The
+// supervised wrappers are then driven through injected memory pressure
+// and composed fault plans to prove the walk down the ladder recovers
+// without changing a single bit.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phasespace/functional_graph.hpp"
+#include "phasespace/preimage.hpp"
+#include "phasespace/supervised.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/error.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/supervisor.hpp"
+#include "testing/generators.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+using runtime::EngineRung;
+using runtime::ScopedFaultPlan;
+
+constexpr EngineRung kAllRungs[] = {EngineRung::kWideSimd,
+                                    EngineRung::kBatch64, EngineRung::kPacked,
+                                    EngineRung::kScalar};
+
+testing::TestCase ladder_case(std::uint64_t index) {
+  testing::CaseOptions options;
+  options.max_nodes = 10;
+  return testing::random_case(testing::mix_seed(0x1adde5ull, index), options);
+}
+
+/// Supervisor options for tests: deterministic, no sleeping.
+runtime::SupervisorOptions fast_supervision() {
+  runtime::SupervisorOptions options;
+  options.retry.max_attempts = 6;
+  options.retry.initial_backoff = std::chrono::milliseconds{1};
+  options.retry.seed = 0x1adde5ull;
+  options.apply_backoff = false;
+  return options;
+}
+
+TEST(DegradationLadder, EveryRungBuildsTheIdenticalTable) {
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const auto tc = ladder_case(i);
+    if (tc.n == 0) continue;
+    const auto a = tc.automaton();
+    const auto reference = FunctionalGraph::synchronous(a);
+    for (const EngineRung rung : kAllRungs) {
+      runtime::RunControl control;
+      const auto build = build_synchronous_at_rung(a, rung, control);
+      ASSERT_TRUE(build.complete())
+          << "case " << i << " rung " << runtime::rung_name(rung);
+      ASSERT_EQ(build.graph->successors(), reference.successors())
+          << "case " << i << " rung " << runtime::rung_name(rung);
+    }
+  }
+}
+
+TEST(DegradationLadder, EveryRungCountsTheIdenticalGoeCensus) {
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const auto tc = ladder_case(i);
+    if (tc.n == 0) continue;
+    const auto a = tc.automaton();
+    runtime::RunControl ref_control;
+    const auto reference =
+        count_gardens_of_eden_explicit(a, ref_control, EngineRung::kScalar);
+    ASSERT_FALSE(reference.truncated);
+    for (const EngineRung rung : kAllRungs) {
+      runtime::RunControl control;
+      const auto census = count_gardens_of_eden_explicit(a, control, rung);
+      ASSERT_FALSE(census.truncated)
+          << "case " << i << " rung " << runtime::rung_name(rung);
+      EXPECT_EQ(census.gardens, reference.gardens)
+          << "case " << i << " rung " << runtime::rung_name(rung);
+      EXPECT_EQ(census.scanned, reference.scanned);
+    }
+  }
+}
+
+TEST(DegradationLadder, TruncationAtAnyRungIsAnExactPrefix) {
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const auto tc = ladder_case(i);
+    if (tc.n < 4) continue;
+    const auto a = tc.automaton();
+    const auto full = FunctionalGraph::synchronous(a);
+    for (const EngineRung rung : kAllRungs) {
+      runtime::RunBudget budget;
+      budget.max_states = 5;
+      runtime::RunControl control(budget);
+      const auto build = build_synchronous_at_rung(a, rung, control);
+      ASSERT_TRUE(build.truncated())
+          << "case " << i << " rung " << runtime::rung_name(rung);
+      ASSERT_EQ(build.partial_succ.size(), build.states_built);
+      for (std::uint64_t s = 0; s < build.states_built; ++s) {
+        ASSERT_EQ(build.partial_succ[s], full.succ(s))
+            << "case " << i << " rung " << runtime::rung_name(rung)
+            << " state " << s;
+      }
+    }
+  }
+}
+
+TEST(DegradationLadder, SupervisedBuildRecoversFromMemoryPressure) {
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const auto tc = ladder_case(i);
+    if (tc.n == 0) continue;
+    const auto a = tc.automaton();
+    const auto reference = FunctionalGraph::synchronous(a);
+
+    ScopedFaultPlan plan({.alloc_failure_at = 1});
+    const auto out = supervised_synchronous(a, fast_supervision());
+    EXPECT_EQ(out.report.state, runtime::SupervisedState::kCompleted)
+        << "case " << i;
+    EXPECT_EQ(out.report.attempts, 2u);
+    EXPECT_TRUE(out.report.degraded);
+    EXPECT_EQ(out.report.final_rung, EngineRung::kBatch64)
+        << "one bad_alloc walks exactly one rung down";
+    ASSERT_TRUE(out.build.complete()) << "case " << i;
+    ASSERT_EQ(out.build.graph->successors(), reference.successors())
+        << "case " << i << ": the degraded result must be bit-identical";
+  }
+}
+
+TEST(DegradationLadder, SupervisedCensusRecoversFromMemoryPressure) {
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const auto tc = ladder_case(i);
+    if (tc.n == 0) continue;
+    const auto a = tc.automaton();
+    const std::uint64_t reference = count_gardens_of_eden_explicit(a);
+
+    ScopedFaultPlan plan({.alloc_failure_at = 1});
+    const auto out = supervised_goe_census(a, fast_supervision());
+    EXPECT_EQ(out.report.state, runtime::SupervisedState::kCompleted)
+        << "case " << i;
+    EXPECT_TRUE(out.report.degraded);
+    EXPECT_FALSE(out.census.truncated);
+    EXPECT_EQ(out.census.gardens, reference) << "case " << i;
+  }
+}
+
+TEST(DegradationLadder, ComposedPlanStillRecovers) {
+  // Satellite requirement: knobs are independent countdowns, so one plan
+  // composes several faults — here an injected transient on the first
+  // attempt AND memory pressure on the (retried) second attempt's first
+  // guarded allocation. The supervisor absorbs both.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto tc = ladder_case(i);
+    if (tc.n == 0) continue;
+    const auto a = tc.automaton();
+    const auto reference = FunctionalGraph::synchronous(a);
+
+    ScopedFaultPlan plan({.alloc_failure_at = 1, .retry_transient_at = 1});
+    const auto out = supervised_synchronous(a, fast_supervision());
+    EXPECT_EQ(out.report.state, runtime::SupervisedState::kCompleted)
+        << "case " << i;
+    EXPECT_EQ(out.report.attempts, 3u)
+        << "attempt 1: injected transient; attempt 2: bad_alloc; attempt 3 ok";
+    ASSERT_EQ(out.report.failures.size(), 2u);
+    EXPECT_EQ(out.report.failures[0].code, tca::ErrorCode::kFaultInjected);
+    EXPECT_TRUE(out.report.degraded);
+    ASSERT_TRUE(out.build.complete());
+    ASSERT_EQ(out.build.graph->successors(), reference.successors())
+        << "case " << i;
+  }
+}
+
+TEST(DegradationLadder, SupervisedBuildHonoursStartRung) {
+  const auto tc = ladder_case(3);
+  const auto a = tc.automaton();
+  const auto reference = FunctionalGraph::synchronous(a);
+  for (const EngineRung rung : kAllRungs) {
+    auto options = fast_supervision();
+    options.start_rung = rung;
+    const auto out = supervised_synchronous(a, options);
+    EXPECT_EQ(out.report.state, runtime::SupervisedState::kCompleted);
+    EXPECT_EQ(out.report.final_rung, rung);
+    EXPECT_FALSE(out.report.degraded);
+    ASSERT_TRUE(out.build.complete());
+    ASSERT_EQ(out.build.graph->successors(), reference.successors())
+        << runtime::rung_name(rung);
+  }
+}
+
+TEST(DegradationLadder, SupervisedCancellationIsWellFormedTruncation) {
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto tc = ladder_case(i);
+    if (tc.n < 4) continue;
+    const auto a = tc.automaton();
+    const auto full = FunctionalGraph::synchronous(a);
+
+    ScopedFaultPlan plan({.cancel_at_visit = 5});
+    const auto out = supervised_synchronous(a, fast_supervision());
+    ASSERT_EQ(out.report.state, runtime::SupervisedState::kTruncated)
+        << "case " << i;
+    EXPECT_EQ(out.report.attempts, 1u) << "truncation is never retried";
+    EXPECT_EQ(out.report.last_status.stop_reason,
+              runtime::StopReason::kCancelled);
+    ASSERT_EQ(out.build.partial_succ.size(), out.build.states_built);
+    for (std::uint64_t s = 0; s < out.build.states_built; ++s) {
+      ASSERT_EQ(out.build.partial_succ[s], full.succ(s))
+          << "case " << i << " state " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tca::phasespace

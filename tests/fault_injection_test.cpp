@@ -52,6 +52,40 @@ TEST(FaultInjection, PlanIsScopedAndConsumedExactlyOnce) {
   EXPECT_NO_THROW(fault::check_alloc());
 }
 
+TEST(FaultInjection, AllocMinBytesTargetsOnlyLargeAllocations) {
+  ScopedFaultPlan plan({.alloc_failure_at = 1, .alloc_min_bytes = 1024});
+  // Small bookkeeping allocations pass the guard without consuming it.
+  EXPECT_NO_THROW(fault::check_alloc(16));
+  EXPECT_NO_THROW(fault::check_alloc(1023));
+  EXPECT_NO_THROW(fault::check_alloc());  // advisory size 0
+  // The first allocation at or above the threshold fires.
+  EXPECT_THROW(fault::check_alloc(1024), std::bad_alloc);
+  EXPECT_NO_THROW(fault::check_alloc(1 << 20));  // consumed
+}
+
+TEST(FaultInjection, ComposedPlanKnobsCountDownIndependently) {
+  // One plan, several faults: each knob is its own countdown and fires
+  // exactly once, so a single scenario can chain distinct failures (the
+  // chaos sweep's multi-fault plans rely on this).
+  ScopedFaultPlan plan({.alloc_failure_at = 1, .chunk_exception_at = 2});
+  EXPECT_NO_THROW(fault::check_chunk());              // chunk: 1st survives
+  EXPECT_THROW(fault::check_alloc(), std::bad_alloc);  // alloc: fires
+  EXPECT_THROW(fault::check_chunk(), tca::InjectedFaultError);  // 2nd fires
+  EXPECT_NO_THROW(fault::check_alloc());
+  EXPECT_NO_THROW(fault::check_chunk());
+}
+
+TEST(FaultInjection, RetryKnobIsInertOutsideSupervisedAttempts) {
+  EXPECT_NO_THROW(fault::tick_retry_attempt());
+  {
+    ScopedFaultPlan plan({.retry_transient_at = 2});
+    EXPECT_NO_THROW(fault::tick_retry_attempt());
+    EXPECT_THROW(fault::tick_retry_attempt(), tca::InjectedFaultError);
+    EXPECT_NO_THROW(fault::tick_retry_attempt());
+  }
+  EXPECT_NO_THROW(fault::tick_retry_attempt());
+}
+
 TEST(FaultInjection, AllocFaultAbortsSerialBuildsCleanly) {
   for (std::uint64_t i = 0; i < 12; ++i) {
     const auto tc = small_case(i);

@@ -58,6 +58,13 @@ TEST(DifferentialFuzz, BudgetTruncation) { run_oracle("budget-truncation"); }
 // reference on random automata (docs/performance.md).
 TEST(DifferentialFuzz, BatchIsaAgree) { run_oracle("batch-isa-agree"); }
 
+// Supervised-equivalence oracle: a supervised build absorbing one
+// injected transient failure (seed-rotated start rung) ends bit-identical
+// to the fault-free baseline (docs/robustness.md).
+TEST(DifferentialFuzz, SupervisedEquivalence) {
+  run_oracle("supervised-equivalence");
+}
+
 // The registry and this file must not drift apart: every registered oracle
 // has a TEST above (checked by name).
 TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
@@ -65,7 +72,8 @@ TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
       "engines-agree",     "sweep-consistency",   "sca-no-cycle",
       "parallel-period-two", "energy-descent",
       "bipartite-two-cycle", "aca-subsumption",
-      "reach-subsumption", "budget-truncation", "batch-isa-agree"};
+      "reach-subsumption", "budget-truncation", "batch-isa-agree",
+      "supervised-equivalence"};
   for (const auto& o : oracles()) {
     EXPECT_TRUE(driven.contains(o.name))
         << "oracle '" << o.name << "' is registered but has no fuzz TEST";

@@ -1,0 +1,211 @@
+// Retry-policy determinism and the failure-classification matrix
+// (src/runtime/retry.hpp, docs/robustness.md).
+//
+// The supervised-execution contract leans on two properties pinned here:
+//  * backoff schedules are pure functions of (policy, attempt) — same
+//    seed, same schedule, so a chaos repro replays the exact delays;
+//  * every tca::ErrorCode maps to exactly one retry verdict, and the
+//    transient/terminal split matches the documented table.
+
+#include "runtime/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace tca::runtime {
+namespace {
+
+using std::chrono::milliseconds;
+
+RetryPolicy policy_with_seed(std::uint64_t seed) {
+  RetryPolicy p;
+  p.max_attempts = 6;
+  p.initial_backoff = milliseconds{10};
+  p.multiplier = 2.0;
+  p.max_backoff = milliseconds{2000};
+  p.jitter = 0.25;
+  p.seed = seed;
+  return p;
+}
+
+TEST(BackoffDelay, SameSeedSameSchedule) {
+  const RetryPolicy p = policy_with_seed(0xDEC0DEull);
+  const auto first = backoff_schedule(p);
+  const auto second = backoff_schedule(p);
+  ASSERT_EQ(first.size(), 5u);
+  EXPECT_EQ(first, second);
+  // And the schedule is exactly the per-attempt function, element-wise.
+  for (std::uint32_t attempt = 1; attempt < p.max_attempts; ++attempt) {
+    EXPECT_EQ(first[attempt - 1], backoff_delay(p, attempt))
+        << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffDelay, DifferentSeedsDiverge) {
+  const auto a = backoff_schedule(policy_with_seed(1));
+  const auto b = backoff_schedule(policy_with_seed(2));
+  EXPECT_NE(a, b) << "jittered schedules from different seeds should differ";
+}
+
+TEST(BackoffDelay, ZeroJitterIsExactExponential) {
+  RetryPolicy p = policy_with_seed(42);
+  p.jitter = 0.0;
+  EXPECT_EQ(backoff_delay(p, 1), milliseconds{10});
+  EXPECT_EQ(backoff_delay(p, 2), milliseconds{20});
+  EXPECT_EQ(backoff_delay(p, 3), milliseconds{40});
+  EXPECT_EQ(backoff_delay(p, 4), milliseconds{80});
+  // Far past the cap the delay saturates at max_backoff.
+  EXPECT_EQ(backoff_delay(p, 30), p.max_backoff);
+}
+
+TEST(BackoffDelay, JitteredDelayStaysInEnvelope) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const RetryPolicy p = policy_with_seed(seed);
+    for (std::uint32_t attempt = 1; attempt < p.max_attempts; ++attempt) {
+      const double base =
+          std::min(10.0 * (1ull << (attempt - 1)),
+                   static_cast<double>(p.max_backoff.count()));
+      const auto delay = backoff_delay(p, attempt);
+      // [base*(1-jitter), base*(1+jitter)], rounded, capped at max_backoff.
+      EXPECT_GE(delay.count(), static_cast<std::int64_t>(base * 0.75) - 1)
+          << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(delay.count(),
+                std::min<std::int64_t>(
+                    static_cast<std::int64_t>(base * 1.25) + 1,
+                    p.max_backoff.count()))
+          << "seed " << seed << " attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffDelay, DegenerateInputsAreZeroOrEmpty) {
+  RetryPolicy p = policy_with_seed(7);
+  EXPECT_EQ(backoff_delay(p, 0), milliseconds{0}) << "attempt is 1-based";
+  p.initial_backoff = milliseconds{0};
+  EXPECT_EQ(backoff_delay(p, 3), milliseconds{0});
+
+  RetryPolicy one = policy_with_seed(7);
+  one.max_attempts = 1;
+  EXPECT_TRUE(backoff_schedule(one).empty());
+  one.max_attempts = 0;
+  EXPECT_TRUE(backoff_schedule(one).empty());
+}
+
+TEST(BackoffDelay, SubUnityMultiplierIsClampedNotShrinking) {
+  RetryPolicy p = policy_with_seed(9);
+  p.jitter = 0.0;
+  p.multiplier = 0.5;  // would shrink; policy clamps to flat
+  EXPECT_EQ(backoff_delay(p, 1), milliseconds{10});
+  EXPECT_EQ(backoff_delay(p, 4), milliseconds{10});
+}
+
+// ---------------------------------------------------------------------------
+// Classification matrix. Pinning the WHOLE table (not just a sample) is the
+// point: adding an ErrorCode without deciding its retry class should break
+// this test, not silently default.
+
+TEST(ClassifyErrorCode, TransientSet) {
+  const ErrorCode transient[] = {
+      ErrorCode::kFaultInjected,       ErrorCode::kIo,
+      ErrorCode::kCheckpointCorrupt,   ErrorCode::kCheckpointTruncated,
+      ErrorCode::kNotConverged,
+  };
+  for (const ErrorCode code : transient) {
+    const FailureVerdict v = classify_error_code(code);
+    EXPECT_EQ(v.cls, FailureClass::kTransient) << error_code_name(code);
+    EXPECT_EQ(v.code, code);
+  }
+  // Only the injected-fault code (repeated chunk failure) walks the ladder.
+  EXPECT_TRUE(classify_error_code(ErrorCode::kFaultInjected).degrade);
+  EXPECT_FALSE(classify_error_code(ErrorCode::kIo).degrade);
+  EXPECT_FALSE(classify_error_code(ErrorCode::kCheckpointCorrupt).degrade);
+}
+
+TEST(ClassifyErrorCode, TerminalSet) {
+  const ErrorCode terminal[] = {
+      ErrorCode::kUnknown,        ErrorCode::kInvalidArgument,
+      ErrorCode::kSizeMismatch,   ErrorCode::kOutOfRange,
+      ErrorCode::kDomainTooLarge, ErrorCode::kInvalidState,
+      ErrorCode::kCancelled,      ErrorCode::kBudgetExhausted,
+      ErrorCode::kCheckpointVersion,
+  };
+  for (const ErrorCode code : terminal) {
+    const FailureVerdict v = classify_error_code(code);
+    EXPECT_EQ(v.cls, FailureClass::kTerminal) << error_code_name(code);
+    EXPECT_FALSE(v.degrade) << error_code_name(code);
+  }
+}
+
+template <typename Thrown>
+FailureVerdict classify_thrown(Thrown&& thrown) {
+  try {
+    throw std::forward<Thrown>(thrown);
+  } catch (...) {
+    return classify_failure(std::current_exception());
+  }
+}
+
+TEST(ClassifyFailure, InjectedFaultIsTransientAndDegrades) {
+  const FailureVerdict v =
+      classify_thrown(tca::InjectedFaultError("chunk 3 exploded"));
+  EXPECT_EQ(v.cls, FailureClass::kTransient);
+  EXPECT_TRUE(v.degrade);
+  EXPECT_EQ(v.code, ErrorCode::kFaultInjected);
+  EXPECT_EQ(v.what, "chunk 3 exploded");
+}
+
+TEST(ClassifyFailure, BadAllocIsMemoryPressure) {
+  const FailureVerdict v = classify_thrown(std::bad_alloc{});
+  EXPECT_EQ(v.cls, FailureClass::kTransient);
+  EXPECT_TRUE(v.degrade) << "pressure retries one rung down the ladder";
+  EXPECT_EQ(v.code, ErrorCode::kUnknown);
+}
+
+TEST(ClassifyFailure, CancellationIsTerminal) {
+  const FailureVerdict v =
+      classify_thrown(tca::CancelledError("watchdog tripped"));
+  EXPECT_EQ(v.cls, FailureClass::kTerminal);
+  EXPECT_EQ(v.code, ErrorCode::kCancelled);
+}
+
+TEST(ClassifyFailure, CheckpointCodesSplitByRecoverability) {
+  // Corrupt/truncated: the generational store can fall back -> transient.
+  EXPECT_EQ(classify_thrown(tca::CheckpointError(
+                                "bad checksum", ErrorCode::kCheckpointCorrupt))
+                .cls,
+            FailureClass::kTransient);
+  // Version mismatch: retrying cannot rewrite history -> terminal.
+  EXPECT_EQ(classify_thrown(tca::CheckpointError(
+                                "v9", ErrorCode::kCheckpointVersion))
+                .cls,
+            FailureClass::kTerminal);
+}
+
+TEST(ClassifyFailure, ForeignExceptionsAreTerminal) {
+  const FailureVerdict std_v =
+      classify_thrown(std::runtime_error("no tca code"));
+  EXPECT_EQ(std_v.cls, FailureClass::kTerminal);
+  EXPECT_EQ(std_v.code, ErrorCode::kUnknown);
+  EXPECT_EQ(std_v.what, "no tca code");
+
+  const FailureVerdict odd_v = classify_thrown(42);
+  EXPECT_EQ(odd_v.cls, FailureClass::kTerminal);
+  EXPECT_EQ(odd_v.what, "non-standard exception");
+
+  const FailureVerdict null_v = classify_failure(nullptr);
+  EXPECT_EQ(null_v.cls, FailureClass::kTerminal);
+}
+
+TEST(ClassifyFailure, NamesAreStable) {
+  EXPECT_STREQ(failure_class_name(FailureClass::kTransient), "transient");
+  EXPECT_STREQ(failure_class_name(FailureClass::kTerminal), "terminal");
+}
+
+}  // namespace
+}  // namespace tca::runtime
