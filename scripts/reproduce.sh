@@ -36,6 +36,32 @@ if [ "${1:-}" = "--chaos" ]; then
   exit 0
 fi
 
+# --serve: build the tcad daemon and its saturation bench, let the bench
+# spawn/drive/SIGTERM the daemon (docs/service.md), and diff the bench's
+# deterministic counters against the committed baseline. Timings are
+# published in the manifest but not gated (the huge --threshold disables
+# the timing comparison on purpose; counters are exact-match).
+if [ "${1:-}" = "--serve" ]; then
+  export TCA_RESULTS_DIR="${TCA_RESULTS_DIR:-$PWD/results}"
+  mkdir -p "$TCA_RESULTS_DIR"
+  cmake -B build -G Ninja || exit 1
+  cmake --build build -j --target tcad loadgen_tcad || exit 1
+  ./build/bench/loadgen_tcad --tcad ./build/src/service/tcad || exit 1
+  python3 scripts/check_bench.py \
+    bench/baselines/loadgen_tcad.manifest.json \
+    "$TCA_RESULTS_DIR/loadgen_tcad.manifest.json" \
+    --threshold 100000 \
+    --metric counters.loadgen.requests \
+    --metric counters.loadgen.ok \
+    --metric counters.loadgen.errors \
+    --metric counters.loadgen.mismatch \
+    --metric counters.loadgen.coalesce_ok \
+    --metric counters.loadgen.server_counters_ok \
+    --metric counters.loadgen.server_clean_shutdown || exit 1
+  echo "reproduce.sh --serve: service smoke passed"
+  exit 0
+fi
+
 # Per-binary wall-clock limit (seconds); override: BENCH_TIMEOUT=60 ...
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 

@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "core/fnv.hpp"
 #include "runtime/error.hpp"
 
 namespace tca::core {
@@ -76,15 +77,16 @@ void Configuration::mask_padding() noexcept {
 }
 
 std::uint64_t hash_value(const Configuration& c) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  // Word-wise FNV-1a variant over the shared basis/prime (core/fnv.hpp).
+  std::uint64_t h = kFnvOffsetBasis64;
   for (std::uint64_t w : c.words()) {
     h ^= w;
-    h *= 0x100000001b3ULL;
+    h *= kFnvPrime64;
     // Extra mixing: FNV over whole words is weak for sparse states.
     h ^= h >> 29;
   }
   h ^= c.size();
-  h *= 0x100000001b3ULL;
+  h *= kFnvPrime64;
   return h;
 }
 

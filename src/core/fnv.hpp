@@ -1,0 +1,43 @@
+#pragma once
+// The one FNV-1a 64 implementation (docs/service.md, docs/robustness.md).
+//
+// Three subsystems checksum or content-address byte strings with FNV-1a:
+// the checkpoint framing (runtime/checkpoint.cpp), the Configuration hash
+// (core/configuration.cpp, a word-wise variant with extra mixing), and the
+// service result cache's content-address digests (service/query.cpp).
+// They used to carry private copies of the same constants; this header is
+// now the single definition, so a transcription error cannot silently
+// fork the hash between the writer and the validator of a persisted
+// artifact.
+//
+// Header-only and dependency-free on purpose: runtime/ sits below core/
+// in the link order but shares its include root, so everything in src/
+// can use these without a new library edge.
+
+#include <cstdint>
+#include <string_view>
+
+namespace tca::core {
+
+/// FNV-1a 64 parameters (Fowler-Noll-Vo, the standard 64-bit basis/prime).
+inline constexpr std::uint64_t kFnvOffsetBasis64 = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ull;
+
+/// One byte-wise FNV-1a step (exposed for incremental hashing).
+[[nodiscard]] constexpr std::uint64_t fnv1a64_byte(std::uint64_t h,
+                                                   std::uint8_t byte) noexcept {
+  return (h ^ byte) * kFnvPrime64;
+}
+
+/// FNV-1a 64 over arbitrary bytes. This is the checksum of the checkpoint
+/// framing and the content-address digest of the service result cache —
+/// changing it invalidates every persisted artifact, so don't.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnvOffsetBasis64;
+  for (const char c : bytes) {
+    h = fnv1a64_byte(h, static_cast<std::uint8_t>(c));
+  }
+  return h;
+}
+
+}  // namespace tca::core

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/fnv.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,12 +37,9 @@ constexpr std::string_view kMagic = "TCA-CKPT";
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view bytes) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
+  // The shared implementation (core/fnv.hpp) — also the service cache's
+  // content-address digest, so the two stay bit-identical by construction.
+  return core::fnv1a64(bytes);
 }
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {

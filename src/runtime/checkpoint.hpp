@@ -40,6 +40,8 @@ struct Checkpoint {
 
 /// FNV-1a 64-bit over arbitrary bytes (the checkpoint checksum; exposed
 /// for tests and for callers who want to checksum payload sections).
+/// Thin wrapper over the one shared implementation in core/fnv.hpp —
+/// also used by the service result cache's content-address digests.
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
 
 /// Atomically writes `checkpoint` to `path` (tmp file + rename). Throws

@@ -1,0 +1,83 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runtime/error.hpp"
+#include "service/protocol.hpp"
+
+namespace tca::service {
+namespace {
+
+[[noreturn]] void conn_error(const std::string& what) {
+  throw RuntimeError("tcad client: " + what + ": " + std::strerror(errno),
+                     ErrorCode::kIo);
+}
+
+}  // namespace
+
+TcadClient TcadClient::connect_uds(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) conn_error("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    throw InvalidArgumentError("tcad client: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    conn_error("connect(" + path + ")");
+  }
+  return TcadClient(fd);
+}
+
+TcadClient TcadClient::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) conn_error("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    conn_error("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return TcadClient(fd);
+}
+
+TcadClient::TcadClient(TcadClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcadClient& TcadClient::operator=(TcadClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcadClient::~TcadClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string TcadClient::call(const std::string& request_json) {
+  write_frame(fd_, request_json);
+  std::string response;
+  if (!read_frame(fd_, response)) {
+    throw RuntimeError("tcad client: server closed the connection",
+                       ErrorCode::kIo);
+  }
+  return response;
+}
+
+}  // namespace tca::service

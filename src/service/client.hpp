@@ -1,0 +1,37 @@
+#pragma once
+// Minimal blocking client for the tcad protocol (docs/service.md).
+//
+// One connection, one outstanding request at a time — exactly the
+// protocol's per-connection contract. Used by the e2e tests and the
+// bench/loadgen_tcad load generator; not a public SDK (callers wanting
+// concurrency open more clients).
+
+#include <cstdint>
+#include <string>
+
+namespace tca::service {
+
+class TcadClient {
+ public:
+  /// Connects to a Unix-domain socket. Throws tca::RuntimeError(kIo).
+  static TcadClient connect_uds(const std::string& path);
+  /// Connects to 127.0.0.1:<port>. Throws tca::RuntimeError(kIo).
+  static TcadClient connect_tcp(std::uint16_t port);
+
+  TcadClient(TcadClient&& other) noexcept;
+  TcadClient& operator=(TcadClient&& other) noexcept;
+  TcadClient(const TcadClient&) = delete;
+  TcadClient& operator=(const TcadClient&) = delete;
+  ~TcadClient();
+
+  /// Sends one request frame and blocks for the response frame. Throws
+  /// tca::RuntimeError(kIo) on connection failure (including the server
+  /// closing mid-call).
+  [[nodiscard]] std::string call(const std::string& request_json);
+
+ private:
+  explicit TcadClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace tca::service

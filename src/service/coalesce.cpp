@@ -1,0 +1,46 @@
+#include "service/coalesce.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace tca::service {
+
+std::shared_ptr<const CoalescedResult> Coalescer::join_or_lead(
+    const std::string& key) {
+  static obs::Counter& coalesced = obs::counter("service.coalesced");
+  static obs::Gauge& inflight = obs::gauge("service.inflight");
+
+  LockGuard lock(mu_);
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) {
+    inflight_.emplace(key, std::make_shared<Entry>());
+    inflight.set(static_cast<std::int64_t>(inflight_.size()));
+    return nullptr;  // caller leads
+  }
+  const std::shared_ptr<Entry> entry = it->second;
+  ++entry->followers;
+  coalesced.add();
+  while (!entry->done) cv_.wait(lock);
+  return entry->result;
+}
+
+void Coalescer::publish(const std::string& key, CoalescedResult result) {
+  static obs::Gauge& inflight = obs::gauge("service.inflight");
+
+  LockGuard lock(mu_);
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;  // guard fired after explicit publish
+  const std::shared_ptr<Entry> entry = it->second;
+  entry->result =
+      std::make_shared<const CoalescedResult>(std::move(result));
+  entry->done = true;
+  inflight_.erase(it);
+  inflight.set(static_cast<std::int64_t>(inflight_.size()));
+  cv_.notify_all();
+}
+
+std::size_t Coalescer::inflight() const {
+  LockGuard lock(mu_);
+  return inflight_.size();
+}
+
+}  // namespace tca::service

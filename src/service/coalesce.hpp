@@ -1,0 +1,107 @@
+#pragma once
+// Request coalescing for the tcad daemon (docs/service.md).
+//
+// When N clients ask for the same canonical key while a computation for
+// it is running, exactly ONE engine build happens: the first arrival
+// becomes the LEADER and computes; the rest become FOLLOWERS and block on
+// the in-flight entry until the leader publishes. This is what makes a
+// thundering herd of identical phase-space queries cost one 2^n build
+// instead of N (the service_test pins "N concurrent identical requests
+// -> one build" on engine-side counters).
+//
+// Publication is by shared_ptr handoff: followers hold the entry alive,
+// so the leader can publish-and-forget even if a follower is slow to wake.
+// The leader MUST publish exactly once — on success, truncation, or
+// failure alike (the handler publishes from a catch-all); an entry whose
+// leader never publishes would block followers forever, which is why
+// LeaderGuard exists (publishes a failure on unwind).
+//
+// Counters: service.coalesced (one per follower served), and the
+// service.inflight gauge tracks the number of open entries.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/annotations.hpp"
+#include "runtime/error.hpp"
+
+namespace tca::service {
+
+/// What the leader publishes to its followers: the finished response
+/// body, or the reason there is none.
+struct CoalescedResult {
+  bool ok = false;
+  std::string response_json;  ///< full response body when ok
+  ErrorCode error_code = ErrorCode::kUnknown;
+  std::string error;
+};
+
+class Coalescer {
+ public:
+  Coalescer() = default;
+  Coalescer(const Coalescer&) = delete;
+  Coalescer& operator=(const Coalescer&) = delete;
+
+  /// Joins the in-flight computation for `key`. Returns nullptr when the
+  /// caller is the LEADER (an entry was opened; the caller must publish).
+  /// Otherwise blocks until the leader publishes and returns the shared
+  /// result (never nullptr for followers).
+  [[nodiscard]] std::shared_ptr<const CoalescedResult> join_or_lead(
+      const std::string& key);
+
+  /// Publishes the leader's result for `key` and closes the entry. Wakes
+  /// every follower. Publishing a key with no open entry is a no-op
+  /// (the guard may fire after an explicit publish).
+  void publish(const std::string& key, CoalescedResult result);
+
+  /// Open in-flight entries (test hook; also mirrored in the
+  /// service.inflight gauge).
+  [[nodiscard]] std::size_t inflight() const;
+
+ private:
+  struct Entry {
+    bool done = false;  // guarded by the owning Coalescer's mu_
+    std::shared_ptr<const CoalescedResult> result;
+    std::uint64_t followers = 0;
+  };
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> inflight_
+      TCA_GUARDED_BY(mu_);
+};
+
+/// RAII leader obligation: if the leader unwinds (exception between
+/// join_or_lead and publish), publishes a failure so followers never
+/// hang. Disarm by publishing through the guard.
+class LeaderGuard {
+ public:
+  LeaderGuard(Coalescer& coalescer, std::string key)
+      : coalescer_(coalescer), key_(std::move(key)) {}
+
+  LeaderGuard(const LeaderGuard&) = delete;
+  LeaderGuard& operator=(const LeaderGuard&) = delete;
+
+  ~LeaderGuard() {
+    if (armed_) {
+      CoalescedResult failure;
+      failure.error_code = ErrorCode::kUnknown;
+      failure.error = "leader unwound without publishing";
+      coalescer_.publish(key_, std::move(failure));
+    }
+  }
+
+  void publish(CoalescedResult result) {
+    armed_ = false;
+    coalescer_.publish(key_, std::move(result));
+  }
+
+ private:
+  Coalescer& coalescer_;
+  std::string key_;
+  bool armed_ = true;
+};
+
+}  // namespace tca::service

@@ -1,0 +1,120 @@
+#pragma once
+// The tcad compute core (docs/service.md).
+//
+// Executes one validated ServiceQuery and returns a typed outcome. Three
+// execution paths, picked per query:
+//
+//  * TRANSFER MATRIX — synchronous-ring preimage counts go through
+//    phasespace::RingPreimageSolver: O(n) matrix products, no state
+//    enumeration, answered inline (no admission slot needed).
+//  * SMALL-N DIRECT — explicit builds with n <= small_n_bits run the
+//    bit-sliced/SIMD batch engine in one unsupervised shot: the build is
+//    cheap enough that retry/checkpoint machinery would cost more than
+//    recomputing.
+//  * LARGE-N SUPERVISED — everything else runs under runtime::Supervisor
+//    (retry + engine-degradation ladder) with a per-request RunBudget and
+//    CancelToken, in checkpointed segments: every ckpt_every_states
+//    states the successor-table prefix is saved through a
+//    runtime::CheckpointStore keyed by the query digest, so a budget-
+//    truncated or killed build RESUMES from its last checkpoint on the
+//    next identical request instead of restarting. (The synchronous GoE
+//    census goes through phasespace::supervised_goe_census; its
+//    reached-states bitmap is not checkpointed — a retry restarts the
+//    scan. Graph-building queries are the resumable ones.)
+//
+// Admission control: at most max_concurrent_builds explicit builds run
+// at once; excess requests queue on a condition variable (FIFO-ish) and
+// their wait is recorded in the service.admission.wait_us histogram.
+//
+// Counters: service.engine.{builds,small_n,supervised,truncated,failed},
+// service.resume.{saved,resumed}.
+
+#include <cstdint>
+#include <string>
+
+#include "core/annotations.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/supervisor.hpp"
+#include "service/query.hpp"
+
+namespace tca::service {
+
+struct EngineOptions {
+  /// Directory for resume checkpoints; empty disables resumability.
+  std::string ckpt_dir;
+  /// Save a resume checkpoint every this many newly built states (large-n
+  /// supervised builds only).
+  std::uint64_t ckpt_every_states = 1u << 18;
+  /// Builds with n <= this many bits take the unsupervised direct path.
+  std::uint32_t small_n_bits = 16;
+  /// Explicit builds admitted concurrently; further requests queue.
+  std::uint32_t max_concurrent_builds = 2;
+  /// Retry/degradation policy for supervised builds. The per-request
+  /// budget is layered on top as the attempt budget.
+  runtime::SupervisorOptions supervisor;
+};
+
+/// Per-request resource limits, parsed from the request's "budget" object.
+struct RequestBudget {
+  std::uint64_t max_states = runtime::RunBudget::kUnlimited;
+  std::uint64_t wall_ms = 0;  ///< 0 = no wall limit
+
+  [[nodiscard]] runtime::RunBudget to_run_budget() const;
+};
+
+/// How one execution ended.
+struct QueryOutcome {
+  enum class Status : std::uint8_t { kOk = 0, kTruncated, kFailed };
+
+  Status status = Status::kFailed;
+  QueryResult result;  ///< valid iff status == kOk
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
+  std::uint64_t states_done = 0;
+  std::uint64_t states_total = 0;
+  bool resumed = false;   ///< a resume checkpoint seeded this build
+  bool degraded = false;  ///< the supervisor walked the engine ladder
+  ErrorCode error_code = ErrorCode::kUnknown;
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Executes `query` (already validated) under the request budget.
+  /// `token` cancels cooperatively (server shutdown, client gone). Never
+  /// throws for compute-path failures — they land in the outcome.
+  [[nodiscard]] QueryOutcome execute(const ServiceQuery& query,
+                                     const RequestBudget& budget,
+                                     runtime::CancelToken token);
+
+  /// Total explicit-graph builds started (small-n + supervised attempts
+  /// are counted once per execute, not per retry). Test hook for the
+  /// coalescing assertion "N identical concurrent requests -> 1 build".
+  [[nodiscard]] std::uint64_t builds_started() const;
+
+ private:
+  class AdmissionSlot;
+
+  QueryOutcome run_preimage_transfer_matrix(const ServiceQuery& query) const;
+  QueryOutcome run_explicit(const ServiceQuery& query,
+                            const RequestBudget& budget,
+                            runtime::CancelToken token);
+  QueryOutcome run_goe_supervised(const ServiceQuery& query,
+                                  const RequestBudget& budget,
+                                  runtime::CancelToken token);
+
+  const EngineOptions options_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::uint32_t active_builds_ TCA_GUARDED_BY(mu_) = 0;
+  std::uint64_t builds_started_ TCA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tca::service

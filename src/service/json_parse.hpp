@@ -1,0 +1,109 @@
+#pragma once
+// Minimal JSON parser for the tcad wire protocol (docs/service.md).
+//
+// The observability layer deliberately ships only an *emitter*
+// (obs/json.hpp): telemetry is written by C++ and consumed by Python.
+// The service daemon is the first subsystem that must also READ JSON —
+// requests arrive as length-prefixed JSON frames — so this is the one
+// parser in the tree, scoped to the service's needs:
+//
+//  * full JSON value model (null/bool/number/string/array/object) with
+//    object key order preserved-insensitive lookup (std::map);
+//  * numbers are IEEE doubles, exact for integers up to 2^53 — far above
+//    the 2^26-state explicit-enumeration cap, so state codes round-trip;
+//  * strict: trailing garbage, unterminated strings, bad escapes, depth
+//    past kMaxDepth and inputs past kMaxBytes are rejected with
+//    tca::InvalidArgumentError (the protocol layer turns that into an
+//    "error" response, never a crash);
+//  * \uXXXX escapes outside ASCII are rejected rather than transcoded —
+//    the protocol's string fields (kinds, rule names) are ASCII by spec.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tca::service {
+
+/// Upper bound on nesting depth a frame may use (arrays/objects).
+inline constexpr std::size_t kMaxJsonDepth = 32;
+/// Upper bound on accepted document size (matches the frame size cap).
+inline constexpr std::size_t kMaxJsonBytes = 16u << 20;
+
+/// One parsed JSON value. A tree, not a DOM: small and copyable enough
+/// for request-sized documents.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  /// Typed accessors; throw tca::InvalidArgumentError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// The number as an exact unsigned integer; throws when the value is
+  /// not a number, is negative, has a fractional part, or exceeds 2^53
+  /// (where doubles stop being exact).
+  [[nodiscard]] std::uint64_t as_u64() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// find() + typed access with a default. Missing key -> fallback;
+  /// present-but-wrong-kind still throws (a malformed frame should fail
+  /// loudly, not silently default).
+  [[nodiscard]] std::uint64_t u64_or(std::string_view key,
+                                     std::uint64_t fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error. Throws tca::InvalidArgumentError with a position-carrying
+/// message on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace tca::service

@@ -1,0 +1,90 @@
+#include "service/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "runtime/error.hpp"
+
+namespace tca::service {
+namespace {
+
+[[noreturn]] void io_error(const char* what) {
+  throw RuntimeError(std::string("frame: ") + what + ": " +
+                         std::strerror(errno),
+                     ErrorCode::kIo);
+}
+
+/// Reads exactly `count` bytes. Returns the bytes actually read, which is
+/// < count only on EOF.
+std::size_t read_exact(int fd, char* buf, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t r = ::read(fd, buf + done, count - done);
+    if (r == 0) break;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_error("read failed");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return done;
+}
+
+void write_exact(int fd, const char* buf, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t w = ::write(fd, buf + done, count - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      io_error("write failed");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& out) {
+  unsigned char header[4];
+  const std::size_t got =
+      read_exact(fd, reinterpret_cast<char*>(header), sizeof header);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof header) {
+    throw RuntimeError("frame: EOF inside length prefix", ErrorCode::kIo);
+  }
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(header[0]) << 24) |
+      (static_cast<std::uint32_t>(header[1]) << 16) |
+      (static_cast<std::uint32_t>(header[2]) << 8) |
+      static_cast<std::uint32_t>(header[3]);
+  if (length > kMaxFrameBytes) {
+    throw RuntimeError(
+        "frame: length " + std::to_string(length) + " exceeds cap " +
+            std::to_string(kMaxFrameBytes),
+        ErrorCode::kIo);
+  }
+  out.resize(length);
+  if (read_exact(fd, out.data(), length) < length) {
+    throw RuntimeError("frame: EOF inside payload", ErrorCode::kIo);
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw RuntimeError("frame: payload exceeds cap", ErrorCode::kIo);
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>(length & 0xFF),
+  };
+  write_exact(fd, reinterpret_cast<const char*>(header), sizeof header);
+  write_exact(fd, payload.data(), payload.size());
+}
+
+}  // namespace tca::service

@@ -1,0 +1,35 @@
+#pragma once
+// Length-prefixed JSON framing for the tcad socket protocol
+// (docs/service.md).
+//
+// Every frame is a 4-byte BIG-ENDIAN unsigned length followed by exactly
+// that many bytes of UTF-8 JSON. Both directions use the same framing;
+// a connection carries any number of request/response pairs in order
+// (one request at a time per connection — concurrency comes from opening
+// more connections, which is also what the load generator does).
+//
+// The frame cap matches the JSON parser's document cap so neither layer
+// can be used to smuggle an oversized document past the other.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/json_parse.hpp"
+
+namespace tca::service {
+
+/// Maximum frame payload accepted or sent (= kMaxJsonBytes).
+inline constexpr std::uint32_t kMaxFrameBytes =
+    static_cast<std::uint32_t>(kMaxJsonBytes);
+
+/// Reads one frame from `fd` into `out`. Returns false on clean EOF
+/// (connection closed between frames); throws tca::RuntimeError(kIo) on
+/// mid-frame EOF, read errors, or an oversized length prefix.
+[[nodiscard]] bool read_frame(int fd, std::string& out);
+
+/// Writes one frame to `fd`. Throws tca::RuntimeError(kIo) on write
+/// errors or an oversized payload.
+void write_frame(int fd, std::string_view payload);
+
+}  // namespace tca::service

@@ -1,0 +1,160 @@
+#pragma once
+// The tcad query model (docs/service.md).
+//
+// Every artifact the daemon serves — attractor/transient structure,
+// Garden-of-Eden censuses, preimage counts — is a PURE FUNCTION of
+// (rule, topology, n, update scheme, query kind): the paper's Section 2
+// dynamical-system view makes the phase space a deterministic object, so
+// results are content-addressable. This header defines the typed query,
+// its canonical key (a byte string independent of JSON field order,
+// whitespace, or representation details like an explicitly-spelled
+// identity sweep order), and the FNV-1a digest of that key that names
+// cache entries on disk.
+//
+// The wire protocol is deliberately wider than the query set: requests
+// carry a "kind" string and readers ignore unknown fields, so future
+// request types (the α-asynchrony census of arXiv:2312.15078, the
+// order-independence classifier of arXiv:0707.2360) extend the enum and
+// the parser without a version bump.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "service/json_parse.hpp"
+
+namespace tca::service {
+
+/// The four query kinds served today (docs/service.md lists the result
+/// schema of each).
+enum class QueryKind : std::uint8_t {
+  kAttractorSummary = 0,  ///< full Definition-3 taxonomy of the phase space
+  kTransientDepth,        ///< longest tail into any attractor
+  kGoeCensus,             ///< Gardens of Eden among all 2^n states
+  kPreimageCount,         ///< #predecessors of one target configuration
+};
+
+[[nodiscard]] const char* query_kind_name(QueryKind kind) noexcept;
+
+/// 1-D substrate of the query (the paper's finite cellular spaces).
+enum class Topology : std::uint8_t {
+  kRing = 0,  ///< circular boundary (Boundary::kRing)
+  kLine,      ///< fixed-zero boundary (Boundary::kFixedZero)
+};
+
+/// Update scheme: the synchronous global map F, or one full sequential
+/// sweep of a fixed node order per step (FunctionalGraph::sweep).
+enum class Scheme : std::uint8_t { kSynchronous = 0, kSweep };
+
+/// Arity-polymorphic rule description, materialized at 2r+1 inputs.
+/// Mirrors testing::RuleSpec (which must stay shrinkable) but adds the
+/// Wolfram-code kind the service exposes.
+struct ServiceRule {
+  enum class Type : std::uint8_t {
+    kMajority = 0,    ///< strict majority, tie -> 0
+    kMajorityTieOne,  ///< majority, tie -> 1
+    kParity,          ///< XOR
+    kKOfN,            ///< 1 iff >= k inputs are 1 (field `k`)
+    kSymmetric,       ///< totalistic: output on s ones = bit (s mod 64)
+                      ///< of `mask`
+    kWolfram,         ///< elementary-CA code (field `code`; radius 1 only)
+  };
+
+  Type type = Type::kMajority;
+  std::uint32_t k = 1;         ///< kKOfN threshold
+  std::uint64_t mask = 0;      ///< kSymmetric accept mask
+  std::uint32_t code = 0;      ///< kWolfram code (0..255)
+
+  /// The concrete rule for a node with `arity` ordered inputs.
+  [[nodiscard]] rules::Rule materialize(std::uint32_t arity) const;
+
+  /// Canonical token, e.g. "majority", "kofn:3", "sym:1a", "wolfram:110".
+  [[nodiscard]] std::string token() const;
+
+  friend bool operator==(const ServiceRule&, const ServiceRule&) = default;
+};
+
+/// One fully-specified service query. Memory is fixed at the paper's
+/// default (the node's own state is an input).
+struct ServiceQuery {
+  QueryKind kind = QueryKind::kAttractorSummary;
+  Topology topology = Topology::kRing;
+  std::uint32_t n = 0;
+  std::uint32_t radius = 1;
+  ServiceRule rule;
+  Scheme scheme = Scheme::kSynchronous;
+  /// Sweep order; empty means the identity order 0..n-1. An explicitly
+  /// spelled identity order canonicalizes to empty (same cache key).
+  std::vector<core::NodeId> order;
+  /// Target state code (kPreimageCount only).
+  std::uint64_t target = 0;
+
+  /// Validates ranges and cross-field constraints; throws
+  /// tca::InvalidArgumentError / tca::DomainTooLargeError on a query the
+  /// engines cannot answer.
+  void validate() const;
+
+  /// The automaton this query is about (validate() must have passed).
+  [[nodiscard]] core::Automaton automaton() const;
+
+  /// The effective sweep order (identity when `order` is empty).
+  [[nodiscard]] std::vector<core::NodeId> effective_order() const;
+
+  /// True when answering requires materializing the full 2^n successor
+  /// table (everything except synchronous-ring preimage counts, which go
+  /// through the O(n) transfer matrix).
+  [[nodiscard]] bool needs_explicit_graph() const noexcept;
+
+  /// Canonical content-address key: a stable byte string over the typed
+  /// fields in fixed order. Two requests that parse to the same query
+  /// produce the same key regardless of JSON spelling.
+  [[nodiscard]] std::string canonical_key() const;
+
+  /// FNV-1a 64 digest of canonical_key() as 16 lowercase hex digits
+  /// (core/fnv.hpp — the same hash that checksums checkpoints).
+  [[nodiscard]] std::string digest() const;
+
+  /// Parses the "query" object of a request frame. Unknown fields are
+  /// ignored (forward compatibility); missing/invalid required fields
+  /// throw tca::InvalidArgumentError.
+  static ServiceQuery from_json(const JsonValue& v);
+
+  /// Low (arity+1) bits set: the meaningful range of a symmetric rule's
+  /// accept mask at the given arity.
+  [[nodiscard]] static std::uint64_t mask_bits(std::uint32_t arity) noexcept;
+
+  friend bool operator==(const ServiceQuery&, const ServiceQuery&) = default;
+};
+
+/// Typed result of one query; exactly the fields of the kind are
+/// meaningful. to_json() is the response "result" object.
+struct QueryResult {
+  QueryKind kind = QueryKind::kAttractorSummary;
+  std::uint64_t num_states = 0;
+
+  // kAttractorSummary (kTransientDepth reuses the relevant subset).
+  std::uint64_t num_attractors = 0;
+  std::uint64_t num_fixed_points = 0;
+  std::uint64_t num_cycle_states = 0;
+  std::uint64_t num_transient_states = 0;
+  std::uint64_t num_gardens_of_eden = 0;
+  std::uint64_t max_period = 0;
+  std::uint64_t max_transient = 0;
+  /// cycle length -> number of cycles of that length.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cycle_lengths;
+
+  // kGoeCensus.
+  std::uint64_t gardens = 0;
+  std::uint64_t scanned = 0;
+
+  // kPreimageCount.
+  std::uint64_t preimage_count = 0;
+  bool is_garden_of_eden = false;
+  std::string method;  ///< "transfer-matrix" | "explicit"
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace tca::service

@@ -1,0 +1,210 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/error.hpp"
+#include "service/protocol.hpp"
+
+namespace tca::service {
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw RuntimeError("tcad: " + what + ": " + std::strerror(errno),
+                     ErrorCode::kIo);
+}
+
+int listen_uds(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) socket_error("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    throw InvalidArgumentError("tcad: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    socket_error("bind(" + path + ")");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    socket_error("listen(" + path + ")");
+  }
+  return fd;
+}
+
+int listen_tcp(std::uint16_t port, std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) socket_error("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    socket_error("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    socket_error("listen(tcp)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace
+
+TcadServer::TcadServer(ServerOptions options)
+    : options_([&] {
+        options.num_workers = std::max<std::uint32_t>(options.num_workers, 1);
+        return options;
+      }()),
+      handler_(options_.handler) {}
+
+TcadServer::~TcadServer() { stop(); }
+
+void TcadServer::start() {
+  {
+    LockGuard lock(mu_);
+    if (started_) throw StateError("tcad: start() called twice");
+    started_ = true;
+  }
+  uds_listen_fd_ = listen_uds(options_.uds_path);
+  if (options_.tcp_port != 0 || options_.tcp_enabled) {
+    tcp_listen_fd_ = listen_tcp(options_.tcp_port, tcp_port_);
+  }
+  obs::log_event(obs::LogLevel::kInfo, "service.listening",
+                 {{"uds", options_.uds_path},
+                  {"tcp_port", static_cast<std::uint64_t>(tcp_port_)},
+                  {"workers", options_.num_workers}});
+  threads_.emplace_back([this] { accept_loop(); });
+  for (std::uint32_t i = 0; i < options_.num_workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void TcadServer::stop() {
+  {
+    LockGuard lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    // Wake blocked connection reads so workers can drain their current
+    // connection and exit.
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const int fd : pending_fds_) ::close(fd);
+    pending_fds_.clear();
+  }
+  token_.cancel();  // in-flight engine work stops cooperatively
+  cv_.notify_all();
+  // The accept loop polls with a 100 ms timeout and re-checks stopping_,
+  // so the listen fds stay open until every thread is joined — no thread
+  // ever polls a closed fd.
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  if (uds_listen_fd_ >= 0) {
+    ::close(uds_listen_fd_);
+    uds_listen_fd_ = -1;
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
+  ::unlink(options_.uds_path.c_str());
+  obs::log_event(obs::LogLevel::kInfo, "service.stopped",
+                 {{"leaked_requests", handler_.active_requests()}});
+}
+
+void TcadServer::accept_loop() {
+  static obs::Counter& connections = obs::counter("service.connections");
+  while (true) {
+    {
+      LockGuard lock(mu_);
+      if (stopping_) return;
+    }
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    fds[nfds++] = pollfd{uds_listen_fd_, POLLIN, 0};
+    if (tcp_listen_fd_ >= 0) fds[nfds++] = pollfd{tcp_listen_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, nfds, 100 /* ms; bounded stop latency */);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;  // listeners closed under us during stop()
+    }
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn < 0) continue;  // racing stop() or transient; poll again
+      connections.add();
+      {
+        LockGuard lock(mu_);
+        if (stopping_) {
+          ::close(conn);
+          return;
+        }
+        pending_fds_.push_back(conn);
+      }
+      cv_.notify_one();
+    }
+  }
+}
+
+void TcadServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      LockGuard lock(mu_);
+      while (pending_fds_.empty() && !stopping_) cv_.wait(lock);
+      if (pending_fds_.empty()) return;  // stopping, queue drained
+      fd = pending_fds_.back();
+      pending_fds_.pop_back();
+      active_fds_.push_back(fd);
+    }
+    serve_connection(fd);
+    {
+      LockGuard lock(mu_);
+      active_fds_.erase(
+          std::remove(active_fds_.begin(), active_fds_.end(), fd),
+          active_fds_.end());
+    }
+    ::close(fd);
+  }
+}
+
+void TcadServer::serve_connection(int fd) {
+  static obs::Counter& conn_errors = obs::counter("service.conn_errors");
+  std::string request;
+  try {
+    while (read_frame(fd, request)) {
+      const std::string response = handler_.handle(request, token_);
+      write_frame(fd, response);
+      LockGuard lock(mu_);
+      if (stopping_) return;
+    }
+  } catch (const std::exception& e) {
+    conn_errors.add();
+    obs::log_event(obs::LogLevel::kWarn, "service.conn_error",
+                   {{"what", e.what()}});
+  }
+}
+
+}  // namespace tca::service

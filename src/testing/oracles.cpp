@@ -26,6 +26,9 @@
 #include "runtime/budget.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/supervisor.hpp"
+#include "service/handler.hpp"
+#include "service/json_parse.hpp"
+#include "service/query.hpp"
 
 namespace tca::testing {
 namespace {
@@ -435,6 +438,171 @@ PropertyResult check_supervised_equivalence(const TestCase& tc) {
   return PropertyResult::pass();
 }
 
+PropertyResult check_service_vs_library(const TestCase& tc) {
+  if (tc.n == 0 || tc.n > kExplicitBits) return PropertyResult::pass();
+
+  // The service speaks circulant ring/line topologies, not arbitrary edge
+  // lists, so the case's substrate is ignored; n, the rule, and the seed
+  // drive coverage over query kind, topology, radius, and scheme instead.
+  const std::uint64_t s = tc.seed;
+  const std::uint32_t radius = 1 + static_cast<std::uint32_t>(s % 3);
+  const bool ring = tc.n >= 2 * radius + 1 && ((s >> 2) & 1) == 0;
+  const auto kind = static_cast<service::QueryKind>((s >> 3) % 4);
+  const bool sweep = ((s >> 5) & 1) == 1;
+  const std::uint32_t arity = 2 * radius + 1;
+  const std::uint64_t num_states = std::uint64_t{1} << tc.n;
+
+  std::string rule_json;
+  switch (tc.rule.kind) {
+    case RuleSpec::Kind::kMajority:
+      rule_json = "\"majority\"";
+      break;
+    case RuleSpec::Kind::kMajorityTieOne:
+      rule_json = "\"majority1\"";
+      break;
+    case RuleSpec::Kind::kParity:
+      rule_json = "\"parity\"";
+      break;
+    case RuleSpec::Kind::kKOfN:
+      rule_json = "{\"type\":\"kofn\",\"k\":" +
+                  std::to_string(std::min<std::uint32_t>(tc.rule.k, 64)) + "}";
+      break;
+    case RuleSpec::Kind::kSymmetric:
+      rule_json = "{\"type\":\"symmetric\",\"mask\":" +
+                  std::to_string(tc.rule.bits &
+                                 service::ServiceQuery::mask_bits(arity)) +
+                  "}";
+      break;
+  }
+
+  std::ostringstream qjson;
+  qjson << "{\"kind\":\"" << service::query_kind_name(kind) << "\""
+        << ",\"n\":" << tc.n << ",\"radius\":" << radius << ",\"topology\":\""
+        << (ring ? "ring" : "line") << "\",\"rule\":" << rule_json;
+  if (sweep) {
+    // Rotate-by-one sweep order: a valid non-identity permutation for
+    // n >= 2 (for n == 1 it IS the identity, which the service requires
+    // to be spelled as an omitted order).
+    qjson << ",\"scheme\":\"sweep\"";
+    if (tc.n >= 2) {
+      qjson << ",\"order\":[";
+      for (std::uint32_t i = 0; i < tc.n; ++i) {
+        qjson << (i ? "," : "") << (i + 1) % tc.n;
+      }
+      qjson << "]";
+    }
+  }
+  if (kind == service::QueryKind::kPreimageCount) {
+    qjson << ",\"target\":" << (tc.config_bits & (num_states - 1));
+  }
+  qjson << "}";
+
+  const service::ServiceQuery query =
+      service::ServiceQuery::from_json(service::parse_json(qjson.str()));
+
+  // The library side: the raw phase-space primitives, none of the service
+  // stack (no engine, no cache, no JSON round trip).
+  const Automaton a = query.automaton();
+  const phasespace::FunctionalGraph fg =
+      sweep ? phasespace::FunctionalGraph::sweep(a, query.effective_order())
+            : phasespace::FunctionalGraph::synchronous(a);
+
+  // The service side: a full in-process handler, twice — the second
+  // response must come from the cache and be byte-identical.
+  service::RequestHandler handler{service::HandlerOptions{}};
+  const std::string request =
+      "{\"op\":\"query\",\"id\":1,\"query\":" + qjson.str() + "}";
+  const std::string first = handler.handle(request);
+  const std::string second = handler.handle(request);
+
+  const service::JsonValue v1 = service::parse_json(first);
+  if (v1.string_or("status", "") != "ok") {
+    return PropertyResult::fail("service rejected " + qjson.str() + ": " +
+                                first);
+  }
+  if (v1.string_or("source", "") != "computed") {
+    return PropertyResult::fail("first response not computed: " + first);
+  }
+  const service::JsonValue v2 = service::parse_json(second);
+  if (v2.string_or("source", "") != "memory-cache") {
+    return PropertyResult::fail("second response not a cache hit: " + second);
+  }
+  const auto result_of = [](const std::string& response) {
+    const std::size_t pos = response.find("\"result\":");
+    return pos == std::string::npos
+               ? std::string()
+               : response.substr(pos + 9, response.size() - pos - 10);
+  };
+  if (result_of(first) != result_of(second)) {
+    return PropertyResult::fail(
+        "cached result is not byte-identical to the computed one");
+  }
+
+  const service::JsonValue* result = v1.find("result");
+  if (result == nullptr) return PropertyResult::fail("response lacks result");
+  const auto expect = [&](const char* field,
+                          std::uint64_t want) -> PropertyResult {
+    const std::uint64_t got = result->u64_or(field, ~std::uint64_t{0});
+    if (got != want) {
+      return PropertyResult::fail(std::string(field) + ": service says " +
+                                  std::to_string(got) + ", library says " +
+                                  std::to_string(want) + " for " +
+                                  qjson.str());
+    }
+    return PropertyResult::pass();
+  };
+
+  switch (kind) {
+    case service::QueryKind::kAttractorSummary: {
+      const phasespace::Classification c = phasespace::classify(fg);
+      for (const PropertyResult& r : {
+               expect("num_states", fg.num_states()),
+               expect("num_attractors", c.attractors.size()),
+               expect("num_fixed_points", c.num_fixed_points),
+               expect("num_cycle_states", c.num_cycle_states),
+               expect("num_transient_states", c.num_transient_states),
+               expect("num_gardens_of_eden", c.num_gardens_of_eden),
+               expect("max_period", c.max_period()),
+               expect("max_transient", c.max_transient),
+           }) {
+        if (!r.ok) return r;
+      }
+      break;
+    }
+    case service::QueryKind::kTransientDepth: {
+      const phasespace::Classification c = phasespace::classify(fg);
+      for (const PropertyResult& r : {
+               expect("max_transient", c.max_transient),
+               expect("num_transient_states", c.num_transient_states),
+           }) {
+        if (!r.ok) return r;
+      }
+      break;
+    }
+    case service::QueryKind::kGoeCensus: {
+      const phasespace::Classification c = phasespace::classify(fg);
+      for (const PropertyResult& r : {
+               expect("gardens", c.num_gardens_of_eden),
+               expect("scanned", fg.num_states()),
+           }) {
+        if (!r.ok) return r;
+      }
+      break;
+    }
+    case service::QueryKind::kPreimageCount: {
+      // Explicit enumeration as the reference — for synchronous rings this
+      // cross-validates the service's O(n) transfer-matrix path against
+      // brute force.
+      std::uint64_t count = 0;
+      for (const phasespace::StateCode succ : fg.successors()) {
+        count += succ == query.target ? 1 : 0;
+      }
+      return expect("preimage_count", count);
+    }
+  }
+  return PropertyResult::pass();
+}
+
 std::vector<Oracle> build_registry() {
   std::vector<Oracle> r;
   CaseOptions any;
@@ -471,6 +639,8 @@ std::vector<Oracle> build_registry() {
                check_batch_isa_agree});
   r.push_back({"supervised-equivalence", "SupervisedEquivalence", any,
                check_supervised_equivalence});
+  r.push_back({"service-vs-library", "ServiceVsLibrary", any,
+               check_service_vs_library});
   return r;
 }
 

@@ -65,6 +65,12 @@ TEST(DifferentialFuzz, SupervisedEquivalence) {
   run_oracle("supervised-equivalence");
 }
 
+// Service-vs-library oracle: the full in-process tcad request path
+// (parse -> canonicalize -> cache -> coalesce -> engine -> JSON) answers
+// bit-identically to direct phase-space library calls, and the cached
+// replay is byte-identical to the computed response (docs/service.md).
+TEST(DifferentialFuzz, ServiceVsLibrary) { run_oracle("service-vs-library"); }
+
 // The registry and this file must not drift apart: every registered oracle
 // has a TEST above (checked by name).
 TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
@@ -73,7 +79,7 @@ TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
       "parallel-period-two", "energy-descent",
       "bipartite-two-cycle", "aca-subsumption",
       "reach-subsumption", "budget-truncation", "batch-isa-agree",
-      "supervised-equivalence"};
+      "supervised-equivalence", "service-vs-library"};
   for (const auto& o : oracles()) {
     EXPECT_TRUE(driven.contains(o.name))
         << "oracle '" << o.name << "' is registered but has no fuzz TEST";

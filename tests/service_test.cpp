@@ -1,0 +1,344 @@
+// Unit tests for the tcad service brain (docs/service.md): canonical
+// query keys and digests, the two-tier content-addressed cache (LRU
+// order, disk round-trip, quarantine-on-corrupt), the request
+// coalescer ("N identical concurrent requests start exactly one engine
+// build", counter-asserted), and the handler's error envelope.
+//
+// Every test that touches disk gets its own unique temp directory —
+// the suite must stay safe under `ctest -j`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "service/cache.hpp"
+#include "service/engine.hpp"
+#include "service/handler.hpp"
+#include "service/json_parse.hpp"
+#include "service/query.hpp"
+
+namespace tca::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-test unique directory (pid + test name), removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = fs::temp_directory_path() /
+            ("tca_service_" + std::to_string(::getpid()) + "_" +
+             info->test_suite_name() + "_" + info->name());
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+ServiceQuery query_from(const std::string& json) {
+  return ServiceQuery::from_json(parse_json(json));
+}
+
+ServiceQuery attractor_query(std::uint32_t n) {
+  return query_from(R"({"kind":"attractor-summary","n":)" +
+                    std::to_string(n) +
+                    R"(,"radius":1,"rule":"majority","topology":"ring"})");
+}
+
+// ---------------------------------------------------------------------
+// Canonical keys and digests
+// ---------------------------------------------------------------------
+
+TEST(QueryDigest, FieldOrderDoesNotMatter) {
+  const ServiceQuery a = query_from(
+      R"({"kind":"goe-census","n":9,"radius":1,"rule":"parity","topology":"line"})");
+  const ServiceQuery b = query_from(
+      R"({"topology":"line","rule":"parity","radius":1,"n":9,"kind":"goe-census"})");
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(QueryDigest, ExplicitIdentityOrderCanonicalizesToDefault) {
+  // A sweep whose order is spelled out as the identity permutation is the
+  // same query as one whose order is omitted.
+  const ServiceQuery spelled = query_from(
+      R"({"kind":"attractor-summary","n":5,"radius":1,"rule":"majority",)"
+      R"("scheme":"sweep","order":[0,1,2,3,4]})");
+  const ServiceQuery omitted = query_from(
+      R"({"kind":"attractor-summary","n":5,"radius":1,"rule":"majority",)"
+      R"("scheme":"sweep"})");
+  EXPECT_EQ(spelled.canonical_key(), omitted.canonical_key());
+  EXPECT_EQ(spelled.digest(), omitted.digest());
+}
+
+TEST(QueryDigest, RuleShorthandMatchesObjectForm) {
+  const ServiceQuery shorthand = attractor_query(8);
+  const ServiceQuery object = query_from(
+      R"({"kind":"attractor-summary","n":8,"radius":1,)"
+      R"("rule":{"type":"majority"},"topology":"ring"})");
+  EXPECT_EQ(shorthand.canonical_key(), object.canonical_key());
+}
+
+TEST(QueryDigest, DistinctQueriesGetDistinctKeys) {
+  std::vector<std::string> keys = {
+      attractor_query(8).canonical_key(),
+      attractor_query(9).canonical_key(),
+      query_from(R"({"kind":"transient-depth","n":8,"radius":1,)"
+                 R"("rule":"majority","topology":"ring"})")
+          .canonical_key(),
+      query_from(R"({"kind":"attractor-summary","n":8,"radius":1,)"
+                 R"("rule":"majority","topology":"line"})")
+          .canonical_key(),
+      query_from(R"({"kind":"attractor-summary","n":8,"radius":1,)"
+                 R"("rule":"majority1","topology":"ring"})")
+          .canonical_key(),
+  };
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(QueryDigest, DigestIs16LowercaseHexChars) {
+  const std::string digest = attractor_query(8).digest();
+  ASSERT_EQ(digest.size(), 16u);
+  for (const char c : digest) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << digest;
+  }
+}
+
+TEST(QueryValidation, RejectsBadQueries) {
+  // Ring too small for the radius.
+  EXPECT_THROW(query_from(R"({"kind":"attractor-summary","n":4,"radius":2,)"
+                          R"("rule":"majority","topology":"ring"})"),
+               InvalidArgumentError);
+  // Sweep order must be a permutation.
+  EXPECT_THROW(query_from(R"({"kind":"attractor-summary","n":3,"radius":1,)"
+                          R"("rule":"majority","scheme":"sweep",)"
+                          R"("order":[0,0,1]})"),
+               InvalidArgumentError);
+  // Synchronous scheme takes no order.
+  EXPECT_THROW(query_from(R"({"kind":"attractor-summary","n":3,"radius":1,)"
+                          R"("rule":"majority","order":[2,1,0]})"),
+               InvalidArgumentError);
+  // Preimage target out of range.
+  EXPECT_THROW(query_from(R"({"kind":"preimage-count","n":4,"radius":1,)"
+                          R"("rule":"majority","target":16})"),
+               InvalidArgumentError);
+  // Explicit-graph query beyond the explicit-state ceiling.
+  EXPECT_THROW(query_from(R"({"kind":"attractor-summary","n":40,"radius":1,)"
+                          R"("rule":"majority","topology":"ring"})"),
+               DomainTooLargeError);
+}
+
+// ---------------------------------------------------------------------
+// Cache: memory tier
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheMemory, LruEvictionOrder) {
+  ResultCache cache({/*max_entries=*/3, /*disk_dir=*/""});
+  const ServiceQuery q5 = attractor_query(5);
+  const ServiceQuery q6 = attractor_query(6);
+  const ServiceQuery q7 = attractor_query(7);
+  const ServiceQuery q8 = attractor_query(8);
+
+  cache.insert(q5, "{\"a\":5}");
+  cache.insert(q6, "{\"a\":6}");
+  cache.insert(q7, "{\"a\":7}");
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.keys_by_recency(),
+            (std::vector<std::string>{q7.canonical_key(), q6.canonical_key(),
+                                      q5.canonical_key()}));
+
+  // Touch q5: it becomes most recent, so q6 is now the eviction victim.
+  ASSERT_TRUE(cache.lookup(q5).has_value());
+  cache.insert(q8, "{\"a\":8}");
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.keys_by_recency(),
+            (std::vector<std::string>{q8.canonical_key(), q5.canonical_key(),
+                                      q7.canonical_key()}));
+  EXPECT_FALSE(cache.lookup(q6).has_value());
+  const auto hit = cache.lookup(q5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result_json, "{\"a\":5}");
+  EXPECT_EQ(hit->tier, CacheTier::kMemory);
+}
+
+TEST(ResultCacheMemory, InsertRefreshesExistingEntry) {
+  ResultCache cache({2, ""});
+  const ServiceQuery q5 = attractor_query(5);
+  cache.insert(q5, "{\"v\":1}");
+  cache.insert(q5, "{\"v\":2}");
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup(q5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result_json, "{\"v\":2}");
+}
+
+// ---------------------------------------------------------------------
+// Cache: disk tier
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheDisk, RoundTripThroughAFreshCache) {
+  const TempDir dir;
+  const ServiceQuery q = attractor_query(6);
+  {
+    ResultCache writer({8, dir.str()});
+    writer.insert(q, "{\"answer\":42}");
+  }
+  // A fresh cache has a cold memory tier; the hit must come from disk and
+  // be promoted into memory.
+  ResultCache reader({8, dir.str()});
+  const auto first = reader.lookup(q);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->result_json, "{\"answer\":42}");
+  EXPECT_EQ(first->tier, CacheTier::kDisk);
+  const auto second = reader.lookup(q);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tier, CacheTier::kMemory);
+}
+
+TEST(ResultCacheDisk, CorruptEntryIsQuarantinedNotServed) {
+  const TempDir dir;
+  const ServiceQuery q = attractor_query(6);
+  std::string path;
+  {
+    ResultCache writer({8, dir.str()});
+    writer.insert(q, "{\"answer\":42}");
+    path = writer.disk_path(q);
+  }
+  ASSERT_TRUE(fs::exists(path));
+  // Flip one payload byte (the checkpoint checksum must catch it).
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-3, std::ios::end);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(-3, std::ios::end);
+    c = static_cast<char>(c ^ 0x5a);
+    f.write(&c, 1);
+  }
+  ResultCache reader({8, dir.str()});
+  EXPECT_FALSE(reader.lookup(q).has_value());
+  EXPECT_FALSE(fs::exists(path)) << "corrupt file must not stay in place";
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  // The quarantined file is out of the lookup path: still a miss, and no
+  // crash on repeat lookups.
+  EXPECT_FALSE(reader.lookup(q).has_value());
+}
+
+TEST(ResultCacheDisk, EmbeddedKeyMismatchIsQuarantined) {
+  const TempDir dir;
+  const ServiceQuery q6 = attractor_query(6);
+  const ServiceQuery q7 = attractor_query(7);
+  ResultCache cache({8, dir.str()});
+  cache.insert(q6, "{\"answer\":6}");
+  // Simulate a digest collision: q7's slot filled with q6's entry.
+  fs::copy_file(cache.disk_path(q6), cache.disk_path(q7));
+  ResultCache reader({8, dir.str()});
+  EXPECT_FALSE(reader.lookup(q7).has_value());
+  EXPECT_TRUE(fs::exists(cache.disk_path(q7) + ".quarantined"));
+}
+
+// ---------------------------------------------------------------------
+// Coalescing: N identical concurrent requests -> exactly one build
+// ---------------------------------------------------------------------
+
+TEST(Coalescing, ConcurrentIdenticalRequestsStartOneBuild) {
+  const TempDir dir;
+  HandlerOptions options;
+  options.cache.disk_dir = "";  // memory only: the engine must be the
+                                // only thing that can satisfy a miss
+  RequestHandler handler(options);
+
+  const std::string request =
+      R"({"op":"query","id":1,"query":{"kind":"attractor-summary","n":12,)"
+      R"("radius":1,"rule":"majority","topology":"ring"}})";
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<std::uint64_t> ok{0};
+  std::vector<std::string> sources(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string response = handler.handle(request);
+      const JsonValue v = parse_json(response);
+      if (v.string_or("status", "") == "ok") ok.fetch_add(1);
+      sources[i] = v.string_or("source", "");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok.load(), kThreads);
+  // The counter-asserted invariant: one engine build, total.
+  EXPECT_EQ(handler.engine().builds_started(), 1u);
+  std::size_t computed = 0;
+  for (const std::string& s : sources) {
+    EXPECT_TRUE(s == "computed" || s == "coalesced" || s == "memory-cache")
+        << s;
+    if (s == "computed") ++computed;
+  }
+  EXPECT_EQ(computed, 1u);
+  EXPECT_EQ(handler.active_requests(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Handler error envelope
+// ---------------------------------------------------------------------
+
+TEST(Handler, MalformedRequestsBecomeErrorResponses) {
+  RequestHandler handler(HandlerOptions{});
+  for (const char* bad : {
+           "not json at all",
+           "{}",
+           R"({"op":"launch-missiles","id":1})",
+           R"({"op":"query","id":1})",
+           R"({"op":"query","id":1,"query":{"kind":"attractor-summary"}})",
+       }) {
+    const std::string response = handler.handle(bad);
+    const JsonValue v = parse_json(response);
+    EXPECT_EQ(v.string_or("status", ""), "error") << bad;
+    EXPECT_NE(v.find("error"), nullptr) << bad;
+  }
+  EXPECT_EQ(handler.active_requests(), 0u);
+}
+
+TEST(Handler, CachedAnswerIsBitIdenticalToComputedAnswer) {
+  RequestHandler handler(HandlerOptions{});
+  const std::string request =
+      R"({"op":"query","id":7,"query":{"kind":"transient-depth","n":8,)"
+      R"("radius":1,"rule":"majority","topology":"ring"}})";
+  const std::string first = handler.handle(request);
+  const std::string second = handler.handle(request);
+  const JsonValue v1 = parse_json(first);
+  const JsonValue v2 = parse_json(second);
+  EXPECT_EQ(v1.string_or("source", ""), "computed");
+  EXPECT_EQ(v2.string_or("source", ""), "memory-cache");
+  // Identical modulo the source tag: compare the result payloads.
+  const auto result_of = [](const std::string& s) {
+    const std::size_t pos = s.find("\"result\":");
+    return pos == std::string::npos ? std::string()
+                                    : s.substr(pos, s.size() - pos - 1);
+  };
+  EXPECT_EQ(result_of(first), result_of(second));
+  EXPECT_NE(result_of(first), "");
+}
+
+}  // namespace
+}  // namespace tca::service
