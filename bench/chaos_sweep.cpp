@@ -11,7 +11,11 @@
 //     each segment into a generational CheckpointStore and resumes from
 //     the newest checksum-valid generation on retry;
 //   * mode B — a parallel phase-space build across a ThreadPool under the
-//     Supervisor's retry/degradation ladder.
+//     Supervisor's retry/degradation ladder;
+//   * mode C — a DISK-BACKED sharded build killed mid-spill (budget trip
+//     between extents), with one spilled byte deliberately corrupted
+//     before a resume=true rebuild: the digest revalidation must drop
+//     exactly the poisoned extent and the rebuild must end bit-identical.
 //
 // THE invariant (ISSUE 7): every supervised run must end either
 // bit-identical to the fault-free baseline, as a well-formed truncated
@@ -27,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +40,8 @@
 #include "core/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "phasespace/functional_graph.hpp"
+#include "phasespace/sharded_build.hpp"
+#include "phasespace/successor_store.hpp"
 #include "phasespace/supervised.hpp"
 #include "runtime/ckpt_store.hpp"
 #include "runtime/fault.hpp"
@@ -62,13 +69,16 @@ struct Rng {
   bool chance(std::uint64_t percent) { return below(100) < percent; }
 };
 
+enum class Mode { kSegmented, kParallel, kDiskSharded };
+
 struct Scenario {
   std::uint64_t seed = 0;
   std::size_t cells = 8;
   bool majority_rule = true;
-  bool parallel_mode = false;  ///< false = mode A (segmented), true = B
+  Mode mode = Mode::kSegmented;
   runtime::EngineRung start_rung = runtime::EngineRung::kWideSimd;
   runtime::FaultPlan plan;
+  std::uint64_t corrupt_salt = 0;  ///< mode C: picks the poisoned byte
 };
 
 Scenario make_scenario(std::uint64_t seed) {
@@ -77,7 +87,10 @@ Scenario make_scenario(std::uint64_t seed) {
   s.seed = seed;
   s.cells = 8 + rng.below(4);  // 2^8 .. 2^11 states: fast but non-trivial
   s.majority_rule = rng.chance(50);
-  s.parallel_mode = rng.chance(35);
+  const std::uint64_t mode_draw = rng.below(100);
+  s.mode = mode_draw < 25   ? Mode::kDiskSharded
+           : mode_draw < 60 ? Mode::kParallel
+                            : Mode::kSegmented;
   s.start_rung = static_cast<runtime::EngineRung>(
       rng.below(runtime::kEngineRungCount));
   const std::uint64_t count = std::uint64_t{1} << s.cells;
@@ -86,7 +99,16 @@ Scenario make_scenario(std::uint64_t seed) {
   // case is bounded and the supervisor's attempt budget (8) always covers
   // the recoverable-failure count — a terminal outcome is therefore
   // always a bug, never bad luck.
-  if (s.parallel_mode) {
+  if (s.mode == Mode::kDiskSharded) {
+    // The kill-mid-spill fault: cancel somewhere inside the build so some
+    // extents are on disk and some are not; plus the usual transients.
+    if (rng.chance(75)) s.plan.cancel_at_visit = 1 + rng.below(count);
+    if (rng.chance(35)) s.plan.retry_transient_at = 1 + rng.below(2);
+    if (rng.chance(25)) s.plan.fail_thread_spawn = true;
+    s.corrupt_salt = rng.next();
+    return s;
+  }
+  if (s.mode == Mode::kParallel) {
     if (rng.chance(60)) s.plan.chunk_exception_at = 1 + rng.below(3);
     if (rng.chance(40)) s.plan.fail_thread_spawn = true;
     if (rng.chance(40)) s.plan.retry_transient_at = 1 + rng.below(2);
@@ -280,6 +302,103 @@ ScenarioOutcome run_parallel(const Scenario& s, const core::Automaton& a,
   return out;
 }
 
+/// Mode C: a disk-backed sharded build is killed mid-spill (budget trip
+/// between extents — the store holds only whole digest-recorded shards),
+/// ONE byte of the spilled data is flipped, and a resume=true supervised
+/// rebuild runs fault-free. Invariants: the truncated pass is counts-only
+/// with a finalized manifest; resume drops the poisoned extent instead of
+/// trusting it; the rebuild is bit-identical to the baseline.
+ScenarioOutcome run_disk_sharded(const Scenario& s, const core::Automaton& a,
+                                 const std::vector<phasespace::StateCode>& base,
+                                 const fs::path& workdir) {
+  const std::uint64_t count = std::uint64_t{1} << s.cells;
+  phasespace::ShardedBuildOptions options;
+  options.store = phasespace::StoreKind::kDisk;
+  options.disk_dir = (workdir / "store").string();
+  options.shard_states = phasespace::kPutAlign;
+  options.workers = 2;
+  options.rung = s.start_rung;
+
+  ScenarioOutcome out;
+  bool truncated_pass = false;
+
+  // Pass 1 runs under the installed fault plan (the caller scopes it).
+  try {
+    runtime::RunControl control{runtime::RunBudget{}};
+    const phasespace::ShardedBuild first =
+        phasespace::build_synchronous_sharded(a, options, control);
+    if (first.complete()) {
+      std::vector<phasespace::StateCode> table(count);
+      first.store->read_range(0, count, table.data());
+      if (table != base) {
+        out.note = "mode C pass 1 completed but differs from baseline";
+        return out;
+      }
+    } else {
+      truncated_pass = true;
+      if (first.build.states_built > count) {
+        out.note = "mode C truncated pass overcounts states";
+        return out;
+      }
+    }
+  } catch (const tca::Error&) {
+    // An injected transient surfaced as an exception; the resume pass
+    // below must still recover everything from the manifest.
+    truncated_pass = true;
+  }
+
+  // Poison one spilled byte (bit rot / torn pwrite survivor). The resume
+  // digest check must refuse the extent rather than serve bad data.
+  const fs::path data = workdir / "store" / "succ.dat";
+  std::error_code ec;
+  const std::uint64_t data_size =
+      fs::exists(data, ec) ? fs::file_size(data, ec) : 0;
+  if (data_size > 0) {
+    std::fstream f(data, std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint64_t byte = s.corrupt_salt % data_size;
+    f.seekg(static_cast<std::streamoff>(byte));
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(static_cast<std::streamoff>(byte));
+    c = static_cast<char>(c ^ 0x20);
+    f.write(&c, 1);
+  }
+
+  // Pass 2: resume rebuild under the Supervisor. Fault knobs that did
+  // not fire in pass 1 (a late cancel, a second transient) may fire
+  // here; a cancel makes THIS pass a well-formed truncation, which is a
+  // legitimate leg, not a violation.
+  options.resume = true;
+  const phasespace::SupervisedShardedBuild second =
+      phasespace::supervised_synchronous_sharded(a, options,
+                                                 supervisor_options(s));
+  if (second.report.state == runtime::SupervisedState::kTruncated) {
+    if (second.build.build.states_built > count) {
+      out.note = "mode C truncated resume pass overcounts states";
+      return out;
+    }
+    out.leg = Leg::kTruncated;
+    return out;
+  }
+  if (second.report.state != runtime::SupervisedState::kCompleted ||
+      !second.build.complete()) {
+    out.note = "mode C resume rebuild did not complete: " +
+               std::string(error_code_name(second.report.last_error)) + " (" +
+               second.report.last_error_what + ")";
+    return out;
+  }
+  std::vector<phasespace::StateCode> table(count);
+  second.build.store->read_range(0, count, table.data());
+  if (table != base) {
+    out.note = "mode C resumed table differs from fault-free baseline";
+    return out;
+  }
+  out.leg = truncated_pass || second.build.stats.resumed_states > 0
+                ? Leg::kResumed
+                : Leg::kIdentical;
+  return out;
+}
+
 ScenarioOutcome run_scenario(const Scenario& s, bool verbose) {
   const auto a = make_ring(s);
   // Fault-free baseline FIRST, before any plan is installed.
@@ -296,8 +415,13 @@ ScenarioOutcome run_scenario(const Scenario& s, bool verbose) {
   ScenarioOutcome out;
   {
     runtime::ScopedFaultPlan plan(s.plan);
-    out = s.parallel_mode ? run_parallel(s, a, base)
-                          : run_segmented(s, a, base, workdir);
+    switch (s.mode) {
+      case Mode::kSegmented: out = run_segmented(s, a, base, workdir); break;
+      case Mode::kParallel: out = run_parallel(s, a, base); break;
+      case Mode::kDiskSharded:
+        out = run_disk_sharded(s, a, base, workdir);
+        break;
+    }
   }
   fs::remove_all(workdir, ec);
 
@@ -306,10 +430,12 @@ ScenarioOutcome run_scenario(const Scenario& s, bool verbose) {
     static const char* kLegNames[] = {"bit-identical", "truncated",
                                       "resumed-from-last-good",
                                       "VIOLATION"};
+    static const char* kModeNames[] = {"segmented", "parallel",
+                                       "disk-sharded"};
     std::printf("seed=%llu n=%zu rule=%s mode=%s rung=%s plan={%s} -> %s%s%s\n",
                 static_cast<unsigned long long>(s.seed), s.cells,
                 s.majority_rule ? "majority" : "parity",
-                s.parallel_mode ? "parallel" : "segmented",
+                kModeNames[static_cast<int>(s.mode)],
                 runtime::rung_name(s.start_rung), describe_plan(s, knobs),
                 kLegNames[static_cast<int>(out.leg)],
                 out.note.empty() ? "" : ": ", out.note.c_str());

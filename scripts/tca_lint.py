@@ -223,6 +223,11 @@ EXPLICIT_BITS_ENTRIES = (
     EntryPoint("src/phasespace/preimage.cpp",
                r"count_gardens_of_eden_explicit",
                "count_gardens_of_eden_explicit"),
+    EntryPoint("src/phasespace/preimage.cpp",
+               r"GoeCensus\s+count_gardens_of_eden\b",
+               "count_gardens_of_eden"),
+    EntryPoint("src/phasespace/sharded_build.cpp",
+               r"ShardedBuild\s+build_sharded", "build_sharded"),
     EntryPoint("src/phasespace/choice_digraph.cpp",
                r"ChoiceDigraph::ChoiceDigraph", "ChoiceDigraph"),
     EntryPoint("src/rules/analyze.cpp",
@@ -250,6 +255,11 @@ SPAN_ENTRIES = (
     EntryPoint("src/phasespace/preimage.cpp",
                r"count_gardens_of_eden_explicit",
                "count_gardens_of_eden_explicit"),
+    EntryPoint("src/phasespace/preimage.cpp",
+               r"GoeCensus\s+count_gardens_of_eden\b",
+               "count_gardens_of_eden"),
+    EntryPoint("src/phasespace/sharded_build.cpp",
+               r"ShardedBuild\s+build_sharded", "build_sharded"),
     EntryPoint("src/aca/explorer.cpp", r"ReachSet\s+explore", "explore"),
     EntryPoint("src/interleave/explorer.cpp",
                r"interleaving_outcomes", "interleaving_outcomes"),

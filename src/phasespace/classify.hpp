@@ -59,9 +59,18 @@ struct Classification {
 };
 
 /// Classifies every state of the functional graph. O(num_states) time.
+/// Works on every storage backend: the cycle/transient walks go through
+/// FunctionalGraph::succ (random access — flat index, packed decode, or
+/// disk mmap) and the in-degree pass streams via the store.
 [[nodiscard]] Classification classify(const FunctionalGraph& fg);
 
 /// In-degree of each state (preimage counts under F).
 [[nodiscard]] std::vector<std::uint32_t> in_degrees(const FunctionalGraph& fg);
+
+/// Store-generic in-degrees: one sequential streamed pass over any
+/// SuccessorStore backend (the surface the service tier and the disk
+/// censuses use; the FunctionalGraph overload delegates here).
+[[nodiscard]] std::vector<std::uint32_t> in_degrees(
+    const SuccessorStore& store);
 
 }  // namespace tca::phasespace

@@ -101,8 +101,10 @@ FunctionalGraph::FunctionalGraph(std::uint32_t bits, const CodeStepFn& step)
   tca::require_explicit_bits(bits, kMaxExplicitBits, "FunctionalGraph");
   const StateCode count = StateCode{1} << bits;
   runtime::fault::check_alloc(count * sizeof(StateCode));
-  succ_.resize(count);
-  for (StateCode s = 0; s < count; ++s) succ_[s] = step(s);
+  std::vector<StateCode> succ(count);
+  for (StateCode s = 0; s < count; ++s) succ[s] = step(s);
+  store_ = std::make_shared<FlatStore>(bits, std::move(succ));
+  flat_ = store_->flat_table()->data();
   publish_build_tallies(count);
 }
 
@@ -119,8 +121,46 @@ FunctionalGraph FunctionalGraph::from_table(std::uint32_t bits,
   }
   FunctionalGraph fg;
   fg.bits_ = bits;
-  fg.succ_ = std::move(succ);
+  fg.store_ = std::make_shared<FlatStore>(bits, std::move(succ));
+  fg.flat_ = fg.store_->flat_table()->data();
   return fg;
+}
+
+FunctionalGraph FunctionalGraph::from_store(
+    std::shared_ptr<SuccessorStore> store) {
+  if (store == nullptr) {
+    throw tca::InvalidArgumentError("FunctionalGraph::from_store: null store");
+  }
+  const std::uint32_t bits = store->bits();
+  tca::require_explicit_bits(bits, max_explicit_bits(store->kind()),
+                             "FunctionalGraph::from_store");
+  if (store->num_entries() != (StateCode{1} << bits)) {
+    throw tca::InvalidArgumentError(
+        "FunctionalGraph::from_store: store holds " +
+            std::to_string(store->num_entries()) + " entries, expected 2^" +
+            std::to_string(bits),
+        tca::ErrorCode::kSizeMismatch);
+  }
+  FunctionalGraph fg;
+  fg.bits_ = bits;
+  fg.store_ = std::move(store);
+  if (const std::vector<StateCode>* t = fg.store_->flat_table()) {
+    fg.flat_ = t->data();
+  }
+  return fg;
+}
+
+const std::vector<StateCode>& FunctionalGraph::successors() const {
+  const std::vector<StateCode>* t = store_->flat_table();
+  if (t == nullptr) {
+    throw tca::StateError(
+        std::string("FunctionalGraph::successors: the ") +
+            store_kind_name(store_->kind()) +
+            " backend has no flat table; iterate via "
+            "store().for_each_range() instead",
+        tca::ErrorCode::kInvalidState);
+  }
+  return *t;
 }
 
 FunctionalGraph FunctionalGraph::synchronous(const core::Automaton& a) {

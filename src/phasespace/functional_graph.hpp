@@ -30,19 +30,24 @@
 #include "core/batch_kernels.hpp"
 #include "core/configuration.hpp"
 #include "core/thread_pool.hpp"
+#include "phasespace/successor_store.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/supervisor.hpp"
 
 namespace tca::phasespace {
 
-/// Encoded global configuration (bit i = cell i).
-using StateCode = std::uint64_t;
+// StateCode (encoded global configuration, bit i = cell i) now lives in
+// successor_store.hpp, below this header.
 
 /// Deterministic successor map over encoded states.
 using CodeStepFn = std::function<StateCode(StateCode)>;
 
-/// Hard cap on explicit enumeration (2^26 states x 4 bytes = 256 MiB).
-inline constexpr std::uint32_t kMaxExplicitBits = 26;
+/// Hard cap on FLAT explicit enumeration (2^26 states x 8 bytes of
+/// StateCode = 512 MiB). Backend-aware caps — packed n=29, disk n=32 —
+/// come from max_explicit_bits(StoreKind) in successor_store.hpp; this
+/// constant is the kFlat instance, kept for the pre-store call sites.
+inline constexpr std::uint32_t kMaxExplicitBits =
+    max_explicit_bits(StoreKind::kFlat);
 
 struct FunctionalGraphBuild;
 
@@ -55,6 +60,12 @@ class FunctionalGraph {
   /// Wraps an externally computed successor table (size must be 2^bits).
   static FunctionalGraph from_table(std::uint32_t bits,
                                     std::vector<StateCode> succ);
+
+  /// Wraps a completed SuccessorStore of any backend (the sharded /
+  /// succinct / disk build surface, phasespace/sharded_build.hpp). The
+  /// store must hold 2^bits() == num_entries() finalized successors;
+  /// `bits` is validated against max_explicit_bits(store->kind()).
+  static FunctionalGraph from_store(std::shared_ptr<SuccessorStore> store);
 
   /// Phase space of the classical parallel CA (synchronous global map F).
   static FunctionalGraph synchronous(const core::Automaton& a);
@@ -83,16 +94,30 @@ class FunctionalGraph {
   [[nodiscard]] StateCode num_states() const noexcept {
     return StateCode{1} << bits_;
   }
-  [[nodiscard]] StateCode succ(StateCode s) const { return succ_[s]; }
-  [[nodiscard]] const std::vector<StateCode>& successors() const noexcept {
-    return succ_;
+  /// Successor of s. Direct array indexing on the flat backend; a store
+  /// read (packed decode / disk mmap) otherwise.
+  [[nodiscard]] StateCode succ(StateCode s) const {
+    return flat_ != nullptr ? flat_[s] : store_->get(s);
   }
+  /// The storage backend (flat / packed / disk) this graph reads from.
+  [[nodiscard]] const SuccessorStore& store() const noexcept {
+    return *store_;
+  }
+  /// The flat successor vector. Only the kFlat backend has one; throws
+  /// tca::StateError otherwise — backend-generic consumers iterate via
+  /// store().for_each_range() instead.
+  [[nodiscard]] const std::vector<StateCode>& successors() const;
 
  private:
   FunctionalGraph() = default;  // for the parallel builder
 
   std::uint32_t bits_ = 0;
-  std::vector<StateCode> succ_;
+  /// Shared, immutable-after-build storage: copying a FunctionalGraph
+  /// shares the table instead of duplicating up to 512 MiB.
+  std::shared_ptr<SuccessorStore> store_;
+  /// Cached FlatStore table pointer so succ() stays one indexed load on
+  /// the default backend.
+  const StateCode* flat_ = nullptr;
 };
 
 /// Outcome of a budgeted phase-space build. `graph` is engaged iff the

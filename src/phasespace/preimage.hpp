@@ -22,6 +22,7 @@
 
 #include "core/automaton.hpp"
 #include "core/configuration.hpp"
+#include "phasespace/successor_store.hpp"
 #include "rules/rule.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/supervisor.hpp"
@@ -129,6 +130,16 @@ struct GoeCensus {
 /// Unbudgeted convenience: either completes or throws.
 [[nodiscard]] std::uint64_t count_gardens_of_eden_explicit(
     const core::Automaton& a);
+
+/// Store-generic census over an ALREADY-BUILT successor table: streams
+/// any SuccessorStore backend (flat / packed / disk) into a
+/// reached-states bitmap in bounded blocks — the disk backend serves the
+/// scan with pread, so an n=28-32 census runs in bitmap + block memory
+/// (1 bit/state + O(4096) staging), never materializing the table in
+/// RAM. Identical gardens/scanned semantics to the explicit census
+/// above; the store must be complete and finalized.
+[[nodiscard]] GoeCensus count_gardens_of_eden(const SuccessorStore& store,
+                                              runtime::RunControl& control);
 
 /// Number of FIXED POINTS of the parallel map on an n-cell ring, by the
 /// same transfer-matrix trick with the constraint "rule output == the

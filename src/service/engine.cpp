@@ -87,7 +87,11 @@ phasespace::BatchCodeStepper make_stepper(const core::Automaton& a,
   return phasespace::BatchCodeStepper(a, rung);
 }
 
-/// Derives the typed result from a completed explicit graph.
+/// Derives the typed result from a completed explicit graph. Every path
+/// is storage-generic: random access goes through FunctionalGraph::succ
+/// and whole-table scans stream via SuccessorStore::for_each_range, so
+/// the same code serves the flat, packed, and disk backends
+/// (docs/service.md "storage backends").
 QueryResult result_from_graph(const ServiceQuery& query,
                               const phasespace::FunctionalGraph& fg) {
   QueryResult r;
@@ -109,7 +113,8 @@ QueryResult result_from_graph(const ServiceQuery& query,
       break;
     }
     case QueryKind::kGoeCensus: {
-      const std::vector<std::uint32_t> indeg = phasespace::in_degrees(fg);
+      const std::vector<std::uint32_t> indeg =
+          phasespace::in_degrees(fg.store());
       r.gardens = static_cast<std::uint64_t>(
           std::count(indeg.begin(), indeg.end(), 0u));
       r.scanned = fg.num_states();
@@ -117,9 +122,13 @@ QueryResult result_from_graph(const ServiceQuery& query,
     }
     case QueryKind::kPreimageCount: {
       std::uint64_t count = 0;
-      for (const phasespace::StateCode s : fg.successors()) {
-        count += s == query.target ? 1 : 0;
-      }
+      fg.store().for_each_range(
+          [&](phasespace::StateCode, std::size_t n,
+              const phasespace::StateCode* block) {
+            for (std::size_t i = 0; i < n; ++i) {
+              count += block[i] == query.target ? 1 : 0;
+            }
+          });
       r.preimage_count = count;
       r.is_garden_of_eden = count == 0;
       r.method = "explicit";
@@ -409,10 +418,45 @@ QueryOutcome QueryEngine::run_explicit(const ServiceQuery& query,
   }
 
   out.states_done = built;
-  const phasespace::FunctionalGraph fg =
-      phasespace::FunctionalGraph::from_table(query.n, std::move(succ));
-  out.result = result_from_graph(query, fg);
+  // Completed table -> configured storage backend. kFlat adopts the
+  // vector as-is; kPacked re-encodes to n bits per successor and drops
+  // the 8-byte staging table; kDisk spills under ckpt_dir/store/ and
+  // streams results back with bounded RAM. Result derivation is
+  // backend-generic (result_from_graph), so all three agree bit-for-bit.
+  phasespace::StoreKind store_kind = options_.store;
+  if (store_kind == phasespace::StoreKind::kDisk &&
+      options_.ckpt_dir.empty()) {
+    obs::log_event(obs::LogLevel::kWarn, "service.store.fallback",
+                   {{"reason", "disk backend needs ckpt_dir"},
+                    {"fallback", "flat"}});
+    store_kind = phasespace::StoreKind::kFlat;
+  }
+  std::optional<phasespace::FunctionalGraph> fg;
+  if (store_kind == phasespace::StoreKind::kFlat) {
+    fg.emplace(
+        phasespace::FunctionalGraph::from_table(query.n, std::move(succ)));
+  } else {
+    const std::string disk_dir =
+        store_kind == phasespace::StoreKind::kDisk
+            ? (fs::path(options_.ckpt_dir) / "store" / query.digest()).string()
+            : std::string();
+    std::shared_ptr<phasespace::SuccessorStore> backend =
+        phasespace::make_store(store_kind, query.n, disk_dir);
+    backend->put_range(0, static_cast<std::size_t>(total), succ.data());
+    backend->finalize();
+    succ = {};  // release the 8-byte staging table before deriving results
+    fg.emplace(phasespace::FunctionalGraph::from_store(std::move(backend)));
+  }
+  out.result = result_from_graph(query, *fg);
   out.status = QueryOutcome::Status::kOk;
+
+  // The spilled table is scratch space for result derivation, not a
+  // cache (the RESULT cache lives in front of the engine); reclaim it.
+  if (store_kind == phasespace::StoreKind::kDisk) {
+    fg.reset();  // unmap before unlinking
+    std::error_code ec;
+    fs::remove_all(fs::path(options_.ckpt_dir) / "store" / query.digest(), ec);
+  }
 
   // A completed build's resume checkpoints are dead weight (the RESULT is
   // now in the cache); drop them. Quarantined files are left alone.

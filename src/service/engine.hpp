@@ -33,6 +33,7 @@
 #include <string>
 
 #include "core/annotations.hpp"
+#include "phasespace/successor_store.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/supervisor.hpp"
 #include "service/query.hpp"
@@ -52,6 +53,14 @@ struct EngineOptions {
   /// Retry/degradation policy for supervised builds. The per-request
   /// budget is layered on top as the attempt budget.
   runtime::SupervisorOptions supervisor;
+  /// Successor-storage backend completed explicit graphs are held in
+  /// while results are derived (docs/service.md "storage backends"):
+  /// kFlat keeps the raw 8-byte table, kPacked re-encodes to n bits per
+  /// successor (~8x smaller resident set per admitted build at n=26),
+  /// kDisk spills the table under ckpt_dir and streams results back with
+  /// bounded RAM. All backends produce bit-identical results (pinned by
+  /// the store-backend-agree oracle).
+  phasespace::StoreKind store = phasespace::StoreKind::kFlat;
 };
 
 /// Per-request resource limits, parsed from the request's "budget" object.

@@ -1,6 +1,7 @@
 #include "testing/oracles.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <random>
 #include <span>
 #include <sstream>
@@ -22,6 +23,8 @@
 #include "graph/properties.hpp"
 #include "phasespace/classify.hpp"
 #include "phasespace/functional_graph.hpp"
+#include "phasespace/sharded_build.hpp"
+#include "phasespace/successor_store.hpp"
 #include "phasespace/supervised.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/fault.hpp"
@@ -603,6 +606,87 @@ PropertyResult check_service_vs_library(const TestCase& tc) {
   return PropertyResult::pass();
 }
 
+PropertyResult check_store_backend_agree(const TestCase& tc) {
+  if (tc.n == 0 || tc.n > kExplicitBits) return PropertyResult::pass();
+  const auto a = tc.automaton();
+
+  // Reference: the serial flat build.
+  const auto reference = phasespace::FunctionalGraph::synchronous(a);
+
+  // Seed-rotated build shape so the sweep covers worker counts, shard
+  // sizes (including non-multiples of 64, which straddle packed words
+  // across shard boundaries), and ladder rungs.
+  phasespace::ShardedBuildOptions options;
+  options.workers = 1 + static_cast<unsigned>(tc.seed % 3);
+  options.shard_states = 1 + (tc.seed >> 2) % 130;
+  options.rung =
+      static_cast<runtime::EngineRung>(tc.seed % runtime::kEngineRungCount);
+
+  const auto check_backend =
+      [&](phasespace::StoreKind kind,
+          const std::string& disk_dir) -> PropertyResult {
+    phasespace::ShardedBuildOptions opt = options;
+    opt.store = kind;
+    opt.disk_dir = disk_dir;
+    runtime::RunControl control{runtime::RunBudget{}};
+    const phasespace::ShardedBuild out =
+        phasespace::build_synchronous_sharded(a, opt, control);
+    if (!out.complete() || out.store == nullptr) {
+      return PropertyResult::fail(
+          std::string("unbudgeted sharded build on the ") +
+          phasespace::store_kind_name(kind) + " backend did not complete");
+    }
+    // Successor tables must be bit-identical entry by entry...
+    PropertyResult verdict = PropertyResult::pass();
+    out.store->for_each_range([&](phasespace::StateCode first, std::size_t n,
+                                  const phasespace::StateCode* block) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (verdict.ok && block[i] != reference.succ(first + i)) {
+          verdict = PropertyResult::fail(
+              std::string(phasespace::store_kind_name(kind)) +
+              " backend diverges from the flat serial table at state " +
+              std::to_string(first + i) + ": " + std::to_string(block[i]) +
+              " vs " + std::to_string(reference.succ(first + i)));
+        }
+      }
+    });
+    if (!verdict.ok) return verdict;
+    // ... and so must the classify summary derived THROUGH the backend.
+    const phasespace::Classification got =
+        phasespace::classify(*out.build.graph);
+    const phasespace::Classification want = phasespace::classify(reference);
+    if (got.num_fixed_points != want.num_fixed_points ||
+        got.num_cycle_states != want.num_cycle_states ||
+        got.num_transient_states != want.num_transient_states ||
+        got.num_gardens_of_eden != want.num_gardens_of_eden ||
+        got.max_period() != want.max_period() ||
+        got.max_transient != want.max_transient ||
+        got.attractors.size() != want.attractors.size()) {
+      return PropertyResult::fail(
+          std::string(phasespace::store_kind_name(kind)) +
+          " backend classify summary diverges from the flat one");
+    }
+    return PropertyResult::pass();
+  };
+
+  for (const auto kind :
+       {phasespace::StoreKind::kFlat, phasespace::StoreKind::kPacked}) {
+    const PropertyResult r = check_backend(kind, "");
+    if (!r.ok) return r;
+  }
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("tca-store-oracle-" + std::to_string(tc.seed) + "-" +
+       std::to_string(tc.n));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  const PropertyResult r =
+      check_backend(phasespace::StoreKind::kDisk, dir.string());
+  fs::remove_all(dir, ec);
+  return r;
+}
+
 std::vector<Oracle> build_registry() {
   std::vector<Oracle> r;
   CaseOptions any;
@@ -641,6 +725,8 @@ std::vector<Oracle> build_registry() {
                check_supervised_equivalence});
   r.push_back({"service-vs-library", "ServiceVsLibrary", any,
                check_service_vs_library});
+  r.push_back({"store-backend-agree", "StoreBackendAgree", any,
+               check_store_backend_agree});
   return r;
 }
 

@@ -71,6 +71,14 @@ TEST(DifferentialFuzz, SupervisedEquivalence) {
 // replay is byte-identical to the computed response (docs/service.md).
 TEST(DifferentialFuzz, ServiceVsLibrary) { run_oracle("service-vs-library"); }
 
+// Storage-backend oracle: the sharded work-stealing build writes a
+// bit-identical successor table through every SuccessorStore backend
+// (flat / packed n-bit / disk-spilled), across seed-rotated worker
+// counts, shard sizes, and engine rungs, and classify summaries derived
+// through each backend agree (docs/performance.md "successor storage
+// hierarchy").
+TEST(DifferentialFuzz, StoreBackendAgree) { run_oracle("store-backend-agree"); }
+
 // The registry and this file must not drift apart: every registered oracle
 // has a TEST above (checked by name).
 TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
@@ -79,7 +87,7 @@ TEST(DifferentialFuzz, EveryRegisteredOracleIsDriven) {
       "parallel-period-two", "energy-descent",
       "bipartite-two-cycle", "aca-subsumption",
       "reach-subsumption", "budget-truncation", "batch-isa-agree",
-      "supervised-equivalence", "service-vs-library"};
+      "supervised-equivalence", "service-vs-library", "store-backend-agree"};
   for (const auto& o : oracles()) {
     EXPECT_TRUE(driven.contains(o.name))
         << "oracle '" << o.name << "' is registered but has no fuzz TEST";

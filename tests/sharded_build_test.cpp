@@ -1,0 +1,231 @@
+// Sharded work-stealing phase-space builds (docs/performance.md):
+// shard-boundary exactness against the serial table, determinism across
+// worker counts and steal interleavings, the budget/truncation contract,
+// NUMA topology probing, and disk-backed resume through the supervised
+// wrapper.
+
+#include "phasespace/sharded_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "phasespace/classify.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/error.hpp"
+#include "runtime/fault.hpp"
+
+namespace tca::phasespace {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::Automaton majority_ring(std::size_t n) {
+  return core::Automaton::line(n, 1, core::Boundary::kRing,
+                               rules::majority(), core::Memory::kWith);
+}
+
+std::vector<StateCode> table_of(const SuccessorStore& store) {
+  std::vector<StateCode> v(static_cast<std::size_t>(store.num_entries()));
+  store.read_range(0, v.size(), v.data());
+  return v;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag)
+      : path_(fs::temp_directory_path() /
+              (std::string("tca-sharded-test-") + tag)) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(NumaTopology, ProbeAlwaysYieldsAtLeastOneGroupWithCpus) {
+  const NumaTopology topo = probe_numa_topology();
+  ASSERT_GE(topo.groups.size(), 1u);
+  EXPECT_GE(topo.total_cpus(), 1u);
+  for (std::size_t g = 1; g < topo.groups.size(); ++g) {
+    EXPECT_LT(topo.groups[g - 1].node, topo.groups[g].node)
+        << "groups must be sorted by node id";
+  }
+}
+
+// Satellite: shard sizes 1/63/64/65 — the degenerate single-entry shard
+// and the sizes that straddle packed 64-bit words both ways — must all
+// reproduce the serial table exactly on every backend.
+TEST(ShardedBuild, ShardBoundaryExactness) {
+  const auto a = majority_ring(10);
+  const auto serial = FunctionalGraph::synchronous(a);
+  for (const StateCode shard : {1ull, 63ull, 64ull, 65ull}) {
+    for (const StoreKind kind : {StoreKind::kFlat, StoreKind::kPacked}) {
+      SCOPED_TRACE("shard_states=" + std::to_string(shard) + " kind=" +
+                   store_kind_name(kind));
+      ShardedBuildOptions options;
+      options.store = kind;
+      options.shard_states = shard;
+      options.workers = 3;
+      runtime::RunControl control{runtime::RunBudget{}};
+      const ShardedBuild out = build_synchronous_sharded(a, options, control);
+      ASSERT_TRUE(out.complete());
+      ASSERT_NE(out.store, nullptr);
+      EXPECT_EQ(out.stats.shards_total,
+                (serial.num_states() + shard - 1) / shard);
+      EXPECT_EQ(out.stats.shards_claimed + out.stats.shards_stolen,
+                out.stats.shards_total);
+      EXPECT_EQ(table_of(*out.store), serial.successors());
+    }
+  }
+}
+
+// Satellite: the table is a pure function of (automaton, bits) — worker
+// count, group layout, and steal interleaving must not matter.
+TEST(ShardedBuild, DeterministicAcrossWorkerCounts) {
+  const auto a = majority_ring(11);
+  const auto serial = FunctionalGraph::synchronous(a);
+  for (const unsigned workers : {1u, 2u, 3u, 7u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ShardedBuildOptions options;
+    options.store = StoreKind::kPacked;
+    options.shard_states = 128;
+    options.workers = workers;
+    runtime::RunControl control{runtime::RunBudget{}};
+    const ShardedBuild out = build_synchronous_sharded(a, options, control);
+    ASSERT_TRUE(out.complete());
+    EXPECT_EQ(out.stats.workers, workers);
+    EXPECT_EQ(table_of(*out.store), serial.successors());
+  }
+}
+
+TEST(ShardedBuild, SweepMatchesSerialSweep) {
+  const auto a = majority_ring(9);
+  std::vector<core::NodeId> order{3, 1, 4, 0, 8, 2, 7, 5, 6};
+  const auto serial = FunctionalGraph::sweep(a, order);
+  ShardedBuildOptions options;
+  options.store = StoreKind::kPacked;
+  options.shard_states = 100;
+  options.workers = 2;
+  runtime::RunControl control{runtime::RunBudget{}};
+  const ShardedBuild out = build_sweep_sharded(a, order, options, control);
+  ASSERT_TRUE(out.complete());
+  EXPECT_EQ(table_of(*out.store), serial.successors());
+}
+
+// Truncation contract: a tripped budget yields counts only (no graph, no
+// store for RAM backends), exactly like build_synchronous_parallel.
+TEST(ShardedBuild, BudgetTruncationReportsCountsOnly) {
+  const auto a = majority_ring(10);
+  runtime::RunBudget budget;
+  budget.max_states = 300;
+  runtime::RunControl control(budget);
+  ShardedBuildOptions options;
+  options.store = StoreKind::kPacked;
+  options.shard_states = 64;
+  options.workers = 2;
+  const ShardedBuild out = build_synchronous_sharded(a, options, control);
+  EXPECT_FALSE(out.complete());
+  EXPECT_FALSE(out.build.graph.has_value());
+  EXPECT_EQ(out.store, nullptr);
+  EXPECT_EQ(out.build.status.stop_reason, runtime::StopReason::kMaxStates);
+  EXPECT_LE(out.build.states_built, 1024u);
+}
+
+// Disk truncation finalizes the manifest, and a resume build skips every
+// digest-valid shard already spilled — then ends bit-identical.
+TEST(ShardedBuild, DiskTruncationThenResumeIsBitIdentical) {
+  TempDir dir("resume");
+  const auto a = majority_ring(11);
+  const auto serial = FunctionalGraph::synchronous(a);
+
+  ShardedBuildOptions options;
+  options.store = StoreKind::kDisk;
+  options.disk_dir = dir.path().string();
+  options.shard_states = kPutAlign;
+  options.workers = 1;
+
+  // Pass 1: budget trips mid-build; some whole shards land on disk.
+  {
+    runtime::RunBudget budget;
+    budget.max_states = 700;  // > 1 shard, < all 4
+    runtime::RunControl control(budget);
+    const ShardedBuild out = build_synchronous_sharded(a, options, control);
+    ASSERT_FALSE(out.complete());
+    ASSERT_NE(out.store, nullptr);  // partial disk store, for resume
+  }
+  // Pass 2: resume skips the spilled shards and completes the rest.
+  options.resume = true;
+  runtime::RunControl control{runtime::RunBudget{}};
+  const ShardedBuild out = build_synchronous_sharded(a, options, control);
+  ASSERT_TRUE(out.complete());
+  EXPECT_GT(out.stats.resumed_states, 0u);
+  EXPECT_EQ(table_of(*out.store), serial.successors());
+}
+
+// The supervised wrapper walks the ladder on an injected transient and
+// still produces the exact table.
+TEST(ShardedBuild, SupervisedAbsorbsInjectedTransient) {
+  const auto a = majority_ring(9);
+  const auto serial = FunctionalGraph::synchronous(a);
+  ShardedBuildOptions options;
+  options.store = StoreKind::kPacked;
+  options.workers = 2;
+  runtime::SupervisorOptions sup;
+  sup.retry.max_attempts = 4;
+  sup.retry.initial_backoff = std::chrono::milliseconds(1);
+  sup.apply_backoff = false;
+  runtime::ScopedFaultPlan plan({.retry_transient_at = 1});
+  const SupervisedShardedBuild out =
+      supervised_synchronous_sharded(a, options, sup);
+  ASSERT_EQ(out.report.state, runtime::SupervisedState::kCompleted);
+  EXPECT_EQ(out.report.attempts, 2u);
+  ASSERT_TRUE(out.build.complete());
+  EXPECT_EQ(table_of(*out.build.store), serial.successors());
+}
+
+// Spawn failure degrades to fewer workers instead of failing the build.
+TEST(ShardedBuild, SpawnFailureDegradesGracefully) {
+  const auto a = majority_ring(9);
+  const auto serial = FunctionalGraph::synchronous(a);
+  ShardedBuildOptions options;
+  options.store = StoreKind::kFlat;
+  options.workers = 4;
+  runtime::ScopedFaultPlan plan({.fail_thread_spawn = true});
+  runtime::RunControl control{runtime::RunBudget{}};
+  const ShardedBuild out = build_synchronous_sharded(a, options, control);
+  ASSERT_TRUE(out.complete());
+  EXPECT_EQ(table_of(*out.store), serial.successors());
+}
+
+// Classification through a sharded-built store matches the serial path
+// end to end (the surface the service tier uses).
+TEST(ShardedBuild, ClassifyThroughPackedStoreMatchesSerial) {
+  const auto a = majority_ring(10);
+  const auto want = classify(FunctionalGraph::synchronous(a));
+  ShardedBuildOptions options;
+  options.store = StoreKind::kPacked;
+  options.workers = 2;
+  runtime::RunControl control{runtime::RunBudget{}};
+  const ShardedBuild out = build_synchronous_sharded(a, options, control);
+  ASSERT_TRUE(out.complete());
+  const Classification got = classify(*out.build.graph);
+  EXPECT_EQ(got.num_fixed_points, want.num_fixed_points);
+  EXPECT_EQ(got.num_cycle_states, want.num_cycle_states);
+  EXPECT_EQ(got.num_transient_states, want.num_transient_states);
+  EXPECT_EQ(got.num_gardens_of_eden, want.num_gardens_of_eden);
+  EXPECT_EQ(got.max_period(), want.max_period());
+  EXPECT_EQ(got.max_transient, want.max_transient);
+}
+
+}  // namespace
+}  // namespace tca::phasespace
