@@ -23,6 +23,20 @@ cannot express because they are *project* conventions, not language rules
                  checkpointed paths): resume must be bit-identical, so
                  only steady_clock (monotonic, never serialized) is
                  allowed there.
+  memory-model-stale
+                 every data row of docs/memory_model.md (the ordering-
+                 contract table that scripts/tca_analyze.py cross-
+                 verifies) must point at a file that still exists and a
+                 symbol that still occurs in it. The deep semantic check
+                 (orders match actual sites) lives in tca_analyze.py;
+                 this rule is the cheap config-staleness guard that also
+                 runs when the analyzer is skipped.
+  hot-path-roots every entry in HOT_PATH_ROOTS — the registry of
+                 TCA_HOT_PATH-annotated hot loops that tca_analyze.py's
+                 hot-path check audits (src/core/contracts.hpp) — must
+                 still match its file. Deleting or moving an annotation
+                 without updating the registry is a finding, so the
+                 hot-path audit can never silently lose coverage.
 
 Suppression policy (docs/static-analysis.md): a finding is suppressed by
 `// tca-lint: allow(<rule>) <reason>` on the same line or the line(s)
@@ -339,6 +353,124 @@ RULES: dict[str, Callable[[SourceFile], list[Finding]]] = {
 CHECKPOINT_DET_SCOPE = "src/runtime/"
 
 
+# --- tree-level rules (memory-model-stale, hot-path-roots) --------------
+
+MEMORY_MODEL_DOC = "docs/memory_model.md"
+
+# Registry of TCA_HOT_PATH-annotated roots (src/core/contracts.hpp).
+# scripts/tca_analyze.py audits the loops under these for blocking
+# constructs; this registry pins each annotation in place so removing
+# one is a visible config change, not silent coverage loss. Format:
+# (repo-relative file, regex that must match the file text).
+HOT_PATH_ROOTS: tuple[tuple[str, str], ...] = (
+    ("src/core/thread_pool.cpp",
+     r"TCA_HOT_PATH\s+void\s+ThreadPool::drain\b"),
+    ("src/core/batch_kernels.cpp",
+     r"TCA_HOT_PATH\s+void\s+BatchStepper::step\b"),
+    ("src/core/batch_kernels.cpp",
+     r"TCA_HOT_PATH\s+void\s+BatchStepper::sweep\b"),
+    ("src/core/batch_kernels_impl.hpp",
+     r"TCA_HOT_PATH\s+void\s+step\b"),
+    ("src/core/batch_kernels_impl.hpp",
+     r"TCA_HOT_PATH\s+void\s+sweep\b"),
+    ("src/core/batch_kernels_impl.hpp",
+     r"TCA_HOT_PATH\s+void\s+step_code_range\b"),
+    ("src/core/batch_kernels_impl.hpp",
+     r"TCA_HOT_PATH\s+void\s+sweep_code_range\b"),
+    ("src/phasespace/sharded_build.cpp",
+     r"\(unsigned\s+worker_id\)\s*TCA_HOT_PATH\s*\{"),
+    ("src/phasespace/successor_store.cpp",
+     r"TCA_HOT_PATH\s+inline\s+void\s+merge_word\b"),
+    ("src/phasespace/successor_store.cpp",
+     r"TCA_HOT_PATH\s+void\s+FlatStore::put_range\b"),
+    ("src/phasespace/successor_store.cpp",
+     r"TCA_HOT_PATH\s+void\s+PackedStore::put_range\b"),
+)
+
+_CONTRACT_ORDERS = {"relaxed", "consume", "acquire", "release",
+                    "acq_rel", "seq_cst"}
+
+
+def _contract_rows(doc_text: str) -> list[tuple[int, str, str]]:
+    """(1-based line, file, symbol) for each data row of the ordering-
+    contract table. Header/separator rows and rows whose orders cell
+    contains no known order token are skipped — tca_analyze.py owns the
+    malformed-row diagnostics; here we only need the pointers."""
+    rows = []
+    for i, line in enumerate(doc_text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = [c.strip().strip("`").strip()
+                 for c in stripped.strip("|").split("|")]
+        if len(cells) < 4:
+            continue
+        file_cell, symbol_cell, orders_cell = cells[0], cells[1], cells[2]
+        order_tokens = set(re.findall(r"[a-z_]+", orders_cell))
+        if not (order_tokens & _CONTRACT_ORDERS):
+            continue  # header / separator / prose row
+        if not file_cell or not symbol_cell:
+            continue
+        rows.append((i, file_cell, symbol_cell))
+    return rows
+
+
+def check_memory_model(
+    doc_text: str | None, sources: dict[str, str]
+) -> list[Finding]:
+    """memory-model-stale: every contract row must point at an existing
+    file and a symbol that still occurs in it. `sources` maps repo-
+    relative paths to file text; `doc_text` is None when the doc itself
+    is missing."""
+    rule = "memory-model-stale"
+    if doc_text is None:
+        return [Finding(MEMORY_MODEL_DOC, 0, rule,
+                        "docs/memory_model.md is missing but the codebase "
+                        "uses atomics — the ordering-contract table is "
+                        "load-bearing (scripts/tca_analyze.py)")]
+    out = []
+    for line, file_cell, symbol_cell in _contract_rows(doc_text):
+        text = sources.get(file_cell)
+        if text is None:
+            out.append(Finding(
+                MEMORY_MODEL_DOC, line, rule,
+                f"contract row points at '{file_cell}' which does not "
+                f"exist — delete or retarget the row"))
+            continue
+        if not re.search(r"\b" + re.escape(symbol_cell) + r"\b", text):
+            out.append(Finding(
+                MEMORY_MODEL_DOC, line, rule,
+                f"contract row registers symbol '{symbol_cell}' which no "
+                f"longer occurs in '{file_cell}' — stale row"))
+    return out
+
+
+def check_hot_path_roots(
+    roots: tuple[tuple[str, str], ...], sources: dict[str, str]
+) -> list[Finding]:
+    """hot-path-roots: every registered TCA_HOT_PATH annotation must
+    still match its file (stale registry == silent audit-coverage loss,
+    same policy as the ENTRY_POINTS staleness findings)."""
+    rule = "hot-path-roots"
+    out = []
+    for relpath, pattern in roots:
+        text = sources.get(relpath)
+        if text is None:
+            out.append(Finding(
+                relpath, 0, rule,
+                f"HOT_PATH_ROOTS entry points at missing file — the "
+                f"tca_lint.py registry is stale"))
+            continue
+        if not re.search(pattern, text):
+            out.append(Finding(
+                relpath, 0, rule,
+                f"registered hot-path root /{pattern}/ no longer matches "
+                f"— restore the TCA_HOT_PATH annotation or update "
+                f"HOT_PATH_ROOTS (and docs/memory_model.md if orderings "
+                f"moved)"))
+    return out
+
+
 def lint_file(src: SourceFile) -> list[Finding]:
     findings: list[Finding] = []
     for rule, check in RULES.items():
@@ -365,8 +497,15 @@ def iter_sources(root: pathlib.Path) -> Iterable[SourceFile]:
 
 def lint_tree(root: pathlib.Path) -> list[Finding]:
     findings: list[Finding] = []
+    sources: dict[str, str] = {}
     for src in iter_sources(root):
+        sources[src.relpath] = src.text
         findings.extend(lint_file(src))
+    doc = root / MEMORY_MODEL_DOC
+    doc_text = (doc.read_text(encoding="utf-8", errors="replace")
+                if doc.is_file() else None)
+    findings.extend(check_memory_model(doc_text, sources))
+    findings.extend(check_hot_path_roots(HOT_PATH_ROOTS, sources))
     return findings
 
 
@@ -501,6 +640,59 @@ def self_test() -> int:
                for f in lint_file(stale)):
         failures.append("explicit-bits: stale entry-point config must be "
                         "reported as a finding")
+
+    # memory-model-stale: good table quiet, dead file / dead symbol fire,
+    # missing doc fires.
+    mm_sources = {"src/core/x.cpp":
+                  "std::atomic<int> flag;\n"
+                  "int f() { return flag.load(std::memory_order_relaxed); }"
+                  "\n"}
+    mm_header = ("| file | symbol | orders | happens-before |\n"
+                 "|------|--------|--------|----------------|\n")
+    good_doc = mm_header + \
+        "| `src/core/x.cpp` | `flag` | `relaxed` | advisory poll |\n"
+    if check_memory_model(good_doc, mm_sources):
+        failures.append("memory-model-stale: fired on a live contract row "
+                        "(false positive)")
+    dead_file_doc = mm_header + \
+        "| `src/core/gone.cpp` | `flag` | `relaxed` | advisory |\n"
+    if not check_memory_model(dead_file_doc, mm_sources):
+        failures.append("memory-model-stale: MUST fire on a row whose "
+                        "file is gone (rule rot)")
+    dead_symbol_doc = mm_header + \
+        "| `src/core/x.cpp` | `retired` | `relaxed` | advisory |\n"
+    if not check_memory_model(dead_symbol_doc, mm_sources):
+        failures.append("memory-model-stale: MUST fire on a row whose "
+                        "symbol is gone (rule rot)")
+    if not check_memory_model(None, mm_sources):
+        failures.append("memory-model-stale: MUST fire when the doc "
+                        "itself is missing (rule rot)")
+
+    # hot-path-roots: live annotation quiet; stripped annotation and
+    # missing file fire.
+    hp_roots = (("src/core/x.cpp", r"TCA_HOT_PATH\s+void\s+step\b"),)
+    live = {"src/core/x.cpp": "TCA_HOT_PATH void step(int* p) { ++*p; }\n"}
+    if check_hot_path_roots(hp_roots, live):
+        failures.append("hot-path-roots: fired on a live annotation "
+                        "(false positive)")
+    stripped = {"src/core/x.cpp": "void step(int* p) { ++*p; }\n"}
+    if not check_hot_path_roots(hp_roots, stripped):
+        failures.append("hot-path-roots: MUST fire when the annotation "
+                        "is stripped (rule rot)")
+    if not check_hot_path_roots(hp_roots, {}):
+        failures.append("hot-path-roots: MUST fire when the registered "
+                        "file is gone (rule rot)")
+
+    # The in-tree registry itself must be live (otherwise lint_tree on
+    # this very checkout would fail anyway — surface it here with a
+    # clearer message).
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    if (repo_root / "src").is_dir():
+        tree_sources = {s.relpath: s.text for s in iter_sources(repo_root)}
+        stale_roots = check_hot_path_roots(HOT_PATH_ROOTS, tree_sources)
+        for f in stale_roots:
+            failures.append(f"hot-path-roots: in-tree registry stale: "
+                            f"{f.render()}")
     if failures:
         print("tca-lint self-test FAILED:", file=sys.stderr)
         for f in failures:
@@ -508,7 +700,7 @@ def self_test() -> int:
         return 2
     n_fixtures = sum(
         len(c["bad"]) + len(c["good"]) for c in _SELFTEST.values())
-    print(f"tca-lint self-test OK: {len(RULES)} rules, "
+    print(f"tca-lint self-test OK: {len(RULES) + 2} rules, "
           f"{n_fixtures} fixtures (every rule fires and stays quiet)")
     return 0
 
@@ -529,6 +721,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for rule in RULES:
             print(rule)
+        print("memory-model-stale")
+        print("hot-path-roots")
         return 0
     if args.self_test:
         return self_test()

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/error.hpp"
 
@@ -305,7 +306,7 @@ std::uint64_t BatchStepper::eval_cell(NodeId v,
   return eval_.eval(plans_[m], std::span<const std::uint64_t>(fin, m));
 }
 
-void BatchStepper::step(const BatchSlice& in, BatchSlice& out) {
+TCA_HOT_PATH void BatchStepper::step(const BatchSlice& in, BatchSlice& out) {
   if (in.num_cells() != a_->size() || out.num_cells() != a_->size()) {
     throw tca::InvalidArgumentError("BatchStepper::step: size mismatch",
                                     tca::ErrorCode::kSizeMismatch);
@@ -330,7 +331,8 @@ void BatchStepper::step(const BatchSlice& in, BatchSlice& out) {
   lanes.add(in.count());
 }
 
-void BatchStepper::sweep(BatchSlice& slice, std::span<const NodeId> order) {
+TCA_HOT_PATH void BatchStepper::sweep(BatchSlice& slice,
+                                      std::span<const NodeId> order) {
   if (slice.num_cells() != a_->size()) {
     throw tca::InvalidArgumentError("BatchStepper::sweep: size mismatch",
                                     tca::ErrorCode::kSizeMismatch);

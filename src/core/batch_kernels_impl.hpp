@@ -34,6 +34,7 @@
 #include "core/automaton.hpp"
 #include "core/batch_isa.hpp"
 #include "core/batch_kernels.hpp"
+#include "core/contracts.hpp"
 #include "core/simd_word.hpp"
 #include "obs/metrics.hpp"
 #include "rules/circuit.hpp"
@@ -108,7 +109,7 @@ class WideStepperImpl final : public WideStepper {
   [[nodiscard]] BatchIsa isa() const noexcept override { return isa_; }
   [[nodiscard]] unsigned lane_words() const noexcept override { return W; }
 
-  void step(const BatchSlice& in, BatchSlice& out) override {
+  TCA_HOT_PATH void step(const BatchSlice& in, BatchSlice& out) override {
     if (in.num_cells() != a_->size() || out.num_cells() != a_->size()) {
       throw tca::InvalidArgumentError("WideStepper::step: size mismatch",
                                       tca::ErrorCode::kSizeMismatch);
@@ -131,7 +132,8 @@ class WideStepperImpl final : public WideStepper {
     charge_step(in.count());
   }
 
-  void sweep(BatchSlice& slice, std::span<const NodeId> order) override {
+  TCA_HOT_PATH void sweep(BatchSlice& slice,
+                          std::span<const NodeId> order) override {
     if (slice.num_cells() != a_->size()) {
       throw tca::InvalidArgumentError("WideStepper::sweep: size mismatch",
                                       tca::ErrorCode::kSizeMismatch);
@@ -147,8 +149,8 @@ class WideStepperImpl final : public WideStepper {
     sweeps.add(slice.count());
   }
 
-  void step_code_range(std::uint64_t first, std::size_t count,
-                       std::uint64_t* succ) override {
+  TCA_HOT_PATH void step_code_range(std::uint64_t first, std::size_t count,
+                                    std::uint64_t* succ) override {
     require_code_width();
     constexpr std::size_t kCap = std::size_t{64} * W;
     for (std::size_t off = 0; off < count; off += kCap) {
@@ -163,9 +165,9 @@ class WideStepperImpl final : public WideStepper {
     }
   }
 
-  void sweep_code_range(std::uint64_t first, std::size_t count,
-                        std::span<const NodeId> order,
-                        std::uint64_t* succ) override {
+  TCA_HOT_PATH void sweep_code_range(std::uint64_t first, std::size_t count,
+                                     std::span<const NodeId> order,
+                                     std::uint64_t* succ) override {
     require_code_width();
     static obs::Counter& sweeps = obs::counter("engine.batch.sweeps");
     constexpr std::size_t kCap = std::size_t{64} * W;

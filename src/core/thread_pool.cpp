@@ -4,6 +4,7 @@
 #include <chrono>
 #include <system_error>
 
+#include "core/contracts.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/fault.hpp"
@@ -97,7 +98,7 @@ std::exception_ptr ThreadPool::take_error() {
 /// this function touches no guarded state. Exceptions are latched into
 /// first_error_ and flip abandon_ so other participants stop picking up
 /// new chunks; they never escape a worker thread.
-void ThreadPool::drain(const Run& run) {
+TCA_HOT_PATH void ThreadPool::drain(const Run& run) {
   for (;;) {
     if (abandon_.load(std::memory_order_acquire)) return;
     if (run.control != nullptr && run.control->should_stop()) {

@@ -1,5 +1,12 @@
 #include "phasespace/sharded_build.hpp"
 
+// tca-lint: relaxed-ok(claim cursors, steal tallies and the abandon flag
+// are control-flow only — a stale read costs at most one wasted claim
+// probe or one extra shard before stopping. Every byte of phase-space
+// data is published to the caller by the thread-join barrier, and errors
+// travel under error_mu; no reader relies on these atomics for ordering.
+// The full argument lives in docs/memory_model.md.)
+
 #include <pthread.h>
 #include <sched.h>
 
@@ -12,6 +19,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/contracts.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -225,7 +233,7 @@ ShardedBuild build_sharded(const core::Automaton& a, bool sweep_mode,
   // so overshoot only wastes the increment.
   std::vector<std::atomic<std::uint64_t>> cursors(num_groups);
   for (std::uint32_t g = 0; g < num_groups; ++g) {
-    cursors[g].store(region_begin[g]);
+    cursors[g].store(region_begin[g], std::memory_order_relaxed);
   }
   std::atomic<bool> abandon{false};
   std::atomic<std::uint64_t> total_claimed{0};
@@ -239,7 +247,7 @@ ShardedBuild build_sharded(const core::Automaton& a, bool sweep_mode,
   const std::uint8_t* done = shard_done.data();
 
   const auto worker_body = [&, ctl, store_raw, plan_ptr,
-                            done](unsigned worker_id) {
+                            done](unsigned worker_id) TCA_HOT_PATH {
     const std::uint32_t home = worker_id % num_groups;
     if (options.pin_threads && worker_id != 0) {
       // Worker 0 is the calling thread; leave its affinity alone.
@@ -264,14 +272,15 @@ ShardedBuild build_sharded(const core::Automaton& a, bool sweep_mode,
           std::min<StateCode>(plan_ptr->shard_states, plan_ptr->count)));
       std::uint64_t claimed = 0;
       std::uint64_t stolen = 0;
-      while (!abandon.load()) {
+      while (!abandon.load(std::memory_order_relaxed)) {
         // Claim: home group first, then sweep the others (steal).
         std::uint64_t shard = ~std::uint64_t{0};
         bool is_steal = false;
         for (std::uint32_t off = 0; off < num_groups; ++off) {
           const std::uint32_t g = (home + off) % num_groups;
-          while (cursors[g].load() < region_end[g]) {
-            const std::uint64_t got = cursors[g].fetch_add(1);
+          while (cursors[g].load(std::memory_order_relaxed) < region_end[g]) {
+            const std::uint64_t got =
+                cursors[g].fetch_add(1, std::memory_order_relaxed);
             if (got < region_end[g]) {
               shard = got;
               is_steal = off != 0;
@@ -294,7 +303,7 @@ ShardedBuild build_sharded(const core::Automaton& a, bool sweep_mode,
               std::min<std::size_t>(1024, n_states - done_states);
           if (ctl->note_states(block) != runtime::StopReason::kNone) {
             whole = false;
-            abandon.store(true);
+            abandon.store(true, std::memory_order_relaxed);
             break;
           }
           stepper.step_range(first + done_states, block,
@@ -305,14 +314,14 @@ ShardedBuild build_sharded(const core::Automaton& a, bool sweep_mode,
         store_raw->put_range(first, n_states, staging.data());
         ++(is_steal ? stolen : claimed);
       }
-      total_claimed.fetch_add(claimed);
-      total_stolen.fetch_add(stolen);
+      total_claimed.fetch_add(claimed, std::memory_order_relaxed);
+      total_stolen.fetch_add(stolen, std::memory_order_relaxed);
     } catch (...) {
       {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (first_error == nullptr) first_error = std::current_exception();
       }
-      abandon.store(true);
+      abandon.store(true, std::memory_order_relaxed);
     }
   };
 
@@ -327,6 +336,9 @@ ShardedBuild build_sharded(const core::Automaton& a, bool sweep_mode,
         throw tca::InjectedFaultError(
             "fault plan: sharded-build worker spawn failure");
       }
+      TCA_JOINED_BEFORE_SCOPE_EXIT(
+          "all spawned workers are joined at the barrier right after "
+          "worker_body(0), before any captured local dies");
       threads.emplace_back(worker_body, w);
     } catch (...) {
       static obs::Counter& degraded =
@@ -343,14 +355,14 @@ ShardedBuild build_sharded(const core::Automaton& a, bool sweep_mode,
 
   if (first_error != nullptr) {
     // Publish what happened before surfacing the failure.
-    out.stats.shards_claimed = total_claimed.load();
-    out.stats.shards_stolen = total_stolen.load();
+    out.stats.shards_claimed = total_claimed.load(std::memory_order_relaxed);
+    out.stats.shards_stolen = total_stolen.load(std::memory_order_relaxed);
     publish_shard_tallies(out.stats, control.status().states);
     std::rethrow_exception(first_error);
   }
 
-  out.stats.shards_claimed = total_claimed.load();
-  out.stats.shards_stolen = total_stolen.load();
+  out.stats.shards_claimed = total_claimed.load(std::memory_order_relaxed);
+  out.stats.shards_stolen = total_stolen.load(std::memory_order_relaxed);
   out.build.status = control.status();
 
   const std::uint64_t executed =

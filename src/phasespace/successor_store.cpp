@@ -3,7 +3,7 @@
 // tca-lint: relaxed-ok(packed boundary words are merged with relaxed CAS:
 // writers own disjoint bit ranges, the pool/thread join barrier is the
 // only publication edge readers rely on, and the CAS loop itself only
-// needs atomicity, not ordering)
+// needs atomicity, not ordering — see docs/memory_model.md)
 
 #include <fcntl.h>
 #include <sys/mman.h>
@@ -20,6 +20,7 @@
 #include <system_error>
 #include <utility>
 
+#include "core/contracts.hpp"
 #include "core/fnv.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -107,8 +108,8 @@ void unpack_entries(const std::uint8_t* src, std::size_t count,
 /// Merges `value` into *word keeping the bits outside own_mask: a plain
 /// store when the word is fully owned, a CAS loop when a concurrent
 /// writer may own the complement (ranges straddling a word boundary).
-inline void merge_word(std::uint64_t* word, std::uint64_t value,
-                       std::uint64_t own_mask) {
+TCA_HOT_PATH inline void merge_word(std::uint64_t* word, std::uint64_t value,
+                                    std::uint64_t own_mask) {
   std::atomic_ref<std::uint64_t> ref(*word);
   if (own_mask == ~std::uint64_t{0}) {
     ref.store(value, std::memory_order_relaxed);
@@ -117,6 +118,7 @@ inline void merge_word(std::uint64_t* word, std::uint64_t value,
   std::uint64_t old = ref.load(std::memory_order_relaxed);
   const std::uint64_t ours = value & own_mask;
   while (!ref.compare_exchange_weak(old, (old & ~own_mask) | ours,
+                                    std::memory_order_relaxed,
                                     std::memory_order_relaxed)) {
   }
 }
@@ -172,8 +174,8 @@ FlatStore::FlatStore(std::uint32_t bits, std::vector<StateCode> table)
   }
 }
 
-void FlatStore::put_range(StateCode first, std::size_t count,
-                          const StateCode* src) {
+TCA_HOT_PATH void FlatStore::put_range(StateCode first, std::size_t count,
+                                       const StateCode* src) {
   check_put_range(first, count, entries_, "FlatStore");
   std::memcpy(table_.data() + first, src, count * sizeof(StateCode));
 }
@@ -212,8 +214,8 @@ StateCode PackedStore::get(StateCode s) const {
   return v & value_mask_;
 }
 
-void PackedStore::put_range(StateCode first, std::size_t count,
-                            const StateCode* src) {
+TCA_HOT_PATH void PackedStore::put_range(StateCode first, std::size_t count,
+                                         const StateCode* src) {
   check_put_range(first, count, entries_, "PackedStore");
   if (count == 0) return;
   const std::uint32_t n = bits_;

@@ -33,6 +33,7 @@ StopReason RunControl::latch_and_get(StopReason candidate) noexcept {
   std::uint8_t expected = 0;
   stop_.compare_exchange_strong(expected,
                                 static_cast<std::uint8_t>(candidate),
+                                std::memory_order_relaxed,
                                 std::memory_order_relaxed);
   return static_cast<StopReason>(stop_.load(std::memory_order_relaxed));
 }

@@ -31,7 +31,7 @@ bool consume(std::atomic<std::uint64_t>& counter, std::uint64_t n) noexcept {
   for (;;) {
     if (left == 0) return false;  // disabled or already fired
     const std::uint64_t next = left > n ? left - n : 0;
-    if (counter.compare_exchange_weak(left, next,
+    if (counter.compare_exchange_weak(left, next, std::memory_order_relaxed,
                                       std::memory_order_relaxed)) {
       return next == 0;
     }

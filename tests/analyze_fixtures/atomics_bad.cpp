@@ -1,0 +1,19 @@
+// tca_analyze fixture: the atomics audit must fire on every pattern
+// here (paired with atomics_contract.md, which deliberately registers
+// none of these and carries one stale row). NOT compiled by CMake —
+// analyzer input only.
+#include <atomic>
+
+std::atomic<int> ready{0};
+std::atomic<unsigned long> hits{0};
+
+int observe() {
+  ready.store(1);                                   // implicit seq_cst store
+  hits.fetch_add(1, std::memory_order_relaxed);     // relaxed, unregistered
+  return ready.load(std::memory_order_relaxed);     // relaxed, unregistered
+}
+
+void bump() {
+  ++hits;        // operator form: implicit seq_cst RMW
+  ready = 2;     // operator form: implicit seq_cst store
+}

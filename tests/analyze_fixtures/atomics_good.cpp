@@ -1,0 +1,19 @@
+// tca_analyze fixture: fully explicit orders, every non-seq_cst site
+// registered in atomics_contract.md — the audit must stay silent. Also
+// exercises the suppression syntax. NOT compiled by CMake.
+#include <atomic>
+
+std::atomic<int> gate{0};
+std::atomic<unsigned long> ticks{0};
+
+int observe() {
+  gate.store(1, std::memory_order_seq_cst);  // explicit seq_cst: no row needed
+  ticks.fetch_add(1, std::memory_order_relaxed);
+  return gate.load(std::memory_order_relaxed);
+}
+
+void legacy_bump() {
+  // tca-analyze: allow(atomic-implicit-order) fixture: demonstrates the
+  // suppression syntax on a deliberate operator-form site.
+  ++ticks;
+}

@@ -1,0 +1,16 @@
+// tca_analyze fixture: by-reference captures handed to threads without
+// the joined-before-scope-exit annotation, plus a detached thread.
+// NOT compiled by CMake.
+#include <thread>
+#include <vector>
+
+void fan_out(unsigned workers) {
+  unsigned progress = 0;
+  std::vector<std::thread> pool;
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] { ++progress; });  // &progress may dangle
+  }
+  auto task = [&]() { progress += 2; };
+  std::thread extra(task);  // named ref-capturing lambda, same hazard
+  extra.detach();           // detached: lifetime unverifiable
+}

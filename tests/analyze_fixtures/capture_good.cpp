@@ -1,0 +1,30 @@
+// tca_analyze fixture: the accepted spawn shapes — annotated join
+// guarantee for by-reference captures, `this`/by-value captures need no
+// annotation. TCA_JOINED_BEFORE_SCOPE_EXIT is matched textually; this
+// file is NOT compiled by CMake.
+#include <thread>
+#include <vector>
+
+struct Pool {
+  std::vector<std::thread> workers_;
+  unsigned progress = 0;
+
+  void fan_out(unsigned workers) {
+    for (unsigned w = 0; w < workers; ++w) {
+      TCA_JOINED_BEFORE_SCOPE_EXIT(
+          "all workers joined in the loop below before fan_out returns");
+      workers_.emplace_back([&] { ++progress; });
+    }
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void spawn_members() {
+    workers_.emplace_back([this] { ++progress; });  // this-capture: fine
+    for (std::thread& t : workers_) t.join();
+  }
+};
+
+void by_value(unsigned seed) {
+  std::thread t([seed] { (void)(seed + 1); });  // value capture: fine
+  t.join();
+}

@@ -1,0 +1,24 @@
+// tca_analyze fixture: both CAS-idiom findings. NOT compiled by CMake.
+#include <atomic>
+
+std::atomic<unsigned long> word{0};
+
+// cas-single-order: one memory_order covers success only; the failure
+// load silently becomes seq_cst-derived.
+bool publish(unsigned long v) {
+  unsigned long expected = 0;
+  return word.compare_exchange_strong(expected, v,
+                                      std::memory_order_release);
+}
+
+// cas-reload-race: the loop throws away the value the failed CAS wrote
+// into `cur` and re-loads — another writer can slip in between the load
+// and the retry.
+void merge(unsigned long bits) {
+  unsigned long cur = word.load(std::memory_order_relaxed);
+  while (!word.compare_exchange_weak(cur, cur | bits,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    cur = word.load(std::memory_order_relaxed);
+  }
+}

@@ -1,0 +1,23 @@
+// tca_analyze fixture: CondVar::wait outside a predicate loop — the
+// exact hole the deliberately predicate-free tca::CondVar wrapper
+// leaves open to thread-safety analysis. NOT compiled by CMake.
+
+struct CondVar {
+  void wait(int& guard);
+};
+
+struct Worker {
+  CondVar cv_;
+  int lock = 0;
+  bool ready = false;
+
+  void bad_wait() {
+    if (!ready) {
+      cv_.wait(lock);  // a spurious wakeup sails straight through
+    }
+  }
+
+  void bare_wait() {
+    cv_.wait(lock);  // no predicate at all
+  }
+};

@@ -1,0 +1,33 @@
+// tca_analyze fixture: every CondVar::wait sits in a predicate loop —
+// braced, unbraced and do-while forms all count. A raw
+// std::condition_variable member (the wrapper's own internals) is out
+// of scope for the check. NOT compiled by CMake.
+
+struct CondVar {
+  void wait(int& guard);
+};
+
+struct Worker {
+  CondVar cv_;
+  int lock = 0;
+  bool ready = false;
+  unsigned pending = 0;
+
+  void braced_wait() {
+    while (!ready) {
+      cv_.wait(lock);
+    }
+  }
+
+  void unbraced_wait() {
+    while (pending != 0) cv_.wait(lock);
+  }
+
+  void nested_wait() {
+    while (!ready) {
+      if (pending == 0) {
+        cv_.wait(lock);
+      }
+    }
+  }
+};

@@ -1,0 +1,32 @@
+// tca_analyze fixture: blocking constructs inside hot loops — one of
+// each category (lock, IO, allocation, container construction) in a
+// TCA_HOT_PATH root, plus an allocating for_each_range lambda. The
+// TCA_HOT_PATH token is all the analyzer keys on; this file is NOT
+// compiled by CMake.
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+std::mutex mu;
+int sink;
+
+TCA_HOT_PATH void hot_step(const int* src, int* dst, unsigned n) {
+  for (unsigned i = 0; i < n; ++i) {
+    std::lock_guard<std::mutex> guard(mu);   // lock in the per-cell loop
+    std::vector<int> scratch(n);             // allocation per iteration
+    printf("cell %u\n", i);                  // IO per iteration
+    dst[i] = src[i] + scratch.size();
+  }
+}
+
+struct Store {
+  void for_each_range(void (*fn)(unsigned, const int*));
+};
+
+void census(Store& store) {
+  store.for_each_range([](unsigned first, const int* block) {
+    std::string label = std::to_string(first);  // allocates per block
+    sink += label.size() + block[0];
+  });
+}

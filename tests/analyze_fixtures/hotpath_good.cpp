@@ -1,0 +1,43 @@
+// tca_analyze fixture: the disciplined version — allocations hoisted to
+// setup, locks at the boundary, static one-shot init / throw statements
+// / catch blocks exempt inside the loop, one deliberate suppression.
+// NOT compiled by CMake.
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+std::mutex mu;
+int sink;
+
+TCA_HOT_PATH void hot_step(const int* src, int* dst, unsigned n) {
+  std::vector<int> scratch(n);        // setup: outside the loop
+  std::lock_guard<std::mutex> guard(mu);  // boundary lock, not per-cell
+  for (unsigned i = 0; i < n; ++i) {
+    static int calls = 0;             // one-shot static init is exempt
+    ++calls;
+    if (src[i] < 0) {
+      throw std::runtime_error("negative input");  // cold failure path
+    }
+    try {
+      dst[i] = src[i] + scratch[i];
+    } catch (...) {
+      std::vector<int> diagnostics(n);  // catch blocks are cold
+      sink += diagnostics.size();
+    }
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    // tca-analyze: allow(hot-path-blocking) fixture: demonstrates the
+    // suppression syntax on a measured-harmless allocation.
+    dst[i] += std::vector<int>(1)[0];
+  }
+}
+
+struct Store {
+  void for_each_range(void (*fn)(unsigned, const int*));
+};
+
+void census(Store& store) {
+  store.for_each_range([](unsigned first, const int* block) {
+    sink += block[0] + static_cast<int>(first);  // pure counting: clean
+  });
+}
